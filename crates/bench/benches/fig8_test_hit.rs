@@ -1,0 +1,32 @@
+//! Figure 8 bench: the Test+Hit timing-distribution panels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vpsec::attacks::AttackCategory;
+use vpsec::experiment::{evaluate, Channel, PredictorKind};
+use vpsim_bench::reports;
+
+const TRIALS: usize = 20;
+
+fn bench_fig8(c: &mut Criterion) {
+    println!("{}", reports::figure_8(TRIALS));
+    let cfg = reports::config(TRIALS);
+    let mut group = c.benchmark_group("fig8_test_hit");
+    group.sample_size(10);
+    for (name, channel, kind) in [
+        ("timing_no_vp", Channel::TimingWindow, PredictorKind::None),
+        ("timing_lvp", Channel::TimingWindow, PredictorKind::Lvp),
+        ("persistent_no_vp", Channel::Persistent, PredictorKind::None),
+        ("persistent_lvp", Channel::Persistent, PredictorKind::Lvp),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let e = evaluate(AttackCategory::TestHit, channel, kind, &cfg);
+                std::hint::black_box(e.ttest.p_value)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

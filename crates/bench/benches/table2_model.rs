@@ -1,0 +1,19 @@
+//! Table II bench: the 576-combination enumeration and rule filter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vpsec::model::enumerate;
+use vpsim_bench::reports;
+
+fn bench_table2(c: &mut Criterion) {
+    println!("{}", reports::table_ii());
+    c.bench_function("table2_enumerate_576", |b| {
+        b.iter(|| {
+            let e = enumerate();
+            assert_eq!(e.effective.len(), 12);
+            std::hint::black_box(e.effective.len())
+        });
+    });
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

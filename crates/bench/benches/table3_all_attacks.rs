@@ -1,0 +1,28 @@
+//! Table III bench: every attack category over both channels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vpsec::attacks::AttackCategory;
+use vpsec::experiment::{try_evaluate, Channel, PredictorKind};
+use vpsim_bench::reports;
+
+const TRIALS: usize = 20;
+
+fn bench_table3(c: &mut Criterion) {
+    println!("{}", reports::table_iii(TRIALS));
+    let cfg = reports::config(TRIALS);
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    for cat in AttackCategory::ALL {
+        group.bench_function(BenchmarkId::from_parameter(format!("{cat}")), |b| {
+            b.iter(|| {
+                let tw = try_evaluate(cat, Channel::TimingWindow, PredictorKind::Lvp, &cfg);
+                let p = try_evaluate(cat, Channel::Persistent, PredictorKind::Lvp, &cfg);
+                std::hint::black_box((tw.map(|e| e.ttest.p_value), p.map(|e| e.ttest.p_value)))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro --all                 # everything (default 100 trials)
+//! repro --figure 5            # one figure (2, 3, 4, 5, 7, 8)
+//! repro --table 2             # one table (1, 2, 3)
+//! repro --defenses            # §VI-B defense evaluation
+//! repro --ablations           # design-choice ablations
+//! repro --trials 30 --all     # trade precision for speed
+//! ```
+
+use std::process::ExitCode;
+
+use vpsim_bench::reports;
+
+struct Args {
+    trials: usize,
+    items: Vec<Item>,
+    csv_dir: Option<std::path::PathBuf>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Item {
+    Table(u32),
+    Figure(u32),
+    Defenses,
+    Ablations,
+    Performance,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: repro [--trials N] [--csv DIR] (--all | --table {{1|2|3}} | --figure {{2|3|4|5|7|8}} | --defenses | --ablations | --performance)..."
+    );
+    ExitCode::FAILURE
+}
+
+fn parse() -> Result<Args, ()> {
+    let mut args = Args { trials: 100, items: Vec::new(), csv_dir: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--trials" => {
+                args.trials = it.next().ok_or(())?.parse().map_err(|_| ())?;
+            }
+            "--csv" => {
+                args.csv_dir = Some(std::path::PathBuf::from(it.next().ok_or(())?));
+            }
+            "--table" => {
+                args.items.push(Item::Table(it.next().ok_or(())?.parse().map_err(|_| ())?));
+            }
+            "--figure" => {
+                args.items.push(Item::Figure(it.next().ok_or(())?.parse().map_err(|_| ())?));
+            }
+            "--defenses" => args.items.push(Item::Defenses),
+            "--ablations" => args.items.push(Item::Ablations),
+            "--performance" => args.items.push(Item::Performance),
+            "--all" => {
+                args.items.extend([
+                    Item::Table(1),
+                    Item::Table(2),
+                    Item::Figure(2),
+                    Item::Figure(3),
+                    Item::Figure(4),
+                    Item::Figure(5),
+                    Item::Figure(7),
+                    Item::Figure(8),
+                    Item::Table(3),
+                    Item::Defenses,
+                    Item::Ablations,
+                    Item::Performance,
+                ]);
+            }
+            _ => return Err(()),
+        }
+    }
+    if args.items.is_empty() && args.csv_dir.is_none() {
+        return Err(());
+    }
+    Ok(args)
+}
+
+fn write_csvs(dir: &std::path::Path, trials: usize) -> std::io::Result<()> {
+    use vpsec::attacks::AttackCategory;
+    use vpsim_bench::export;
+    std::fs::create_dir_all(dir)?;
+    let cfg = vpsim_bench::reports::config(trials);
+    let files = [
+        ("fig5_train_test.csv", export::figure_distributions_csv(AttackCategory::TrainTest, &cfg)),
+        ("fig8_test_hit.csv", export::figure_distributions_csv(AttackCategory::TestHit, &cfg)),
+        ("table3.csv", export::table_iii_csv(&cfg)),
+        ("defense_window_sweep.csv", export::window_sweep_csv(&cfg)),
+        ("fig7_rsa.csv", export::figure_7_csv(60, 0x965)),
+    ];
+    for (name, contents) in files {
+        let path = dir.join(name);
+        std::fs::write(&path, contents)?;
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let Ok(args) = parse() else { return usage() };
+    if let Some(dir) = &args.csv_dir {
+        if let Err(e) = write_csvs(dir, args.trials) {
+            eprintln!("csv export failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    for item in &args.items {
+        let report = match item {
+            Item::Table(1) => reports::table_i(),
+            Item::Table(2) => reports::table_ii(),
+            Item::Table(3) => reports::table_iii(args.trials),
+            Item::Figure(2) => reports::figure_2(),
+            Item::Figure(3) => reports::figure_3(args.trials.min(10)),
+            Item::Figure(4) => reports::figure_4(args.trials.min(10)),
+            Item::Figure(5) => reports::figure_5(args.trials),
+            Item::Figure(7) => reports::figure_7(60, (args.trials / 10).max(1)),
+            Item::Figure(8) => reports::figure_8(args.trials),
+            Item::Defenses => reports::defense_report(args.trials),
+            Item::Ablations => reports::ablation_report(args.trials),
+            Item::Performance => vpsim_bench::workloads::performance_report(),
+            Item::Table(n) => {
+                eprintln!("unknown table {n}");
+                return usage();
+            }
+            Item::Figure(n) => {
+                eprintln!("unknown figure {n} (Figure 1 is the simulator itself; Figure 6 is the victim in vpsim-crypto)");
+                return usage();
+            }
+        };
+        println!("{}", "=".repeat(78));
+        println!("{report}");
+    }
+    ExitCode::SUCCESS
+}

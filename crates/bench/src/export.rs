@@ -1,0 +1,154 @@
+//! CSV export of experiment data, for external plotting of the figures.
+//!
+//! Every function returns CSV text (header + rows); the `repro` binary's
+//! `--csv DIR` flag writes the standard set to disk.
+
+use std::fmt::Write as _;
+
+use vpsec::attacks::AttackCategory;
+use vpsec::defense::window_sweep;
+use vpsec::experiment::{try_evaluate, Channel, Evaluation, ExperimentConfig, PredictorKind};
+use vpsim_crypto::{leak_exponent, LeakConfig, Mpi};
+
+/// Raw mapped/unmapped observations of one evaluation: one row per
+/// trial, `trial,case,cycles`.
+#[must_use]
+pub fn distribution_csv(e: &Evaluation) -> String {
+    let mut out = String::from("trial,case,cycles\n");
+    for (i, v) in e.mapped.iter().enumerate() {
+        let _ = writeln!(out, "{i},mapped,{v}");
+    }
+    for (i, v) in e.unmapped.iter().enumerate() {
+        let _ = writeln!(out, "{i},unmapped,{v}");
+    }
+    out
+}
+
+/// Figure 5/8 data: the four panels of a distribution figure,
+/// `panel,channel,predictor,trial,case,cycles`.
+#[must_use]
+pub fn figure_distributions_csv(category: AttackCategory, cfg: &ExperimentConfig) -> String {
+    let mut out = String::from("panel,channel,predictor,trial,case,cycles\n");
+    let panels = [
+        (1, Channel::TimingWindow, PredictorKind::None),
+        (2, Channel::TimingWindow, PredictorKind::Lvp),
+        (3, Channel::Persistent, PredictorKind::None),
+        (4, Channel::Persistent, PredictorKind::Lvp),
+    ];
+    for (panel, channel, kind) in panels {
+        let Some(e) = try_evaluate(category, channel, kind, cfg) else {
+            continue;
+        };
+        for (case, obs) in [("mapped", &e.mapped), ("unmapped", &e.unmapped)] {
+            for (i, v) in obs.iter().enumerate() {
+                let _ = writeln!(out, "{panel},{channel},{kind},{i},{case},{v}");
+            }
+        }
+    }
+    out
+}
+
+/// Table III as CSV: `category,channel,predictor,pvalue,rate_kbps,effective`.
+#[must_use]
+pub fn table_iii_csv(cfg: &ExperimentConfig) -> String {
+    let mut out = String::from("category,channel,predictor,pvalue,rate_kbps,effective\n");
+    for cat in AttackCategory::ALL {
+        for channel in [Channel::TimingWindow, Channel::Persistent] {
+            for kind in [PredictorKind::None, PredictorKind::Lvp] {
+                if let Some(e) = try_evaluate(cat, channel, kind, cfg) {
+                    let _ = writeln!(
+                        out,
+                        "{cat},{channel},{kind},{:.6},{:.3},{}",
+                        e.ttest.p_value,
+                        e.rate_kbps,
+                        e.succeeds()
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The §VI-B window sweeps as CSV: `category,window,pvalue`.
+#[must_use]
+pub fn window_sweep_csv(cfg: &ExperimentConfig) -> String {
+    let mut out = String::from("category,window,pvalue\n");
+    for (cat, windows) in [
+        (AttackCategory::TrainTest, &[1u64, 2, 3, 4, 5][..]),
+        (AttackCategory::TestHit, &[1u64, 3, 5, 7, 8, 9, 10, 11][..]),
+    ] {
+        for (s, p) in window_sweep(cat, Channel::TimingWindow, PredictorKind::Lvp, windows, cfg) {
+            let _ = writeln!(out, "{cat},{s},{p:.6}");
+        }
+    }
+    out
+}
+
+/// Figure 7 data: `iteration,e_bit,cycles`.
+#[must_use]
+pub fn figure_7_csv(bits: usize, seed: u64) -> String {
+    let mut exponent = Mpi::one();
+    for i in 0..bits.saturating_sub(1) {
+        exponent = exponent.shl_bits(1);
+        if (i * 7 + 3) % 5 < 2 {
+            exponent = exponent.add(&Mpi::one());
+        }
+    }
+    let r = leak_exponent(&exponent, &LeakConfig { seed, ..LeakConfig::default() });
+    let mut out = String::from("iteration,e_bit,cycles\n");
+    for (i, (&bit, &obs)) in r.true_bits.iter().zip(&r.observations).enumerate() {
+        let _ = writeln!(out, "{i},{},{obs}", u8::from(bit));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpsec::experiment::evaluate;
+
+    fn cfg() -> ExperimentConfig {
+        ExperimentConfig { trials: 6, ..ExperimentConfig::default() }
+    }
+
+    #[test]
+    fn distribution_csv_shape() {
+        let e = evaluate(
+            AttackCategory::FillUp,
+            Channel::TimingWindow,
+            PredictorKind::Lvp,
+            &cfg(),
+        );
+        let csv = distribution_csv(&e);
+        assert!(csv.starts_with("trial,case,cycles\n"));
+        // Header + 6 mapped + 6 unmapped.
+        assert_eq!(csv.lines().count(), 1 + 12);
+        assert!(csv.contains(",mapped,"));
+        assert!(csv.contains(",unmapped,"));
+    }
+
+    #[test]
+    fn table_csv_contains_every_supported_cell() {
+        let csv = table_iii_csv(&cfg());
+        // 6 timing-window × 2 predictors + 3 persistent × 2 predictors.
+        assert_eq!(csv.lines().count(), 1 + 12 + 6);
+        assert!(csv.contains("Spill Over,timing-window,LVP"));
+        assert!(!csv.contains("Spill Over,persistent"));
+    }
+
+    #[test]
+    fn sweep_csv_rows() {
+        let csv = window_sweep_csv(&cfg());
+        assert_eq!(csv.lines().count(), 1 + 5 + 8);
+        assert!(csv.contains("Train + Test,3,"));
+        assert!(csv.contains("Test + Hit,9,"));
+    }
+
+    #[test]
+    fn figure7_csv_rows() {
+        let csv = figure_7_csv(8, 1);
+        assert_eq!(csv.lines().count(), 1 + 8);
+        assert!(csv.starts_with("iteration,e_bit,cycles\n"));
+    }
+}

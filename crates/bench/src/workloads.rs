@@ -1,0 +1,301 @@
+//! Performance workloads: why anyone would build a value predictor.
+//!
+//! The paper's motivation (§I) cites value-predictor speedups of 4.8%
+//! (ref. \[11\]) to 11.2% (ref. \[9\]) on real workloads. This module reproduces the
+//! *shape* of that claim on synthetic kernels:
+//!
+//! * [`pointer_chase`] — a permuted linked-list traversal whose loads
+//!   form a serial dependence chain of L1 misses: the best case for
+//!   value prediction (a correct prediction breaks the chain);
+//! * [`constant_table`] — repeated reduction over a table of constants
+//!   that misses the L1 (value-predictable, but already overlapped by
+//!   the out-of-order core, so gains are modest);
+//! * [`random_values`] — the adversarial case: values change every
+//!   visit, so predictions are wrong and squashes cost cycles; the
+//!   confidence mechanism is what keeps the loss bounded.
+//!
+//! [`speedup_table`] runs each kernel against each predictor and
+//! reports `cycles(no VP) / cycles(VP)`.
+
+use vpsim_isa::{Program, ProgramBuilder, Reg};
+use vpsim_mem::MemoryConfig;
+use vpsim_pipeline::{CoreConfig, Machine};
+use vpsim_predictor::{
+    Fcm, FcmConfig, Lvp, LvpConfig, NoPredictor, Stride, StrideConfig, ValuePredictor, Vtage,
+    VtageConfig,
+};
+
+/// Base address of workload data.
+const HEAP: u64 = 0x40_0000;
+
+/// A ready-to-run workload: program + initial memory image.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// A short name for reports.
+    pub name: &'static str,
+    /// The program.
+    pub program: Program,
+    /// Initial memory contents.
+    pub memory: Vec<(u64, u64)>,
+}
+
+/// A permuted linked-list traversal: `nodes` cache-line-spaced nodes in
+/// one cycle, traversed `passes` times. The list exceeds the L1, so
+/// every hop is at least an L2 access — and each hop's address depends
+/// on the previous load's value.
+#[must_use]
+pub fn pointer_chase(nodes: u64, passes: u64) -> Workload {
+    assert!(nodes >= 2, "need at least two nodes");
+    // A fixed permutation cycle over node slots via a multiplicative
+    // step coprime to `nodes` (use an odd step on a power-of-two count).
+    let step = (nodes / 2) | 1;
+    let addr_of = |slot: u64| HEAP + (slot % nodes) * 64;
+    let mut memory = Vec::with_capacity(nodes as usize);
+    let mut slot = 0u64;
+    for _ in 0..nodes {
+        let next = (slot + step) % nodes;
+        memory.push((addr_of(slot), addr_of(next)));
+        slot = next;
+    }
+    let hops = nodes * passes;
+    let mut b = ProgramBuilder::new();
+    b.li(Reg::R1, addr_of(0))
+        .li(Reg::R2, 0)
+        .li(Reg::R3, hops);
+    b.label("hop").unwrap();
+    b.load(Reg::R1, Reg::R1, 0) // serial dependence: addr ← loaded value
+        .addi(Reg::R2, Reg::R2, 1)
+        .blt(Reg::R2, Reg::R3, "hop")
+        .halt();
+    Workload {
+        name: "pointer_chase",
+        program: b.build().expect("valid workload"),
+        memory,
+    }
+}
+
+/// Repeated sum over `entries` constant table slots (64-byte spaced so
+/// each is its own line), `passes` times.
+#[must_use]
+pub fn constant_table(entries: u64, passes: u64) -> Workload {
+    let memory: Vec<(u64, u64)> = (0..entries)
+        .map(|i| (HEAP + i * 64, i.wrapping_mul(0x5851_f42d) >> 32))
+        .collect();
+    let mut b = ProgramBuilder::new();
+    b.li(Reg::R1, HEAP)
+        .li(Reg::R2, 0) // pass counter
+        .li(Reg::R3, passes)
+        .li(Reg::R8, 64)
+        .li(Reg::R10, 0); // accumulator
+    b.label("pass").unwrap();
+    b.li(Reg::R4, 0).li(Reg::R5, entries).li(Reg::R6, HEAP);
+    b.label("elem").unwrap();
+    b.load(Reg::R7, Reg::R6, 0)
+        .alu(vpsim_isa::AluOp::Add, Reg::R10, Reg::R10, Reg::R7)
+        .alu(vpsim_isa::AluOp::Add, Reg::R6, Reg::R6, Reg::R8)
+        .addi(Reg::R4, Reg::R4, 1)
+        .blt(Reg::R4, Reg::R5, "elem")
+        .addi(Reg::R2, Reg::R2, 1)
+        .blt(Reg::R2, Reg::R3, "pass")
+        .halt();
+    Workload {
+        name: "constant_table",
+        program: b.build().expect("valid workload"),
+        memory,
+    }
+}
+
+/// The adversarial kernel: a loop that loads a counter it increments
+/// through memory every iteration, flushing first so the load always
+/// misses and the trained prediction is always stale.
+#[must_use]
+pub fn random_values(iterations: u64) -> Workload {
+    let mut b = ProgramBuilder::new();
+    b.li(Reg::R1, HEAP)
+        .li(Reg::R2, 0)
+        .li(Reg::R3, iterations)
+        .li(Reg::R10, 0);
+    b.label("top").unwrap();
+    b.flush(Reg::R1, 0)
+        .fence()
+        .load(Reg::R7, Reg::R1, 0)
+        .addi(Reg::R7, Reg::R7, 0x0001_2345)
+        .store(Reg::R7, Reg::R1, 0)
+        .alu(vpsim_isa::AluOp::Add, Reg::R10, Reg::R10, Reg::R7)
+        .addi(Reg::R2, Reg::R2, 1)
+        .blt(Reg::R2, Reg::R3, "top")
+        .halt();
+    Workload {
+        name: "random_values",
+        program: b.build().expect("valid workload"),
+        memory: vec![(HEAP, 1)],
+    }
+}
+
+/// The default kernel set used by the report and bench.
+#[must_use]
+pub fn standard_workloads() -> Vec<Workload> {
+    vec![
+        pointer_chase(1024, 8),
+        constant_table(1024, 8),
+        random_values(256),
+    ]
+}
+
+fn build(kind: &str) -> Box<dyn ValuePredictor> {
+    // Performance predictors index by *data address* (paper §II: both
+    // PC- and data-address-based designs exist): a pointer chase loads a
+    // different pointer from one static PC each hop, so per-PC last
+    // values never gain confidence, while per-address values are
+    // constants. The attack experiments use the PC-indexed flavour, as
+    // in the paper's PoCs.
+    let index = vpsim_predictor::IndexConfig {
+        kind: vpsim_predictor::IndexKind::DataAddress,
+        ..vpsim_predictor::IndexConfig::default()
+    };
+    // Capacity must cover the working set of distinct load addresses
+    // (1024-node lists), or entries churn before reaching confidence.
+    match kind {
+        "no VP" => Box::new(NoPredictor::new()),
+        "LVP" => Box::new(Lvp::new(LvpConfig { index, capacity: 8192, ..LvpConfig::default() })),
+        "stride" => {
+            Box::new(Stride::new(StrideConfig { index, capacity: 8192, ..StrideConfig::default() }))
+        }
+        "VTAGE" => Box::new(Vtage::new(VtageConfig {
+            index,
+            log2_entries: 13,
+            ..VtageConfig::default()
+        })),
+        "FCM" => Box::new(Fcm::new(FcmConfig {
+            index,
+            l1_capacity: 8192,
+            l2_capacity: 16384,
+            ..FcmConfig::default()
+        })),
+        other => unreachable!("unknown predictor {other}"),
+    }
+}
+
+/// Cycles to run `workload` with the named predictor.
+#[must_use]
+pub fn run_workload(workload: &Workload, predictor: &str) -> u64 {
+    let mut m = Machine::new(
+        CoreConfig::default(),
+        MemoryConfig::deterministic(),
+        build(predictor),
+        0,
+    );
+    for (a, v) in &workload.memory {
+        m.mem_mut().store_value(*a, *v);
+    }
+    m.run(0, &workload.program)
+        .expect("workload halts")
+        .cycles
+}
+
+/// `(workload, predictor, cycles, speedup-vs-no-VP)` for every pair.
+#[must_use]
+pub fn speedup_table() -> Vec<(String, String, u64, f64)> {
+    let mut rows = Vec::new();
+    for w in standard_workloads() {
+        let baseline = run_workload(&w, "no VP");
+        for kind in ["no VP", "LVP", "stride", "VTAGE", "FCM"] {
+            let cycles = run_workload(&w, kind);
+            rows.push((
+                w.name.to_owned(),
+                kind.to_owned(),
+                cycles,
+                baseline as f64 / cycles as f64,
+            ));
+        }
+    }
+    rows
+}
+
+/// Render the performance report.
+#[must_use]
+pub fn performance_report() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from(
+        "Value-predictor performance (the paper's §I motivation: proposed\n\
+         predictors gain 4.8%-11.2% on real workloads; here the shape on\n\
+         synthetic kernels — dependent misses gain, adversarial loses little):\n\n",
+    );
+    let _ = writeln!(out, "  {:<16} {:<8} {:>12} {:>10}", "workload", "VP", "cycles", "speedup");
+    let mut last = String::new();
+    for (w, kind, cycles, speedup) in speedup_table() {
+        if w != last {
+            let _ = writeln!(out);
+            last.clone_from(&w);
+        }
+        let _ = writeln!(out, "  {:<16} {:<8} {:>12} {:>9.2}x", w, kind, cycles, speedup);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pointer_chase_is_correct_and_terminates() {
+        let w = pointer_chase(64, 2);
+        let c = run_workload(&w, "no VP");
+        assert!(c > 0);
+    }
+
+    #[test]
+    fn chase_visits_every_node() {
+        // The permutation must form a single cycle covering all nodes.
+        let w = pointer_chase(128, 1);
+        let mut seen = std::collections::HashSet::new();
+        let mut addr = HEAP;
+        for _ in 0..128 {
+            assert!(seen.insert(addr), "revisited {addr:#x} early: not a full cycle");
+            addr = w
+                .memory
+                .iter()
+                .find(|(a, _)| *a == addr)
+                .expect("node exists")
+                .1;
+        }
+        assert_eq!(addr, HEAP, "cycle closes");
+        assert_eq!(seen.len(), 128);
+    }
+
+    #[test]
+    fn lvp_speeds_up_pointer_chase() {
+        // The list must exceed the 32 KiB L1 (64-byte nodes → >512), or
+        // every hop hits the L1 and a load-based VPS never engages.
+        let w = pointer_chase(1024, 8);
+        let base = run_workload(&w, "no VP");
+        let lvp = run_workload(&w, "LVP");
+        assert!(
+            (lvp as f64) < (base as f64) * 0.95,
+            "LVP should speed up the chase: {lvp} vs {base}"
+        );
+    }
+
+    #[test]
+    fn adversarial_workload_does_not_blow_up() {
+        let w = random_values(64);
+        let base = run_workload(&w, "no VP");
+        let lvp = run_workload(&w, "LVP");
+        // Confidence gating keeps the stale-prediction penalty small.
+        assert!(
+            (lvp as f64) < (base as f64) * 1.15,
+            "LVP loss must stay bounded: {lvp} vs {base}"
+        );
+    }
+
+    #[test]
+    fn speedup_table_covers_all_pairs() {
+        let t = speedup_table();
+        assert_eq!(t.len(), 3 * 5);
+        for (_, kind, _, speedup) in &t {
+            if kind == "no VP" {
+                assert!((speedup - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+}

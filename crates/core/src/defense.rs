@@ -1,0 +1,180 @@
+//! Defense evaluation (paper §VI).
+//!
+//! Three defenses are modelled:
+//!
+//! * **A-type** — always predict (fixed or history value), removing the
+//!   *no prediction* timing case;
+//! * **D-type** — delay speculative cache side effects until predictions
+//!   verify (InvisiSpec applied to value prediction), defeating
+//!   persistent-channel variants;
+//! * **R-type** — predict a random value from a window of size `S`
+//!   around the would-be prediction; the true value is predicted with
+//!   probability `1/S`.
+//!
+//! §VI-B reports that a window of **3** is the minimal size securing
+//! Train+Test while Test+Hit needs **9**. In this reproduction those
+//! thresholds arise from the *value distance* Δ between the secret and
+//! known data in each attack (1 for Train+Test, 4 for Test+Hit): a
+//! centred window must cover the alternative value in both directions,
+//! so `S_min = 2·Δ + 1` — 3 and 9 respectively. [`window_sweep`]
+//! measures the p-value as a function of `S` and [`minimal_secure_window`]
+//! extracts the threshold.
+
+use vpsim_predictor::{AlwaysMode, DefenseSpec};
+use vpsim_stats::SIGNIFICANCE;
+
+use crate::attacks::AttackCategory;
+use crate::experiment::{try_evaluate, Channel, Evaluation, ExperimentConfig, PredictorKind};
+
+/// One row of a defense-matrix evaluation.
+#[derive(Debug, Clone)]
+pub struct DefenseOutcome {
+    /// The defense configuration evaluated.
+    pub defense: DefenseSpec,
+    /// The attack evaluation under that defense.
+    pub evaluation: Evaluation,
+}
+
+impl DefenseOutcome {
+    /// Whether the defense holds (attack no longer distinguishable).
+    #[must_use]
+    pub fn defended(&self) -> bool {
+        !self.evaluation.succeeds()
+    }
+}
+
+/// The standard defense configurations evaluated by §VI-B, with the
+/// R-type window chosen by the caller.
+#[must_use]
+pub fn standard_defenses(window: u64) -> Vec<DefenseSpec> {
+    vec![
+        DefenseSpec::none(),
+        DefenseSpec { a_type: Some(AlwaysMode::History), ..DefenseSpec::none() },
+        DefenseSpec { r_type: Some(window), ..DefenseSpec::none() },
+        DefenseSpec { d_type: true, ..DefenseSpec::none() },
+        DefenseSpec {
+            a_type: Some(AlwaysMode::History),
+            r_type: Some(window),
+            d_type: false,
+        },
+        DefenseSpec::full(window),
+    ]
+}
+
+/// Evaluate one attack/channel against a list of defense configurations.
+#[must_use]
+pub fn defense_matrix(
+    category: AttackCategory,
+    channel: Channel,
+    predictor: PredictorKind,
+    defenses: &[DefenseSpec],
+    base: &ExperimentConfig,
+) -> Vec<DefenseOutcome> {
+    defenses
+        .iter()
+        .filter_map(|&defense| {
+            let cfg = ExperimentConfig { defense, ..base.clone() };
+            try_evaluate(category, channel, predictor, &cfg).map(|evaluation| DefenseOutcome {
+                defense,
+                evaluation,
+            })
+        })
+        .collect()
+}
+
+/// Sweep the R-type window size over `windows`, returning
+/// `(S, p-value)` pairs for the given attack.
+#[must_use]
+pub fn window_sweep(
+    category: AttackCategory,
+    channel: Channel,
+    predictor: PredictorKind,
+    windows: &[u64],
+    base: &ExperimentConfig,
+) -> Vec<(u64, f64)> {
+    windows
+        .iter()
+        .filter_map(|&s| {
+            let cfg = ExperimentConfig {
+                defense: DefenseSpec { r_type: Some(s), ..DefenseSpec::none() },
+                ..base.clone()
+            };
+            try_evaluate(category, channel, predictor, &cfg).map(|e| (s, e.ttest.p_value))
+        })
+        .collect()
+}
+
+/// The smallest window in the sweep at which the attack is no longer
+/// significant — §VI-B's "minimal size ... to guarantee security".
+///
+/// Note that under the null hypothesis each *defended* window still has
+/// a 5% chance of reading `p < 0.05` (one test per window, no multiple-
+/// testing correction — the paper applies the same per-configuration
+/// criterion), so isolated significant cells *above* the threshold are
+/// expected sampling noise and intentionally do not reset the result.
+#[must_use]
+pub fn minimal_secure_window(sweep: &[(u64, f64)]) -> Option<u64> {
+    sweep
+        .iter()
+        .find(|&&(_, p)| p >= SIGNIFICANCE)
+        .map(|&(s, _)| s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ExperimentConfig {
+        ExperimentConfig { trials: 12, ..ExperimentConfig::default() }
+    }
+
+    #[test]
+    fn standard_set_contains_baseline_and_full() {
+        let d = standard_defenses(3);
+        assert_eq!(d.len(), 6);
+        assert!(!d[0].is_defended());
+        assert!(d.last().unwrap().d_type);
+    }
+
+    #[test]
+    fn minimal_window_extraction() {
+        let sweep = [(1, 0.0), (2, 0.001), (3, 0.4), (4, 0.6), (5, 0.9)];
+        assert_eq!(minimal_secure_window(&sweep), Some(3));
+        // An isolated later false positive does not reset the result.
+        let sweep = [(1, 0.0), (2, 0.4), (3, 0.001), (4, 0.6)];
+        assert_eq!(minimal_secure_window(&sweep), Some(2));
+        // Never secure.
+        let sweep = [(1, 0.0), (2, 0.0)];
+        assert_eq!(minimal_secure_window(&sweep), None);
+    }
+
+    #[test]
+    fn r_type_window_three_defends_train_test() {
+        let base = quick();
+        let sweep = window_sweep(
+            AttackCategory::TrainTest,
+            Channel::TimingWindow,
+            PredictorKind::Lvp,
+            &[1, 3],
+            &base,
+        );
+        assert_eq!(sweep.len(), 2);
+        assert!(sweep[0].1 < SIGNIFICANCE, "S=1 (no defense) leaks: p={}", sweep[0].1);
+        assert!(sweep[1].1 >= SIGNIFICANCE, "S=3 defends: p={}", sweep[1].1);
+    }
+
+    #[test]
+    fn d_type_defends_persistent_fill_up() {
+        let base = quick();
+        let outcomes = defense_matrix(
+            AttackCategory::FillUp,
+            Channel::Persistent,
+            PredictorKind::Lvp,
+            &[DefenseSpec::none(), DefenseSpec { d_type: true, ..DefenseSpec::none() }],
+            &base,
+        );
+        assert_eq!(outcomes.len(), 2);
+        assert!(!outcomes[0].defended(), "undefended FillUp leaks");
+        assert!(outcomes[1].defended(), "D-type blocks the cache channel");
+    }
+}

@@ -1,0 +1,72 @@
+//! # vpsec — value-predictor security
+//!
+//! A from-scratch reproduction of *"New Predictor-Based Attacks in
+//! Processors"* (Shuwen Deng and Jakub Szefer, DAC 2021): the first
+//! security analysis of **value predictors**, a speculative feature
+//! proposed for future CPUs in which a load that misses the cache
+//! forwards a *predicted* value to dependent instructions while the miss
+//! resolves.
+//!
+//! This crate is the paper's contribution layer; it sits on top of the
+//! substrate crates this workspace also provides:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`vpsim_isa`] | minimal RISC-style ISA + program builder |
+//! | [`vpsim_mem`] | two-level cache hierarchy, TLB, DRAM, `clflush` |
+//! | [`vpsim_predictor`] | LVP / stride / VTAGE predictors + A/R defenses |
+//! | [`vpsim_pipeline`] | out-of-order core with VPS integration |
+//! | [`vpsim_stats`] | Welch t-tests, p-values, histograms |
+//!
+//! ## What is reproduced
+//!
+//! * **Threat model & actions (Table I)** — [`model::Action`]: sender and
+//!   receiver accesses to known/secret data/indexes.
+//! * **Attack-model enumeration (§V, Table II)** — [`model::enumerate`]
+//!   walks all 8 × 9 × 8 = 576 train/modify/trigger combinations and
+//!   reduces them, via explicit [`model::rules`], to exactly the paper's
+//!   **12 attack variants** in **6 categories**.
+//! * **Channel taxonomy (Figure 2)** — [`taxonomy`]: timing-window
+//!   channels classified by the outcome pair they distinguish, including
+//!   the paper's new *no prediction vs correct prediction* class.
+//! * **Proof-of-concept attacks (Figures 3 & 4 and §V-B)** —
+//!   [`attacks`]: runnable program generators for every category ×
+//!   channel combination.
+//! * **Evaluation harness (Figures 5 & 8, Table III)** —
+//!   [`experiment`]: 100-trial mapped-vs-unmapped timing distributions,
+//!   Student's-t p-values, and transmission rates.
+//! * **Defenses (§VI)** — [`defense`]: A-type, D-type and R-type
+//!   defense evaluation, including the R-type window sweep.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use vpsec::attacks::AttackCategory;
+//! use vpsec::experiment::{evaluate, Channel, ExperimentConfig, PredictorKind};
+//!
+//! let cfg = ExperimentConfig { trials: 20, ..ExperimentConfig::default() };
+//! let eval = evaluate(
+//!     AttackCategory::TrainTest,
+//!     Channel::TimingWindow,
+//!     PredictorKind::Lvp,
+//!     &cfg,
+//! );
+//! assert!(eval.ttest.significant(), "LVP leaks via Train+Test");
+//! ```
+
+pub mod attacks;
+pub mod covert;
+pub mod defense;
+pub mod experiment;
+pub mod model;
+pub mod taxonomy;
+
+pub use attacks::AttackCategory;
+pub use experiment::{Channel, ExperimentConfig, PredictorKind};
+
+// Re-export the substrate crates so downstream users need only `vpsec`.
+pub use vpsim_isa as isa;
+pub use vpsim_mem as mem;
+pub use vpsim_pipeline as pipeline;
+pub use vpsim_predictor as predictor;
+pub use vpsim_stats as stats;

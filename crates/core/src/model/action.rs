@@ -1,0 +1,248 @@
+//! The Table I action vocabulary.
+
+/// Who performs an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Actor {
+    /// The sender (victim) — the only process with logical access to the
+    /// secret.
+    Sender,
+    /// The receiver (attacker).
+    Receiver,
+}
+
+impl std::fmt::Display for Actor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Actor::Sender => write!(f, "S"),
+            Actor::Receiver => write!(f, "R"),
+        }
+    }
+}
+
+/// Whether the access's interesting property is the *data value* loaded
+/// or the *index* (PC / data address) it maps to in the predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Dimension {
+    /// Value-interference attacks (the predictor entry's `value` field).
+    Data,
+    /// Index-interference attacks (which entry is touched).
+    Index,
+}
+
+impl std::fmt::Display for Dimension {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Dimension::Data => write!(f, "D"),
+            Dimension::Index => write!(f, "I"),
+        }
+    }
+}
+
+/// Whether the accessed data/index is known to the attacker or secret.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Knowledge {
+    /// Known to both parties (e.g. shared-library data/index).
+    Known,
+    /// Secret — the quantity the receiver is trying to learn.
+    Secret,
+}
+
+/// Distinguishes two *possibly different* secrets within one pattern
+/// (`D'`/`D''`, `I'`/`I''` in the paper): whether they are equal is
+/// exactly what interference attacks like Spill Over and Fill Up leak.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SecretVariant {
+    /// The first secret (`D'` / `I'`).
+    Prime,
+    /// The possibly-different second secret (`D''` / `I''`).
+    DoublePrime,
+}
+
+/// One Table I action: an access by an actor to known or secret data or
+/// index. `None` is the empty modify step ("—" in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Action {
+    /// A memory access.
+    Access {
+        /// Who performs it.
+        actor: Actor,
+        /// Known or secret target.
+        knowledge: Knowledge,
+        /// Data- or index-focused.
+        dimension: Dimension,
+        /// For secret accesses: which of the two possibly-different
+        /// secrets. `None` for known accesses.
+        variant: Option<SecretVariant>,
+    },
+    /// The step is not used (only legal in the modify position).
+    None,
+}
+
+impl Action {
+    /// Construct a known access.
+    #[must_use]
+    pub fn known(actor: Actor, dimension: Dimension) -> Action {
+        Action::Access {
+            actor,
+            knowledge: Knowledge::Known,
+            dimension,
+            variant: None,
+        }
+    }
+
+    /// Construct a (sender) secret access.
+    #[must_use]
+    pub fn secret(dimension: Dimension, variant: SecretVariant) -> Action {
+        Action::Access {
+            actor: Actor::Sender,
+            knowledge: Knowledge::Secret,
+            dimension,
+            variant: Some(variant),
+        }
+    }
+
+    /// The eight actions available in the train and trigger steps
+    /// (Table I): `S^KD, S^KI, R^KD, R^KI, S^SD', S^SD'', S^SI', S^SI''`.
+    ///
+    /// Secret accesses exist only for the sender: the receiver has no
+    /// logical access to the secret.
+    #[must_use]
+    pub fn step_actions() -> Vec<Action> {
+        use Dimension::{Data, Index};
+        use SecretVariant::{DoublePrime, Prime};
+        vec![
+            Action::known(Actor::Sender, Data),
+            Action::known(Actor::Sender, Index),
+            Action::known(Actor::Receiver, Data),
+            Action::known(Actor::Receiver, Index),
+            Action::secret(Data, Prime),
+            Action::secret(Data, DoublePrime),
+            Action::secret(Index, Prime),
+            Action::secret(Index, DoublePrime),
+        ]
+    }
+
+    /// The nine actions available in the modify step: the eight step
+    /// actions plus `None`.
+    #[must_use]
+    pub fn modify_actions() -> Vec<Action> {
+        let mut v = Action::step_actions();
+        v.push(Action::None);
+        v
+    }
+
+    /// Whether this is a secret access.
+    #[must_use]
+    pub fn is_secret(&self) -> bool {
+        matches!(
+            self,
+            Action::Access { knowledge: Knowledge::Secret, .. }
+        )
+    }
+
+    /// Whether this is a known access.
+    #[must_use]
+    pub fn is_known(&self) -> bool {
+        matches!(
+            self,
+            Action::Access { knowledge: Knowledge::Known, .. }
+        )
+    }
+
+    /// The dimension, if this is an access.
+    #[must_use]
+    pub fn dimension(&self) -> Option<Dimension> {
+        match self {
+            Action::Access { dimension, .. } => Some(*dimension),
+            Action::None => None,
+        }
+    }
+
+    /// The secret variant, if this is a secret access.
+    #[must_use]
+    pub fn variant(&self) -> Option<SecretVariant> {
+        match self {
+            Action::Access { variant, .. } => *variant,
+            Action::None => None,
+        }
+    }
+
+    /// The actor, if this is an access.
+    #[must_use]
+    pub fn actor(&self) -> Option<Actor> {
+        match self {
+            Action::Access { actor, .. } => Some(*actor),
+            Action::None => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Action {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Action::None => write!(f, "—"),
+            Action::Access { actor, knowledge, dimension, variant } => {
+                let k = match knowledge {
+                    Knowledge::Known => "K",
+                    Knowledge::Secret => "S",
+                };
+                let v = match variant {
+                    Some(SecretVariant::Prime) => "'",
+                    Some(SecretVariant::DoublePrime) => "''",
+                    None => "",
+                };
+                write!(f, "{actor}^{k}{dimension}{v}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_step_actions_nine_modify_actions() {
+        assert_eq!(Action::step_actions().len(), 8);
+        assert_eq!(Action::modify_actions().len(), 9);
+    }
+
+    #[test]
+    fn no_receiver_secret_actions() {
+        assert!(Action::step_actions().iter().all(|a| {
+            !(a.is_secret() && a.actor() == Some(Actor::Receiver))
+        }));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(
+            Action::known(Actor::Sender, Dimension::Data).to_string(),
+            "S^KD"
+        );
+        assert_eq!(
+            Action::known(Actor::Receiver, Dimension::Index).to_string(),
+            "R^KI"
+        );
+        assert_eq!(
+            Action::secret(Dimension::Data, SecretVariant::Prime).to_string(),
+            "S^SD'"
+        );
+        assert_eq!(
+            Action::secret(Dimension::Index, SecretVariant::DoublePrime).to_string(),
+            "S^SI''"
+        );
+        assert_eq!(Action::None.to_string(), "—");
+    }
+
+    #[test]
+    fn accessors() {
+        let a = Action::secret(Dimension::Index, SecretVariant::Prime);
+        assert!(a.is_secret());
+        assert!(!a.is_known());
+        assert_eq!(a.dimension(), Some(Dimension::Index));
+        assert_eq!(a.variant(), Some(SecretVariant::Prime));
+        assert_eq!(a.actor(), Some(Actor::Sender));
+        assert_eq!(Action::None.dimension(), None);
+    }
+}

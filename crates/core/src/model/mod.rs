@@ -1,0 +1,24 @@
+//! The systematic value-predictor attack model (paper §V).
+//!
+//! The model explores every way a sender `S` (victim, with logical access
+//! to the secret) and a receiver `R` (attacker) can compose the three
+//! state-manipulating steps of an attack — **train**, **modify**,
+//! **trigger** — from the action vocabulary of Table I, and reduces the
+//! resulting 8 × 9 × 8 = **576 combinations** to the paper's **12
+//! effective attack variants** (Table II) via explicit rules.
+//!
+//! ```
+//! use vpsec::model::enumerate;
+//!
+//! let e = enumerate();
+//! assert_eq!(e.total_combinations, 576);
+//! assert_eq!(e.effective.len(), 12);
+//! ```
+
+mod action;
+mod pattern;
+pub mod rules;
+
+pub use action::{Action, Actor, Dimension, Knowledge, SecretVariant};
+pub use pattern::{AttackPattern, Outcome, OutcomePair};
+pub use rules::{enumerate, Enumeration, Rejection};

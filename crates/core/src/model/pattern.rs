@@ -1,0 +1,261 @@
+//! Attack patterns: (train, modify, trigger) triples and their outcomes.
+
+use crate::attacks::AttackCategory;
+use crate::model::action::{Action, Actor, Dimension, SecretVariant};
+
+/// What the trigger load observes in the "mapped" vs "unmapped" case —
+/// the timing classes of the Figure 2 taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// The VPS supplied the right value: dependents proceeded early.
+    CorrectPrediction,
+    /// The VPS supplied a wrong value: squash + reissue.
+    Misprediction,
+    /// Confidence not reached: the load waited for the full miss.
+    NoPrediction,
+}
+
+impl std::fmt::Display for Outcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Outcome::CorrectPrediction => write!(f, "correct prediction"),
+            Outcome::Misprediction => write!(f, "misprediction"),
+            Outcome::NoPrediction => write!(f, "no prediction"),
+        }
+    }
+}
+
+/// The pair of outcomes an attack distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OutcomePair {
+    /// Outcome when the secret relation holds (indexes alias / values
+    /// match — whichever the category defines as "mapped").
+    pub mapped: Outcome,
+    /// Outcome otherwise.
+    pub unmapped: Outcome,
+}
+
+impl OutcomePair {
+    /// Whether the two outcomes are distinguishable through a
+    /// timing-window channel. Per the Figure 2 taxonomy, *no prediction
+    /// vs incorrect prediction* has no known practical distinguisher
+    /// (both wait out the full miss), and identical outcomes carry no
+    /// information.
+    #[must_use]
+    pub fn distinguishable(&self) -> bool {
+        use Outcome::{CorrectPrediction, Misprediction, NoPrediction};
+        match (self.mapped, self.unmapped) {
+            (a, b) if a == b => false,
+            (Misprediction, NoPrediction) | (NoPrediction, Misprediction) => false,
+            (CorrectPrediction, _) | (_, CorrectPrediction) => true,
+            _ => false,
+        }
+    }
+}
+
+/// A train/modify/trigger triple from the Table I vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AttackPattern {
+    /// Step 1: set up predictor state (requires `confidence` accesses, or
+    /// `confidence − 1` for Spill Over).
+    pub train: Action,
+    /// Step 2: optionally perturb the state (`Action::None` to skip).
+    pub modify: Action,
+    /// Step 3: the single probing access.
+    pub trigger: Action,
+}
+
+impl AttackPattern {
+    /// Construct a pattern.
+    #[must_use]
+    pub fn new(train: Action, modify: Action, trigger: Action) -> AttackPattern {
+        AttackPattern { train, modify, trigger }
+    }
+
+    /// The actions in step order.
+    #[must_use]
+    pub fn steps(&self) -> [Action; 3] {
+        [self.train, self.modify, self.trigger]
+    }
+
+    /// Classify an *effective* pattern into its Table II category.
+    /// Returns `None` for patterns that do not match any of the six
+    /// shapes (i.e. patterns the rules reject).
+    #[must_use]
+    pub fn category(&self) -> Option<AttackCategory> {
+        use Dimension::{Data, Index};
+        let dim = self.train.dimension()?;
+        // Every access in the pattern must share one dimension.
+        if self
+            .steps()
+            .iter()
+            .filter_map(Action::dimension)
+            .any(|d| d != dim)
+        {
+            return None;
+        }
+        match dim {
+            Index => {
+                // Index attacks: reference at a known index, interference
+                // by the sender's secret-index access (or the mirror).
+                if self.train.is_known()
+                    && self.trigger.is_known()
+                    && self.modify == Action::secret(Index, SecretVariant::Prime)
+                {
+                    return Some(AttackCategory::TrainTest);
+                }
+                if self.train == Action::secret(Index, SecretVariant::Prime)
+                    && self.trigger == self.train
+                    && self.modify.is_known()
+                    && self.modify.dimension() == Some(Index)
+                {
+                    return Some(AttackCategory::ModifyTest);
+                }
+                None
+            }
+            Data => {
+                if self.modify == Action::None {
+                    return match (
+                        self.train.is_known(),
+                        self.trigger.is_known(),
+                        self.train.variant(),
+                        self.trigger.variant(),
+                    ) {
+                        (true, false, None, Some(SecretVariant::Prime)) => {
+                            Some(AttackCategory::TrainHit)
+                        }
+                        (false, true, Some(SecretVariant::Prime), None) => {
+                            Some(AttackCategory::TestHit)
+                        }
+                        (false, false, Some(SecretVariant::Prime), Some(SecretVariant::DoublePrime)) => {
+                            Some(AttackCategory::FillUp)
+                        }
+                        _ => None,
+                    };
+                }
+                if self.train == Action::secret(Data, SecretVariant::Prime)
+                    && self.modify == Action::secret(Data, SecretVariant::DoublePrime)
+                    && self.trigger == self.train
+                {
+                    return Some(AttackCategory::SpillOver);
+                }
+                None
+            }
+        }
+    }
+
+    /// The outcome pair the pattern's category distinguishes (using each
+    /// category's primary protocol — e.g. a `confidence`-access modify
+    /// step for Train+Test).
+    #[must_use]
+    pub fn outcomes(&self) -> Option<OutcomePair> {
+        Some(self.category()?.outcomes())
+    }
+
+    /// Which actors must participate.
+    #[must_use]
+    pub fn actors(&self) -> Vec<Actor> {
+        let mut v: Vec<Actor> = self.steps().iter().filter_map(Action::actor).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Internal-interference patterns involve only the sender's accesses
+    /// (the receiver merely observes timing) — paper §II.
+    #[must_use]
+    pub fn is_internal_interference(&self) -> bool {
+        self.actors() == vec![Actor::Sender]
+    }
+}
+
+impl std::fmt::Display for AttackPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:8} {:8} {:8}",
+            self.train.to_string(), self.modify.to_string(), self.trigger.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn known(actor: Actor, d: Dimension) -> Action {
+        Action::known(actor, d)
+    }
+
+    #[test]
+    fn classifies_all_six_categories() {
+        use Actor::{Receiver, Sender};
+        use Dimension::{Data, Index};
+        use SecretVariant::{DoublePrime, Prime};
+        let sd1 = Action::secret(Data, Prime);
+        let sd2 = Action::secret(Data, DoublePrime);
+        let si1 = Action::secret(Index, Prime);
+        let cases = [
+            (AttackPattern::new(known(Sender, Data), Action::None, sd1), AttackCategory::TrainHit),
+            (
+                AttackPattern::new(known(Receiver, Index), si1, known(Receiver, Index)),
+                AttackCategory::TrainTest,
+            ),
+            (AttackPattern::new(sd1, sd2, sd1), AttackCategory::SpillOver),
+            (AttackPattern::new(sd1, Action::None, known(Receiver, Data)), AttackCategory::TestHit),
+            (AttackPattern::new(sd1, Action::None, sd2), AttackCategory::FillUp),
+            (
+                AttackPattern::new(si1, known(Receiver, Index), si1),
+                AttackCategory::ModifyTest,
+            ),
+        ];
+        for (pattern, expected) in cases {
+            assert_eq!(pattern.category(), Some(expected), "{pattern}");
+        }
+    }
+
+    #[test]
+    fn garbage_patterns_unclassified() {
+        use Dimension::{Data, Index};
+        use SecretVariant::Prime;
+        // Mixed dimensions.
+        let p = AttackPattern::new(
+            Action::known(Actor::Sender, Data),
+            Action::None,
+            Action::secret(Index, Prime),
+        );
+        assert_eq!(p.category(), None);
+        // No secret at all.
+        let p = AttackPattern::new(
+            Action::known(Actor::Sender, Data),
+            Action::None,
+            Action::known(Actor::Receiver, Data),
+        );
+        assert_eq!(p.category(), None);
+    }
+
+    #[test]
+    fn distinguishability_rules() {
+        use Outcome::{CorrectPrediction, Misprediction, NoPrediction};
+        assert!(OutcomePair { mapped: CorrectPrediction, unmapped: Misprediction }.distinguishable());
+        assert!(OutcomePair { mapped: CorrectPrediction, unmapped: NoPrediction }.distinguishable());
+        assert!(OutcomePair { mapped: Misprediction, unmapped: CorrectPrediction }.distinguishable());
+        assert!(!OutcomePair { mapped: Misprediction, unmapped: NoPrediction }.distinguishable());
+        assert!(!OutcomePair { mapped: NoPrediction, unmapped: NoPrediction }.distinguishable());
+    }
+
+    #[test]
+    fn internal_interference_detection() {
+        use Dimension::Data;
+        use SecretVariant::{DoublePrime, Prime};
+        let spill = AttackPattern::new(
+            Action::secret(Data, Prime),
+            Action::secret(Data, DoublePrime),
+            Action::secret(Data, Prime),
+        );
+        assert!(spill.is_internal_interference());
+        let tt = AttackPattern::new(
+            Action::known(Actor::Receiver, Dimension::Index),
+            Action::secret(Dimension::Index, Prime),
+            Action::known(Actor::Receiver, Dimension::Index),
+        );
+        assert!(!tt.is_internal_interference());
+    }
+}

@@ -1,0 +1,371 @@
+//! The reduction rules: 576 combinations → 12 effective attacks.
+//!
+//! The paper states the rule descriptions were omitted for space (§V-A);
+//! the rules below are reconstructed from the Section V prose, the
+//! Figure 2 taxonomy, and footnotes 4–6, and are validated by a unit test
+//! that checks the survivors against the published Table II row by row.
+
+use crate::model::action::{Action, Dimension, SecretVariant};
+use crate::model::pattern::AttackPattern;
+
+/// Why a pattern was rejected (the first failing rule).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rejection {
+    /// No step touches the secret: nothing can leak (§V-1: some step must
+    /// be "secret-related ... performed by the sender who is the only one
+    /// with logical access to the secret").
+    NoSecret,
+    /// Steps mix data-focused and index-focused accesses: the predictor
+    /// interference being exploited must be a single mechanism — value
+    /// agreement at one entry, or entry collision between indexes.
+    MixedDimensions,
+    /// Secret variants are not canonically named: the first secret access
+    /// must be the primed one, `''` only after `'` (patterns differing
+    /// only by relabeling `'` ↔ `''` are the same attack).
+    NonCanonicalNaming,
+    /// The modify step repeats the train action, which merely extends
+    /// training (`confidence − 1` + 1 accesses fold into the train step —
+    /// footnote 6's reduction of degenerate Spill Over into Fill Up).
+    ModifyExtendsTrain,
+    /// An index-interference pattern without both a known-index reference
+    /// and a secret-index access, or whose trigger does not probe the
+    /// trained reference entry.
+    MalformedIndexInterference,
+    /// A data pattern whose modify step is a known access (retraining the
+    /// entry to a known value makes the train step irrelevant — the
+    /// pattern reduces to the 2-step attack starting at the modify step).
+    ReducibleDataModify,
+    /// The trigger repeats the most recent state-setting access, so its
+    /// outcome is unconditionally "correct prediction": no information.
+    TriggerRepeatsState,
+    /// The mapped/unmapped outcomes are not practically distinguishable —
+    /// identical, or the *no prediction vs incorrect prediction* pair the
+    /// Figure 2 taxonomy lists with "no known examples".
+    IndistinguishableOutcomes,
+}
+
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Rejection::NoSecret => "no secret-related step",
+            Rejection::MixedDimensions => "mixes data- and index-focused steps",
+            Rejection::NonCanonicalNaming => "non-canonical secret naming",
+            Rejection::ModifyExtendsTrain => "modify merely extends training",
+            Rejection::MalformedIndexInterference => "malformed index interference",
+            Rejection::ReducibleDataModify => "reducible known-data modify",
+            Rejection::TriggerRepeatsState => "trigger repeats last state-setter",
+            Rejection::IndistinguishableOutcomes => "outcomes not distinguishable",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Apply the rules; `Ok(())` means the pattern is an effective attack.
+///
+/// # Errors
+///
+/// Returns the first [`Rejection`] the pattern violates.
+pub fn check(p: &AttackPattern) -> Result<(), Rejection> {
+    let steps = p.steps();
+    let accesses: Vec<Action> = steps
+        .iter()
+        .copied()
+        .filter(|a| *a != Action::None)
+        .collect();
+
+    // Rule 1: secret involvement.
+    if !accesses.iter().any(Action::is_secret) {
+        return Err(Rejection::NoSecret);
+    }
+
+    // Rule 2: single dimension.
+    let dim = accesses[0].dimension().expect("access has a dimension");
+    if accesses.iter().any(|a| a.dimension() != Some(dim)) {
+        return Err(Rejection::MixedDimensions);
+    }
+
+    // Rule 3: canonical secret naming ( ' before '' ).
+    let mut seen_prime = false;
+    for a in &accesses {
+        match a.variant() {
+            Some(SecretVariant::Prime) => seen_prime = true,
+            Some(SecretVariant::DoublePrime) if !seen_prime => {
+                return Err(Rejection::NonCanonicalNaming);
+            }
+            _ => {}
+        }
+    }
+
+    // Rule 4: a modify step equal to the train step only extends training.
+    if p.modify != Action::None && p.modify == p.train {
+        return Err(Rejection::ModifyExtendsTrain);
+    }
+
+    match dim {
+        Dimension::Index => check_index(p),
+        Dimension::Data => check_data(p),
+    }?;
+
+    // Final rule: the outcome pair must be practically distinguishable.
+    match p.outcomes() {
+        Some(pair) if pair.distinguishable() => Ok(()),
+        _ => Err(Rejection::IndistinguishableOutcomes),
+    }
+}
+
+/// Index-interference rules: a known-index *reference* entry is trained
+/// and probed, with the sender's secret-index access as the interferer —
+/// or the mirror (secret-index reference, known-index interferer).
+fn check_index(p: &AttackPattern) -> Result<(), Rejection> {
+    // Both knowledge classes must participate: entry collision between a
+    // known position and the secret position is the leak.
+    let has_known = p.steps().iter().any(Action::is_known);
+    let has_secret = p.steps().iter().any(Action::is_secret);
+    if !(has_known && has_secret) {
+        return Err(Rejection::MalformedIndexInterference);
+    }
+    // Three steps are required: without a modify step there is no
+    // interference event between the reference training and the probe
+    // (and the 2-step leftovers fall in the unknown "no prediction vs
+    // incorrect prediction" class).
+    if p.modify == Action::None {
+        return Err(Rejection::MalformedIndexInterference);
+    }
+    // The trigger must probe the same entry the train step set: same
+    // knowledge class and, for secrets, the same variant.
+    let probe_matches = match (p.train, p.trigger) {
+        (Action::Access { knowledge: k1, variant: v1, .. },
+         Action::Access { knowledge: k2, variant: v2, .. }) => k1 == k2 && v1 == v2,
+        _ => false,
+    };
+    if !probe_matches {
+        return Err(Rejection::MalformedIndexInterference);
+    }
+    // The interferer must come from the opposite knowledge class; a
+    // secret interferer is necessarily the first secret → primed.
+    let train_known = p.train.is_known();
+    let modify_known = p.modify.is_known();
+    if train_known == modify_known {
+        return Err(Rejection::MalformedIndexInterference);
+    }
+    Ok(())
+}
+
+/// Data-interference rules: all accesses hit one predictor entry, and the
+/// leak is value (dis)agreement.
+fn check_data(p: &AttackPattern) -> Result<(), Rejection> {
+    if p.modify == Action::None {
+        // Two-step attacks: train sets the value, trigger probes it. The
+        // trigger must not repeat the exact training access.
+        if p.trigger == p.train {
+            return Err(Rejection::TriggerRepeatsState);
+        }
+        return Ok(());
+    }
+    // Three-step data attacks: a known-data modify overwrites the trained
+    // value, reducing the pattern to the 2-step attack from the modify.
+    if p.modify.is_known() {
+        return Err(Rejection::ReducibleDataModify);
+    }
+    // A secret modify after *known* training also fully retrains the
+    // entry, making the train step irrelevant — reduces to the 2-step
+    // attack beginning at the modify.
+    if p.train.is_known() {
+        return Err(Rejection::ReducibleDataModify);
+    }
+    // Secret train + secret modify: only the Spill Over confidence
+    // protocol (confidence − 1 train accesses + 1 modify access) keeps
+    // all three steps relevant. The trigger must re-probe the *train*
+    // value; probing the modify value is unconditionally correct
+    // (footnote 6's weaker, reducible variant), and probing anything
+    // else reduces to a 2-step pattern.
+    if p.trigger == p.modify {
+        return Err(Rejection::TriggerRepeatsState);
+    }
+    if p.trigger != p.train {
+        return Err(Rejection::ReducibleDataModify);
+    }
+    Ok(())
+}
+
+/// The result of the full 576-combination enumeration.
+#[derive(Debug, Clone)]
+pub struct Enumeration {
+    /// Total combinations explored (8 × 9 × 8 = 576).
+    pub total_combinations: usize,
+    /// Patterns surviving every rule, in enumeration order.
+    pub effective: Vec<AttackPattern>,
+    /// Rejected patterns with the first rule each violated.
+    pub rejected: Vec<(AttackPattern, Rejection)>,
+}
+
+impl Enumeration {
+    /// Count of rejections per rule (for the `repro --table 2` report).
+    #[must_use]
+    pub fn rejection_histogram(&self) -> Vec<(Rejection, usize)> {
+        use Rejection::*;
+        [
+            NoSecret,
+            MixedDimensions,
+            NonCanonicalNaming,
+            ModifyExtendsTrain,
+            MalformedIndexInterference,
+            ReducibleDataModify,
+            TriggerRepeatsState,
+            IndistinguishableOutcomes,
+        ]
+        .into_iter()
+        .map(|r| (r, self.rejected.iter().filter(|(_, rej)| *rej == r).count()))
+        .collect()
+    }
+}
+
+/// Enumerate all train × modify × trigger combinations and apply the
+/// rules, reproducing Table II.
+#[must_use]
+pub fn enumerate() -> Enumeration {
+    let mut effective = Vec::new();
+    let mut rejected = Vec::new();
+    let mut total = 0;
+    for train in Action::step_actions() {
+        for modify in Action::modify_actions() {
+            for trigger in Action::step_actions() {
+                total += 1;
+                let p = AttackPattern::new(train, modify, trigger);
+                match check(&p) {
+                    Ok(()) => effective.push(p),
+                    Err(r) => rejected.push((p, r)),
+                }
+            }
+        }
+    }
+    Enumeration {
+        total_combinations: total,
+        effective,
+        rejected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attacks::AttackCategory;
+    use crate::model::action::Actor;
+
+    #[test]
+    fn explores_all_576_combinations() {
+        let e = enumerate();
+        assert_eq!(e.total_combinations, 576);
+        assert_eq!(e.effective.len() + e.rejected.len(), 576);
+    }
+
+    #[test]
+    fn exactly_twelve_effective_attacks() {
+        let e = enumerate();
+        assert_eq!(
+            e.effective.len(),
+            12,
+            "survivors:\n{}",
+            e.effective
+                .iter()
+                .map(|p| format!("  {p}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    /// Every survivor matches a row of the published Table II, and every
+    /// row of Table II is among the survivors.
+    #[test]
+    fn survivors_match_table_ii() {
+        use crate::model::action::Dimension::{Data, Index};
+        use crate::model::action::SecretVariant::{DoublePrime, Prime};
+        use Actor::{Receiver, Sender};
+        let kd = |a| Action::known(a, Data);
+        let ki = |a| Action::known(a, Index);
+        let sd1 = Action::secret(Data, Prime);
+        let sd2 = Action::secret(Data, DoublePrime);
+        let si1 = Action::secret(Index, Prime);
+        let none = Action::None;
+        let table_ii = [
+            (AttackPattern::new(kd(Sender), none, sd1), AttackCategory::TrainHit),
+            (AttackPattern::new(ki(Sender), si1, ki(Sender)), AttackCategory::TrainTest),
+            (AttackPattern::new(ki(Sender), si1, ki(Receiver)), AttackCategory::TrainTest),
+            (AttackPattern::new(kd(Receiver), none, sd1), AttackCategory::TrainHit),
+            (AttackPattern::new(ki(Receiver), si1, ki(Sender)), AttackCategory::TrainTest),
+            (AttackPattern::new(ki(Receiver), si1, ki(Receiver)), AttackCategory::TrainTest),
+            (AttackPattern::new(sd1, sd2, sd1), AttackCategory::SpillOver),
+            (AttackPattern::new(sd1, none, kd(Sender)), AttackCategory::TestHit),
+            (AttackPattern::new(sd1, none, kd(Receiver)), AttackCategory::TestHit),
+            (AttackPattern::new(sd1, none, sd2), AttackCategory::FillUp),
+            (AttackPattern::new(si1, ki(Sender), si1), AttackCategory::ModifyTest),
+            (AttackPattern::new(si1, ki(Receiver), si1), AttackCategory::ModifyTest),
+        ];
+        let e = enumerate();
+        assert_eq!(e.effective.len(), table_ii.len());
+        for (row, category) in &table_ii {
+            assert!(
+                e.effective.contains(row),
+                "Table II row missing from survivors: {row}"
+            );
+            assert_eq!(row.category(), Some(*category), "{row}");
+        }
+    }
+
+    #[test]
+    fn category_counts_match_paper() {
+        let e = enumerate();
+        let count = |c: AttackCategory| {
+            e.effective
+                .iter()
+                .filter(|p| p.category() == Some(c))
+                .count()
+        };
+        assert_eq!(count(AttackCategory::TrainHit), 2);
+        assert_eq!(count(AttackCategory::TrainTest), 4);
+        assert_eq!(count(AttackCategory::SpillOver), 1);
+        assert_eq!(count(AttackCategory::TestHit), 2);
+        assert_eq!(count(AttackCategory::FillUp), 1);
+        assert_eq!(count(AttackCategory::ModifyTest), 2);
+    }
+
+    #[test]
+    fn every_survivor_is_classifiable_and_distinguishable() {
+        let e = enumerate();
+        for p in &e.effective {
+            assert!(p.category().is_some(), "{p}");
+            assert!(p.outcomes().unwrap().distinguishable(), "{p}");
+        }
+    }
+
+    #[test]
+    fn rejection_histogram_accounts_for_everything() {
+        let e = enumerate();
+        let total_rejected: usize = e.rejection_histogram().iter().map(|(_, n)| n).sum();
+        assert_eq!(total_rejected, e.rejected.len());
+        assert_eq!(total_rejected + e.effective.len(), 576);
+    }
+
+    #[test]
+    fn no_secret_patterns_rejected() {
+        use crate::model::action::Dimension::Data;
+        let p = AttackPattern::new(
+            Action::known(Actor::Sender, Data),
+            Action::None,
+            Action::known(Actor::Receiver, Data),
+        );
+        assert_eq!(check(&p), Err(Rejection::NoSecret));
+    }
+
+    #[test]
+    fn mixed_dimension_rejected() {
+        use crate::model::action::Dimension::{Data, Index};
+        use crate::model::action::SecretVariant::Prime;
+        let p = AttackPattern::new(
+            Action::known(Actor::Sender, Data),
+            Action::None,
+            Action::secret(Index, Prime),
+        );
+        assert_eq!(check(&p), Err(Rejection::MixedDimensions));
+    }
+}

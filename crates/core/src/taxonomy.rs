@@ -1,0 +1,176 @@
+//! The Figure 2 taxonomy of timing-window microarchitectural channels.
+//!
+//! The paper splits attacks into *transient-execution attacks* (à la
+//! Spectre, which use predictors to steer transient execution) and
+//! *attacks leveraging transient execution* (which read predictor state
+//! through timing). Timing-window channels are classified by the pair of
+//! prediction outcomes they distinguish; the paper contributes the first
+//! **no prediction vs correct prediction** attacks, a class unique to
+//! value predictors (other predictors have no "no prediction" timing).
+
+use crate::attacks::AttackCategory;
+use crate::model::{Outcome, OutcomePair};
+
+/// The timing-window channel classes of Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimingWindowClass {
+    /// Misprediction vs correct prediction — the classic class
+    /// (BranchScope, Jump-over-ASLR, and several of this paper's
+    /// variants).
+    MispredictVsCorrect,
+    /// No prediction vs correct prediction — **new in this paper**;
+    /// exists because a value predictor below its confidence threshold
+    /// makes *no* prediction, a third timing case other predictors lack.
+    NoPredictionVsCorrect,
+    /// No prediction vs incorrect prediction — theoretically possible,
+    /// no known examples (both cases wait out the full miss).
+    NoPredictionVsIncorrect,
+}
+
+impl std::fmt::Display for TimingWindowClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TimingWindowClass::MispredictVsCorrect => "misprediction vs. correct prediction",
+            TimingWindowClass::NoPredictionVsCorrect => "no prediction vs. correct prediction",
+            TimingWindowClass::NoPredictionVsIncorrect => "no prediction vs. incorrect prediction",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl TimingWindowClass {
+    /// Classify an outcome pair; `None` when the outcomes are identical
+    /// (no channel at all).
+    #[must_use]
+    pub fn of(pair: OutcomePair) -> Option<TimingWindowClass> {
+        use Outcome::{CorrectPrediction, Misprediction, NoPrediction};
+        match (pair.mapped, pair.unmapped) {
+            (a, b) if a == b => None,
+            (Misprediction, CorrectPrediction) | (CorrectPrediction, Misprediction) => {
+                Some(TimingWindowClass::MispredictVsCorrect)
+            }
+            (NoPrediction, CorrectPrediction) | (CorrectPrediction, NoPrediction) => {
+                Some(TimingWindowClass::NoPredictionVsCorrect)
+            }
+            (NoPrediction, Misprediction) | (Misprediction, NoPrediction) => {
+                Some(TimingWindowClass::NoPredictionVsIncorrect)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether attacks of this class are practically known (Figure 2
+    /// marks *no prediction vs incorrect prediction* as having no known
+    /// examples).
+    #[must_use]
+    pub fn has_known_examples(&self) -> bool {
+        !matches!(self, TimingWindowClass::NoPredictionVsIncorrect)
+    }
+
+    /// Example attacks from the literature and from this work.
+    #[must_use]
+    pub fn examples(&self) -> &'static [&'static str] {
+        match self {
+            TimingWindowClass::MispredictVsCorrect => {
+                &["BranchScope [4]", "Jump over ASLR [3]", "this work"]
+            }
+            TimingWindowClass::NoPredictionVsCorrect => &["this work (new type)"],
+            TimingWindowClass::NoPredictionVsIncorrect => &[],
+        }
+    }
+}
+
+/// Classify an attack category's timing-window channel.
+#[must_use]
+pub fn classify(category: AttackCategory) -> Option<TimingWindowClass> {
+    TimingWindowClass::of(category.outcomes())
+}
+
+/// Render the Figure 2 taxonomy with this work's categories placed into
+/// their classes.
+#[must_use]
+pub fn render() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "Timing-window microarchitectural channels (Figure 2):");
+    for class in [
+        TimingWindowClass::MispredictVsCorrect,
+        TimingWindowClass::NoPredictionVsCorrect,
+        TimingWindowClass::NoPredictionVsIncorrect,
+    ] {
+        let _ = writeln!(out, "\n  {class}");
+        let _ = writeln!(
+            out,
+            "    known examples: {}",
+            if class.has_known_examples() {
+                class.examples().join(", ")
+            } else {
+                "(no known examples)".to_owned()
+            }
+        );
+        let members: Vec<String> = AttackCategory::ALL
+            .into_iter()
+            .filter(|c| classify(*c) == Some(class))
+            .map(|c| c.to_string())
+            .collect();
+        if !members.is_empty() {
+            let _ = writeln!(out, "    this work's categories: {}", members.join(", "));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spill_over_is_the_new_class() {
+        assert_eq!(
+            classify(AttackCategory::SpillOver),
+            Some(TimingWindowClass::NoPredictionVsCorrect)
+        );
+    }
+
+    #[test]
+    fn classic_class_members() {
+        for c in [
+            AttackCategory::TrainHit,
+            AttackCategory::TrainTest,
+            AttackCategory::TestHit,
+            AttackCategory::FillUp,
+            AttackCategory::ModifyTest,
+        ] {
+            assert_eq!(
+                classify(c),
+                Some(TimingWindowClass::MispredictVsCorrect),
+                "{c}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_class_has_no_examples() {
+        assert!(!TimingWindowClass::NoPredictionVsIncorrect.has_known_examples());
+        assert!(TimingWindowClass::NoPredictionVsIncorrect.examples().is_empty());
+    }
+
+    #[test]
+    fn identical_outcomes_unclassified() {
+        use crate::model::Outcome::CorrectPrediction;
+        let pair = OutcomePair {
+            mapped: CorrectPrediction,
+            unmapped: CorrectPrediction,
+        };
+        assert_eq!(TimingWindowClass::of(pair), None);
+    }
+
+    #[test]
+    fn render_mentions_every_class() {
+        let r = render();
+        assert!(r.contains("misprediction vs. correct prediction"));
+        assert!(r.contains("no prediction vs. correct prediction"));
+        assert!(r.contains("no known examples"));
+        assert!(r.contains("Spill Over"));
+    }
+}

@@ -1,0 +1,40 @@
+//! # vpsim-crypto
+//!
+//! The cryptographic victim of the paper's real-application attack
+//! (§IV-D1, Figures 6 and 7): RSA modular exponentiation in the style of
+//! libgcrypt's `_gcry_mpi_powm`, plus the value-predictor attack that
+//! leaks the exponent bits.
+//!
+//! The paper's Figure 6 victim is *already hardened against
+//! Flush+Reload*: it multiplies unconditionally for every exponent bit.
+//! What remains conditional is the **pointer-swap load** (`tp = rp;
+//! rp = xp; xp = tp`) executed only when the exponent bit is 1 — and the
+//! *index* of that load is exactly what a value-predictor attack
+//! recovers, bypassing the cache-side-channel hardening.
+//!
+//! Two layers are provided:
+//!
+//! * [`Mpi`] — a multi-precision integer with the arithmetic
+//!   (`add`/`sub`/`mul`/`div_rem`/[`Mpi::powm`]) needed to *functionally*
+//!   compute the modular exponentiation and verify correctness;
+//! * [`victim`] — the per-iteration access-pattern programs run on the
+//!   simulator (the conditional `tp` load at a fixed, attacker-aliasable
+//!   PC), derived from the real bit pattern of an [`Mpi`] exponent, plus
+//!   the [`victim::leak_exponent`] harness that reproduces Figure 7.
+//!
+//! ```
+//! use vpsim_crypto::Mpi;
+//!
+//! // RSA with the classic toy parameters p = 61, q = 53.
+//! let n = Mpi::from_u64(3233);
+//! let msg = Mpi::from_u64(65);
+//! let ct = Mpi::powm(&msg, &Mpi::from_u64(17), &n);
+//! let pt = Mpi::powm(&ct, &Mpi::from_u64(2753), &n);
+//! assert_eq!(pt, msg);
+//! ```
+
+mod mpi;
+pub mod victim;
+
+pub use mpi::Mpi;
+pub use victim::{leak_exponent, LeakConfig, LeakResult};

@@ -1,0 +1,284 @@
+//! The simulator-side victim and the Figure 7 exponent-bit leak.
+//!
+//! The functional crypto lives in [`Mpi::powm`](crate::Mpi::powm); this
+//! module reproduces its *microarchitectural access pattern* as simulator
+//! programs. Per square-and-multiply iteration the victim performs the
+//! square-related and (unconditional) multiply-related loads, and — only
+//! when the exponent bit is 1 — the **pointer-swap load** of `tp`
+//! (Figure 6 lines 16-19) at a fixed program counter. That conditional
+//! load is the leak: a receiver that aliases the `tp` PC in the value
+//! predictor (Train+Test style) observes whether each iteration disturbed
+//! its trained entry, recovering the exponent bit by bit (Figure 7).
+
+use vpsec::attacks::{train_program, trigger_timing, AttackSetup};
+use vpsim_isa::{Program, ProgramBuilder, Reg};
+use vpsim_mem::MemoryConfig;
+use vpsim_pipeline::{CoreConfig, Machine};
+use vpsim_predictor::{Lvp, LvpConfig};
+use vpsim_stats::TransmissionRate;
+
+use crate::Mpi;
+
+/// Address of the victim's square-phase working data.
+const SQR_ADDR: u64 = 0x41000;
+/// Address of the victim's multiply-phase working data.
+const MUL_ADDR: u64 = 0x42000;
+/// Address of the `tp` pointer storage the conditional swap loads.
+const TP_ADDR: u64 = 0x43000;
+/// Value stored at `TP_ADDR` (a pointer value; only needs to differ from
+/// the receiver's training data for the interference to be visible).
+const TP_VALUE: u64 = 0x4040;
+
+/// One square-and-multiply iteration as a simulator program.
+///
+/// The program always performs the square and the unconditional multiply
+/// loads (the FLUSH+RELOAD hardening); iff `bit` it additionally executes
+/// the conditional `tp` pointer-swap load, padded to
+/// [`AttackSetup::target_slot`] so it aliases the attacker's predictor
+/// entry. When `bit` is false the slot is occupied by a `nop`, keeping
+/// both variants the same length (no trivially observable size
+/// difference).
+#[must_use]
+pub fn iteration_program(bit: bool, setup: &AttackSetup) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.li(Reg::R1, SQR_ADDR)
+        .li(Reg::R2, MUL_ADDR)
+        .li(Reg::R3, TP_ADDR)
+        // _gcry_mpih_sqr_n_basecase(xp, rp): square-phase load.
+        .load(Reg::R4, Reg::R1, 0)
+        // _gcry_mpih_mul(xp, rp): the unconditional multiply's load.
+        .load(Reg::R5, Reg::R2, 0)
+        // The tp access misses naturally (its line is cold/evicted
+        // between iterations); model that with an explicit flush.
+        .flush(Reg::R3, 0)
+        .fence();
+    let here = b.here().0 as usize;
+    assert!(here <= setup.target_slot, "victim preamble overruns the slot");
+    b.nops(setup.target_slot - here);
+    if bit {
+        // if (e_bit_is1) { tp = rp; ... } — the conditional swap load.
+        b.load(Reg::R6, Reg::R3, 0);
+    } else {
+        b.nops(1);
+    }
+    b.fence().halt();
+    b.build().expect("victim iteration program is well-formed")
+}
+
+/// Configuration of the exponent-leak experiment.
+#[derive(Debug, Clone)]
+pub struct LeakConfig {
+    /// Attack addressing/slot parameters (shared with the receiver).
+    pub setup: AttackSetup,
+    /// Memory system (jitter on by default, as in the paper's runs).
+    pub mem: MemoryConfig,
+    /// Core configuration.
+    pub core: CoreConfig,
+    /// Master seed.
+    pub seed: u64,
+    /// Calibration probes per class used to fix the decision threshold.
+    pub calibration_runs: usize,
+}
+
+impl Default for LeakConfig {
+    fn default() -> Self {
+        LeakConfig {
+            setup: AttackSetup::default(),
+            mem: MemoryConfig::default(),
+            core: CoreConfig::default(),
+            seed: 0x9_65,
+            calibration_runs: 8,
+        }
+    }
+}
+
+/// The result of leaking one exponent.
+#[derive(Debug, Clone)]
+pub struct LeakResult {
+    /// Ground-truth bits, most significant first.
+    pub true_bits: Vec<bool>,
+    /// Bits recovered by the receiver.
+    pub recovered_bits: Vec<bool>,
+    /// Per-iteration receiver observations (cycles) — the Figure 7
+    /// series.
+    pub observations: Vec<f64>,
+    /// The calibrated decision threshold.
+    pub threshold: f64,
+    /// Total simulated cycles spent.
+    pub total_cycles: u64,
+}
+
+impl LeakResult {
+    /// Fraction of bits recovered correctly (the paper reports 95.7%
+    /// over 60 runs).
+    #[must_use]
+    pub fn success_rate(&self) -> f64 {
+        if self.true_bits.is_empty() {
+            return 0.0;
+        }
+        let correct = self
+            .true_bits
+            .iter()
+            .zip(&self.recovered_bits)
+            .filter(|(a, b)| a == b)
+            .count();
+        correct as f64 / self.true_bits.len() as f64
+    }
+
+    /// Estimated leak bandwidth (bits recovered per simulated second).
+    #[must_use]
+    pub fn rate_kbps(&self) -> f64 {
+        if self.true_bits.is_empty() || self.total_cycles == 0 {
+            return 0.0;
+        }
+        TransmissionRate::from_total(self.total_cycles, self.true_bits.len() as u64).kbps()
+    }
+}
+
+fn fresh_machine(cfg: &LeakConfig, seed: u64) -> Machine {
+    let lvp = Lvp::new(LvpConfig {
+        confidence_threshold: cfg.setup.confidence,
+        ..LvpConfig::default()
+    });
+    let mut machine = Machine::new(cfg.core, cfg.mem, Box::new(lvp), seed);
+    let m = machine.mem_mut();
+    m.store_value(SQR_ADDR, 0x5051);
+    m.store_value(MUL_ADDR, 0x6061);
+    m.store_value(TP_ADDR, TP_VALUE);
+    m.store_value(cfg.setup.known_addr, cfg.setup.known_value);
+    machine
+}
+
+/// One receiver observation: train the predictor at the `tp` slot with
+/// known data, let the victim run one iteration, then time the trigger.
+fn observe_iteration(machine: &mut Machine, bit: bool, cfg: &LeakConfig) -> f64 {
+    let setup = &cfg.setup;
+    let train = train_program(setup, setup.target_slot, setup.known_addr);
+    for _ in 0..setup.confidence {
+        machine.run(2, &train).expect("receiver training runs");
+    }
+    let victim = iteration_program(bit, setup);
+    machine.run(1, &victim).expect("victim iteration runs");
+    let trigger = trigger_timing(
+        setup,
+        setup.target_slot,
+        setup.known_addr,
+        &[setup.known_value, TP_VALUE],
+    );
+    let r = machine.run(2, &trigger).expect("receiver trigger runs");
+    r.timing_windows()[0] as f64
+}
+
+/// Recover the bits of `exponent` through the value-predictor side
+/// channel, reproducing the Figure 7 experiment: for every exponent bit
+/// the receiver observes one timing; bits where the victim executed the
+/// conditional `tp` load read slow (predictor entry disturbed), bits
+/// where it did not read fast.
+#[must_use]
+pub fn leak_exponent(exponent: &Mpi, cfg: &LeakConfig) -> LeakResult {
+    let true_bits = exponent.bits_msb_first();
+    let mut machine = fresh_machine(cfg, cfg.seed);
+    let mut total_cycles = 0u64;
+
+    // Calibration: observe known 0-bits and 1-bits to fix the threshold
+    // (the receiver can always run the victim code on its own inputs).
+    let mut fast = Vec::new();
+    let mut slow = Vec::new();
+    for i in 0..cfg.calibration_runs {
+        let mut cal = fresh_machine(cfg, cfg.seed ^ (0xca11 + i as u64));
+        fast.push(observe_iteration(&mut cal, false, cfg));
+        let mut cal = fresh_machine(cfg, cfg.seed ^ (0xca22 + i as u64));
+        slow.push(observe_iteration(&mut cal, true, cfg));
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let threshold = (mean(&fast) + mean(&slow)) / 2.0;
+
+    let mut observations = Vec::with_capacity(true_bits.len());
+    let mut recovered_bits = Vec::with_capacity(true_bits.len());
+    for &bit in &true_bits {
+        let obs = observe_iteration(&mut machine, bit, cfg);
+        // Account the cycles of the full step sequence approximately via
+        // the machine's committed work: use the observation plus the
+        // training/victim overhead measured below.
+        observations.push(obs);
+        recovered_bits.push(obs > threshold);
+        total_cycles += obs as u64;
+    }
+    // total_cycles above only counts the observation windows; add the
+    // per-bit protocol overhead (training + victim runs) with a direct
+    // measurement for an honest bandwidth estimate.
+    let mut probe = fresh_machine(cfg, cfg.seed ^ 0xbead);
+    let setup = &cfg.setup;
+    let train = train_program(setup, setup.target_slot, setup.known_addr);
+    let mut overhead = 0u64;
+    for _ in 0..setup.confidence {
+        overhead += probe.run(2, &train).expect("probe run").cycles;
+    }
+    overhead += probe
+        .run(1, &iteration_program(true, setup))
+        .expect("probe victim run")
+        .cycles;
+    total_cycles += overhead * true_bits.len() as u64;
+
+    LeakResult {
+        true_bits,
+        recovered_bits,
+        observations,
+        threshold,
+        total_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpsim_isa::Inst;
+
+    #[test]
+    fn iteration_programs_have_same_length() {
+        let setup = AttackSetup::default();
+        let one = iteration_program(true, &setup);
+        let zero = iteration_program(false, &setup);
+        assert_eq!(one.len(), zero.len(), "no trivial length channel");
+    }
+
+    #[test]
+    fn conditional_load_sits_at_target_slot() {
+        let setup = AttackSetup::default();
+        let one = iteration_program(true, &setup);
+        let tp_load = one
+            .iter()
+            .find(|(pc, i)| i.is_load() && pc.0 as usize == setup.target_slot);
+        assert!(tp_load.is_some(), "tp load at the aliased slot");
+        let zero = iteration_program(false, &setup);
+        assert!(
+            matches!(
+                zero.fetch(vpsim_isa::Pc(setup.target_slot as u32)),
+                Some(Inst::Nop)
+            ),
+            "bit 0 has no load at the slot"
+        );
+    }
+
+    #[test]
+    fn single_bit_classification() {
+        let cfg = LeakConfig {
+            calibration_runs: 4,
+            ..LeakConfig::default()
+        };
+        let r = leak_exponent(&Mpi::from_u64(0b10), &cfg);
+        assert_eq!(r.true_bits, vec![true, false]);
+        assert_eq!(r.recovered_bits, r.true_bits, "observations: {:?}", r.observations);
+    }
+
+    #[test]
+    fn leaks_a_byte_exactly() {
+        let cfg = LeakConfig {
+            calibration_runs: 4,
+            ..LeakConfig::default()
+        };
+        let r = leak_exponent(&Mpi::from_u64(0b1011_0101), &cfg);
+        assert_eq!(r.success_rate(), 1.0, "observations: {:?}", r.observations);
+        assert!(r.rate_kbps() > 0.0);
+    }
+}

@@ -1,0 +1,284 @@
+//! Instruction definitions and disassembly.
+
+use crate::{Pc, Reg};
+
+/// Arithmetic/logic operation selector for [`Inst::Alu`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// `rd = rs1 + rs2` (wrapping).
+    Add,
+    /// `rd = rs1 - rs2` (wrapping).
+    Sub,
+    /// `rd = rs1 & rs2`.
+    And,
+    /// `rd = rs1 | rs2`.
+    Or,
+    /// `rd = rs1 ^ rs2`.
+    Xor,
+    /// `rd = rs1 << (rs2 & 63)`.
+    Shl,
+    /// `rd = rs1 >> (rs2 & 63)` (logical).
+    Shr,
+    /// `rd = rs1 * rs2` (wrapping; multi-cycle in the pipeline).
+    Mul,
+}
+
+impl AluOp {
+    /// Evaluate the operation on two operand values.
+    #[must_use]
+    pub fn eval(self, a: u64, b: u64) -> u64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl((b & 63) as u32),
+            AluOp::Shr => a.wrapping_shr((b & 63) as u32),
+            AluOp::Mul => a.wrapping_mul(b),
+        }
+    }
+
+    /// Mnemonic used in disassembly.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+            AluOp::Mul => "mul",
+        }
+    }
+}
+
+/// Comparison condition for [`Inst::Branch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// Taken when `rs1 == rs2`.
+    Eq,
+    /// Taken when `rs1 != rs2`.
+    Ne,
+    /// Taken when `rs1 < rs2` (unsigned).
+    Lt,
+    /// Taken when `rs1 >= rs2` (unsigned).
+    Ge,
+}
+
+impl BranchCond {
+    /// Evaluate the condition on two operand values.
+    #[must_use]
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        match self {
+            BranchCond::Eq => a == b,
+            BranchCond::Ne => a != b,
+            BranchCond::Lt => a < b,
+            BranchCond::Ge => a >= b,
+        }
+    }
+
+    /// Mnemonic used in disassembly.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BranchCond::Eq => "beq",
+            BranchCond::Ne => "bne",
+            BranchCond::Lt => "blt",
+            BranchCond::Ge => "bge",
+        }
+    }
+}
+
+/// A single instruction of the simulator ISA.
+///
+/// Addresses are always formed as `regs[base] + offset` with a signed
+/// offset, mirroring base+displacement addressing in real ISAs; the value
+/// predictor sees the resulting *virtual address* (for data-address-indexed
+/// predictors) or the instruction's [`Pc`] (for PC-indexed predictors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// No operation. Used by the PoCs to pad a probe access to a chosen
+    /// instruction address so it aliases with the victim's predictor index
+    /// (Figure 3 of the paper).
+    Nop,
+    /// `rd = imm`.
+    Li { rd: Reg, imm: u64 },
+    /// Three-register ALU operation.
+    Alu { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = rs + imm` (wrapping add of a signed immediate).
+    Addi { rd: Reg, rs: Reg, imm: i64 },
+    /// `rd = mem[rs_base + offset]` — the value-predicted operation.
+    Load { rd: Reg, base: Reg, offset: i64 },
+    /// `mem[rs_base + offset] = rs_val`.
+    Store { src: Reg, base: Reg, offset: i64 },
+    /// Evict the cache line containing `rs_base + offset` from the whole
+    /// hierarchy (a `clflush` analogue; dirty data is written back).
+    Flush { base: Reg, offset: i64 },
+    /// Full ordering barrier: younger instructions do not dispatch until
+    /// every older instruction has committed.
+    Fence,
+    /// `rd = current cycle`. Serialising, like `rdtscp`: executes only once
+    /// it is the oldest un-committed instruction.
+    Rdtsc { rd: Reg },
+    /// Conditional branch to an absolute instruction index.
+    Branch { cond: BranchCond, rs1: Reg, rs2: Reg, target: Pc },
+    /// Unconditional jump to an absolute instruction index.
+    Jump { target: Pc },
+    /// Stop the program.
+    Halt,
+}
+
+impl Inst {
+    /// The destination register this instruction writes, if any.
+    #[must_use]
+    pub fn dest(&self) -> Option<Reg> {
+        match *self {
+            Inst::Li { rd, .. }
+            | Inst::Alu { rd, .. }
+            | Inst::Addi { rd, .. }
+            | Inst::Load { rd, .. }
+            | Inst::Rdtsc { rd } => Some(rd),
+            _ => None,
+        }
+    }
+
+    /// The source registers this instruction reads (up to two).
+    #[must_use]
+    pub fn sources(&self) -> [Option<Reg>; 2] {
+        match *self {
+            Inst::Alu { rs1, rs2, .. } => [Some(rs1), Some(rs2)],
+            Inst::Addi { rs, .. } => [Some(rs), None],
+            Inst::Load { base, .. } => [Some(base), None],
+            Inst::Store { src, base, .. } => [Some(base), Some(src)],
+            Inst::Flush { base, .. } => [Some(base), None],
+            Inst::Branch { rs1, rs2, .. } => [Some(rs1), Some(rs2)],
+            _ => [None, None],
+        }
+    }
+
+    /// Whether this is a memory-reading instruction (eligible for value
+    /// prediction in a load-based VPS).
+    #[must_use]
+    pub fn is_load(&self) -> bool {
+        matches!(self, Inst::Load { .. })
+    }
+
+    /// Whether this instruction can redirect control flow.
+    #[must_use]
+    pub fn is_control(&self) -> bool {
+        matches!(self, Inst::Branch { .. } | Inst::Jump { .. } | Inst::Halt)
+    }
+
+    /// Whether this instruction must be the oldest in the machine before it
+    /// executes (serialising semantics).
+    #[must_use]
+    pub fn is_serialising(&self) -> bool {
+        matches!(self, Inst::Rdtsc { .. } | Inst::Fence)
+    }
+}
+
+impl std::fmt::Display for Inst {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Inst::Nop => write!(f, "nop"),
+            Inst::Li { rd, imm } => write!(f, "li    {rd}, {imm:#x}"),
+            Inst::Alu { op, rd, rs1, rs2 } => {
+                write!(f, "{:<5} {rd}, {rs1}, {rs2}", op.mnemonic())
+            }
+            Inst::Addi { rd, rs, imm } => write!(f, "addi  {rd}, {rs}, {imm}"),
+            Inst::Load { rd, base, offset } => write!(f, "ld    {rd}, {offset}({base})"),
+            Inst::Store { src, base, offset } => write!(f, "st    {src}, {offset}({base})"),
+            Inst::Flush { base, offset } => write!(f, "flush {offset}({base})"),
+            Inst::Fence => write!(f, "fence"),
+            Inst::Rdtsc { rd } => write!(f, "rdtsc {rd}"),
+            Inst::Branch { cond, rs1, rs2, target } => {
+                write!(f, "{:<5} {rs1}, {rs2}, {target}", cond.mnemonic())
+            }
+            Inst::Jump { target } => write!(f, "jmp   {target}"),
+            Inst::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_eval_semantics() {
+        assert_eq!(AluOp::Add.eval(2, 3), 5);
+        assert_eq!(AluOp::Sub.eval(2, 3), u64::MAX);
+        assert_eq!(AluOp::And.eval(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.eval(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluOp::Xor.eval(0b1100, 0b1010), 0b0110);
+        assert_eq!(AluOp::Shl.eval(1, 4), 16);
+        assert_eq!(AluOp::Shr.eval(16, 4), 1);
+        assert_eq!(AluOp::Mul.eval(6, 7), 42);
+    }
+
+    #[test]
+    fn alu_shift_masks_amount() {
+        // Shift amounts are masked to 6 bits, as on real 64-bit hardware.
+        assert_eq!(AluOp::Shl.eval(1, 64), 1);
+        assert_eq!(AluOp::Shr.eval(2, 65), 1);
+    }
+
+    #[test]
+    fn branch_cond_semantics() {
+        assert!(BranchCond::Eq.eval(4, 4));
+        assert!(!BranchCond::Eq.eval(4, 5));
+        assert!(BranchCond::Ne.eval(4, 5));
+        assert!(BranchCond::Lt.eval(4, 5));
+        assert!(!BranchCond::Lt.eval(5, 4));
+        assert!(BranchCond::Ge.eval(5, 4));
+        assert!(BranchCond::Ge.eval(5, 5));
+    }
+
+    #[test]
+    fn dest_and_sources() {
+        let ld = Inst::Load { rd: Reg::R1, base: Reg::R2, offset: 8 };
+        assert_eq!(ld.dest(), Some(Reg::R1));
+        assert_eq!(ld.sources(), [Some(Reg::R2), None]);
+        assert!(ld.is_load());
+
+        let st = Inst::Store { src: Reg::R3, base: Reg::R4, offset: 0 };
+        assert_eq!(st.dest(), None);
+        assert_eq!(st.sources(), [Some(Reg::R4), Some(Reg::R3)]);
+
+        let alu = Inst::Alu { op: AluOp::Add, rd: Reg::R5, rs1: Reg::R6, rs2: Reg::R7 };
+        assert_eq!(alu.dest(), Some(Reg::R5));
+        assert_eq!(alu.sources(), [Some(Reg::R6), Some(Reg::R7)]);
+    }
+
+    #[test]
+    fn serialising_and_control_classification() {
+        assert!(Inst::Fence.is_serialising());
+        assert!(Inst::Rdtsc { rd: Reg::R1 }.is_serialising());
+        assert!(!Inst::Nop.is_serialising());
+        assert!(Inst::Halt.is_control());
+        assert!(Inst::Jump { target: Pc(0) }.is_control());
+        assert!(!Inst::Nop.is_control());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Inst::Nop.to_string(), "nop");
+        assert_eq!(
+            Inst::Load { rd: Reg::R1, base: Reg::R2, offset: -8 }.to_string(),
+            "ld    r1, -8(r2)"
+        );
+        assert_eq!(
+            Inst::Branch {
+                cond: BranchCond::Lt,
+                rs1: Reg::R1,
+                rs2: Reg::R2,
+                target: Pc(3)
+            }
+            .to_string(),
+            "blt   r1, r2, pc3"
+        );
+    }
+}

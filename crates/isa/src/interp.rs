@@ -1,0 +1,229 @@
+//! A functional (golden-model) interpreter for differential testing.
+//!
+//! Executes a [`Program`] sequentially with simple in-order semantics and
+//! no microarchitecture. The out-of-order pipeline in `vpsim-pipeline` —
+//! with value speculation, squashes and reissues — must produce exactly
+//! the same *architectural* state (registers and memory) for any program;
+//! the pipeline crate's differential property tests check that against
+//! this model.
+//!
+//! Timing-related instructions are architecturally defined here as:
+//! `flush` and `fence` are no-ops; `rdtsc` returns the number of
+//! instructions retired so far (monotonic, but *not* comparable to the
+//! pipeline's cycle counts — differential tests exclude `rdtsc`-writing
+//! registers from comparison or omit the instruction).
+
+use std::collections::HashMap;
+
+use crate::{Inst, Pc, Program, RegFile};
+
+/// Outcome of a golden-model run.
+#[derive(Debug, Clone)]
+pub struct InterpResult {
+    /// Final register state.
+    pub regs: RegFile,
+    /// Instructions executed.
+    pub executed: u64,
+}
+
+/// Errors terminating interpretation abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// The instruction budget was exhausted before `halt`.
+    StepLimitExceeded {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// Control flow left the program.
+    PcOutOfRange {
+        /// The out-of-range program counter.
+        pc: u32,
+    },
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterpError::StepLimitExceeded { limit } => {
+                write!(f, "step limit of {limit} exceeded before halt")
+            }
+            InterpError::PcOutOfRange { pc } => write!(f, "pc{pc} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// The golden-model interpreter: sequential execution over a sparse
+/// word-granularity memory.
+#[derive(Debug, Clone, Default)]
+pub struct Interpreter {
+    regs: RegFile,
+    memory: HashMap<u64, u64>,
+    executed: u64,
+}
+
+impl Interpreter {
+    /// A fresh interpreter with zeroed registers and memory.
+    #[must_use]
+    pub fn new() -> Interpreter {
+        Interpreter::default()
+    }
+
+    /// Pre-set a memory word (8-byte granularity; the address is masked
+    /// to word alignment like the pipeline's memory system).
+    pub fn store(&mut self, addr: u64, value: u64) {
+        self.memory.insert(addr & !7, value);
+    }
+
+    /// Read a memory word.
+    #[must_use]
+    pub fn load(&self, addr: u64) -> u64 {
+        self.memory.get(&(addr & !7)).copied().unwrap_or(0)
+    }
+
+    /// Current register state.
+    #[must_use]
+    pub fn regs(&self) -> &RegFile {
+        &self.regs
+    }
+
+    /// Execute `program` until `halt`, with a step budget.
+    ///
+    /// # Errors
+    ///
+    /// [`InterpError::StepLimitExceeded`] if `halt` is not reached within
+    /// `max_steps`, [`InterpError::PcOutOfRange`] if control flow leaves
+    /// the program.
+    pub fn run(&mut self, program: &Program, max_steps: u64) -> Result<InterpResult, InterpError> {
+        let mut pc = Pc(0);
+        let mut steps = 0u64;
+        loop {
+            if steps >= max_steps {
+                return Err(InterpError::StepLimitExceeded { limit: max_steps });
+            }
+            let Some(inst) = program.fetch(pc) else {
+                return Err(InterpError::PcOutOfRange { pc: pc.0 });
+            };
+            steps += 1;
+            self.executed += 1;
+            let mut next = pc.next();
+            match inst {
+                Inst::Nop | Inst::Fence | Inst::Flush { .. } => {}
+                Inst::Li { rd, imm } => self.regs.write(rd, imm),
+                Inst::Addi { rd, rs, imm } => {
+                    let v = self.regs.read(rs).wrapping_add(imm as u64);
+                    self.regs.write(rd, v);
+                }
+                Inst::Alu { op, rd, rs1, rs2 } => {
+                    let v = op.eval(self.regs.read(rs1), self.regs.read(rs2));
+                    self.regs.write(rd, v);
+                }
+                Inst::Load { rd, base, offset } => {
+                    let addr = self.regs.read(base).wrapping_add(offset as u64);
+                    let v = self.load(addr);
+                    self.regs.write(rd, v);
+                }
+                Inst::Store { src, base, offset } => {
+                    let addr = self.regs.read(base).wrapping_add(offset as u64);
+                    let v = self.regs.read(src);
+                    self.memory.insert(addr & !7, v);
+                }
+                Inst::Rdtsc { rd } => self.regs.write(rd, self.executed),
+                Inst::Branch { cond, rs1, rs2, target } => {
+                    if cond.eval(self.regs.read(rs1), self.regs.read(rs2)) {
+                        next = target;
+                    }
+                }
+                Inst::Jump { target } => next = target,
+                Inst::Halt => {
+                    return Ok(InterpResult {
+                        regs: self.regs.clone(),
+                        executed: self.executed,
+                    });
+                }
+            }
+            pc = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AluOp, ProgramBuilder, Reg};
+
+    #[test]
+    fn arithmetic_and_memory() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 0x100)
+            .li(Reg::R2, 21)
+            .alu(AluOp::Add, Reg::R3, Reg::R2, Reg::R2)
+            .store(Reg::R3, Reg::R1, 0)
+            .load(Reg::R4, Reg::R1, 0)
+            .halt();
+        let mut i = Interpreter::new();
+        let r = i.run(&b.build().unwrap(), 100).unwrap();
+        assert_eq!(r.regs.read(Reg::R4), 42);
+        assert_eq!(i.load(0x100), 42);
+    }
+
+    #[test]
+    fn loop_with_branch() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 0).li(Reg::R2, 10);
+        b.label("l").unwrap();
+        b.addi(Reg::R1, Reg::R1, 1).blt(Reg::R1, Reg::R2, "l").halt();
+        let mut i = Interpreter::new();
+        let r = i.run(&b.build().unwrap(), 1000).unwrap();
+        assert_eq!(r.regs.read(Reg::R1), 10);
+    }
+
+    #[test]
+    fn step_limit_detected() {
+        let mut b = ProgramBuilder::new();
+        b.label("spin").unwrap();
+        b.jump("spin").halt();
+        let mut i = Interpreter::new();
+        assert_eq!(
+            i.run(&b.build().unwrap(), 10).unwrap_err(),
+            InterpError::StepLimitExceeded { limit: 10 }
+        );
+    }
+
+    #[test]
+    fn pc_out_of_range_detected() {
+        let mut b = ProgramBuilder::new();
+        b.jump("end").halt();
+        b.label("end").unwrap();
+        b.nops(1);
+        let mut i = Interpreter::new();
+        assert!(matches!(
+            i.run(&b.build().unwrap(), 100).unwrap_err(),
+            InterpError::PcOutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn unaligned_access_masks_to_word() {
+        let mut i = Interpreter::new();
+        i.store(0x104, 9); // masked to 0x100
+        assert_eq!(i.load(0x100), 9);
+        assert_eq!(i.load(0x107), 9);
+    }
+
+    #[test]
+    fn flush_and_fence_are_architectural_noops() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 0x100)
+            .li(Reg::R2, 5)
+            .store(Reg::R2, Reg::R1, 0)
+            .flush(Reg::R1, 0)
+            .fence()
+            .load(Reg::R3, Reg::R1, 0)
+            .halt();
+        let mut i = Interpreter::new();
+        let r = i.run(&b.build().unwrap(), 100).unwrap();
+        assert_eq!(r.regs.read(Reg::R3), 5, "flush must not destroy data");
+    }
+}

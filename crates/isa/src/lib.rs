@@ -1,0 +1,102 @@
+//! # vpsim-isa
+//!
+//! A minimal RISC-style instruction set for the value-predictor security
+//! simulator used to reproduce *"New Predictor-Based Attacks in
+//! Processors"* (Deng & Szefer, DAC 2021).
+//!
+//! The ISA is deliberately small: it contains exactly the instructions the
+//! paper's proof-of-concept attack programs need —
+//!
+//! * integer ALU operations (dependency chains for timing-window probes),
+//! * loads and stores (the value-predicted operations),
+//! * `flush` (a `clflush`-style line eviction used to force cache misses),
+//! * `fence` (ordering barrier, as in the Figure 3/4 PoCs),
+//! * `rdtsc` (cycle-counter read used by the receiver to time accesses),
+//! * branches for loops and secret-dependent control flow.
+//!
+//! Programs are built with [`ProgramBuilder`], which supports symbolic
+//! labels so attack generators don't hand-compute branch offsets.
+//!
+//! ```
+//! use vpsim_isa::{ProgramBuilder, Reg};
+//!
+//! # fn main() -> Result<(), vpsim_isa::AsmError> {
+//! let mut b = ProgramBuilder::new();
+//! b.li(Reg::R1, 0)
+//!     .li(Reg::R2, 10)
+//!     .label("loop")?
+//!     .addi(Reg::R1, Reg::R1, 1)
+//!     .blt(Reg::R1, Reg::R2, "loop")
+//!     .halt();
+//! let program = b.build()?;
+//! assert_eq!(program.len(), 5);
+//! # Ok(())
+//! # }
+//! ```
+
+mod inst;
+pub mod interp;
+mod program;
+mod reg;
+
+pub use inst::{AluOp, BranchCond, Inst};
+pub use interp::{InterpError, InterpResult, Interpreter};
+pub use program::{AsmError, Program, ProgramBuilder};
+pub use reg::{Reg, RegFile, NUM_REGS};
+
+/// A program-counter value: the index of an instruction within a
+/// [`Program`].
+///
+/// The simulator is word-addressed for instructions; `Pc(n)` is the `n`-th
+/// instruction. Value predictors that index by instruction address use this
+/// value (scaled by a nominal 4-byte encoding) as the index source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pc(pub u32);
+
+impl Pc {
+    /// Nominal byte address of this instruction (4 bytes per instruction),
+    /// used when forming predictor indexes from the "program counter".
+    #[must_use]
+    pub fn byte_addr(self) -> u64 {
+        u64::from(self.0) * 4
+    }
+
+    /// The next sequential program counter.
+    #[must_use]
+    pub fn next(self) -> Pc {
+        Pc(self.0 + 1)
+    }
+}
+
+impl std::fmt::Display for Pc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pc{}", self.0)
+    }
+}
+
+impl From<u32> for Pc {
+    fn from(v: u32) -> Self {
+        Pc(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pc_byte_addr_scales_by_four() {
+        assert_eq!(Pc(0).byte_addr(), 0);
+        assert_eq!(Pc(3).byte_addr(), 12);
+    }
+
+    #[test]
+    fn pc_next_increments() {
+        assert_eq!(Pc(7).next(), Pc(8));
+    }
+
+    #[test]
+    fn pc_display() {
+        assert_eq!(Pc(5).to_string(), "pc5");
+    }
+}

@@ -1,0 +1,372 @@
+//! Programs and the label-resolving [`ProgramBuilder`].
+
+use std::collections::HashMap;
+
+use crate::{AluOp, BranchCond, Inst, Pc, Reg};
+
+/// Errors produced while assembling a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// A branch or jump referenced a label that was never defined.
+    UndefinedLabel(String),
+    /// The finished program has no `halt`, so execution would run off the
+    /// end of the instruction stream.
+    MissingHalt,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::MissingHalt => write!(f, "program does not end with halt"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// An immutable, fully-resolved instruction sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    insts: Vec<Inst>,
+}
+
+impl Program {
+    /// Wrap a raw instruction vector.
+    ///
+    /// Prefer [`ProgramBuilder`] when labels are involved.
+    #[must_use]
+    pub fn from_insts(insts: Vec<Inst>) -> Program {
+        Program { insts }
+    }
+
+    /// Fetch the instruction at `pc`, or `None` past the end.
+    #[must_use]
+    pub fn fetch(&self, pc: Pc) -> Option<Inst> {
+        self.insts.get(pc.0 as usize).copied()
+    }
+
+    /// Number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Iterate over `(Pc, Inst)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Pc, Inst)> + '_ {
+        self.insts
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| (Pc(i as u32), *inst))
+    }
+
+    /// The program counters of all load instructions, in program order.
+    ///
+    /// Attack generators use this to locate the probe load whose predictor
+    /// index must alias with the victim's.
+    #[must_use]
+    pub fn load_pcs(&self) -> Vec<Pc> {
+        self.iter()
+            .filter(|(_, inst)| inst.is_load())
+            .map(|(pc, _)| pc)
+            .collect()
+    }
+
+    /// Full disassembly listing.
+    #[must_use]
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (pc, inst) in self.iter() {
+            let _ = writeln!(out, "{:>5}:  {}", pc.0, inst);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Program {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.disassemble())
+    }
+}
+
+/// Pending reference from instruction `at` to a label.
+#[derive(Debug, Clone)]
+struct Fixup {
+    at: usize,
+    label: String,
+}
+
+/// Incremental program assembler with symbolic labels.
+///
+/// All emit methods return `&mut Self` for chaining. Branch targets may be
+/// referenced before they are defined; [`ProgramBuilder::build`] resolves
+/// every fixup or reports [`AsmError::UndefinedLabel`].
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    insts: Vec<Inst>,
+    labels: HashMap<String, Pc>,
+    fixups: Vec<Fixup>,
+}
+
+impl ProgramBuilder {
+    /// A fresh, empty builder.
+    #[must_use]
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// Current instruction index — where the next emitted instruction will
+    /// be placed.
+    #[must_use]
+    pub fn here(&self) -> Pc {
+        Pc(self.insts.len() as u32)
+    }
+
+    /// Define `name` at the current position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::DuplicateLabel`] if `name` was already defined.
+    pub fn label(&mut self, name: &str) -> Result<&mut Self, AsmError> {
+        if self.labels.insert(name.to_owned(), self.here()).is_some() {
+            return Err(AsmError::DuplicateLabel(name.to_owned()));
+        }
+        Ok(self)
+    }
+
+    /// Emit a raw instruction.
+    pub fn push(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(inst);
+        self
+    }
+
+    /// Emit `count` consecutive `nop`s (used to pad a probe to a chosen
+    /// instruction address, as in the paper's Figure 3 receiver).
+    pub fn nops(&mut self, count: usize) -> &mut Self {
+        for _ in 0..count {
+            self.push(Inst::Nop);
+        }
+        self
+    }
+
+    /// Emit `li rd, imm`.
+    pub fn li(&mut self, rd: Reg, imm: u64) -> &mut Self {
+        self.push(Inst::Li { rd, imm })
+    }
+
+    /// Emit `addi rd, rs, imm`.
+    pub fn addi(&mut self, rd: Reg, rs: Reg, imm: i64) -> &mut Self {
+        self.push(Inst::Addi { rd, rs, imm })
+    }
+
+    /// Emit a three-register ALU operation.
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.push(Inst::Alu { op, rd, rs1, rs2 })
+    }
+
+    /// Emit `ld rd, offset(base)`.
+    pub fn load(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.push(Inst::Load { rd, base, offset })
+    }
+
+    /// Emit `st src, offset(base)`.
+    pub fn store(&mut self, src: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.push(Inst::Store { src, base, offset })
+    }
+
+    /// Emit `flush offset(base)`.
+    pub fn flush(&mut self, base: Reg, offset: i64) -> &mut Self {
+        self.push(Inst::Flush { base, offset })
+    }
+
+    /// Emit `fence`.
+    pub fn fence(&mut self) -> &mut Self {
+        self.push(Inst::Fence)
+    }
+
+    /// Emit `rdtsc rd`.
+    pub fn rdtsc(&mut self, rd: Reg) -> &mut Self {
+        self.push(Inst::Rdtsc { rd })
+    }
+
+    /// Emit a conditional branch to `label`.
+    pub fn branch(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        self.fixups.push(Fixup {
+            at: self.insts.len(),
+            label: label.to_owned(),
+        });
+        self.push(Inst::Branch { cond, rs1, rs2, target: Pc(u32::MAX) })
+    }
+
+    /// Emit `beq rs1, rs2, label`.
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        self.branch(BranchCond::Eq, rs1, rs2, label)
+    }
+
+    /// Emit `bne rs1, rs2, label`.
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        self.branch(BranchCond::Ne, rs1, rs2, label)
+    }
+
+    /// Emit `blt rs1, rs2, label`.
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        self.branch(BranchCond::Lt, rs1, rs2, label)
+    }
+
+    /// Emit `bge rs1, rs2, label`.
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        self.branch(BranchCond::Ge, rs1, rs2, label)
+    }
+
+    /// Emit an unconditional jump to `label`.
+    pub fn jump(&mut self, label: &str) -> &mut Self {
+        self.fixups.push(Fixup {
+            at: self.insts.len(),
+            label: label.to_owned(),
+        });
+        self.push(Inst::Jump { target: Pc(u32::MAX) })
+    }
+
+    /// Emit `halt`.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Inst::Halt)
+    }
+
+    /// Resolve all labels and produce the finished [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UndefinedLabel`] for unresolved branch targets
+    /// and [`AsmError::MissingHalt`] if no `halt` instruction was emitted.
+    pub fn build(&mut self) -> Result<Program, AsmError> {
+        for fix in &self.fixups {
+            let target = *self
+                .labels
+                .get(&fix.label)
+                .ok_or_else(|| AsmError::UndefinedLabel(fix.label.clone()))?;
+            match &mut self.insts[fix.at] {
+                Inst::Branch { target: t, .. } | Inst::Jump { target: t } => *t = target,
+                other => unreachable!("fixup on non-control instruction {other:?}"),
+            }
+        }
+        if !self.insts.iter().any(|i| matches!(i, Inst::Halt)) {
+            return Err(AsmError::MissingHalt);
+        }
+        Ok(Program {
+            insts: self.insts.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_loop() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 0).li(Reg::R2, 3);
+        b.label("top").unwrap();
+        b.addi(Reg::R1, Reg::R1, 1)
+            .blt(Reg::R1, Reg::R2, "top")
+            .halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.len(), 5);
+        match p.fetch(Pc(3)).unwrap() {
+            Inst::Branch { target, .. } => assert_eq!(target, Pc(2)),
+            other => panic!("expected branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 1).jump("end").li(Reg::R1, 2);
+        b.label("end").unwrap();
+        b.halt();
+        let p = b.build().unwrap();
+        match p.fetch(Pc(1)).unwrap() {
+            Inst::Jump { target } => assert_eq!(target, Pc(3)),
+            other => panic!("expected jump, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let mut b = ProgramBuilder::new();
+        b.label("x").unwrap();
+        assert_eq!(b.label("x").unwrap_err(), AsmError::DuplicateLabel("x".into()));
+    }
+
+    #[test]
+    fn undefined_label_rejected() {
+        let mut b = ProgramBuilder::new();
+        b.jump("nowhere").halt();
+        assert_eq!(
+            b.build().unwrap_err(),
+            AsmError::UndefinedLabel("nowhere".into())
+        );
+    }
+
+    #[test]
+    fn missing_halt_rejected() {
+        let mut b = ProgramBuilder::new();
+        b.nops(3);
+        assert_eq!(b.build().unwrap_err(), AsmError::MissingHalt);
+    }
+
+    #[test]
+    fn load_pcs_finds_loads() {
+        let mut b = ProgramBuilder::new();
+        b.nops(2)
+            .load(Reg::R1, Reg::R2, 0)
+            .nops(1)
+            .load(Reg::R3, Reg::R4, 8)
+            .halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.load_pcs(), vec![Pc(2), Pc(4)]);
+    }
+
+    #[test]
+    fn fetch_past_end_is_none() {
+        let mut b = ProgramBuilder::new();
+        b.halt();
+        let p = b.build().unwrap();
+        assert!(p.fetch(Pc(1)).is_none());
+    }
+
+    #[test]
+    fn disassembly_lists_every_instruction() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 0xff).fence().halt();
+        let p = b.build().unwrap();
+        let dis = p.disassemble();
+        assert_eq!(dis.lines().count(), 3);
+        assert!(dis.contains("li    r1, 0xff"));
+        assert!(dis.contains("fence"));
+        assert!(dis.contains("halt"));
+    }
+
+    #[test]
+    fn error_display_messages() {
+        assert_eq!(
+            AsmError::DuplicateLabel("a".into()).to_string(),
+            "duplicate label `a`"
+        );
+        assert_eq!(
+            AsmError::UndefinedLabel("b".into()).to_string(),
+            "undefined label `b`"
+        );
+        assert_eq!(AsmError::MissingHalt.to_string(), "program does not end with halt");
+    }
+}

@@ -1,0 +1,181 @@
+//! Architectural registers and the committed register file.
+
+/// Number of architectural integer registers.
+pub const NUM_REGS: usize = 32;
+
+/// An architectural register name, `R0`..=`R31`.
+///
+/// `R0` is a normal general-purpose register (it is *not* hardwired to
+/// zero); attack generators use low registers for addresses and high
+/// registers for scratch values by convention only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    pub const R0: Reg = Reg(0);
+    pub const R1: Reg = Reg(1);
+    pub const R2: Reg = Reg(2);
+    pub const R3: Reg = Reg(3);
+    pub const R4: Reg = Reg(4);
+    pub const R5: Reg = Reg(5);
+    pub const R6: Reg = Reg(6);
+    pub const R7: Reg = Reg(7);
+    pub const R8: Reg = Reg(8);
+    pub const R9: Reg = Reg(9);
+    pub const R10: Reg = Reg(10);
+    pub const R11: Reg = Reg(11);
+    pub const R12: Reg = Reg(12);
+    pub const R13: Reg = Reg(13);
+    pub const R14: Reg = Reg(14);
+    pub const R15: Reg = Reg(15);
+    pub const R16: Reg = Reg(16);
+    pub const R17: Reg = Reg(17);
+    pub const R18: Reg = Reg(18);
+    pub const R19: Reg = Reg(19);
+    pub const R20: Reg = Reg(20);
+    pub const R21: Reg = Reg(21);
+    pub const R22: Reg = Reg(22);
+    pub const R23: Reg = Reg(23);
+    pub const R24: Reg = Reg(24);
+    pub const R25: Reg = Reg(25);
+    pub const R26: Reg = Reg(26);
+    pub const R27: Reg = Reg(27);
+    pub const R28: Reg = Reg(28);
+    pub const R29: Reg = Reg(29);
+    pub const R30: Reg = Reg(30);
+    pub const R31: Reg = Reg(31);
+
+    /// Construct a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_REGS`.
+    #[must_use]
+    pub fn new(index: u8) -> Reg {
+        assert!(
+            (index as usize) < NUM_REGS,
+            "register index {index} out of range"
+        );
+        Reg(index)
+    }
+
+    /// The register's index, `0..NUM_REGS`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterate over all architectural registers in order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..NUM_REGS as u8).map(Reg)
+    }
+}
+
+impl std::fmt::Display for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// The committed architectural register file.
+///
+/// The pipeline holds in-flight values in its reorder buffer; this type
+/// stores only the committed state, and is what a program's final register
+/// values are read from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegFile {
+    regs: [u64; NUM_REGS],
+}
+
+impl RegFile {
+    /// A register file with every register initialised to zero.
+    #[must_use]
+    pub fn new() -> RegFile {
+        RegFile {
+            regs: [0; NUM_REGS],
+        }
+    }
+
+    /// Read a register.
+    #[must_use]
+    pub fn read(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// Write a register.
+    pub fn write(&mut self, r: Reg, value: u64) {
+        self.regs[r.index()] = value;
+    }
+
+    /// View the raw register array, indexed by register number.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u64; NUM_REGS] {
+        &self.regs
+    }
+}
+
+impl Default for RegFile {
+    fn default() -> Self {
+        RegFile::new()
+    }
+}
+
+impl std::fmt::Display for RegFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, v) in self.regs.iter().enumerate() {
+            if *v != 0 {
+                writeln!(f, "r{i} = {v:#x}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_valid_in_range() {
+        for i in 0..NUM_REGS as u8 {
+            assert_eq!(Reg::new(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_panics_out_of_range() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn all_yields_every_register_once() {
+        let regs: Vec<Reg> = Reg::all().collect();
+        assert_eq!(regs.len(), NUM_REGS);
+        assert_eq!(regs[0], Reg::R0);
+        assert_eq!(regs[31], Reg::R31);
+    }
+
+    #[test]
+    fn regfile_read_write_roundtrip() {
+        let mut rf = RegFile::new();
+        assert_eq!(rf.read(Reg::R5), 0);
+        rf.write(Reg::R5, 0xdead_beef);
+        assert_eq!(rf.read(Reg::R5), 0xdead_beef);
+        assert_eq!(rf.read(Reg::R6), 0);
+    }
+
+    #[test]
+    fn regfile_display_skips_zeros() {
+        let mut rf = RegFile::new();
+        rf.write(Reg::R3, 7);
+        let s = rf.to_string();
+        assert!(s.contains("r3 = 0x7"));
+        assert!(!s.contains("r4"));
+    }
+
+    #[test]
+    fn reg_display() {
+        assert_eq!(Reg::R17.to_string(), "r17");
+    }
+}

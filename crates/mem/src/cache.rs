@@ -1,0 +1,367 @@
+//! A single set-associative cache level (tag store).
+//!
+//! Caches here model *timing*: data always lives in the
+//! [`BackingStore`](crate::BackingStore), so the tag store tracks only
+//! presence and dirtiness. This keeps the model simple while preserving
+//! everything the attacks observe — hit/miss latency, evictions, and
+//! flush behaviour.
+
+use crate::config::{CacheGeometry, ReplacementKind};
+use crate::replacement::{Lru, RandomRepl, ReplacementPolicy, TreePlru};
+use crate::stats::CacheStats;
+use crate::Addr;
+
+/// One way of one set.
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    valid: bool,
+    dirty: bool,
+    /// Full line address (address with the offset bits cleared).
+    line_addr: Addr,
+}
+
+/// The result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheAccess {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// A line that was evicted to make room, if any.
+    pub eviction: Option<Eviction>,
+}
+
+/// An evicted line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// The evicted line's address.
+    pub line_addr: Addr,
+    /// Whether it was dirty (would be written back).
+    pub dirty: bool,
+}
+
+/// A set-associative cache tag store.
+#[derive(Debug)]
+pub struct Cache {
+    geometry: CacheGeometry,
+    sets: Vec<Vec<Line>>,
+    policies: Vec<Box<dyn ReplacementPolicy>>,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Build a cache with the given geometry. `seed` feeds random
+    /// replacement when configured.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid (see [`CacheGeometry::validate`]).
+    #[must_use]
+    pub fn new(geometry: CacheGeometry, seed: u64) -> Cache {
+        geometry.validate();
+        let policies = (0..geometry.sets)
+            .map(|i| -> Box<dyn ReplacementPolicy> {
+                match geometry.replacement {
+                    ReplacementKind::Lru => Box::new(Lru::new(geometry.ways)),
+                    ReplacementKind::TreePlru => Box::new(TreePlru::new(geometry.ways)),
+                    ReplacementKind::Random => {
+                        Box::new(RandomRepl::new(geometry.ways, seed ^ i as u64))
+                    }
+                }
+            })
+            .collect();
+        Cache {
+            sets: vec![vec![Line::default(); geometry.ways]; geometry.sets],
+            policies,
+            geometry,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache's geometry.
+    #[must_use]
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geometry
+    }
+
+    /// Access statistics.
+    #[must_use]
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Clear the statistics counters (state is untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// The line address containing `addr` (offset bits cleared).
+    #[must_use]
+    pub fn line_addr(&self, addr: Addr) -> Addr {
+        addr & !(self.geometry.line_bytes - 1)
+    }
+
+    fn set_index(&self, line_addr: Addr) -> usize {
+        ((line_addr / self.geometry.line_bytes) as usize) & (self.geometry.sets - 1)
+    }
+
+    /// Probe for `addr` without changing any state (no LRU update, no
+    /// fill, no stats) — a "silent" lookup used by flushes and tests.
+    #[must_use]
+    pub fn probe(&self, addr: Addr) -> bool {
+        let line = self.line_addr(addr);
+        let set = self.set_index(line);
+        self.sets[set]
+            .iter()
+            .any(|l| l.valid && l.line_addr == line)
+    }
+
+    /// Perform an access: on a hit, update recency; on a miss, allocate
+    /// the line (write-allocate), evicting a victim if the set is full.
+    /// `is_write` marks the line dirty.
+    pub fn access(&mut self, addr: Addr, is_write: bool) -> CacheAccess {
+        let line = self.line_addr(addr);
+        let set = self.set_index(line);
+        // Hit path.
+        if let Some(way) = self.sets[set]
+            .iter()
+            .position(|l| l.valid && l.line_addr == line)
+        {
+            self.policies[set].touch(way);
+            if is_write {
+                self.sets[set][way].dirty = true;
+            }
+            self.stats.hits += 1;
+            return CacheAccess { hit: true, eviction: None };
+        }
+        // Miss path: find an invalid way, or evict the policy's victim.
+        self.stats.misses += 1;
+        let (way, eviction) = match self.sets[set].iter().position(|l| !l.valid) {
+            Some(way) => (way, None),
+            None => {
+                let way = self.policies[set].victim();
+                let victim = self.sets[set][way];
+                self.stats.evictions += 1;
+                if victim.dirty {
+                    self.stats.writebacks += 1;
+                }
+                (
+                    way,
+                    Some(Eviction {
+                        line_addr: victim.line_addr,
+                        dirty: victim.dirty,
+                    }),
+                )
+            }
+        };
+        self.sets[set][way] = Line {
+            valid: true,
+            dirty: is_write,
+            line_addr: line,
+        };
+        self.policies[set].touch(way);
+        CacheAccess { hit: false, eviction }
+    }
+
+    /// Install a line without counting a demand access (used when an inner
+    /// level fills from an outer one, or when a deferred speculative fill
+    /// is finally released under the D-type defense).
+    pub fn fill(&mut self, addr: Addr) -> Option<Eviction> {
+        let line = self.line_addr(addr);
+        let set = self.set_index(line);
+        if let Some(way) = self.sets[set]
+            .iter()
+            .position(|l| l.valid && l.line_addr == line)
+        {
+            self.policies[set].touch(way);
+            return None;
+        }
+        let (way, eviction) = match self.sets[set].iter().position(|l| !l.valid) {
+            Some(way) => (way, None),
+            None => {
+                let way = self.policies[set].victim();
+                let victim = self.sets[set][way];
+                self.stats.evictions += 1;
+                if victim.dirty {
+                    self.stats.writebacks += 1;
+                }
+                (
+                    way,
+                    Some(Eviction {
+                        line_addr: victim.line_addr,
+                        dirty: victim.dirty,
+                    }),
+                )
+            }
+        };
+        self.sets[set][way] = Line {
+            valid: true,
+            dirty: false,
+            line_addr: line,
+        };
+        self.policies[set].touch(way);
+        eviction
+    }
+
+    /// Invalidate the line containing `addr`, returning whether it was
+    /// present and whether it was dirty.
+    pub fn invalidate(&mut self, addr: Addr) -> Option<Eviction> {
+        let line = self.line_addr(addr);
+        let set = self.set_index(line);
+        let way = self.sets[set]
+            .iter()
+            .position(|l| l.valid && l.line_addr == line)?;
+        let victim = self.sets[set][way];
+        self.sets[set][way] = Line::default();
+        self.stats.invalidations += 1;
+        Some(Eviction {
+            line_addr: victim.line_addr,
+            dirty: victim.dirty,
+        })
+    }
+
+    /// Invalidate everything (cold-start).
+    pub fn invalidate_all(&mut self) {
+        for set in &mut self.sets {
+            for line in set.iter_mut() {
+                *line = Line::default();
+            }
+        }
+        for p in &mut self.policies {
+            p.reset();
+        }
+    }
+
+    /// Number of currently valid lines (for occupancy assertions).
+    #[must_use]
+    pub fn valid_lines(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.iter().filter(|l| l.valid).count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CacheGeometry {
+        CacheGeometry {
+            sets: 4,
+            ways: 2,
+            line_bytes: 64,
+            hit_latency: 4,
+            replacement: ReplacementKind::Lru,
+        }
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = Cache::new(small(), 0);
+        let a = c.access(0x1000, false);
+        assert!(!a.hit);
+        let b = c.access(0x1000, false);
+        assert!(b.hit);
+        // Same line, different word.
+        let d = c.access(0x1008, false);
+        assert!(d.hit);
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn conflict_eviction_follows_lru() {
+        let mut c = Cache::new(small(), 0);
+        // Three lines mapping to set 0: stride = sets * line = 256.
+        c.access(0x0000, false);
+        c.access(0x0100, false);
+        let third = c.access(0x0200, false);
+        let ev = third.eviction.expect("full set must evict");
+        assert_eq!(ev.line_addr, 0x0000, "LRU victim is the first line");
+        assert!(!c.probe(0x0000));
+        assert!(c.probe(0x0100));
+        assert!(c.probe(0x0200));
+    }
+
+    #[test]
+    fn write_marks_dirty_and_eviction_reports_it() {
+        let mut c = Cache::new(small(), 0);
+        c.access(0x0000, true);
+        c.access(0x0100, false);
+        let third = c.access(0x0200, false);
+        assert!(third.eviction.unwrap().dirty);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = Cache::new(small(), 0);
+        c.access(0x1000, true);
+        let ev = c.invalidate(0x1010).expect("same line");
+        assert!(ev.dirty);
+        assert!(!c.probe(0x1000));
+        assert!(c.invalidate(0x1000).is_none());
+    }
+
+    #[test]
+    fn probe_does_not_disturb_lru() {
+        let mut c = Cache::new(small(), 0);
+        c.access(0x0000, false);
+        c.access(0x0100, false);
+        // Probing the LRU line must not refresh it.
+        assert!(c.probe(0x0000));
+        let third = c.access(0x0200, false);
+        assert_eq!(third.eviction.unwrap().line_addr, 0x0000);
+    }
+
+    #[test]
+    fn fill_does_not_count_as_demand_access() {
+        let mut c = Cache::new(small(), 0);
+        c.fill(0x3000);
+        assert_eq!(c.stats().hits + c.stats().misses, 0);
+        assert!(c.probe(0x3000));
+    }
+
+    #[test]
+    fn invalidate_all_empties_cache() {
+        let mut c = Cache::new(small(), 0);
+        for i in 0..8 {
+            c.access(i * 64, false);
+        }
+        assert!(c.valid_lines() > 0);
+        c.invalidate_all();
+        assert_eq!(c.valid_lines(), 0);
+    }
+
+    #[test]
+    fn line_addr_masks_offset() {
+        let c = Cache::new(small(), 0);
+        assert_eq!(c.line_addr(0x1038), 0x1000);
+        assert_eq!(c.line_addr(0x1040), 0x1040);
+    }
+
+    #[test]
+    fn plru_cache_works_end_to_end() {
+        let g = CacheGeometry {
+            replacement: ReplacementKind::TreePlru,
+            ..small()
+        };
+        let mut c = Cache::new(g, 0);
+        c.access(0x0000, false);
+        assert!(c.access(0x0000, false).hit);
+    }
+
+    #[test]
+    fn random_cache_deterministic_across_same_seed() {
+        let g = CacheGeometry {
+            replacement: ReplacementKind::Random,
+            ..small()
+        };
+        let mut c1 = Cache::new(g, 9);
+        let mut c2 = Cache::new(g, 9);
+        for i in 0..32u64 {
+            let a = c1.access(i * 256, false);
+            let b = c2.access(i * 256, false);
+            assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Cache replacement policies.
+//!
+//! A policy instance manages the ways of a *single set*; the cache owns one
+//! policy per set. The trait is object-safe so a cache can mix policies
+//! behind `Box<dyn ReplacementPolicy>`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-set replacement state.
+///
+/// Way indices are `0..ways`. The cache calls [`touch`](ReplacementPolicy::touch)
+/// on every hit and fill, and [`victim`](ReplacementPolicy::victim) when it
+/// needs a way to evict (the cache only asks for a victim when the set is
+/// full; policies may assume all ways are valid at that point).
+pub trait ReplacementPolicy: std::fmt::Debug + Send {
+    /// Record a use of `way` (hit or fill).
+    fn touch(&mut self, way: usize);
+
+    /// Choose the way to evict.
+    fn victim(&mut self) -> usize;
+
+    /// Reset to the initial state (used when a set is fully invalidated).
+    fn reset(&mut self);
+}
+
+/// True least-recently-used replacement.
+///
+/// Maintains an explicit recency stack; `victim` returns the least
+/// recently touched way.
+#[derive(Debug, Clone)]
+pub struct Lru {
+    /// Most-recent-first list of way indices.
+    stack: Vec<usize>,
+    ways: usize,
+}
+
+impl Lru {
+    /// An LRU policy for a set with `ways` ways.
+    #[must_use]
+    pub fn new(ways: usize) -> Lru {
+        Lru {
+            stack: (0..ways).collect(),
+            ways,
+        }
+    }
+}
+
+impl ReplacementPolicy for Lru {
+    fn touch(&mut self, way: usize) {
+        debug_assert!(way < self.ways);
+        if let Some(pos) = self.stack.iter().position(|&w| w == way) {
+            self.stack.remove(pos);
+        }
+        self.stack.insert(0, way);
+    }
+
+    fn victim(&mut self) -> usize {
+        *self.stack.last().expect("LRU stack is never empty")
+    }
+
+    fn reset(&mut self) {
+        self.stack = (0..self.ways).collect();
+    }
+}
+
+/// Tree pseudo-LRU: the standard hardware approximation using a binary
+/// tree of direction bits.
+///
+/// Requires `ways` to be a power of two.
+#[derive(Debug, Clone)]
+pub struct TreePlru {
+    /// Direction bits; `bits[i]` covers internal node `i` of the implicit
+    /// binary tree. `false` points left, `true` points right.
+    bits: Vec<bool>,
+    ways: usize,
+}
+
+impl TreePlru {
+    /// A tree-PLRU policy for a set with `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is not a power of two.
+    #[must_use]
+    pub fn new(ways: usize) -> TreePlru {
+        assert!(ways.is_power_of_two(), "tree-PLRU requires power-of-two ways");
+        TreePlru {
+            bits: vec![false; ways.saturating_sub(1)],
+            ways,
+        }
+    }
+}
+
+impl ReplacementPolicy for TreePlru {
+    fn touch(&mut self, way: usize) {
+        debug_assert!(way < self.ways);
+        if self.ways == 1 {
+            return;
+        }
+        // Walk from the root to the leaf, flipping each node to point
+        // *away* from the touched way.
+        let mut node = 0usize;
+        let mut lo = 0usize;
+        let mut hi = self.ways;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if way < mid {
+                self.bits[node] = true; // point right, away from `way`
+                node = 2 * node + 1;
+                hi = mid;
+            } else {
+                self.bits[node] = false; // point left, away from `way`
+                node = 2 * node + 2;
+                lo = mid;
+            }
+        }
+    }
+
+    fn victim(&mut self) -> usize {
+        if self.ways == 1 {
+            return 0;
+        }
+        // Follow the direction bits from the root.
+        let mut node = 0usize;
+        let mut lo = 0usize;
+        let mut hi = self.ways;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if self.bits[node] {
+                node = 2 * node + 2;
+                lo = mid;
+            } else {
+                node = 2 * node + 1;
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    fn reset(&mut self) {
+        self.bits.fill(false);
+    }
+}
+
+/// Uniformly random victim selection with a deterministic seeded RNG.
+#[derive(Debug)]
+pub struct RandomRepl {
+    rng: SmallRng,
+    ways: usize,
+}
+
+impl RandomRepl {
+    /// A random policy for `ways` ways, seeded for reproducibility.
+    #[must_use]
+    pub fn new(ways: usize, seed: u64) -> RandomRepl {
+        RandomRepl {
+            rng: SmallRng::seed_from_u64(seed),
+            ways,
+        }
+    }
+}
+
+impl ReplacementPolicy for RandomRepl {
+    fn touch(&mut self, _way: usize) {}
+
+    fn victim(&mut self) -> usize {
+        self.rng.gen_range(0..self.ways)
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut lru = Lru::new(4);
+        for w in [0, 1, 2, 3] {
+            lru.touch(w);
+        }
+        assert_eq!(lru.victim(), 0);
+        lru.touch(0);
+        assert_eq!(lru.victim(), 1);
+    }
+
+    #[test]
+    fn lru_reset_restores_order() {
+        let mut lru = Lru::new(2);
+        lru.touch(1);
+        lru.touch(0);
+        lru.reset();
+        assert_eq!(lru.victim(), 1);
+    }
+
+    #[test]
+    fn plru_never_victimises_most_recent() {
+        let mut plru = TreePlru::new(8);
+        for round in 0..64 {
+            let way = round % 8;
+            plru.touch(way);
+            assert_ne!(plru.victim(), way, "PLRU evicted the MRU way");
+        }
+    }
+
+    #[test]
+    fn plru_single_way() {
+        let mut plru = TreePlru::new(1);
+        plru.touch(0);
+        assert_eq!(plru.victim(), 0);
+    }
+
+    #[test]
+    fn plru_cycles_through_all_ways_when_touching_victims() {
+        // Touching the current victim each time must visit every way —
+        // a liveness property of tree PLRU.
+        let mut plru = TreePlru::new(4);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..16 {
+            let v = plru.victim();
+            seen.insert(v);
+            plru.touch(v);
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn plru_rejects_non_power_of_two() {
+        let _ = TreePlru::new(3);
+    }
+
+    #[test]
+    fn random_victims_in_range_and_deterministic() {
+        let mut a = RandomRepl::new(8, 7);
+        let mut b = RandomRepl::new(8, 7);
+        for _ in 0..100 {
+            let va = a.victim();
+            assert!(va < 8);
+            assert_eq!(va, b.victim(), "same seed must give same sequence");
+        }
+    }
+
+    #[test]
+    fn random_different_seeds_differ() {
+        let mut a = RandomRepl::new(8, 1);
+        let mut b = RandomRepl::new(8, 2);
+        let sa: Vec<usize> = (0..32).map(|_| a.victim()).collect();
+        let sb: Vec<usize> = (0..32).map(|_| b.victim()).collect();
+        assert_ne!(sa, sb);
+    }
+}

@@ -1,0 +1,104 @@
+//! Access statistics for caches and the whole hierarchy.
+
+/// Counters for a single cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand accesses that hit.
+    pub hits: u64,
+    /// Demand accesses that missed.
+    pub misses: u64,
+    /// Lines evicted to make room.
+    pub evictions: u64,
+    /// Evictions of dirty lines (write-backs).
+    pub writebacks: u64,
+    /// Explicit invalidations (flushes).
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Total demand accesses.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; `0` when there were no accesses.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} accesses, {:.1}% hits, {} evictions ({} writebacks), {} invalidations",
+            self.accesses(),
+            self.hit_rate() * 100.0,
+            self.evictions,
+            self.writebacks,
+            self.invalidations
+        )
+    }
+}
+
+/// Aggregate statistics for the whole hierarchy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// L1 data cache counters.
+    pub l1: CacheStats,
+    /// L2 counters.
+    pub l2: CacheStats,
+    /// TLB hits.
+    pub tlb_hits: u64,
+    /// TLB misses (page walks).
+    pub tlb_misses: u64,
+    /// Accesses served by DRAM.
+    pub dram_accesses: u64,
+    /// Total cycles of DRAM jitter injected (for noise accounting).
+    pub jitter_cycles: u64,
+    /// Lines brought in by the hardware prefetcher.
+    pub prefetches: u64,
+}
+
+impl std::fmt::Display for MemoryStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "L1:   {}", self.l1)?;
+        writeln!(f, "L2:   {}", self.l2)?;
+        writeln!(f, "TLB:  {} hits, {} walks", self.tlb_hits, self.tlb_misses)?;
+        write!(
+            f,
+            "DRAM: {} accesses, {} jitter cycles",
+            self.dram_accesses, self.jitter_cycles
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_zero() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let s = CacheStats { hits: 3, misses: 1, ..Default::default() };
+        assert_eq!(s.accesses(), 4);
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!MemoryStats::default().to_string().is_empty());
+        assert!(!CacheStats::default().to_string().is_empty());
+    }
+}

@@ -1,0 +1,107 @@
+//! Core configuration.
+
+use vpsim_mem::Cycles;
+
+/// Out-of-order core parameters.
+///
+/// The defaults model a modest 4-wide core, comparable to the gem5 O3CPU
+/// configuration the paper used in syscall-emulation mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Instructions fetched/dispatched into the ROB per cycle.
+    pub fetch_width: usize,
+    /// Instructions issued to execution per cycle.
+    pub issue_width: usize,
+    /// Instructions committed per cycle.
+    pub commit_width: usize,
+    /// Reorder-buffer capacity.
+    pub rob_entries: usize,
+    /// Latency of simple ALU operations (add/sub/logic/shift), cycles.
+    pub alu_latency: Cycles,
+    /// Latency of multiplies, cycles.
+    pub mul_latency: Cycles,
+    /// Front-end refill penalty after a value-misprediction squash.
+    pub squash_penalty: Cycles,
+    /// Speculate on branch direction (static backward-taken /
+    /// forward-not-taken) instead of stalling fetch until branches
+    /// resolve. Mispredicted branches squash younger instructions with
+    /// the same penalty as value mispredictions.
+    pub branch_prediction: bool,
+    /// Forwarding latency for store-to-load forwarding.
+    pub forward_latency: Cycles,
+    /// Hard cap on simulated cycles per run; exceeding it is an error
+    /// (guards against livelocked programs).
+    pub max_cycles: Cycles,
+    /// D-type defense: delay cache side effects of loads issued under an
+    /// unverified value prediction until those loads commit.
+    pub delay_side_effects: bool,
+    /// Record a per-commit event trace in the [`RunResult`] (costs
+    /// memory proportional to the instruction count; off by default).
+    ///
+    /// [`RunResult`]: crate::RunResult
+    pub record_commit_trace: bool,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig {
+            fetch_width: 4,
+            issue_width: 4,
+            commit_width: 4,
+            rob_entries: 64,
+            alu_latency: 1,
+            mul_latency: 3,
+            squash_penalty: 8,
+            branch_prediction: true,
+            forward_latency: 1,
+            max_cycles: 50_000_000,
+            delay_side_effects: false,
+            record_commit_trace: false,
+        }
+    }
+}
+
+impl CoreConfig {
+    /// Validate the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any width or the ROB size is zero, or when
+    /// `max_cycles` is zero.
+    pub fn validate(&self) {
+        assert!(self.fetch_width >= 1, "fetch width must be at least 1");
+        assert!(self.issue_width >= 1, "issue width must be at least 1");
+        assert!(self.commit_width >= 1, "commit width must be at least 1");
+        assert!(self.rob_entries >= 2, "ROB needs at least 2 entries");
+        assert!(self.max_cycles >= 1, "max_cycles must be positive");
+    }
+
+    /// The same configuration with the D-type defense enabled.
+    #[must_use]
+    pub fn with_delayed_side_effects(mut self) -> CoreConfig {
+        self.delay_side_effects = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        CoreConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "ROB")]
+    fn tiny_rob_rejected() {
+        CoreConfig { rob_entries: 1, ..CoreConfig::default() }.validate();
+    }
+
+    #[test]
+    fn d_type_builder() {
+        let c = CoreConfig::default().with_delayed_side_effects();
+        assert!(c.delay_side_effects);
+    }
+}

@@ -1,0 +1,635 @@
+//! The cycle-by-cycle out-of-order execution engine.
+//!
+//! Each simulated cycle runs six phases in order:
+//!
+//! 1. **verify** — predicted loads whose miss data has arrived are
+//!    checked; a mismatch squashes every younger instruction and refetches
+//!    (the "squash the pipeline / squash and reissue" arrow of Figure 1);
+//! 2. **complete** — instructions whose latency elapsed become `Done`;
+//!    branches redirect fetch; unpredicted miss loads train the VPS;
+//! 3. **wakeup** — completed results are broadcast to waiting consumers;
+//! 4. **issue** — ready instructions begin execution (loads access the
+//!    memory hierarchy and, on an L1 miss, consult the VPS);
+//! 5. **dispatch** — fetch fills the ROB (branches stall fetch until they
+//!    resolve; `fence` waits for a drained ROB);
+//! 6. **commit** — in-order retirement performs stores and flushes,
+//!    releases D-type deferred fills, and records `rdtsc` observations.
+
+use vpsim_isa::{Inst, Pc, Program, RegFile, NUM_REGS};
+use vpsim_mem::{Cycles, MemoryHierarchy};
+use vpsim_predictor::{LoadContext, ValuePredictor};
+
+use crate::config::CoreConfig;
+use crate::dyninst::{DynInst, LoadOrigin, Seq, Status};
+use crate::result::{CommitEvent, RunError, RunResult, RunStats};
+
+pub(crate) struct Executor<'a> {
+    config: CoreConfig,
+    program: &'a Program,
+    pid: u32,
+    mem: &'a mut MemoryHierarchy,
+    vp: &'a mut dyn ValuePredictor,
+    rob: Vec<DynInst>,
+    rat: [Option<Seq>; NUM_REGS],
+    regs: RegFile,
+    fetch_pc: Pc,
+    fetch_stall_until: Cycles,
+    commit_stall_until: Cycles,
+    next_seq: Seq,
+    cycle: Cycles,
+    halted: bool,
+    rdtsc_values: Vec<u64>,
+    stats: RunStats,
+    trace: Vec<CommitEvent>,
+    /// Loads (by seq) that missed without a prediction and still owe the
+    /// VPS a training update when their data arrives.
+    pending_train: Vec<(Seq, LoadContext, u64)>,
+}
+
+impl<'a> Executor<'a> {
+    pub(crate) fn new(
+        config: CoreConfig,
+        program: &'a Program,
+        pid: u32,
+        mem: &'a mut MemoryHierarchy,
+        vp: &'a mut dyn ValuePredictor,
+    ) -> Executor<'a> {
+        config.validate();
+        Executor {
+            config,
+            program,
+            pid,
+            mem,
+            vp,
+            rob: Vec::new(),
+            rat: [None; NUM_REGS],
+            regs: RegFile::new(),
+            fetch_pc: Pc(0),
+            fetch_stall_until: 0,
+            commit_stall_until: 0,
+            next_seq: 0,
+            cycle: 0,
+            halted: false,
+            rdtsc_values: Vec::new(),
+            stats: RunStats::default(),
+            trace: Vec::new(),
+            pending_train: Vec::new(),
+        }
+    }
+
+    pub(crate) fn run(mut self) -> Result<RunResult, RunError> {
+        while !self.halted {
+            if self.cycle >= self.config.max_cycles {
+                return Err(RunError::CycleLimitExceeded {
+                    limit: self.config.max_cycles,
+                });
+            }
+            self.verify_predictions();
+            self.complete();
+            self.wakeup();
+            self.issue();
+            self.dispatch()?;
+            self.commit();
+            self.cycle += 1;
+        }
+        Ok(RunResult {
+            cycles: self.cycle,
+            regs: self.regs,
+            rdtsc_values: self.rdtsc_values,
+            stats: self.stats,
+            trace: self.trace,
+        })
+    }
+
+    fn ctx_for(&self, pc: Pc, addr: u64) -> LoadContext {
+        LoadContext {
+            pc: pc.byte_addr(),
+            addr,
+            pid: self.pid,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 1: prediction verification (and misprediction squash).
+    // ------------------------------------------------------------------
+
+    fn verify_predictions(&mut self) {
+        loop {
+            // Oldest unverified predicted load whose data has arrived.
+            let pos = self.rob.iter().position(|e| {
+                e.is_unverified_prediction()
+                    && matches!(e.verify_at, Some(v) if v <= self.cycle)
+            });
+            let Some(pos) = pos else { break };
+            let (seq, pc, addr) = {
+                let e = &self.rob[pos];
+                (e.seq, e.pc, e.addr.expect("predicted load has an address"))
+            };
+            let (predicted, actual) = match self.rob[pos].load_origin {
+                Some(LoadOrigin::Predicted { predicted, actual }) => (predicted, actual),
+                _ => unreachable!("unverified prediction must carry Predicted origin"),
+            };
+            let ctx = self.ctx_for(pc, addr);
+            self.vp.train(&ctx, actual, Some(predicted));
+            self.rob[pos].verified = true;
+            if predicted == actual {
+                self.stats.correct_predictions += 1;
+                continue;
+            }
+            // Misprediction: fix the value, squash everything younger,
+            // refetch after the squash penalty (Figure 1: "incorrect →
+            // squash the pipeline").
+            self.stats.mispredictions += 1;
+            self.stats.squashes += 1;
+            self.rob[pos].result = Some(actual);
+            self.rob[pos].done_at = Some(self.cycle);
+            self.squash_younger_than(seq, None);
+        }
+    }
+
+    /// Discard every instruction younger than `seq` and refetch.
+    /// `redirect` overrides the refetch PC (branch mispredictions resume
+    /// at the branch's true target; value mispredictions refetch the
+    /// squashed path itself).
+    fn squash_younger_than(&mut self, seq: Seq, redirect: Option<Pc>) {
+        let first_squashed_pc = self
+            .rob
+            .iter()
+            .find(|e| e.seq > seq)
+            .map(|e| e.pc);
+        let before = self.rob.len();
+        let discarded_fills = self
+            .rob
+            .iter()
+            .filter(|e| e.seq > seq && e.deferred_fill)
+            .count() as u64;
+        self.rob.retain(|e| e.seq <= seq);
+        let squashed = (before - self.rob.len()) as u64;
+        self.stats.squashed_insts += squashed;
+        self.stats.deferred_fills_discarded += discarded_fills;
+        // Drop pending VPS trainings owed by squashed loads.
+        self.pending_train.retain(|(s, _, _)| *s <= seq);
+        // Roll the rename table back to the surviving producers.
+        self.rat = [None; NUM_REGS];
+        for e in &self.rob {
+            if let Some(rd) = e.inst.dest() {
+                self.rat[rd.index()] = Some(e.seq);
+            }
+        }
+        match redirect {
+            Some(target) => self.fetch_pc = target,
+            None => {
+                if let Some(pc) = first_squashed_pc {
+                    self.fetch_pc = pc;
+                }
+            }
+        }
+        self.fetch_stall_until = self.cycle + self.config.squash_penalty;
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 2: execution completion.
+    // ------------------------------------------------------------------
+
+    fn complete(&mut self) {
+        let mut trains = Vec::new();
+        let mut idx = 0;
+        while idx < self.rob.len() {
+            let e = &mut self.rob[idx];
+            let ready = e.status == Status::Executing
+                && matches!(e.done_at, Some(d) if d <= self.cycle);
+            if !ready {
+                idx += 1;
+                continue;
+            }
+            e.status = Status::Done;
+            if e.inst.is_load() {
+                let seq = e.seq;
+                if let Some(i) = self.pending_train.iter().position(|(s, _, _)| *s == seq) {
+                    trains.push(self.pending_train.remove(i));
+                }
+            }
+            if let Inst::Branch { .. } = e.inst {
+                let actual = e.redirect.expect("resolved branch has a redirect");
+                if self.config.branch_prediction {
+                    if e.predicted_next != Some(actual) {
+                        // Direction misprediction: discard the wrong
+                        // path and resume at the true target.
+                        self.stats.branch_mispredictions += 1;
+                        let seq = e.seq;
+                        self.squash_younger_than(seq, Some(actual));
+                        // Everything after `idx` was just removed.
+                        break;
+                    }
+                } else {
+                    // Stall-mode front-end: fetch waited for this branch;
+                    // at most one is in flight.
+                    self.fetch_pc = actual;
+                }
+            }
+            idx += 1;
+        }
+        for (_, ctx, actual) in trains {
+            self.vp.train(&ctx, actual, None);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 3: wakeup (result broadcast).
+    // ------------------------------------------------------------------
+
+    fn wakeup(&mut self) {
+        let ready: Vec<(Seq, u64)> = self
+            .rob
+            .iter()
+            .filter(|e| e.status == Status::Done && e.result_available(self.cycle))
+            .map(|e| (e.seq, e.result.expect("available result")))
+            .collect();
+        for e in &mut self.rob {
+            for i in 0..2 {
+                if let Some(tag) = e.src_tags[i] {
+                    if let Some(&(_, v)) = ready.iter().find(|(s, _)| *s == tag) {
+                        e.operands[i] = Some(v);
+                        e.src_tags[i] = None;
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 4: issue.
+    // ------------------------------------------------------------------
+
+    fn issue(&mut self) {
+        let mut issued = 0;
+        let mut idx = 0;
+        while idx < self.rob.len() && issued < self.config.issue_width {
+            if self.rob[idx].status != Status::Waiting || !self.rob[idx].operands_ready() {
+                idx += 1;
+                continue;
+            }
+            let inst = self.rob[idx].inst;
+            let ok = match inst {
+                Inst::Rdtsc { .. } => self.issue_rdtsc(idx),
+                Inst::Load { .. } => self.issue_load(idx),
+                Inst::Store { .. } => self.issue_store(idx),
+                Inst::Flush { .. } => self.issue_flush(idx),
+                Inst::Branch { .. } => self.issue_branch(idx),
+                Inst::Alu { .. } | Inst::Addi { .. } | Inst::Li { .. } | Inst::Nop => {
+                    self.issue_alu(idx)
+                }
+                // Fence/Halt/Jump are finished at dispatch.
+                Inst::Fence | Inst::Halt | Inst::Jump { .. } => {
+                    idx += 1;
+                    continue;
+                }
+            };
+            if ok {
+                issued += 1;
+            }
+            idx += 1;
+        }
+    }
+
+    fn issue_alu(&mut self, idx: usize) -> bool {
+        let e = &mut self.rob[idx];
+        let (result, latency) = match e.inst {
+            Inst::Nop => (0, self.config.alu_latency),
+            Inst::Li { imm, .. } => (imm, self.config.alu_latency),
+            Inst::Addi { imm, .. } => (
+                e.operands[0]
+                    .expect("ready operand")
+                    .wrapping_add(imm as u64),
+                self.config.alu_latency,
+            ),
+            Inst::Alu { op, .. } => {
+                let a = e.operands[0].expect("ready operand");
+                let b = e.operands[1].expect("ready operand");
+                let lat = if matches!(op, vpsim_isa::AluOp::Mul) {
+                    self.config.mul_latency
+                } else {
+                    self.config.alu_latency
+                };
+                (op.eval(a, b), lat)
+            }
+            _ => unreachable!("issue_alu on non-ALU instruction"),
+        };
+        e.status = Status::Executing;
+        e.result = Some(result);
+        e.done_at = Some(self.cycle + latency);
+        true
+    }
+
+    fn issue_branch(&mut self, idx: usize) -> bool {
+        let e = &mut self.rob[idx];
+        let Inst::Branch { cond, target, .. } = e.inst else {
+            unreachable!()
+        };
+        let a = e.operands[0].expect("ready operand");
+        let b = e.operands[1].expect("ready operand");
+        let taken = cond.eval(a, b);
+        e.redirect = Some(if taken { target } else { e.pc.next() });
+        e.result = Some(u64::from(taken));
+        e.status = Status::Executing;
+        e.done_at = Some(self.cycle + self.config.alu_latency);
+        true
+    }
+
+    fn issue_rdtsc(&mut self, idx: usize) -> bool {
+        // Serialising: executes only as the oldest instruction, so the
+        // reading orders after every earlier instruction (rdtscp-like).
+        if idx != 0 {
+            return false;
+        }
+        let e = &mut self.rob[idx];
+        e.result = Some(self.cycle);
+        e.status = Status::Executing;
+        e.done_at = Some(self.cycle + 1);
+        true
+    }
+
+    fn issue_store(&mut self, idx: usize) -> bool {
+        let e = &mut self.rob[idx];
+        let Inst::Store { offset, .. } = e.inst else {
+            unreachable!()
+        };
+        let base = e.operands[0].expect("ready operand");
+        e.addr = Some(base.wrapping_add(offset as u64));
+        e.result = Some(e.operands[1].expect("ready operand"));
+        e.status = Status::Executing;
+        e.done_at = Some(self.cycle + self.config.alu_latency);
+        true
+    }
+
+    fn issue_flush(&mut self, idx: usize) -> bool {
+        let e = &mut self.rob[idx];
+        let Inst::Flush { offset, .. } = e.inst else {
+            unreachable!()
+        };
+        let base = e.operands[0].expect("ready operand");
+        e.addr = Some(base.wrapping_add(offset as u64));
+        e.status = Status::Executing;
+        e.result = Some(0);
+        e.done_at = Some(self.cycle + self.config.alu_latency);
+        true
+    }
+
+    fn issue_load(&mut self, idx: usize) -> bool {
+        let seq = self.rob[idx].seq;
+        // Memory ordering: wait until every older store knows its address
+        // and no older flush is still in flight (flushes order younger
+        // loads so that attack code like `flush(x); r = x` reliably
+        // misses, as the PoCs require).
+        for older in self.rob.iter().take(idx) {
+            match older.inst {
+                Inst::Store { .. } if older.addr.is_none() => return false,
+                Inst::Flush { .. } => return false,
+                _ => {}
+            }
+        }
+        let Inst::Load { offset, .. } = self.rob[idx].inst else {
+            unreachable!()
+        };
+        let base = self.rob[idx].operands[0].expect("ready operand");
+        let addr = base.wrapping_add(offset as u64);
+        let pc = self.rob[idx].pc;
+        // Store-to-load forwarding from the youngest older matching store.
+        let forwarded = self
+            .rob
+            .iter()
+            .take(idx)
+            .rev()
+            .find(|e| matches!(e.inst, Inst::Store { .. }) && e.addr == Some(addr))
+            .map(|e| e.result.expect("issued store has its value"));
+        let e = &mut self.rob[idx];
+        e.addr = Some(addr);
+        if let Some(value) = forwarded {
+            e.result = Some(value);
+            e.status = Status::Executing;
+            e.done_at = Some(self.cycle + self.config.forward_latency);
+            e.load_origin = Some(LoadOrigin::Forwarded);
+            self.stats.forwarded_loads += 1;
+            return true;
+        }
+        // D-type shadow: an older load with an unverified prediction makes
+        // this access speculative; suppress its cache fill until commit.
+        let shadowed = self.config.delay_side_effects
+            && self
+                .rob
+                .iter()
+                .any(|o| o.seq < seq && o.is_unverified_prediction());
+        let outcome = if shadowed {
+            self.mem.read_no_fill(addr)
+        } else {
+            self.mem.read(addr)
+        };
+        let e = &mut self.rob[idx];
+        e.deferred_fill = shadowed;
+        e.status = Status::Executing;
+        if !outcome.is_l1_miss() {
+            // L1 hit: the load-based VPS is not consulted (paper §II).
+            e.result = Some(outcome.value);
+            e.done_at = Some(self.cycle + outcome.latency);
+            e.load_origin = Some(LoadOrigin::Memory);
+            return true;
+        }
+        // L1 miss: consult the Value Prediction System.
+        self.stats.vps_lookups += 1;
+        let ctx = self.ctx_for(pc, addr);
+        let l1_hit_latency = self.mem.config().l1.hit_latency;
+        let prediction = self.vp.lookup(&ctx);
+        let e = &mut self.rob[idx];
+        match prediction {
+            Some(p) => {
+                // Forward the speculative value at hit-like latency while
+                // the real miss completes in the background.
+                e.result = Some(p.value);
+                e.done_at = Some(self.cycle + l1_hit_latency);
+                e.verify_at = Some(self.cycle + outcome.latency);
+                e.load_origin = Some(LoadOrigin::Predicted {
+                    predicted: p.value,
+                    actual: outcome.value,
+                });
+                self.stats.predicted_loads += 1;
+            }
+            None => {
+                e.result = Some(outcome.value);
+                e.done_at = Some(self.cycle + outcome.latency);
+                e.load_origin = Some(LoadOrigin::Memory);
+                // Train once the data arrives (complete phase).
+                self.pending_train.push((seq, ctx, outcome.value));
+            }
+        }
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 5: fetch/dispatch.
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self) -> Result<(), RunError> {
+        for _ in 0..self.config.fetch_width {
+            if self.cycle < self.fetch_stall_until {
+                return Ok(());
+            }
+            if self.rob.len() >= self.config.rob_entries {
+                return Ok(());
+            }
+            // Fetch stalls behind a fetched halt, and — without branch
+            // prediction — behind unresolved branches.
+            let blocked = self.rob.iter().any(|e| {
+                matches!(e.inst, Inst::Halt)
+                    || (!self.config.branch_prediction
+                        && matches!(e.inst, Inst::Branch { .. })
+                        && e.status != Status::Done)
+            });
+            if blocked {
+                return Ok(());
+            }
+            let Some(inst) = self.program.fetch(self.fetch_pc) else {
+                return Err(RunError::FetchPastEnd { pc: self.fetch_pc.0 });
+            };
+            if matches!(inst, Inst::Fence) && !self.rob.is_empty() {
+                return Ok(());
+            }
+            let mut e = DynInst::new(self.next_seq, self.fetch_pc, inst);
+            self.next_seq += 1;
+            // Capture operands through the rename table.
+            for (i, src) in inst.sources().into_iter().enumerate() {
+                let Some(r) = src else { continue };
+                match self.rat[r.index()] {
+                    None => e.operands[i] = Some(self.regs.read(r)),
+                    Some(tag) => {
+                        let producer = self
+                            .rob
+                            .iter()
+                            .find(|p| p.seq == tag)
+                            .expect("RAT points at a live producer");
+                        if producer.result_available(self.cycle) {
+                            e.operands[i] = producer.result;
+                        } else {
+                            e.src_tags[i] = Some(tag);
+                        }
+                    }
+                }
+            }
+            if let Some(rd) = inst.dest() {
+                self.rat[rd.index()] = Some(e.seq);
+            }
+            match inst {
+                Inst::Fence | Inst::Halt => {
+                    // Complete immediately (fence required an empty ROB).
+                    e.status = Status::Done;
+                    e.result = Some(0);
+                    e.done_at = Some(self.cycle);
+                    self.fetch_pc = self.fetch_pc.next();
+                }
+                Inst::Jump { target } => {
+                    e.status = Status::Done;
+                    e.result = Some(0);
+                    e.done_at = Some(self.cycle);
+                    self.fetch_pc = target;
+                }
+                Inst::Branch { target, .. } if self.config.branch_prediction => {
+                    // Static BTFN: predict backward branches taken
+                    // (loops) and forward branches not taken.
+                    let predicted = if target.0 <= e.pc.0 { target } else { e.pc.next() };
+                    e.predicted_next = Some(predicted);
+                    self.fetch_pc = predicted;
+                }
+                _ => {
+                    self.fetch_pc = self.fetch_pc.next();
+                }
+            }
+            self.rob.push(e);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 6: commit.
+    // ------------------------------------------------------------------
+
+    fn commit(&mut self) {
+        for _ in 0..self.config.commit_width {
+            if self.cycle < self.commit_stall_until {
+                return;
+            }
+            let Some(head) = self.rob.first() else { return };
+            if !head.committable(self.cycle) {
+                return;
+            }
+            let e = self.rob.remove(0);
+            self.stats.committed += 1;
+            if self.config.record_commit_trace {
+                self.trace.push(CommitEvent {
+                    cycle: self.cycle,
+                    pc: e.pc,
+                    inst: e.inst,
+                    result: e.inst.dest().and(e.result),
+                });
+            }
+            match e.inst {
+                Inst::Store { .. } => {
+                    let addr = e.addr.expect("committed store has an address");
+                    self.mem.write(addr, e.result.expect("store value"));
+                }
+                Inst::Flush { .. } => {
+                    let addr = e.addr.expect("committed flush has an address");
+                    let cost = self.mem.flush_line(addr);
+                    self.commit_stall_until = self.cycle + cost;
+                }
+                Inst::Rdtsc { .. } => {
+                    self.rdtsc_values.push(e.result.expect("rdtsc result"));
+                }
+                Inst::Load { .. } => {
+                    self.stats.loads += 1;
+                    if e.deferred_fill {
+                        // D-type: the speculative access survived to
+                        // commit; its cache fill becomes visible now.
+                        self.mem.install(e.addr.expect("load address"));
+                        self.stats.deferred_fills_released += 1;
+                    }
+                }
+                Inst::Branch { .. } => {
+                    self.stats.branches += 1;
+                }
+                Inst::Halt => {
+                    self.halted = true;
+                    return;
+                }
+                _ => {}
+            }
+            if let Some(rd) = e.inst.dest() {
+                self.regs.write(rd, e.result.expect("dest result"));
+                if self.rat[rd.index()] == Some(e.seq) {
+                    self.rat[rd.index()] = None;
+                }
+            }
+        }
+    }
+}
+
+/// Run `program` to completion on the given memory system and predictor.
+///
+/// This is the low-level entry point; most callers use
+/// [`Machine`](crate::Machine), which owns the persistent state.
+///
+/// # Errors
+///
+/// Returns [`RunError::CycleLimitExceeded`] if the program does not halt
+/// within `config.max_cycles`, and [`RunError::FetchPastEnd`] if control
+/// flow leaves the program (the [`ProgramBuilder`] guarantees a `halt`
+/// exists, but not that it is reached).
+///
+/// [`ProgramBuilder`]: vpsim_isa::ProgramBuilder
+pub fn run_program(
+    config: CoreConfig,
+    program: &Program,
+    pid: u32,
+    mem: &mut MemoryHierarchy,
+    vp: &mut dyn ValuePredictor,
+) -> Result<RunResult, RunError> {
+    Executor::new(config, program, pid, mem, vp).run()
+}

@@ -1,0 +1,139 @@
+//! The [`Machine`]: persistent microarchitectural state shared across
+//! program runs.
+//!
+//! Sender and receiver programs execute on the *same* machine (time
+//! multiplexed, as in the paper's threat model), so value-predictor and
+//! cache state trained by one program is observable by the next — the
+//! substrate every attack in the paper builds on.
+
+use vpsim_isa::Program;
+use vpsim_mem::{MemoryConfig, MemoryHierarchy};
+use vpsim_predictor::ValuePredictor;
+
+use crate::config::CoreConfig;
+use crate::executor::run_program;
+use crate::result::{RunError, RunResult};
+
+/// A simulated core plus its persistent memory system and VPS.
+#[derive(Debug)]
+pub struct Machine {
+    core: CoreConfig,
+    mem: MemoryHierarchy,
+    predictor: Box<dyn ValuePredictor>,
+}
+
+impl Machine {
+    /// Build a machine. `seed` drives all randomness (DRAM jitter and any
+    /// randomised replacement); two machines with identical configs and
+    /// seeds behave identically.
+    #[must_use]
+    pub fn new(
+        core: CoreConfig,
+        mem_config: MemoryConfig,
+        predictor: Box<dyn ValuePredictor>,
+        seed: u64,
+    ) -> Machine {
+        core.validate();
+        Machine {
+            core,
+            mem: MemoryHierarchy::new(mem_config, seed),
+            predictor,
+        }
+    }
+
+    /// Run `program` as process `pid` to completion. Cache, TLB, memory
+    /// and predictor state persist into subsequent runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RunError`] when the program exceeds the cycle budget
+    /// or control flow escapes the instruction stream.
+    pub fn run(&mut self, pid: u32, program: &Program) -> Result<RunResult, RunError> {
+        run_program(
+            self.core,
+            program,
+            pid,
+            &mut self.mem,
+            self.predictor.as_mut(),
+        )
+    }
+
+    /// The core configuration.
+    #[must_use]
+    pub fn core_config(&self) -> &CoreConfig {
+        &self.core
+    }
+
+    /// Mutable access to the memory hierarchy (experiment setup:
+    /// pre-loading secrets, probing cache state between runs).
+    pub fn mem_mut(&mut self) -> &mut MemoryHierarchy {
+        &mut self.mem
+    }
+
+    /// Read-only access to the memory hierarchy.
+    #[must_use]
+    pub fn mem(&self) -> &MemoryHierarchy {
+        &self.mem
+    }
+
+    /// The value predictor (for statistics and diagnostics).
+    #[must_use]
+    pub fn predictor(&self) -> &dyn ValuePredictor {
+        self.predictor.as_ref()
+    }
+
+    /// Reset the predictor state (a fresh VPS, as between trial groups).
+    pub fn reset_predictor(&mut self) {
+        self.predictor.reset();
+    }
+
+    /// Invalidate caches and TLB, keeping memory contents and predictor
+    /// state (a cold microarchitectural start between trials).
+    pub fn cold_caches(&mut self) {
+        self.mem.cold_caches();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpsim_isa::{ProgramBuilder, Reg};
+    use vpsim_predictor::{Lvp, LvpConfig, NoPredictor};
+
+    fn machine(vp: Box<dyn ValuePredictor>) -> Machine {
+        Machine::new(
+            CoreConfig::default(),
+            MemoryConfig::deterministic(),
+            vp,
+            7,
+        )
+    }
+
+    #[test]
+    fn state_persists_across_runs() {
+        let mut m = machine(Box::new(Lvp::new(LvpConfig::default())));
+        m.mem_mut().store_value(0x1000, 42);
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 0x1000).load(Reg::R2, Reg::R1, 0).halt();
+        let p = b.build().unwrap();
+        let first = m.run(0, &p).unwrap();
+        assert_eq!(first.regs.read(Reg::R2), 42);
+        // Second run hits in cache: faster.
+        let second = m.run(0, &p).unwrap();
+        assert!(second.cycles < first.cycles, "warm run must be faster");
+    }
+
+    #[test]
+    fn cold_caches_restores_miss_timing() {
+        let mut m = machine(Box::new(NoPredictor::new()));
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 0x1000).load(Reg::R2, Reg::R1, 0).halt();
+        let p = b.build().unwrap();
+        let cold = m.run(0, &p).unwrap().cycles;
+        let warm = m.run(0, &p).unwrap().cycles;
+        m.cold_caches();
+        let cold_again = m.run(0, &p).unwrap().cycles;
+        assert!(warm < cold);
+        assert_eq!(cold, cold_again);
+    }
+}

@@ -1,0 +1,147 @@
+//! Run results and errors.
+
+use vpsim_isa::{Inst, Pc, RegFile};
+use vpsim_mem::Cycles;
+
+/// One committed instruction, recorded when
+/// [`CoreConfig::record_commit_trace`](crate::CoreConfig) is enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitEvent {
+    /// Cycle at which the instruction committed.
+    pub cycle: Cycles,
+    /// Its static program counter.
+    pub pc: Pc,
+    /// The instruction.
+    pub inst: Inst,
+    /// The destination value it produced, if any.
+    pub result: Option<u64>,
+}
+
+/// Counters accumulated during one program run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Instructions committed.
+    pub committed: u64,
+    /// Loads committed.
+    pub loads: u64,
+    /// Loads that consulted the VPS (L1 misses).
+    pub vps_lookups: u64,
+    /// Loads executed with a predicted value.
+    pub predicted_loads: u64,
+    /// Predictions verified correct.
+    pub correct_predictions: u64,
+    /// Predictions verified incorrect (caused a squash).
+    pub mispredictions: u64,
+    /// Pipeline squashes due to value misprediction.
+    pub squashes: u64,
+    /// Instructions discarded by squashes.
+    pub squashed_insts: u64,
+    /// Loads that forwarded from an older store.
+    pub forwarded_loads: u64,
+    /// Branches committed.
+    pub branches: u64,
+    /// Branch-direction mispredictions (speculating front-end only).
+    pub branch_mispredictions: u64,
+    /// Loads whose cache fill was deferred (D-type) and later released.
+    pub deferred_fills_released: u64,
+    /// Loads whose deferred fill was discarded by a squash (the
+    /// persistent-channel trace the D-type defense suppresses).
+    pub deferred_fills_discarded: u64,
+}
+
+/// The outcome of running a program to its `halt`.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Cycle at which `halt` committed.
+    pub cycles: Cycles,
+    /// Final committed architectural register state.
+    pub regs: RegFile,
+    /// Values produced by `rdtsc` instructions, in commit order — the
+    /// receiver's timing observations.
+    pub rdtsc_values: Vec<u64>,
+    /// Execution counters.
+    pub stats: RunStats,
+    /// Per-commit trace (empty unless
+    /// [`CoreConfig::record_commit_trace`](crate::CoreConfig) is set).
+    pub trace: Vec<CommitEvent>,
+}
+
+impl RunResult {
+    /// Convenience: consecutive `rdtsc` differences (t2 − t1 pairs), the
+    /// timing windows the attack PoCs measure.
+    ///
+    /// With `2k` rdtsc readings this returns `k` window widths:
+    /// `[t1, t2, t3, t4]` → `[t2 - t1, t4 - t3]`.
+    #[must_use]
+    pub fn timing_windows(&self) -> Vec<u64> {
+        self.rdtsc_values
+            .chunks_exact(2)
+            .map(|w| w[1].saturating_sub(w[0]))
+            .collect()
+    }
+}
+
+/// Errors terminating a run abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The cycle budget was exhausted before `halt` committed.
+    CycleLimitExceeded {
+        /// The configured limit.
+        limit: Cycles,
+    },
+    /// Fetch ran past the end of the program (no `halt` reached).
+    FetchPastEnd {
+        /// The out-of-range program counter.
+        pc: u32,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::CycleLimitExceeded { limit } => {
+                write!(f, "cycle limit of {limit} exceeded before halt")
+            }
+            RunError::FetchPastEnd { pc } => {
+                write!(f, "fetch ran past the end of the program at pc{pc}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_windows_pairs() {
+        let r = RunResult {
+            cycles: 100,
+            regs: RegFile::new(),
+            rdtsc_values: vec![10, 40, 50, 95],
+            stats: RunStats::default(),
+            trace: Vec::new(),
+        };
+        assert_eq!(r.timing_windows(), vec![30, 45]);
+    }
+
+    #[test]
+    fn timing_windows_ignores_odd_tail() {
+        let r = RunResult {
+            cycles: 1,
+            regs: RegFile::new(),
+            rdtsc_values: vec![1, 5, 9],
+            stats: RunStats::default(),
+            trace: Vec::new(),
+        };
+        assert_eq!(r.timing_windows(), vec![4]);
+    }
+
+    #[test]
+    fn error_messages() {
+        assert!(RunError::CycleLimitExceeded { limit: 5 }.to_string().contains('5'));
+        assert!(RunError::FetchPastEnd { pc: 3 }.to_string().contains("pc3"));
+    }
+}

@@ -1,0 +1,289 @@
+//! Differential testing: the out-of-order pipeline — with value
+//! speculation, mispredictions, squashes and reissues — must be
+//! architecturally indistinguishable from the sequential golden-model
+//! interpreter for *any* program.
+//!
+//! Programs are generated as structured, guaranteed-terminating
+//! sequences (straight-line bodies inside counted loops) over a small
+//! address pool, with `flush` instructions sprinkled in so loads miss
+//! and the value predictor engages; stores mutate the pool so trained
+//! predictions go stale and squashes actually happen.
+
+use proptest::prelude::*;
+use vpsim_isa::{AluOp, Interpreter, Program, ProgramBuilder, Reg};
+use vpsim_mem::MemoryConfig;
+use vpsim_pipeline::{CoreConfig, Machine};
+use vpsim_predictor::{
+    Fcm, FcmConfig, Lvp, LvpConfig, NoPredictor, Stride, StrideConfig, ValuePredictor, Vtage,
+    VtageConfig,
+};
+
+/// One generated body operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Alu(AluOp, u8, u8, u8),
+    Addi(u8, u8, i8),
+    Li(u8, u16),
+    Load(u8, usize),
+    Store(u8, usize),
+    Flush(usize),
+    Fence,
+    /// A forward conditional branch over the next op (exercises the
+    /// speculating front-end's not-taken prediction on both paths).
+    SkipNextIfGe(u8, u8),
+}
+
+/// Registers r16..r23 are the generator's data registers; low registers
+/// hold the address pool and loop counters.
+fn data_reg(i: u8) -> Reg {
+    Reg::new(16 + (i % 8))
+}
+
+/// The address pool: r1..r4 hold four word addresses 64 bytes apart
+/// (distinct cache lines).
+fn pool_reg(i: usize) -> Reg {
+    Reg::new(1 + (i % 4) as u8)
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (
+            prop_oneof![
+                Just(AluOp::Add),
+                Just(AluOp::Sub),
+                Just(AluOp::Xor),
+                Just(AluOp::And),
+                Just(AluOp::Or),
+                Just(AluOp::Mul),
+                Just(AluOp::Shl),
+                Just(AluOp::Shr)
+            ],
+            any::<u8>(),
+            any::<u8>(),
+            any::<u8>()
+        )
+            .prop_map(|(op, a, b, c)| Op::Alu(op, a, b, c)),
+        (any::<u8>(), any::<u8>(), any::<i8>()).prop_map(|(a, b, i)| Op::Addi(a, b, i)),
+        (any::<u8>(), any::<u16>()).prop_map(|(r, v)| Op::Li(r, v)),
+        (any::<u8>(), 0usize..4).prop_map(|(r, s)| Op::Load(r, s)),
+        (any::<u8>(), 0usize..4).prop_map(|(r, s)| Op::Store(r, s)),
+        (0usize..4).prop_map(Op::Flush),
+        Just(Op::Fence),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::SkipNextIfGe(a, b)),
+    ]
+}
+
+/// Build a program: pool setup, then `iters` passes over the body via a
+/// counted loop (always terminates).
+fn build_program(body: &[Op], iters: u64) -> Program {
+    let mut b = ProgramBuilder::new();
+    for i in 0..4 {
+        b.li(pool_reg(i), 0x8000 + (i as u64) * 64);
+    }
+    b.li(Reg::R14, 0); // loop counter
+    b.li(Reg::R15, iters);
+    b.label("top").unwrap();
+    // A pending forward-skip label to place after the next non-skip op.
+    let mut pending: Option<String> = None;
+    let mut skip_id = 0usize;
+    for op in body {
+        if let Op::SkipNextIfGe(a, x) = *op {
+            // Resolve any earlier skip first (no nesting), then open one.
+            if let Some(label) = pending.take() {
+                b.label(&label).unwrap();
+            }
+            let label = format!("skip{skip_id}");
+            skip_id += 1;
+            b.bge(data_reg(a), data_reg(x), &label);
+            pending = Some(label);
+            continue;
+        }
+        match *op {
+            Op::Alu(op, a, x, y) => {
+                b.alu(op, data_reg(a), data_reg(x), data_reg(y));
+            }
+            Op::Addi(a, x, i) => {
+                b.addi(data_reg(a), data_reg(x), i64::from(i));
+            }
+            Op::Li(r, v) => {
+                b.li(data_reg(r), u64::from(v));
+            }
+            Op::Load(r, s) => {
+                b.load(data_reg(r), pool_reg(s), 0);
+            }
+            Op::Store(r, s) => {
+                b.store(data_reg(r), pool_reg(s), 0);
+            }
+            Op::Flush(s) => {
+                b.flush(pool_reg(s), 0);
+            }
+            Op::Fence => {
+                b.fence();
+            }
+            Op::SkipNextIfGe(..) => unreachable!("handled above"),
+        }
+        if let Some(label) = pending.take() {
+            b.label(&label).unwrap();
+        }
+    }
+    if let Some(label) = pending.take() {
+        b.label(&label).unwrap();
+    }
+    b.addi(Reg::R14, Reg::R14, 1)
+        .blt(Reg::R14, Reg::R15, "top")
+        .halt();
+    b.build().expect("generated program is well-formed")
+}
+
+fn run_both(program: &Program, vp: Box<dyn ValuePredictor>) -> (Vec<u64>, Vec<u64>, u64) {
+    // Golden model.
+    let mut interp = Interpreter::new();
+    let golden = interp
+        .run(program, 2_000_000)
+        .expect("golden model halts");
+    // Pipeline.
+    let mut machine = Machine::new(
+        CoreConfig::default(),
+        MemoryConfig::deterministic(),
+        vp,
+        0xd1ff,
+    );
+    let result = machine.run(0, program).expect("pipeline halts");
+    // Compare registers and the memory pool.
+    let g_regs: Vec<u64> = (0..32).map(|i| golden.regs.read(Reg::new(i))).collect();
+    let p_regs: Vec<u64> = (0..32).map(|i| result.regs.read(Reg::new(i))).collect();
+    for i in 0..4u64 {
+        assert_eq!(
+            interp.load(0x8000 + i * 64),
+            machine.mem().peek(0x8000 + i * 64),
+            "memory word {i} diverged"
+        );
+    }
+    (g_regs, p_regs, result.stats.mispredictions)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// With an LVP, arbitrary programs retire to the same architectural
+    /// state as sequential execution — squashes must be invisible.
+    #[test]
+    fn pipeline_matches_golden_model_with_lvp(
+        body in prop::collection::vec(arb_op(), 1..24),
+        iters in 1u64..6,
+    ) {
+        let program = build_program(&body, iters);
+        let vp = Box::new(Lvp::new(LvpConfig { confidence_threshold: 1, ..LvpConfig::default() }));
+        let (g, p, _) = run_both(&program, vp);
+        prop_assert_eq!(g, p, "architectural registers diverged");
+    }
+
+    /// Same property with the stride predictor (different speculation
+    /// pattern: it predicts changing values).
+    #[test]
+    fn pipeline_matches_golden_model_with_stride(
+        body in prop::collection::vec(arb_op(), 1..24),
+        iters in 1u64..6,
+    ) {
+        let program = build_program(&body, iters);
+        let vp = Box::new(Stride::new(StrideConfig { confidence_threshold: 1, ..StrideConfig::default() }));
+        let (g, p, _) = run_both(&program, vp);
+        prop_assert_eq!(g, p);
+    }
+
+    /// Same property with VTAGE.
+    #[test]
+    fn pipeline_matches_golden_model_with_vtage(
+        body in prop::collection::vec(arb_op(), 1..24),
+        iters in 1u64..6,
+    ) {
+        let program = build_program(&body, iters);
+        let vp = Box::new(Vtage::new(VtageConfig { confidence_threshold: 1, ..VtageConfig::default() }));
+        let (g, p, _) = run_both(&program, vp);
+        prop_assert_eq!(g, p);
+    }
+
+    /// Same property with the two-level FCM (history-hash speculation).
+    #[test]
+    fn pipeline_matches_golden_model_with_fcm(
+        body in prop::collection::vec(arb_op(), 1..24),
+        iters in 1u64..6,
+    ) {
+        let program = build_program(&body, iters);
+        let vp = Box::new(Fcm::new(FcmConfig { confidence_threshold: 1, ..FcmConfig::default() }));
+        let (g, p, _) = run_both(&program, vp);
+        prop_assert_eq!(g, p);
+    }
+
+    /// And with no predictor at all (baseline sanity).
+    #[test]
+    fn pipeline_matches_golden_model_without_vp(
+        body in prop::collection::vec(arb_op(), 1..24),
+        iters in 1u64..6,
+    ) {
+        let program = build_program(&body, iters);
+        let (g, p, _) = run_both(&program, Box::new(NoPredictor::new()));
+        prop_assert_eq!(g, p);
+    }
+
+    /// D-type (delayed side effects) must not change architectural
+    /// results either — only cache visibility.
+    #[test]
+    fn d_type_is_architecturally_invisible(
+        body in prop::collection::vec(arb_op(), 1..20),
+        iters in 1u64..5,
+    ) {
+        let program = build_program(&body, iters);
+        let run = |delay: bool| {
+            let core = CoreConfig { delay_side_effects: delay, ..CoreConfig::default() };
+            let vp = Box::new(Lvp::new(LvpConfig { confidence_threshold: 1, ..LvpConfig::default() }));
+            let mut m = Machine::new(core, MemoryConfig::deterministic(), vp, 5);
+            let r = m.run(0, &program).expect("halts");
+            (0..32).map(|i| r.regs.read(Reg::new(i))).collect::<Vec<u64>>()
+        };
+        prop_assert_eq!(run(false), run(true));
+    }
+}
+
+/// A deterministic stress case guaranteed to cause repeated
+/// mispredictions: a loop that loads a location it keeps incrementing
+/// through memory (flush forces a miss each time; the trained "last
+/// value" is always stale).
+#[test]
+fn squash_storm_matches_golden_model() {
+    let mut b = ProgramBuilder::new();
+    b.li(Reg::R1, 0x8000)
+        .li(Reg::R14, 0)
+        .li(Reg::R15, 24)
+        .li(Reg::R16, 0);
+    b.label("top").unwrap();
+    b.flush(Reg::R1, 0)
+        .fence()
+        .load(Reg::R17, Reg::R1, 0) // miss every iteration
+        .addi(Reg::R17, Reg::R17, 3) // value changes every iteration
+        .store(Reg::R17, Reg::R1, 0)
+        .alu(AluOp::Add, Reg::R16, Reg::R16, Reg::R17)
+        .addi(Reg::R14, Reg::R14, 1)
+        .blt(Reg::R14, Reg::R15, "top")
+        .halt();
+    let program = b.build().unwrap();
+
+    let mut interp = Interpreter::new();
+    let golden = interp.run(&program, 100_000).unwrap();
+
+    let vp = Box::new(Lvp::new(LvpConfig { confidence_threshold: 1, ..LvpConfig::default() }));
+    let mut machine = Machine::new(
+        CoreConfig::default(),
+        MemoryConfig::deterministic(),
+        vp,
+        9,
+    );
+    let result = machine.run(0, &program).unwrap();
+    assert!(
+        result.stats.mispredictions >= 5,
+        "stress case must actually mispredict (got {})",
+        result.stats.mispredictions
+    );
+    assert_eq!(golden.regs.read(Reg::R16), result.regs.read(Reg::R16));
+    assert_eq!(interp.load(0x8000), machine.mem().peek(0x8000));
+}

@@ -1,0 +1,131 @@
+//! Predictor index formation.
+//!
+//! The paper's threat model (§II) distinguishes **PC-based** predictors
+//! (indexed by the load instruction's address) from **data-address-based**
+//! predictors (indexed by the accessed virtual address), optionally mixing
+//! in a process identifier. Most proposed value predictors use the full
+//! address as the index; truncating to fewer bits introduces inter-address
+//! conflicts and lowers the prediction rate (§I-A) — the
+//! `ablate_index_bits` bench sweeps this.
+
+use crate::LoadContext;
+
+/// What a predictor uses as its index source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum IndexKind {
+    /// Index by the load instruction's address (program counter).
+    #[default]
+    Pc,
+    /// Index by the virtual address of the accessed data.
+    DataAddress,
+}
+
+/// Index-formation configuration shared by all predictors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexConfig {
+    /// PC-based or data-address-based indexing.
+    pub kind: IndexKind,
+    /// Mix the process identifier into the index. Using a pid makes
+    /// cross-process aliasing harder (the attacker then needs a shared
+    /// library for same-index accesses) but, per the paper's §V-B
+    /// footnote, "only increases difficulties for attacks but does not
+    /// eliminate it".
+    pub use_pid: bool,
+    /// Keep only the low `index_bits` bits of the address when `Some`;
+    /// `None` uses the full address (the common design).
+    pub index_bits: Option<u32>,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        IndexConfig {
+            kind: IndexKind::Pc,
+            use_pid: false,
+            index_bits: None,
+        }
+    }
+}
+
+impl IndexConfig {
+    /// Compute the index (and tag — predictors here match on the full
+    /// index, as the paper notes real proposals do) for a load.
+    #[must_use]
+    pub fn index(&self, ctx: &LoadContext) -> u64 {
+        let base = match self.kind {
+            IndexKind::Pc => ctx.pc,
+            IndexKind::DataAddress => ctx.addr,
+        };
+        let truncated = match self.index_bits {
+            Some(bits) if bits < 64 => base & ((1u64 << bits) - 1),
+            _ => base,
+        };
+        if self.use_pid {
+            // Fold the pid into high bits so different processes see
+            // disjoint index spaces (unless they share the library and the
+            // predictor design drops the pid).
+            truncated ^ (u64::from(ctx.pid) << 48)
+        } else {
+            truncated
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(pc: u64, addr: u64, pid: u32) -> LoadContext {
+        LoadContext { pc, addr, pid }
+    }
+
+    #[test]
+    fn pc_kind_uses_pc() {
+        let cfg = IndexConfig::default();
+        assert_eq!(cfg.index(&ctx(0x40, 0x9999, 0)), 0x40);
+    }
+
+    #[test]
+    fn data_kind_uses_addr() {
+        let cfg = IndexConfig {
+            kind: IndexKind::DataAddress,
+            ..IndexConfig::default()
+        };
+        assert_eq!(cfg.index(&ctx(0x40, 0x9999, 0)), 0x9999);
+    }
+
+    #[test]
+    fn pid_separates_processes() {
+        let cfg = IndexConfig {
+            use_pid: true,
+            ..IndexConfig::default()
+        };
+        assert_ne!(cfg.index(&ctx(0x40, 0, 1)), cfg.index(&ctx(0x40, 0, 2)));
+    }
+
+    #[test]
+    fn no_pid_aliases_across_processes() {
+        let cfg = IndexConfig::default();
+        assert_eq!(cfg.index(&ctx(0x40, 0, 1)), cfg.index(&ctx(0x40, 0, 2)));
+    }
+
+    #[test]
+    fn truncation_causes_aliasing() {
+        let cfg = IndexConfig {
+            index_bits: Some(8),
+            ..IndexConfig::default()
+        };
+        // 0x140 and 0x40 agree in the low 8 bits.
+        assert_eq!(cfg.index(&ctx(0x140, 0, 0)), cfg.index(&ctx(0x40, 0, 0)));
+        let full = IndexConfig::default();
+        assert_ne!(full.index(&ctx(0x140, 0, 0)), full.index(&ctx(0x40, 0, 0)));
+    }
+
+    #[test]
+    fn sixty_four_bit_truncation_is_identity() {
+        let cfg = IndexConfig {
+            index_bits: Some(64),
+            ..IndexConfig::default()
+        };
+        assert_eq!(cfg.index(&ctx(u64::MAX, 0, 0)), u64::MAX);
+    }
+}

@@ -1,0 +1,108 @@
+//! Predictor accuracy and occupancy statistics.
+
+/// Counters accumulated by a [`ValuePredictor`](crate::ValuePredictor).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredictorStats {
+    /// `lookup` calls (one per L1-miss load).
+    pub lookups: u64,
+    /// Lookups that produced a prediction.
+    pub predictions: u64,
+    /// Lookups that produced no prediction (below confidence / no entry).
+    pub no_predictions: u64,
+    /// `train` calls.
+    pub trainings: u64,
+    /// Predictions later verified correct.
+    pub correct: u64,
+    /// Predictions later verified incorrect (squash + reissue).
+    pub incorrect: u64,
+    /// Entries evicted for capacity (smallest usefulness first).
+    pub evictions: u64,
+}
+
+impl PredictorStats {
+    /// Fraction of lookups that predicted, in `[0, 1]`.
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.predictions as f64 / self.lookups as f64
+        }
+    }
+
+    /// Fraction of verified predictions that were correct, in `[0, 1]`.
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        let verified = self.correct + self.incorrect;
+        if verified == 0 {
+            0.0
+        } else {
+            self.correct as f64 / verified as f64
+        }
+    }
+
+    /// Merge another counter set into this one.
+    pub fn merge(&mut self, other: &PredictorStats) {
+        self.lookups += other.lookups;
+        self.predictions += other.predictions;
+        self.no_predictions += other.no_predictions;
+        self.trainings += other.trainings;
+        self.correct += other.correct;
+        self.incorrect += other.incorrect;
+        self.evictions += other.evictions;
+    }
+}
+
+impl std::fmt::Display for PredictorStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} lookups, {:.1}% coverage, {:.1}% accuracy, {} evictions",
+            self.lookups,
+            self.coverage() * 100.0,
+            self.accuracy() * 100.0,
+            self.evictions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero() {
+        let s = PredictorStats::default();
+        assert_eq!(s.coverage(), 0.0);
+        assert_eq!(s.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn rates_math() {
+        let s = PredictorStats {
+            lookups: 10,
+            predictions: 5,
+            no_predictions: 5,
+            correct: 4,
+            incorrect: 1,
+            ..Default::default()
+        };
+        assert!((s.coverage() - 0.5).abs() < 1e-12);
+        assert!((s.accuracy() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = PredictorStats { lookups: 1, correct: 2, ..Default::default() };
+        let b = PredictorStats { lookups: 3, correct: 4, evictions: 1, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.lookups, 4);
+        assert_eq!(a.correct, 6);
+        assert_eq!(a.evictions, 1);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!PredictorStats::default().to_string().is_empty());
+    }
+}

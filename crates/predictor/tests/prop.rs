@@ -1,0 +1,147 @@
+//! Property-based tests for the predictor crate.
+
+use proptest::prelude::*;
+use vpsim_predictor::{
+    AlwaysMode, AlwaysPredict, IndexConfig, LoadContext, Lvp, LvpConfig, RandomWindow, Stride,
+    StrideConfig, ValuePredictor, Vtage, VtageConfig,
+};
+
+fn ctx(pc: u64) -> LoadContext {
+    LoadContext { pc, addr: pc ^ 0xaaaa, pid: 0 }
+}
+
+proptest! {
+    /// LVP never predicts before `threshold` same-value observations.
+    #[test]
+    fn lvp_threshold_respected(threshold in 1u32..8, value: u64, pc in 0u64..4096) {
+        let mut vp = Lvp::new(LvpConfig {
+            confidence_threshold: threshold,
+            ..LvpConfig::default()
+        });
+        let c = ctx(pc * 4);
+        for i in 0..threshold {
+            prop_assert!(vp.lookup(&c).is_none(), "predicted after only {i} trainings");
+            vp.train(&c, value, None);
+        }
+        let p = vp.lookup(&c);
+        prop_assert_eq!(p.map(|p| p.value), Some(value));
+    }
+
+    /// Once trained, a prediction always equals the last trained value.
+    #[test]
+    fn lvp_predicts_last_value(values in prop::collection::vec(any::<u64>(), 1..20)) {
+        let mut vp = Lvp::new(LvpConfig { confidence_threshold: 1, ..LvpConfig::default() });
+        let c = ctx(0x40);
+        for v in &values {
+            vp.train(&c, *v, None);
+        }
+        // threshold 1 + same value trains means prediction only after the
+        // last value has been seen; retrain it once to confirm.
+        vp.train(&c, *values.last().unwrap(), None);
+        prop_assert_eq!(vp.lookup(&c).unwrap().value, *values.last().unwrap());
+    }
+
+    /// Occupancy never exceeds capacity.
+    #[test]
+    fn lvp_capacity_bounded(capacity in 1usize..32, pcs in prop::collection::vec(0u64..4096, 1..200)) {
+        let mut vp = Lvp::new(LvpConfig { capacity, ..LvpConfig::default() });
+        for pc in pcs {
+            vp.train(&ctx(pc * 4), pc, None);
+            prop_assert!(vp.occupancy() <= capacity);
+        }
+    }
+
+    /// A different value at the same index always suppresses the next
+    /// prediction (the paper's 1-access invalidation).
+    #[test]
+    fn lvp_single_access_invalidation(value: u64, other: u64, pc in 0u64..1024) {
+        prop_assume!(value != other);
+        let mut vp = Lvp::new(LvpConfig::default());
+        let c = ctx(pc * 4);
+        for _ in 0..5 {
+            vp.train(&c, value, None);
+        }
+        prop_assert!(vp.lookup(&c).is_some());
+        vp.train(&c, other, None);
+        prop_assert!(vp.lookup(&c).is_none());
+    }
+
+    /// The A-type wrapper never returns `None` — by construction there is
+    /// no observable "no prediction" case left.
+    #[test]
+    fn always_predict_total(pcs in prop::collection::vec(0u64..4096, 1..100)) {
+        let mut vp = AlwaysPredict::new(
+            Lvp::new(LvpConfig::default()),
+            AlwaysMode::History,
+            IndexConfig::default(),
+        );
+        for pc in pcs {
+            prop_assert!(vp.lookup(&ctx(pc * 4)).is_some());
+            vp.train(&ctx(pc * 4), pc, None);
+        }
+    }
+
+    /// R-type predictions always land within the configured window.
+    #[test]
+    fn random_window_bounded(window in 2u64..32, value in 1000u64..2000, seed: u64) {
+        let mut inner = Lvp::new(LvpConfig::default());
+        let c = ctx(0x40);
+        for _ in 0..4 {
+            inner.train(&c, value, None);
+        }
+        let mut vp = RandomWindow::new(inner, window, seed);
+        let lo = value - (window - 1) / 2;
+        let hi = lo + window - 1;
+        for _ in 0..64 {
+            let v = vp.lookup(&c).unwrap().value;
+            prop_assert!((lo..=hi).contains(&v), "{v} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// Stride with constant values behaves exactly like an LVP.
+    #[test]
+    fn stride_equals_lvp_on_constants(value: u64, n in 3usize..10) {
+        let mut lvp = Lvp::new(LvpConfig::default());
+        let mut stride = Stride::new(StrideConfig::default());
+        let c = ctx(0x40);
+        for _ in 0..n {
+            lvp.train(&c, value, None);
+            stride.train(&c, value, None);
+        }
+        prop_assert_eq!(
+            lvp.lookup(&c).map(|p| p.value),
+            stride.lookup(&c).map(|p| p.value)
+        );
+    }
+
+    /// VTAGE is deterministic: identical streams give identical outputs.
+    #[test]
+    fn vtage_deterministic(stream in prop::collection::vec((0u64..64, 0u64..8), 1..100)) {
+        let mut a = Vtage::new(VtageConfig::default());
+        let mut b = Vtage::new(VtageConfig::default());
+        for (pc, v) in stream {
+            let c = ctx(pc * 4);
+            let pa = a.lookup(&c).map(|p| p.value);
+            prop_assert_eq!(pa, b.lookup(&c).map(|p| p.value));
+            a.train(&c, v, pa);
+            b.train(&c, v, pa);
+        }
+    }
+
+    /// Stats invariants: lookups = predictions + no_predictions, and
+    /// verified outcomes never exceed predictions.
+    #[test]
+    fn stats_invariants(stream in prop::collection::vec((0u64..16, 0u64..4), 1..200)) {
+        let mut vp = Lvp::new(LvpConfig::default());
+        for (pc, v) in stream {
+            let c = ctx(pc * 4);
+            let p = vp.lookup(&c);
+            vp.train(&c, v, p.map(|p| p.value));
+        }
+        let s = vp.stats();
+        prop_assert_eq!(s.lookups, s.predictions + s.no_predictions);
+        prop_assert!(s.correct + s.incorrect <= s.predictions);
+        prop_assert!(s.coverage() >= 0.0 && s.coverage() <= 1.0);
+        prop_assert!(s.accuracy() >= 0.0 && s.accuracy() <= 1.0);
+    }
+}

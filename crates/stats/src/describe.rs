@@ -1,0 +1,174 @@
+//! Descriptive statistics and confidence intervals.
+
+use crate::special::reg_incomplete_beta;
+
+/// Arithmetic mean; `0.0` for an empty slice.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance (n − 1 denominator); `0.0` when `n < 2`.
+#[must_use]
+pub fn sample_variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+#[must_use]
+pub fn sample_std(xs: &[f64]) -> f64 {
+    sample_variance(xs).sqrt()
+}
+
+/// Two-sided t critical value `t*` with `P(|T| <= t*) = level`, found by
+/// bisection on the regularised incomplete beta CDF.
+fn t_critical(df: f64, level: f64) -> f64 {
+    assert!(df > 0.0 && (0.0..1.0).contains(&level));
+    let target_sf = (1.0 - level) / 2.0;
+    let sf = |t: f64| 0.5 * reg_incomplete_beta(df / 2.0, 0.5, df / (df + t * t));
+    let (mut lo, mut hi) = (0.0, 1e6);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if sf(mid) > target_sf {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// A five-number-plus summary of one timing sample, with the 95%
+/// confidence interval for the mean the paper reports over 100 runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+    /// Lower bound of the 95% CI for the mean.
+    pub ci95_lo: f64,
+    /// Upper bound of the 95% CI for the mean.
+    pub ci95_hi: f64,
+}
+
+impl Summary {
+    /// Summarise a sample. Empty input yields an all-zero summary.
+    #[must_use]
+    pub fn of(xs: &[f64]) -> Summary {
+        if xs.is_empty() {
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                std: 0.0,
+                min: 0.0,
+                max: 0.0,
+                ci95_lo: 0.0,
+                ci95_hi: 0.0,
+            };
+        }
+        let m = mean(xs);
+        let s = sample_std(xs);
+        let (mut lo, mut hi) = (m, m);
+        if xs.len() >= 2 && s > 0.0 {
+            let df = (xs.len() - 1) as f64;
+            let t = t_critical(df, 0.95);
+            let half = t * s / (xs.len() as f64).sqrt();
+            lo = m - half;
+            hi = m + half;
+        }
+        Summary {
+            n: xs.len(),
+            mean: m,
+            std: s,
+            min: xs.iter().copied().fold(f64::INFINITY, f64::min),
+            max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            ci95_lo: lo,
+            ci95_hi: hi,
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} ±[{:.1}, {:.1}] std={:.1} range=[{:.0}, {:.0}]",
+            self.n, self.mean, self.ci95_lo, self.ci95_hi, self.std, self.min, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        // Sample variance with n-1 = 32/7.
+        assert!((sample_variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(sample_variance(&[1.0]), 0.0);
+        assert_eq!(Summary::of(&[]).n, 0);
+    }
+
+    #[test]
+    fn t_critical_matches_tables() {
+        // Two-sided 95%: df=9 → 2.262; df=99 → 1.984; df=1 → 12.706.
+        assert!((t_critical(9.0, 0.95) - 2.262).abs() < 1e-3);
+        assert!((t_critical(99.0, 0.95) - 1.984).abs() < 1e-3);
+        assert!((t_critical(1.0, 0.95) - 12.706).abs() < 1e-2);
+    }
+
+    #[test]
+    fn ci_contains_mean_and_shrinks_with_n() {
+        let small: Vec<f64> = (0..10).map(|i| 100.0 + (i % 3) as f64).collect();
+        let large: Vec<f64> = (0..1000).map(|i| 100.0 + (i % 3) as f64).collect();
+        let ss = Summary::of(&small);
+        let sl = Summary::of(&large);
+        assert!(ss.ci95_lo <= ss.mean && ss.mean <= ss.ci95_hi);
+        assert!(
+            (sl.ci95_hi - sl.ci95_lo) < (ss.ci95_hi - ss.ci95_lo),
+            "more samples, tighter CI"
+        );
+    }
+
+    #[test]
+    fn constant_sample_has_zero_width_ci() {
+        let s = Summary::of(&[7.0; 20]);
+        assert_eq!(s.ci95_lo, 7.0);
+        assert_eq!(s.ci95_hi, 7.0);
+        assert_eq!(s.std, 0.0);
+    }
+
+    #[test]
+    fn min_max_tracked() {
+        let s = Summary::of(&[3.0, 1.0, 2.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!Summary::of(&[1.0, 2.0]).to_string().is_empty());
+    }
+}

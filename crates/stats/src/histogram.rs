@@ -1,0 +1,173 @@
+//! Fixed-width histograms with ASCII rendering, used to print the
+//! paper's Figure 5/8-style timing distributions in the terminal.
+
+/// A fixed-bin histogram over `[lo, hi)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    /// Samples below `lo` or at/above `hi`.
+    outliers: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// A histogram with `bins` equal-width bins spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
+        assert!(bins >= 1, "need at least one bin");
+        assert!(hi > lo, "hi must exceed lo");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            outliers: 0,
+            total: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo || x >= self.hi {
+            self.outliers += 1;
+            return;
+        }
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        let idx = (((x - self.lo) / w) as usize).min(self.bins.len() - 1);
+        self.bins[idx] += 1;
+    }
+
+    /// Record every observation in a slice.
+    pub fn record_all(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.record(x);
+        }
+    }
+
+    /// Raw bin counts.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Total recorded observations (including outliers).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations outside `[lo, hi)`.
+    #[must_use]
+    pub fn outliers(&self) -> u64 {
+        self.outliers
+    }
+
+    /// Relative frequency per bin (sums to ≤ 1; shortfall = outliers).
+    #[must_use]
+    pub fn frequencies(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.bins.len()];
+        }
+        self.bins
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// The center value of bin `i`.
+    #[must_use]
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// Render a compact ASCII bar chart (one row per bin, `width` chars of
+    /// bar at full scale), for the `repro` binary's figure output.
+    #[must_use]
+    pub fn render(&self, width: usize) -> String {
+        use std::fmt::Write as _;
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.bins.iter().enumerate() {
+            let bar = (c as usize * width) / max as usize;
+            let _ = writeln!(
+                out,
+                "{:>7.0} | {:<w$} {}",
+                self.bin_center(i),
+                "#".repeat(bar),
+                c,
+                w = width
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_bins() {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        h.record(5.0); // bin 0
+        h.record(15.0); // bin 1
+        h.record(99.9); // bin 9
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[1], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn outliers_counted_separately() {
+        let mut h = Histogram::new(0.0, 10.0, 2);
+        h.record(-1.0);
+        h.record(10.0); // hi is exclusive
+        h.record(5.0);
+        assert_eq!(h.outliers(), 2);
+        assert_eq!(h.counts().iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn frequencies_sum_with_outliers() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.record_all(&[1.0, 2.0, 3.0, 100.0]);
+        let sum: f64 = h.frequencies().iter().sum();
+        assert!((sum - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bin_centers() {
+        let h = Histogram::new(0.0, 100.0, 10);
+        assert!((h.bin_center(0) - 5.0).abs() < 1e-12);
+        assert!((h.bin_center(9) - 95.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_has_one_line_per_bin() {
+        let mut h = Histogram::new(0.0, 30.0, 3);
+        h.record_all(&[5.0, 15.0, 15.0, 25.0]);
+        let r = h.render(20);
+        assert_eq!(r.lines().count(), 3);
+        assert!(r.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "hi must exceed lo")]
+    fn empty_range_rejected() {
+        let _ = Histogram::new(1.0, 1.0, 4);
+    }
+}

@@ -1,0 +1,51 @@
+//! # vpsim-stats
+//!
+//! Statistics for attack evaluation, matching the methodology of *"New
+//! Predictor-Based Attacks in Processors"* (Deng & Szefer, DAC 2021,
+//! §IV-C/IV-D): timing distributions from repeated runs are compared with
+//! a **Student's t-test** (Welch's unequal-variance form); an attack is
+//! judged effective when the two distributions are distinguishable at
+//! `p < 0.05`, and 95% confidence intervals are reported over 100 runs.
+//!
+//! ```
+//! use vpsim_stats::welch_t_test;
+//!
+//! let fast = [100.0, 104.0, 98.0, 101.0, 99.0, 102.0];
+//! let slow = [200.0, 204.0, 199.0, 202.0, 201.0, 198.0];
+//! let t = welch_t_test(&fast, &slow);
+//! assert!(t.p_value < 0.05, "clearly different distributions");
+//! ```
+
+mod describe;
+mod histogram;
+mod rate;
+mod special;
+mod ttest;
+
+pub use describe::{mean, sample_std, sample_variance, Summary};
+pub use histogram::Histogram;
+pub use rate::{kbps, TransmissionRate};
+pub use special::{ln_gamma, reg_incomplete_beta};
+pub use ttest::{student_t_sf, welch_t_test, TTestResult};
+
+/// The significance threshold the paper uses to call an attack effective.
+pub const SIGNIFICANCE: f64 = 0.05;
+
+/// Whether a p-value indicates distinguishable distributions — i.e. the
+/// attack succeeds (rendered red in the paper's figures).
+#[must_use]
+pub fn is_significant(p_value: f64) -> bool {
+    p_value < SIGNIFICANCE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn significance_threshold() {
+        assert!(is_significant(0.049));
+        assert!(!is_significant(0.05));
+        assert!(!is_significant(0.9));
+    }
+}

@@ -1,0 +1,109 @@
+//! Transmission-rate (covert-channel bandwidth) estimation.
+//!
+//! The paper's Table III reports each attack's bandwidth in Kbps
+//! (e.g. 7.38 Kbps for Train+Test over the timing-window channel, and
+//! 9.65 Kbps for the RSA leak). We convert "cycles per transmitted bit"
+//! to bits/second using a nominal core clock.
+
+/// Nominal core clock used to convert simulated cycles to wall time
+/// (2 GHz — representative of the class of cores gem5's O3CPU models).
+pub const NOMINAL_CLOCK_HZ: f64 = 2.0e9;
+
+/// Bandwidth of a covert channel measured as cycles per bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransmissionRate {
+    /// Average simulated cycles consumed to transmit one bit.
+    pub cycles_per_bit: f64,
+    /// Clock frequency used for the conversion.
+    pub clock_hz: f64,
+}
+
+impl TransmissionRate {
+    /// Build from a cycles-per-bit cost at the nominal 2 GHz clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles_per_bit` is not positive.
+    #[must_use]
+    pub fn from_cycles_per_bit(cycles_per_bit: f64) -> TransmissionRate {
+        assert!(cycles_per_bit > 0.0, "cycles per bit must be positive");
+        TransmissionRate {
+            cycles_per_bit,
+            clock_hz: NOMINAL_CLOCK_HZ,
+        }
+    }
+
+    /// Build from a total cycle count covering `bits` transmitted bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0` or `cycles == 0`.
+    #[must_use]
+    pub fn from_total(cycles: u64, bits: u64) -> TransmissionRate {
+        assert!(bits > 0, "must transmit at least one bit");
+        assert!(cycles > 0, "cycle count must be positive");
+        TransmissionRate::from_cycles_per_bit(cycles as f64 / bits as f64)
+    }
+
+    /// Bits per second.
+    #[must_use]
+    pub fn bps(&self) -> f64 {
+        self.clock_hz / self.cycles_per_bit
+    }
+
+    /// Kilobits per second (the unit Table III reports).
+    #[must_use]
+    pub fn kbps(&self) -> f64 {
+        self.bps() / 1000.0
+    }
+}
+
+impl std::fmt::Display for TransmissionRate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2}Kbps", self.kbps())
+    }
+}
+
+/// Convenience: Kbps for a (cycles, bits) measurement at the nominal clock.
+#[must_use]
+pub fn kbps(cycles: u64, bits: u64) -> f64 {
+    TransmissionRate::from_total(cycles, bits).kbps()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_math() {
+        // 2 GHz / 200k cycles-per-bit = 10 kbit/s.
+        let r = TransmissionRate::from_cycles_per_bit(200_000.0);
+        assert!((r.kbps() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_total_divides() {
+        let r = TransmissionRate::from_total(1_000_000, 5);
+        assert!((r.cycles_per_bit - 200_000.0).abs() < 1e-9);
+        assert!((kbps(1_000_000, 5) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_magnitude_sanity() {
+        // The paper's rates are ~7-10 Kbps, i.e. ~200-300k cycles/bit at
+        // 2 GHz. Confirm the unit conversion puts that range together.
+        let r = TransmissionRate::from_cycles_per_bit(270_000.0);
+        assert!(r.kbps() > 7.0 && r.kbps() < 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn zero_bits_rejected() {
+        let _ = TransmissionRate::from_total(100, 0);
+    }
+
+    #[test]
+    fn display_unit() {
+        assert!(TransmissionRate::from_cycles_per_bit(1e6).to_string().ends_with("Kbps"));
+    }
+}

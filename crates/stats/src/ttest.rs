@@ -1,0 +1,192 @@
+//! Welch's two-sample t-test with p-values from the t-distribution.
+
+use crate::describe::{mean, sample_variance};
+use crate::special::reg_incomplete_beta;
+
+/// Result of a two-sample t-test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TTestResult {
+    /// The t statistic (sign follows `a - b`).
+    pub t: f64,
+    /// Welch–Satterthwaite effective degrees of freedom.
+    pub df: f64,
+    /// Two-tailed p-value.
+    pub p_value: f64,
+}
+
+impl TTestResult {
+    /// Whether the distributions are distinguishable at the paper's 0.05
+    /// threshold (i.e. the attack succeeds).
+    #[must_use]
+    pub fn significant(&self) -> bool {
+        self.p_value < crate::SIGNIFICANCE
+    }
+}
+
+impl std::fmt::Display for TTestResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "t = {:.3}, df = {:.1}, pvalue = {:.4}",
+            self.t, self.df, self.p_value
+        )
+    }
+}
+
+/// Survival function of Student's t distribution: `P(T > t)` for `t >= 0`
+/// with `df` degrees of freedom.
+///
+/// # Panics
+///
+/// Panics if `df <= 0` or `t` is negative.
+#[must_use]
+pub fn student_t_sf(t: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "degrees of freedom must be positive");
+    assert!(t >= 0.0, "survival function defined for t >= 0 here");
+    let x = df / (df + t * t);
+    0.5 * reg_incomplete_beta(df / 2.0, 0.5, x)
+}
+
+/// Welch's unequal-variance t-test between two samples.
+///
+/// Degenerate inputs are handled conservatively: if either sample has
+/// fewer than two points, or both variances are zero, the result reports
+/// `p_value = 1.0` when the means are equal and `p_value = 0.0` when two
+/// zero-variance samples have different means (the distributions are then
+/// trivially distinguishable).
+#[must_use]
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> TTestResult {
+    if a.len() < 2 || b.len() < 2 {
+        return TTestResult { t: 0.0, df: 1.0, p_value: 1.0 };
+    }
+    let (ma, mb) = (mean(a), mean(b));
+    let (va, vb) = (sample_variance(a), sample_variance(b));
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let se2 = va / na + vb / nb;
+    if se2 == 0.0 {
+        // Two constant samples: distinguishable iff the constants differ.
+        let p = if ma == mb { 1.0 } else { 0.0 };
+        return TTestResult { t: if ma == mb { 0.0 } else { f64::INFINITY }, df: na + nb - 2.0, p_value: p };
+    }
+    let t = (ma - mb) / se2.sqrt();
+    // Welch–Satterthwaite. Guard each term against zero variance.
+    let mut denom = 0.0;
+    if va > 0.0 {
+        denom += (va / na).powi(2) / (na - 1.0);
+    }
+    if vb > 0.0 {
+        denom += (vb / nb).powi(2) / (nb - 1.0);
+    }
+    let df = if denom == 0.0 { na + nb - 2.0 } else { se2.powi(2) / denom };
+    let p_value = 2.0 * student_t_sf(t.abs(), df);
+    TTestResult {
+        t,
+        df,
+        p_value: p_value.min(1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_not_significant() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let r = welch_t_test(&a, &a);
+        assert!(r.p_value > 0.99);
+        assert!(!r.significant());
+    }
+
+    #[test]
+    fn separated_samples_significant() {
+        let a = [10.0, 11.0, 9.0, 10.5, 9.5, 10.2];
+        let b = [20.0, 21.0, 19.0, 20.5, 19.5, 20.2];
+        let r = welch_t_test(&a, &b);
+        assert!(r.p_value < 1e-6);
+        assert!(r.significant());
+        assert!(r.t < 0.0, "a < b gives negative t");
+    }
+
+    #[test]
+    fn scipy_reference_case() {
+        // scipy.stats.ttest_ind([1,2,3,4,5], [3,4,5,6,7], equal_var=False)
+        // → t = -2.0, df = 8, p = 0.0805.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [3.0, 4.0, 5.0, 6.0, 7.0];
+        let r = welch_t_test(&a, &b);
+        assert!((r.t - (-2.0)).abs() < 1e-9, "t = {}", r.t);
+        assert!((r.df - 8.0).abs() < 1e-9, "df = {}", r.df);
+        assert!((r.p_value - 0.080_5).abs() < 1e-3, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn scipy_reference_unequal_variance() {
+        // scipy.stats.ttest_ind([1,1,1,1,10], [2,2,2,2,2], equal_var=False)
+        // → t = 0.4444, df ≈ 4.0, p ≈ 0.6797.
+        let a = [1.0, 1.0, 1.0, 1.0, 10.0];
+        let b = [2.0, 2.0, 2.0, 2.0, 2.0];
+        let r = welch_t_test(&a, &b);
+        assert!((r.t - 0.444_44).abs() < 1e-4, "t = {}", r.t);
+        assert!((r.p_value - 0.679_7).abs() < 1e-3, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn constant_equal_samples() {
+        let a = [5.0; 10];
+        let r = welch_t_test(&a, &a);
+        assert_eq!(r.p_value, 1.0);
+    }
+
+    #[test]
+    fn constant_different_samples() {
+        let a = [5.0; 10];
+        let b = [6.0; 10];
+        let r = welch_t_test(&a, &b);
+        assert_eq!(r.p_value, 0.0);
+        assert!(r.significant());
+    }
+
+    #[test]
+    fn tiny_samples_conservative() {
+        let r = welch_t_test(&[1.0], &[100.0, 200.0]);
+        assert_eq!(r.p_value, 1.0);
+        assert!(!r.significant());
+    }
+
+    #[test]
+    fn sf_matches_known_quantiles() {
+        // t distribution with df=10: P(T > 1.812) ≈ 0.05; df=1 (Cauchy):
+        // P(T > 1) = 0.25.
+        assert!((student_t_sf(1.812, 10.0) - 0.05).abs() < 2e-3);
+        assert!((student_t_sf(1.0, 1.0) - 0.25).abs() < 1e-10);
+        assert!((student_t_sf(0.0, 5.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sf_decreases_in_t() {
+        let mut last = 1.0;
+        for i in 0..50 {
+            let v = student_t_sf(i as f64 * 0.2, 7.0);
+            assert!(v <= last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn symmetry_of_two_tails() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 3.0, 4.0, 5.0];
+        let r1 = welch_t_test(&a, &b);
+        let r2 = welch_t_test(&b, &a);
+        assert!((r1.p_value - r2.p_value).abs() < 1e-12);
+        assert!((r1.t + r2.t).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats() {
+        let r = welch_t_test(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]);
+        let s = r.to_string();
+        assert!(s.contains("pvalue"));
+    }
+}

@@ -1,0 +1,72 @@
+//! The Figures 6–7 end-to-end attack: leak a secret RSA exponent out of
+//! a FLUSH+RELOAD-hardened modular exponentiation through the value
+//! predictor, then verify the stolen key actually decrypts.
+//!
+//! ```sh
+//! cargo run --release -p vpsim-crypto --example rsa_key_leak [bits]
+//! ```
+
+use vpsim_crypto::{leak_exponent, LeakConfig, Mpi};
+
+fn main() {
+    let bits: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(60);
+
+    // A toy RSA key pair: p = 61, q = 53 → n = 3233, e = 17, d = 2753 —
+    // plus a larger random-looking secret exponent for the leak itself.
+    let n = Mpi::from_u64(3233);
+    let e = Mpi::from_u64(17);
+    let d = Mpi::from_u64(2753);
+    let msg = Mpi::from_u64(1234);
+    let ct = Mpi::powm(&msg, &e, &n);
+    println!("victim: hardened square-and-multiply (unconditional multiply,");
+    println!("        conditional pointer swap — Figure 6)\n");
+    println!("ciphertext of {msg}: {ct}");
+
+    // Build a `bits`-long secret exponent whose low bits embed d.
+    let mut secret = Mpi::one();
+    for i in 0..bits - 1 {
+        secret = secret.shl_bits(1);
+        if (i % 3 == 0) ^ (i % 7 == 2) {
+            secret = secret.add(&Mpi::one());
+        }
+    }
+    let secret = secret.shl_bits(12).add(&d);
+    println!("secret exponent ({} bits): {secret}\n", secret.bit_len());
+
+    // The attack: per square-and-multiply iteration, the receiver trains
+    // the predictor at the pointer-swap load's PC, lets the victim run
+    // one iteration, and times a trigger — slow means the conditional
+    // load ran (bit 1), fast means it did not (bit 0).
+    let cfg = LeakConfig::default();
+    let result = leak_exponent(&secret, &cfg);
+    println!(
+        "leaked {} bits, success rate {:.1}%, ~{:.2} Kbps (threshold {:.0} cycles)",
+        result.true_bits.len(),
+        result.success_rate() * 100.0,
+        result.rate_kbps(),
+        result.threshold
+    );
+
+    // Reassemble the stolen exponent and prove it works.
+    let mut stolen = Mpi::zero();
+    for &bit in &result.recovered_bits {
+        stolen = stolen.shl_bits(1);
+        if bit {
+            stolen = stolen.add(&Mpi::one());
+        }
+    }
+    println!("stolen exponent:  {stolen}");
+    assert_eq!(stolen, secret, "bit-exact recovery expected on this run");
+
+    // The low 12 bits carry d: strip and decrypt.
+    let (d_stolen, _) = stolen.div_rem(&Mpi::one().shl_bits(12));
+    let d_stolen = stolen.sub(&d_stolen.shl_bits(12));
+    let pt = Mpi::powm(&ct, &d_stolen, &n);
+    println!("decrypting with the stolen key: {pt}");
+    assert_eq!(pt, msg);
+    println!("\nthe FLUSH+RELOAD hardening did not help: the *index* of the");
+    println!("conditional pointer-swap load leaked through the value predictor.");
+}

@@ -1,0 +1,34 @@
+//! Classic Spectre-v1 on the same simulator — the Figure 2 taxonomy's
+//! *transient execution attacks* branch, next to which the paper places
+//! its new value-predictor attacks.
+//!
+//! ```sh
+//! cargo run --release -p vpsec --example spectre_v1
+//! ```
+
+use vpsec::attacks::spectre::{run_attack, SpectreLayout};
+
+fn main() {
+    let layout = SpectreLayout::default();
+    println!("victim gadget: if (x < size) y = array2[array1[x] * stride];");
+    println!(
+        "secret word planted at array1[{}] (out of bounds; size = {})\n",
+        layout.oob_index(),
+        layout.array1_size
+    );
+    let message = b"SPECTRE";
+    let mut recovered = Vec::new();
+    for (i, &byte) in message.iter().enumerate() {
+        let out = run_attack(&layout, u64::from(byte) % 256, 256, i as u64);
+        assert!(out.branch_mispredictions >= 1);
+        recovered.push(out.recovered.map_or(b'?', |v| v as u8));
+    }
+    println!(
+        "recovered through the bounds-check bypass: {:?}",
+        String::from_utf8_lossy(&recovered)
+    );
+    assert_eq!(&recovered, message);
+    println!("\nSame machine, same Flush+Reload decode as the value-predictor");
+    println!("attacks — only the *speculation source* differs: a predicted");
+    println!("branch direction here, a predicted load value there.");
+}

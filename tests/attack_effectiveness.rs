@@ -1,0 +1,284 @@
+//! The headline result, as an integration test: **every attack category
+//! leaks with a value predictor and none leaks without one** (Table III),
+//! plus the type-independence result (§IV-D3) and the defense claims
+//! (§VI-B) at reduced trial counts.
+//!
+//! These tests are the executable form of EXPERIMENTS.md; the `repro`
+//! binary reruns them at full scale.
+
+use vpsec::attacks::AttackCategory;
+use vpsec::defense;
+use vpsec::experiment::{evaluate, try_evaluate, Channel, ExperimentConfig, PredictorKind};
+use vpsec::predictor::{AlwaysMode, DefenseSpec, IndexConfig};
+
+fn cfg(trials: usize) -> ExperimentConfig {
+    ExperimentConfig { trials, ..ExperimentConfig::default() }
+}
+
+/// Table III, timing-window column: all six categories leak under LVP.
+#[test]
+fn all_categories_leak_with_lvp_timing_window() {
+    let cfg = cfg(20);
+    for cat in AttackCategory::ALL {
+        let e = evaluate(cat, Channel::TimingWindow, PredictorKind::Lvp, &cfg);
+        assert!(e.succeeds(), "{cat}: p = {:.4}", e.ttest.p_value);
+        assert!(e.rate_kbps > 0.0, "{cat}: rate must be positive");
+    }
+}
+
+/// Table III, no-VP columns: nothing leaks without a value predictor.
+#[test]
+fn nothing_leaks_without_value_predictor() {
+    let cfg = cfg(20);
+    for cat in AttackCategory::ALL {
+        for channel in [Channel::TimingWindow, Channel::Persistent] {
+            if let Some(e) = try_evaluate(cat, channel, PredictorKind::None, &cfg) {
+                assert!(
+                    !e.succeeds(),
+                    "{cat}/{channel} leaked with no VP: p = {:.4}",
+                    e.ttest.p_value
+                );
+            }
+        }
+    }
+}
+
+/// Table III, persistent column: exactly Train+Test, Test+Hit and
+/// Fill Up support and leak through the cache channel.
+#[test]
+fn persistent_channel_leaks_match_table_iii() {
+    let cfg = cfg(20);
+    for cat in AttackCategory::ALL {
+        match try_evaluate(cat, Channel::Persistent, PredictorKind::Lvp, &cfg) {
+            Some(e) => {
+                assert!(cat.supports_persistent());
+                assert!(e.succeeds(), "{cat}/persistent: p = {:.4}", e.ttest.p_value);
+            }
+            None => assert!(!cat.supports_persistent(), "{cat} should have a persistent PoC"),
+        }
+    }
+}
+
+/// §IV-D3: the predictor type does not matter — VTAGE (and the oracle
+/// variants) leak exactly like the LVP.
+#[test]
+fn vtage_and_oracle_leak_like_lvp() {
+    let cfg = cfg(20);
+    for kind in [
+        PredictorKind::Vtage,
+        PredictorKind::OracleLvp,
+        PredictorKind::OracleVtage,
+        PredictorKind::Stride,
+    ] {
+        let e = evaluate(AttackCategory::TrainTest, Channel::TimingWindow, kind, &cfg);
+        assert!(e.succeeds(), "{kind}: p = {:.4}", e.ttest.p_value);
+    }
+}
+
+/// The FCM's context must stabilise before it predicts, so the minimal
+/// `confidence`-access protocol does not engage it — the attacker just
+/// trains longer (`extra_training`), and the leak reappears. The attack
+/// cost scales with the predictor's history depth; the leak itself is
+/// still there.
+#[test]
+fn fcm_leaks_with_deeper_training() {
+    use vpsec::attacks::AttackSetup;
+    let minimal = cfg(20);
+    let e = evaluate(
+        AttackCategory::TrainTest,
+        Channel::TimingWindow,
+        PredictorKind::Fcm,
+        &minimal,
+    );
+    assert!(
+        !e.succeeds(),
+        "minimal training must not engage the FCM: p = {:.4}",
+        e.ttest.p_value
+    );
+    let deeper = ExperimentConfig {
+        setup: AttackSetup { extra_training: 8, ..AttackSetup::default() },
+        ..cfg(20)
+    };
+    let e = evaluate(
+        AttackCategory::TrainTest,
+        Channel::TimingWindow,
+        PredictorKind::Fcm,
+        &deeper,
+    );
+    assert!(e.succeeds(), "deeper training re-enables the leak: p = {:.4}", e.ttest.p_value);
+}
+
+/// The Spill Over attack distinguishes *no prediction vs correct
+/// prediction* — the paper's new timing-window class — and the mapped
+/// (correct-prediction) case is the fast one.
+#[test]
+fn spill_over_new_timing_class_direction() {
+    let cfg = cfg(20);
+    let e = evaluate(AttackCategory::SpillOver, Channel::TimingWindow, PredictorKind::Lvp, &cfg);
+    assert!(e.succeeds());
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    assert!(
+        mean(&e.mapped) + 50.0 < mean(&e.unmapped),
+        "correct prediction (mapped) must be markedly faster than no prediction"
+    );
+}
+
+/// §VI-B: R-type with window 3 stops Train+Test; window 1 (a no-op
+/// window) does not.
+#[test]
+fn r_type_window_three_secures_train_test() {
+    let base = cfg(25);
+    let sweep = defense::window_sweep(
+        AttackCategory::TrainTest,
+        Channel::TimingWindow,
+        PredictorKind::Lvp,
+        &[1, 3],
+        &base,
+    );
+    assert!(sweep[0].1 < 0.05, "S=1 must leak: p = {}", sweep[0].1);
+    assert!(sweep[1].1 >= 0.05, "S=3 must defend: p = {}", sweep[1].1);
+}
+
+/// §VI-B: Test+Hit needs the larger window — S=5 is insufficient, S=9
+/// defends (value distance 4 ⇒ threshold 2·4+1).
+#[test]
+fn test_hit_needs_window_nine() {
+    let base = cfg(25);
+    let sweep = defense::window_sweep(
+        AttackCategory::TestHit,
+        Channel::TimingWindow,
+        PredictorKind::Lvp,
+        &[5, 9],
+        &base,
+    );
+    assert!(sweep[0].1 < 0.05, "S=5 must still leak: p = {}", sweep[0].1);
+    assert!(sweep[1].1 >= 0.05, "S=9 must defend: p = {}", sweep[1].1);
+}
+
+/// §VI-B: D-type stops the persistent-channel variants (and only those —
+/// the timing-window variant of the same attack still leaks).
+#[test]
+fn d_type_blocks_persistent_but_not_timing() {
+    let cfg = ExperimentConfig {
+        trials: 20,
+        defense: DefenseSpec { d_type: true, ..DefenseSpec::none() },
+        ..ExperimentConfig::default()
+    };
+    for cat in [AttackCategory::TestHit, AttackCategory::FillUp] {
+        let p = evaluate(cat, Channel::Persistent, PredictorKind::Lvp, &cfg);
+        assert!(!p.succeeds(), "{cat}/persistent with D-type: p = {:.4}", p.ttest.p_value);
+        let t = evaluate(cat, Channel::TimingWindow, PredictorKind::Lvp, &cfg);
+        assert!(t.succeeds(), "{cat}/timing with D-type must still leak");
+    }
+}
+
+/// §VI-B: the combined A+R defense stops Spill Over (A-type removes the
+/// no-prediction case, R-type blurs the remaining correctness signal).
+#[test]
+fn a_plus_r_secures_spill_over() {
+    let base = cfg(25);
+    let undefended = evaluate(
+        AttackCategory::SpillOver,
+        Channel::TimingWindow,
+        PredictorKind::Lvp,
+        &base,
+    );
+    assert!(undefended.succeeds());
+    let defended_cfg = ExperimentConfig {
+        defense: DefenseSpec {
+            a_type: Some(AlwaysMode::History),
+            r_type: Some(9),
+            d_type: false,
+        },
+        ..base
+    };
+    let defended = evaluate(
+        AttackCategory::SpillOver,
+        Channel::TimingWindow,
+        PredictorKind::Lvp,
+        &defended_cfg,
+    );
+    assert!(
+        !defended.succeeds(),
+        "A+R(9) must defend Spill Over: p = {:.4}",
+        defended.ttest.p_value
+    );
+}
+
+/// Robustness: the attacks survive a background process polluting the
+/// caches, TLB and predictor between steps (a stressor the paper's
+/// clean gem5 runs did not include).
+#[test]
+fn attacks_survive_background_noise() {
+    let noisy = ExperimentConfig {
+        trials: 20,
+        background_noise: true,
+        ..ExperimentConfig::default()
+    };
+    for cat in [AttackCategory::TrainTest, AttackCategory::FillUp] {
+        let e = evaluate(cat, Channel::TimingWindow, PredictorKind::Lvp, &noisy);
+        assert!(e.succeeds(), "{cat} under noise: p = {:.4}", e.ttest.p_value);
+    }
+    // And the no-VP baseline stays clean under noise too.
+    let none = evaluate(
+        AttackCategory::TrainTest,
+        Channel::TimingWindow,
+        PredictorKind::None,
+        &noisy,
+    );
+    assert!(!none.succeeds(), "no-VP noise baseline: p = {:.4}", none.ttest.p_value);
+}
+
+/// Threat model footnote 5: a pid-aware index stops *cross-process*
+/// aliasing (Train+Test no longer works between two processes without a
+/// shared library) but "only increases difficulties for attacks [and]
+/// does not eliminate [them]" — the sender-internal categories survive.
+#[test]
+fn pid_indexing_raises_the_bar_but_does_not_eliminate() {
+    let pid_cfg = ExperimentConfig {
+        trials: 20,
+        index: IndexConfig { use_pid: true, ..IndexConfig::default() },
+        ..ExperimentConfig::default()
+    };
+    let cross = evaluate(
+        AttackCategory::TrainTest,
+        Channel::TimingWindow,
+        PredictorKind::Lvp,
+        &pid_cfg,
+    );
+    assert!(
+        !cross.succeeds(),
+        "pid indexing must break cross-process aliasing: p = {:.4}",
+        cross.ttest.p_value
+    );
+    for cat in [AttackCategory::FillUp, AttackCategory::SpillOver] {
+        let internal = evaluate(cat, Channel::TimingWindow, PredictorKind::Lvp, &pid_cfg);
+        assert!(
+            internal.succeeds(),
+            "{cat} is sender-internal and must survive pid indexing: p = {:.4}",
+            internal.ttest.p_value
+        );
+    }
+}
+
+/// The full A+R+D stack defends every category over every channel —
+/// the paper's combined-defense claim.
+#[test]
+fn full_defense_stack_defends_everything() {
+    let cfg = ExperimentConfig {
+        trials: 20,
+        defense: DefenseSpec::full(9),
+        ..ExperimentConfig::default()
+    };
+    for cat in AttackCategory::ALL {
+        for channel in [Channel::TimingWindow, Channel::Persistent] {
+            if let Some(e) = try_evaluate(cat, channel, PredictorKind::Lvp, &cfg) {
+                assert!(
+                    !e.succeeds(),
+                    "{cat}/{channel} leaks through the full defense: p = {:.4}",
+                    e.ttest.p_value
+                );
+            }
+        }
+    }
+}

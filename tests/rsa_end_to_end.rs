@@ -1,0 +1,105 @@
+//! End-to-end RSA attack tests: functional crypto + microarchitectural
+//! leak + key reconstruction, across key shapes and seeds.
+
+use vpsim_crypto::{leak_exponent, LeakConfig, Mpi};
+
+fn reassemble(bits: &[bool]) -> Mpi {
+    let mut m = Mpi::zero();
+    for &b in bits {
+        m = m.shl_bits(1);
+        if b {
+            m = m.add(&Mpi::one());
+        }
+    }
+    m
+}
+
+#[test]
+fn leak_reconstructs_various_exponent_shapes() {
+    let cfg = LeakConfig { calibration_runs: 4, ..LeakConfig::default() };
+    // All-ones, single-bit, alternating and irregular exponents.
+    for exp in [
+        Mpi::from_u64(0b1111_1111),
+        Mpi::from_u64(0b1000_0000),
+        Mpi::from_u64(0b1010_1010),
+        Mpi::from_hex("bad5eed"),
+    ] {
+        let r = leak_exponent(&exp, &cfg);
+        assert_eq!(
+            reassemble(&r.recovered_bits),
+            exp,
+            "failed to reconstruct {exp}; observations: {:?}",
+            r.observations
+        );
+        assert_eq!(r.success_rate(), 1.0);
+    }
+}
+
+#[test]
+fn leak_success_across_seeds() {
+    // The paper reports 95.7% over 60 runs on a noisy system; our
+    // simulator's noise (DRAM jitter) is milder, so we demand ≥ 95%
+    // aggregate accuracy across seeds.
+    let exp = Mpi::from_hex("d904d2c826");
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for seed in 0..6u64 {
+        let cfg = LeakConfig { seed: 0x5eed + seed, calibration_runs: 4, ..LeakConfig::default() };
+        let r = leak_exponent(&exp, &cfg);
+        correct += r
+            .true_bits
+            .iter()
+            .zip(&r.recovered_bits)
+            .filter(|(a, b)| a == b)
+            .count();
+        total += r.true_bits.len();
+    }
+    let rate = correct as f64 / total as f64;
+    assert!(rate >= 0.95, "aggregate success rate {rate} below 95%");
+}
+
+#[test]
+fn stolen_key_actually_decrypts() {
+    // Full loop: encrypt with the public key, leak the private exponent
+    // through the VPS, decrypt with the stolen bits.
+    let n = Mpi::from_u64(3233);
+    let e = Mpi::from_u64(17);
+    let d = Mpi::from_u64(2753);
+    let msg = Mpi::from_u64(123);
+    let ct = Mpi::powm(&msg, &e, &n);
+    let cfg = LeakConfig { calibration_runs: 4, ..LeakConfig::default() };
+    let r = leak_exponent(&d, &cfg);
+    let stolen = reassemble(&r.recovered_bits);
+    assert_eq!(stolen, d, "exponent must reconstruct exactly");
+    assert_eq!(Mpi::powm(&ct, &stolen, &n), msg, "stolen key decrypts");
+}
+
+#[test]
+fn hardened_victim_has_no_length_channel() {
+    // The Figure 6 hardening removes the classic square-vs-multiply
+    // length channel: our victim iteration programs are the same length
+    // for both bit values, and the *only* distinguishing access is the
+    // conditional pointer-swap load.
+    use vpsec::attacks::AttackSetup;
+    use vpsim_crypto::victim::iteration_program;
+    let setup = AttackSetup::default();
+    let p1 = iteration_program(true, &setup);
+    let p0 = iteration_program(false, &setup);
+    assert_eq!(p1.len(), p0.len());
+    let loads1 = p1.load_pcs().len();
+    let loads0 = p0.load_pcs().len();
+    assert_eq!(loads1, loads0 + 1, "exactly the tp load differs");
+}
+
+#[test]
+fn mpi_powm_matches_modular_identities_at_scale() {
+    // (a^e1)^e2 ≡ a^(e1·e2) mod p for a 512-bit-ish tower, sanity for
+    // the bignum underpinning the victim.
+    let p = Mpi::from_hex("ffffffffffffffffffffffffffffff61"); // 128-bit prime-ish modulus
+    let a = Mpi::from_hex("123456789abcdef");
+    let e1 = Mpi::from_u64(12345);
+    let e2 = Mpi::from_u64(678);
+    let lhs = Mpi::powm(&Mpi::powm(&a, &e1, &p), &e2, &p);
+    let rhs = Mpi::powm(&a, &e1.mul(&e2), &p);
+    assert_eq!(lhs, rhs);
+}
