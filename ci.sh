@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# The full offline quality gate: formatting, lints (warnings are
+# errors), release build, and the complete test suite. No network or
+# registry access is required — the workspace has no external
+# dependencies.
+set -eux
+
+cd "$(dirname "$0")"
+
+cargo fmt --all --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo build --workspace --release
+cargo test --workspace --quiet
+
+echo "ci: all checks passed"

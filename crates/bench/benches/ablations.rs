@@ -1,22 +1,23 @@
 //! Ablation benches: index truncation, confidence threshold and
 //! predictor-type comparisons, plus raw simulator throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vpsim_bench::microbench::BenchGroup;
 use vpsim_bench::reports;
+use vpsim_harness::Exec;
 use vpsim_isa::{ProgramBuilder, Reg};
 use vpsim_mem::MemoryConfig;
 use vpsim_pipeline::{CoreConfig, Machine};
 use vpsim_predictor::{Lvp, LvpConfig, NoPredictor, Vtage, VtageConfig};
 
-fn bench_ablations(c: &mut Criterion) {
-    println!("{}", reports::ablation_report(20));
+fn main() {
+    println!("{}", reports::ablation_report(20, &Exec::default()));
 
-    c.bench_function("index_bits_coverage", |b| {
-        b.iter(|| std::hint::black_box(reports::index_bits_ablation(128, 4)));
+    BenchGroup::new("ablations").bench("index_bits_coverage", || {
+        std::hint::black_box(reports::index_bits_ablation(128, 4))
     });
 
     // Raw simulator throughput with each predictor: a tight load loop.
-    let mut group = c.benchmark_group("simulator_throughput");
+    let mut group = BenchGroup::new("simulator_throughput");
     group.sample_size(10);
     let program = {
         let mut pb = ProgramBuilder::new();
@@ -30,21 +31,14 @@ fn bench_ablations(c: &mut Criterion) {
         pb.build().unwrap()
     };
     for name in ["none", "lvp", "vtage"] {
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| {
-                let vp: Box<dyn vpsim_predictor::ValuePredictor> = match name {
-                    "none" => Box::new(NoPredictor::new()),
-                    "lvp" => Box::new(Lvp::new(LvpConfig::default())),
-                    _ => Box::new(Vtage::new(VtageConfig::default())),
-                };
-                let mut m =
-                    Machine::new(CoreConfig::default(), MemoryConfig::deterministic(), vp, 1);
-                std::hint::black_box(m.run(0, &program).unwrap().cycles)
-            });
+        group.bench(name, || {
+            let vp: Box<dyn vpsim_predictor::ValuePredictor> = match name {
+                "none" => Box::new(NoPredictor::new()),
+                "lvp" => Box::new(Lvp::new(LvpConfig::default())),
+                _ => Box::new(Vtage::new(VtageConfig::default())),
+            };
+            let mut m = Machine::new(CoreConfig::default(), MemoryConfig::deterministic(), vp, 1);
+            std::hint::black_box(m.run(0, &program).unwrap().cycles)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_ablations);
-criterion_main!(benches);

@@ -1,37 +1,32 @@
 //! §VI-B bench: the R-type window sweep (minimal secure windows).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use vpsec::attacks::AttackCategory;
 use vpsec::defense::window_sweep;
 use vpsec::experiment::{Channel, PredictorKind};
+use vpsim_bench::microbench::BenchGroup;
 use vpsim_bench::reports;
+use vpsim_harness::Exec;
 
 const TRIALS: usize = 20;
 
-fn bench_defenses(c: &mut Criterion) {
-    println!("{}", reports::defense_report(TRIALS));
+fn main() {
+    println!("{}", reports::defense_report(TRIALS, &Exec::default()));
     let base = reports::config(TRIALS);
-    let mut group = c.benchmark_group("defense_window_sweep");
+    let mut group = BenchGroup::new("defense_window_sweep");
     group.sample_size(10);
     for (name, cat, windows) in [
         ("train_test", AttackCategory::TrainTest, &[1u64, 3][..]),
         ("test_hit", AttackCategory::TestHit, &[1u64, 9][..]),
     ] {
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| {
-                let sweep = window_sweep(
-                    cat,
-                    Channel::TimingWindow,
-                    PredictorKind::Lvp,
-                    windows,
-                    &base,
-                );
-                std::hint::black_box(sweep.len())
-            });
+        group.bench(name, || {
+            let sweep = window_sweep(
+                cat,
+                Channel::TimingWindow,
+                PredictorKind::Lvp,
+                windows,
+                &base,
+            );
+            std::hint::black_box(sweep.len())
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_defenses);
-criterion_main!(benches);

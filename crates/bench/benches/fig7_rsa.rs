@@ -3,27 +3,26 @@
 //! Prints the reproduced per-iteration observation series, then times
 //! per-bit extraction and full-exponent recovery.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use vpsim_bench::microbench::BenchGroup;
 use vpsim_bench::reports;
 use vpsim_crypto::{leak_exponent, LeakConfig, Mpi};
 
-fn bench_fig7(c: &mut Criterion) {
+fn main() {
     println!("{}", reports::figure_7(60, 3));
-    let mut group = c.benchmark_group("fig7_rsa");
+    let mut group = BenchGroup::new("fig7_rsa");
     group.sample_size(10);
-    group.bench_function("leak_8_bit_exponent", |b| {
-        let cfg = LeakConfig { calibration_runs: 4, ..LeakConfig::default() };
-        let e = Mpi::from_u64(0b1011_0101);
-        b.iter(|| std::hint::black_box(leak_exponent(&e, &cfg).success_rate()));
+    let cfg = LeakConfig {
+        calibration_runs: 4,
+        ..LeakConfig::default()
+    };
+    let e = Mpi::from_u64(0b1011_0101);
+    group.bench("leak_8_bit_exponent", || {
+        std::hint::black_box(leak_exponent(&e, &cfg).success_rate())
     });
-    group.bench_function("powm_128_bit", |b| {
-        let base = Mpi::from_hex("123456789abcdef0fedcba9876543210");
-        let expo = Mpi::from_hex("fedcba98765432100123456789abcdef");
-        let m = Mpi::from_hex("ffffffffffffffffffffffffffffff61");
-        b.iter(|| std::hint::black_box(Mpi::powm(&base, &expo, &m)));
+    let base = Mpi::from_hex("123456789abcdef0fedcba9876543210");
+    let expo = Mpi::from_hex("fedcba98765432100123456789abcdef");
+    let m = Mpi::from_hex("ffffffffffffffffffffffffffffff61");
+    group.bench("powm_128_bit", || {
+        std::hint::black_box(Mpi::powm(&base, &expo, &m))
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig7);
-criterion_main!(benches);

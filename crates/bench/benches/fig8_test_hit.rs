@@ -1,16 +1,17 @@
 //! Figure 8 bench: the Test+Hit timing-distribution panels.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use vpsec::attacks::AttackCategory;
 use vpsec::experiment::{evaluate, Channel, PredictorKind};
+use vpsim_bench::microbench::BenchGroup;
 use vpsim_bench::reports;
+use vpsim_harness::Exec;
 
 const TRIALS: usize = 20;
 
-fn bench_fig8(c: &mut Criterion) {
-    println!("{}", reports::figure_8(TRIALS));
+fn main() {
+    println!("{}", reports::figure_8(TRIALS, &Exec::default()));
     let cfg = reports::config(TRIALS);
-    let mut group = c.benchmark_group("fig8_test_hit");
+    let mut group = BenchGroup::new("fig8_test_hit");
     group.sample_size(10);
     for (name, channel, kind) in [
         ("timing_no_vp", Channel::TimingWindow, PredictorKind::None),
@@ -18,15 +19,9 @@ fn bench_fig8(c: &mut Criterion) {
         ("persistent_no_vp", Channel::Persistent, PredictorKind::None),
         ("persistent_lvp", Channel::Persistent, PredictorKind::Lvp),
     ] {
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| {
-                let e = evaluate(AttackCategory::TestHit, channel, kind, &cfg);
-                std::hint::black_box(e.ttest.p_value)
-            });
+        group.bench(name, || {
+            let e = evaluate(AttackCategory::TestHit, channel, kind, &cfg);
+            std::hint::black_box(e.ttest.p_value)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig8);
-criterion_main!(benches);

@@ -1,19 +1,14 @@
 //! Table II bench: the 576-combination enumeration and rule filter.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use vpsec::model::enumerate;
+use vpsim_bench::microbench::BenchGroup;
 use vpsim_bench::reports;
 
-fn bench_table2(c: &mut Criterion) {
+fn main() {
     println!("{}", reports::table_ii());
-    c.bench_function("table2_enumerate_576", |b| {
-        b.iter(|| {
-            let e = enumerate();
-            assert_eq!(e.effective.len(), 12);
-            std::hint::black_box(e.effective.len())
-        });
+    BenchGroup::new("table2").bench("enumerate_576", || {
+        let e = enumerate();
+        assert_eq!(e.effective.len(), 12);
+        std::hint::black_box(e.effective.len())
     });
 }
-
-criterion_group!(benches, bench_table2);
-criterion_main!(benches);

@@ -1,28 +1,23 @@
 //! Table III bench: every attack category over both channels.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use vpsec::attacks::AttackCategory;
 use vpsec::experiment::{try_evaluate, Channel, PredictorKind};
+use vpsim_bench::microbench::BenchGroup;
 use vpsim_bench::reports;
+use vpsim_harness::Exec;
 
 const TRIALS: usize = 20;
 
-fn bench_table3(c: &mut Criterion) {
-    println!("{}", reports::table_iii(TRIALS));
+fn main() {
+    println!("{}", reports::table_iii(TRIALS, &Exec::default()));
     let cfg = reports::config(TRIALS);
-    let mut group = c.benchmark_group("table3");
+    let mut group = BenchGroup::new("table3");
     group.sample_size(10);
     for cat in AttackCategory::ALL {
-        group.bench_function(BenchmarkId::from_parameter(format!("{cat}")), |b| {
-            b.iter(|| {
-                let tw = try_evaluate(cat, Channel::TimingWindow, PredictorKind::Lvp, &cfg);
-                let p = try_evaluate(cat, Channel::Persistent, PredictorKind::Lvp, &cfg);
-                std::hint::black_box((tw.map(|e| e.ttest.p_value), p.map(|e| e.ttest.p_value)))
-            });
+        group.bench(&format!("{cat}"), || {
+            let tw = try_evaluate(cat, Channel::TimingWindow, PredictorKind::Lvp, &cfg);
+            let p = try_evaluate(cat, Channel::Persistent, PredictorKind::Lvp, &cfg);
+            std::hint::black_box((tw.map(|e| e.ttest.p_value), p.map(|e| e.ttest.p_value)))
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_table3);
-criterion_main!(benches);

@@ -2,22 +2,18 @@
 //! synthetic kernels. Prints the speedup table, then times each
 //! workload × predictor pair.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vpsim_bench::microbench::BenchGroup;
 use vpsim_bench::workloads::{performance_report, run_workload, standard_workloads};
 
-fn bench_speedup(c: &mut Criterion) {
+fn main() {
     println!("{}", performance_report());
-    let mut group = c.benchmark_group("vp_speedup");
+    let mut group = BenchGroup::new("vp_speedup");
     group.sample_size(10);
     for w in standard_workloads() {
         for kind in ["no VP", "LVP", "VTAGE"] {
-            group.bench_function(BenchmarkId::new(w.name, kind), |b| {
-                b.iter(|| std::hint::black_box(run_workload(&w, kind)));
+            group.bench(&format!("{}/{kind}", w.name), || {
+                std::hint::black_box(run_workload(&w, kind))
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_speedup);
-criterion_main!(benches);

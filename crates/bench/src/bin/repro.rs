@@ -1,22 +1,33 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro --all                 # everything (default 100 trials)
-//! repro --figure 5            # one figure (2, 3, 4, 5, 7, 8)
-//! repro --table 2             # one table (1, 2, 3)
-//! repro --defenses            # §VI-B defense evaluation
-//! repro --ablations           # design-choice ablations
-//! repro --trials 30 --all     # trade precision for speed
+//! repro --all                      # everything (default 100 trials)
+//! repro --figure 5                 # one figure (2, 3, 4, 5, 7, 8)
+//! repro --table 2                  # one table (1, 2, 3)
+//! repro --defenses                 # §VI-B defense evaluation
+//! repro --ablations                # design-choice ablations
+//! repro --trials 30 --all          # trade precision for speed
+//! repro --table 3 --jobs 8         # shard trials across 8 workers
+//! repro --all --jobs 0             # jobs 0 = all available cores
+//! repro --table 3 --resume out/    # record/skip finished jobs in out/
 //! ```
+//!
+//! Evaluations run through the `vpsim-harness` campaign engine: results
+//! are bitwise-identical for every `--jobs` value, and a campaign killed
+//! half-way can be rerun with the same `--resume DIR` to skip every job
+//! already recorded there.
 
 use std::process::ExitCode;
 
 use vpsim_bench::reports;
+use vpsim_harness::Exec;
 
+#[derive(Debug)]
 struct Args {
     trials: usize,
     items: Vec<Item>,
     csv_dir: Option<std::path::PathBuf>,
+    exec: Exec,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,35 +39,104 @@ enum Item {
     Performance,
 }
 
+impl std::fmt::Display for Item {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Item::Table(n) => write!(f, "--table {n}"),
+            Item::Figure(n) => write!(f, "--figure {n}"),
+            Item::Defenses => write!(f, "--defenses"),
+            Item::Ablations => write!(f, "--ablations"),
+            Item::Performance => write!(f, "--performance"),
+        }
+    }
+}
+
+const VALID_TABLES: [u32; 3] = [1, 2, 3];
+const VALID_FIGURES: [u32; 6] = [2, 3, 4, 5, 7, 8];
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro [--trials N] [--csv DIR] (--all | --table {{1|2|3}} | --figure {{2|3|4|5|7|8}} | --defenses | --ablations | --performance)..."
+        "usage: repro [--trials N] [--jobs N] [--resume DIR] [--progress] [--csv DIR] \
+         (--all | --table {{1|2|3}} | --figure {{2|3|4|5|7|8}} | --defenses | --ablations | --performance)..."
     );
     ExitCode::FAILURE
 }
 
-fn parse() -> Result<Args, ()> {
-    let mut args = Args { trials: 100, items: Vec::new(), csv_dir: None };
-    let mut it = std::env::args().skip(1);
+/// Parse the argument list (without the program name). All validation
+/// happens here so errors name the offending argument before any
+/// simulation starts.
+fn parse_from<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
+    let mut args = Args {
+        trials: 100,
+        items: Vec::new(),
+        csv_dir: None,
+        exec: Exec::default(),
+    };
+    let mut jobs_explicit = false;
+    let mut it = argv.into_iter();
+    let value = |flag: &str, it: &mut dyn Iterator<Item = String>| -> Result<String, String> {
+        it.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    let push = |items: &mut Vec<Item>, item: Item| -> Result<(), String> {
+        if items.contains(&item) {
+            return Err(format!("duplicate item: {item}"));
+        }
+        items.push(item);
+        Ok(())
+    };
     while let Some(a) = it.next() {
         match a.as_str() {
             "--trials" => {
-                args.trials = it.next().ok_or(())?.parse().map_err(|_| ())?;
+                let v = value("--trials", &mut it)?;
+                args.trials = v
+                    .parse()
+                    .map_err(|_| format!("--trials expects a positive integer, got `{v}`"))?;
+                if args.trials == 0 {
+                    return Err("--trials 0 would evaluate empty distributions".to_owned());
+                }
             }
+            "--jobs" => {
+                let v = value("--jobs", &mut it)?;
+                args.exec.jobs = v
+                    .parse()
+                    .map_err(|_| format!("--jobs expects an integer (0 = all cores), got `{v}`"))?;
+                jobs_explicit = true;
+            }
+            "--resume" => {
+                args.exec.resume = Some(std::path::PathBuf::from(value("--resume", &mut it)?));
+            }
+            "--progress" => args.exec.progress = true,
             "--csv" => {
-                args.csv_dir = Some(std::path::PathBuf::from(it.next().ok_or(())?));
+                args.csv_dir = Some(std::path::PathBuf::from(value("--csv", &mut it)?));
             }
             "--table" => {
-                args.items.push(Item::Table(it.next().ok_or(())?.parse().map_err(|_| ())?));
+                let v = value("--table", &mut it)?;
+                let n = v
+                    .parse()
+                    .map_err(|_| format!("--table expects a number, got `{v}`"))?;
+                if !VALID_TABLES.contains(&n) {
+                    return Err(format!("unknown table {n}; the paper has tables 1-3"));
+                }
+                push(&mut args.items, Item::Table(n))?;
             }
             "--figure" => {
-                args.items.push(Item::Figure(it.next().ok_or(())?.parse().map_err(|_| ())?));
+                let v = value("--figure", &mut it)?;
+                let n = v
+                    .parse()
+                    .map_err(|_| format!("--figure expects a number, got `{v}`"))?;
+                if !VALID_FIGURES.contains(&n) {
+                    return Err(format!(
+                        "unknown figure {n} (Figure 1 is the simulator itself; \
+                         Figure 6 is the victim in vpsim-crypto)"
+                    ));
+                }
+                push(&mut args.items, Item::Figure(n))?;
             }
-            "--defenses" => args.items.push(Item::Defenses),
-            "--ablations" => args.items.push(Item::Ablations),
-            "--performance" => args.items.push(Item::Performance),
+            "--defenses" => push(&mut args.items, Item::Defenses)?,
+            "--ablations" => push(&mut args.items, Item::Ablations)?,
+            "--performance" => push(&mut args.items, Item::Performance)?,
             "--all" => {
-                args.items.extend([
+                for item in [
                     Item::Table(1),
                     Item::Table(2),
                     Item::Figure(2),
@@ -69,27 +149,42 @@ fn parse() -> Result<Args, ()> {
                     Item::Defenses,
                     Item::Ablations,
                     Item::Performance,
-                ]);
+                ] {
+                    push(&mut args.items, item)?;
+                }
             }
-            _ => return Err(()),
+            other => return Err(format!("unknown argument `{other}`")),
         }
     }
     if args.items.is_empty() && args.csv_dir.is_none() {
-        return Err(());
+        return Err("nothing to do: pass --all, an item flag, or --csv DIR".to_owned());
+    }
+    if args.exec.resume.is_some() && !jobs_explicit {
+        // A resumable run is usually a long one; default to all cores.
+        args.exec.jobs = 0;
     }
     Ok(args)
 }
 
-fn write_csvs(dir: &std::path::Path, trials: usize) -> std::io::Result<()> {
+fn write_csvs(dir: &std::path::Path, trials: usize, exec: &Exec) -> std::io::Result<()> {
     use vpsec::attacks::AttackCategory;
     use vpsim_bench::export;
     std::fs::create_dir_all(dir)?;
     let cfg = vpsim_bench::reports::config(trials);
     let files = [
-        ("fig5_train_test.csv", export::figure_distributions_csv(AttackCategory::TrainTest, &cfg)),
-        ("fig8_test_hit.csv", export::figure_distributions_csv(AttackCategory::TestHit, &cfg)),
-        ("table3.csv", export::table_iii_csv(&cfg)),
-        ("defense_window_sweep.csv", export::window_sweep_csv(&cfg)),
+        (
+            "fig5_train_test.csv",
+            export::figure_distributions_csv(AttackCategory::TrainTest, &cfg, exec),
+        ),
+        (
+            "fig8_test_hit.csv",
+            export::figure_distributions_csv(AttackCategory::TestHit, &cfg, exec),
+        ),
+        ("table3.csv", export::table_iii_csv(&cfg, exec)),
+        (
+            "defense_window_sweep.csv",
+            export::window_sweep_csv(&cfg, exec),
+        ),
         ("fig7_rsa.csv", export::figure_7_csv(60, 0x965)),
     ];
     for (name, contents) in files {
@@ -100,39 +195,167 @@ fn write_csvs(dir: &std::path::Path, trials: usize) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Run `f`, converting a panic into the panic message. The report and
+/// export functions panic on campaign-level errors (a manifest recorded
+/// by a different campaign, an unwritable resume directory); at the CLI
+/// surface those are user errors, not bugs, so they are reported as a
+/// one-line `error:` instead of a backtrace. The default panic hook is
+/// suspended for the duration so nothing double-prints.
+fn trap<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    std::panic::set_hook(hook);
+    result.map_err(|payload| {
+        payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_owned())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "internal error".to_owned())
+    })
+}
+
 fn main() -> ExitCode {
-    let Ok(args) = parse() else { return usage() };
+    let args = match parse_from(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
     if let Some(dir) = &args.csv_dir {
-        if let Err(e) = write_csvs(dir, args.trials) {
-            eprintln!("csv export failed: {e}");
-            return ExitCode::FAILURE;
+        match trap(|| write_csvs(dir, args.trials, &args.exec)) {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                eprintln!("csv export failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::FAILURE;
+            }
         }
     }
     for item in &args.items {
-        let report = match item {
+        let report = trap(|| match item {
             Item::Table(1) => reports::table_i(),
             Item::Table(2) => reports::table_ii(),
-            Item::Table(3) => reports::table_iii(args.trials),
+            Item::Table(3) => reports::table_iii(args.trials, &args.exec),
             Item::Figure(2) => reports::figure_2(),
             Item::Figure(3) => reports::figure_3(args.trials.min(10)),
             Item::Figure(4) => reports::figure_4(args.trials.min(10)),
-            Item::Figure(5) => reports::figure_5(args.trials),
+            Item::Figure(5) => reports::figure_5(args.trials, &args.exec),
             Item::Figure(7) => reports::figure_7(60, (args.trials / 10).max(1)),
-            Item::Figure(8) => reports::figure_8(args.trials),
-            Item::Defenses => reports::defense_report(args.trials),
-            Item::Ablations => reports::ablation_report(args.trials),
+            Item::Figure(8) => reports::figure_8(args.trials, &args.exec),
+            Item::Defenses => reports::defense_report(args.trials, &args.exec),
+            Item::Ablations => reports::ablation_report(args.trials, &args.exec),
             Item::Performance => vpsim_bench::workloads::performance_report(),
-            Item::Table(n) => {
-                eprintln!("unknown table {n}");
-                return usage();
+            Item::Table(n) | Item::Figure(n) => unreachable!("id {n} rejected at parse time"),
+        });
+        match report {
+            Ok(report) => {
+                println!("{}", "=".repeat(78));
+                println!("{report}");
             }
-            Item::Figure(n) => {
-                eprintln!("unknown figure {n} (Figure 1 is the simulator itself; Figure 6 is the victim in vpsim-crypto)");
-                return usage();
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::FAILURE;
             }
-        };
-        println!("{}", "=".repeat(78));
-        println!("{report}");
+        }
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        parse_from(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn minimal_invocations_parse() {
+        let a = parse(&["--all"]).unwrap();
+        assert_eq!(a.trials, 100);
+        assert_eq!(a.items.len(), 12);
+        assert_eq!(a.exec.jobs, 1);
+
+        let a = parse(&["--table", "3", "--trials", "30", "--jobs", "8"]).unwrap();
+        assert_eq!(a.items, vec![Item::Table(3)]);
+        assert_eq!(a.trials, 30);
+        assert_eq!(a.exec.jobs, 8);
+    }
+
+    #[test]
+    fn zero_trials_rejected() {
+        let e = parse(&["--trials", "0", "--all"]).unwrap_err();
+        assert!(e.contains("--trials 0"), "{e}");
+    }
+
+    #[test]
+    fn garbage_values_name_the_flag() {
+        assert!(parse(&["--trials", "many", "--all"])
+            .unwrap_err()
+            .contains("--trials"));
+        assert!(parse(&["--jobs", "x", "--all"])
+            .unwrap_err()
+            .contains("--jobs"));
+        assert!(parse(&["--table", "x"]).unwrap_err().contains("--table"));
+    }
+
+    #[test]
+    fn unknown_ids_rejected_at_parse_time() {
+        let e = parse(&["--table", "9"]).unwrap_err();
+        assert!(e.contains("unknown table 9"), "{e}");
+        let e = parse(&["--figure", "6"]).unwrap_err();
+        assert!(e.contains("unknown figure 6"), "{e}");
+        assert!(e.contains("vpsim-crypto"), "{e}");
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let e = parse(&["--table", "3", "--table", "3"]).unwrap_err();
+        assert!(e.contains("duplicate item: --table 3"), "{e}");
+        let e = parse(&["--defenses", "--defenses"]).unwrap_err();
+        assert!(e.contains("duplicate"), "{e}");
+        // --all after an explicit item that --all also contains.
+        let e = parse(&["--figure", "5", "--all"]).unwrap_err();
+        assert!(e.contains("duplicate"), "{e}");
+    }
+
+    #[test]
+    fn missing_values_rejected() {
+        assert!(parse(&["--trials"]).unwrap_err().contains("needs a value"));
+        assert!(parse(&["--all", "--resume"])
+            .unwrap_err()
+            .contains("needs a value"));
+    }
+
+    #[test]
+    fn unknown_flags_rejected() {
+        let e = parse(&["--frobnicate"]).unwrap_err();
+        assert!(e.contains("`--frobnicate`"), "{e}");
+    }
+
+    #[test]
+    fn empty_invocation_rejected() {
+        let e = parse(&[]).unwrap_err();
+        assert!(e.contains("nothing to do"), "{e}");
+    }
+
+    #[test]
+    fn resume_defaults_to_all_cores() {
+        let a = parse(&["--table", "3", "--resume", "out"]).unwrap();
+        assert_eq!(a.exec.jobs, 0, "resume implies a long run; use all cores");
+        let a = parse(&["--table", "3", "--resume", "out", "--jobs", "2"]).unwrap();
+        assert_eq!(a.exec.jobs, 2, "explicit --jobs wins");
+        assert_eq!(a.exec.resume.as_deref(), Some(std::path::Path::new("out")));
+    }
+
+    #[test]
+    fn progress_flag_sets_exec() {
+        let a = parse(&["--all", "--progress"]).unwrap();
+        assert!(a.exec.progress);
+    }
 }

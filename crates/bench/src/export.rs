@@ -1,14 +1,20 @@
 //! CSV export of experiment data, for external plotting of the figures.
 //!
 //! Every function returns CSV text (header + rows); the `repro` binary's
-//! `--csv DIR` flag writes the standard set to disk.
+//! `--csv DIR` flag writes the standard set to disk. All evaluations run
+//! through the `vpsim-harness` campaign engine, so an [`Exec`] with
+//! `jobs > 1` parallelizes the export and still produces byte-identical
+//! CSV.
 
 use std::fmt::Write as _;
 
 use vpsec::attacks::AttackCategory;
-use vpsec::defense::window_sweep;
-use vpsec::experiment::{try_evaluate, Channel, Evaluation, ExperimentConfig, PredictorKind};
+use vpsec::experiment::{Channel, Evaluation, ExperimentConfig, PredictorKind};
 use vpsim_crypto::{leak_exponent, LeakConfig, Mpi};
+use vpsim_harness::{Campaign, CellSpec, Exec};
+use vpsim_predictor::DefenseSpec;
+
+use crate::reports;
 
 /// Raw mapped/unmapped observations of one evaluation: one row per
 /// trial, `trial,case,cycles`.
@@ -26,8 +32,16 @@ pub fn distribution_csv(e: &Evaluation) -> String {
 
 /// Figure 5/8 data: the four panels of a distribution figure,
 /// `panel,channel,predictor,trial,case,cycles`.
+///
+/// # Panics
+///
+/// Panics if the campaign cannot run.
 #[must_use]
-pub fn figure_distributions_csv(category: AttackCategory, cfg: &ExperimentConfig) -> String {
+pub fn figure_distributions_csv(
+    category: AttackCategory,
+    cfg: &ExperimentConfig,
+    exec: &Exec,
+) -> String {
     let mut out = String::from("panel,channel,predictor,trial,case,cycles\n");
     let panels = [
         (1, Channel::TimingWindow, PredictorKind::None),
@@ -35,8 +49,19 @@ pub fn figure_distributions_csv(category: AttackCategory, cfg: &ExperimentConfig
         (3, Channel::Persistent, PredictorKind::None),
         (4, Channel::Persistent, PredictorKind::Lvp),
     ];
+    let mut campaign = Campaign::new(format!("csv_dist_{category:?}"));
     for (panel, channel, kind) in panels {
-        let Some(e) = try_evaluate(category, channel, kind, cfg) else {
+        campaign.push(CellSpec::new(
+            format!("{panel}"),
+            category,
+            channel,
+            kind,
+            cfg.clone(),
+        ));
+    }
+    let outcome = campaign.run(exec).unwrap_or_else(|e| panic!("distribution campaign: {e}"));
+    for (panel, channel, kind) in panels {
+        let Some(e) = outcome.get(&format!("{panel}")) else {
             continue;
         };
         for (case, obs) in [("mapped", &e.mapped), ("unmapped", &e.unmapped)] {
@@ -49,37 +74,67 @@ pub fn figure_distributions_csv(category: AttackCategory, cfg: &ExperimentConfig
 }
 
 /// Table III as CSV: `category,channel,predictor,pvalue,rate_kbps,effective`.
+///
+/// # Panics
+///
+/// Panics if the campaign cannot run.
 #[must_use]
-pub fn table_iii_csv(cfg: &ExperimentConfig) -> String {
+pub fn table_iii_csv(cfg: &ExperimentConfig, exec: &Exec) -> String {
+    let outcome = reports::table_iii_campaign(cfg)
+        .run(exec)
+        .unwrap_or_else(|e| panic!("table3 campaign: {e}"));
     let mut out = String::from("category,channel,predictor,pvalue,rate_kbps,effective\n");
-    for cat in AttackCategory::ALL {
-        for channel in [Channel::TimingWindow, Channel::Persistent] {
-            for kind in [PredictorKind::None, PredictorKind::Lvp] {
-                if let Some(e) = try_evaluate(cat, channel, kind, cfg) {
-                    let _ = writeln!(
-                        out,
-                        "{cat},{channel},{kind},{:.6},{:.3},{}",
-                        e.ttest.p_value,
-                        e.rate_kbps,
-                        e.succeeds()
-                    );
-                }
-            }
+    // Cells were pushed in the table's row order; unsupported cells have
+    // no evaluation and produce no row.
+    for cell in outcome.cells() {
+        if let Some(e) = cell.evaluation() {
+            let _ = writeln!(
+                out,
+                "{},{},{},{:.6},{:.3},{}",
+                e.category,
+                e.channel,
+                e.predictor,
+                e.ttest.p_value,
+                e.rate_kbps,
+                e.succeeds()
+            );
         }
     }
     out
 }
 
 /// The §VI-B window sweeps as CSV: `category,window,pvalue`.
+///
+/// # Panics
+///
+/// Panics if the campaign cannot run.
 #[must_use]
-pub fn window_sweep_csv(cfg: &ExperimentConfig) -> String {
+pub fn window_sweep_csv(cfg: &ExperimentConfig, exec: &Exec) -> String {
+    let mut campaign = Campaign::new("csv_window_sweep");
+    for (cat, windows) in reports::SWEEPS {
+        for &s in windows {
+            let sweep_cfg = ExperimentConfig {
+                defense: DefenseSpec {
+                    r_type: Some(s),
+                    ..DefenseSpec::none()
+                },
+                ..cfg.clone()
+            };
+            campaign.push(CellSpec::new(
+                format!("{cat}|{s}"),
+                cat,
+                Channel::TimingWindow,
+                PredictorKind::Lvp,
+                sweep_cfg,
+            ));
+        }
+    }
+    let outcome = campaign.run(exec).unwrap_or_else(|e| panic!("sweep campaign: {e}"));
     let mut out = String::from("category,window,pvalue\n");
-    for (cat, windows) in [
-        (AttackCategory::TrainTest, &[1u64, 2, 3, 4, 5][..]),
-        (AttackCategory::TestHit, &[1u64, 3, 5, 7, 8, 9, 10, 11][..]),
-    ] {
-        for (s, p) in window_sweep(cat, Channel::TimingWindow, PredictorKind::Lvp, windows, cfg) {
-            let _ = writeln!(out, "{cat},{s},{p:.6}");
+    for (cat, windows) in reports::SWEEPS {
+        for &s in windows {
+            let e = outcome.expect_eval(&format!("{cat}|{s}"));
+            let _ = writeln!(out, "{cat},{s},{:.6}", e.ttest.p_value);
         }
     }
     out
@@ -95,7 +150,13 @@ pub fn figure_7_csv(bits: usize, seed: u64) -> String {
             exponent = exponent.add(&Mpi::one());
         }
     }
-    let r = leak_exponent(&exponent, &LeakConfig { seed, ..LeakConfig::default() });
+    let r = leak_exponent(
+        &exponent,
+        &LeakConfig {
+            seed,
+            ..LeakConfig::default()
+        },
+    );
     let mut out = String::from("iteration,e_bit,cycles\n");
     for (i, (&bit, &obs)) in r.true_bits.iter().zip(&r.observations).enumerate() {
         let _ = writeln!(out, "{i},{},{obs}", u8::from(bit));
@@ -109,7 +170,10 @@ mod tests {
     use vpsec::experiment::evaluate;
 
     fn cfg() -> ExperimentConfig {
-        ExperimentConfig { trials: 6, ..ExperimentConfig::default() }
+        ExperimentConfig {
+            trials: 6,
+            ..ExperimentConfig::default()
+        }
     }
 
     #[test]
@@ -130,7 +194,7 @@ mod tests {
 
     #[test]
     fn table_csv_contains_every_supported_cell() {
-        let csv = table_iii_csv(&cfg());
+        let csv = table_iii_csv(&cfg(), &Exec::default());
         // 6 timing-window × 2 predictors + 3 persistent × 2 predictors.
         assert_eq!(csv.lines().count(), 1 + 12 + 6);
         assert!(csv.contains("Spill Over,timing-window,LVP"));
@@ -138,8 +202,41 @@ mod tests {
     }
 
     #[test]
+    fn table_csv_is_byte_identical_at_any_thread_count() {
+        let serial = table_iii_csv(&cfg(), &Exec::default());
+        let parallel = table_iii_csv(
+            &cfg(),
+            &Exec {
+                jobs: 8,
+                ..Exec::default()
+            },
+        );
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn figure_csv_is_byte_identical_at_any_thread_count() {
+        let serial = figure_distributions_csv(AttackCategory::TrainTest, &cfg(), &Exec::default());
+        let parallel = figure_distributions_csv(
+            AttackCategory::TrainTest,
+            &cfg(),
+            &Exec {
+                jobs: 8,
+                ..Exec::default()
+            },
+        );
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
     fn sweep_csv_rows() {
-        let csv = window_sweep_csv(&cfg());
+        let csv = window_sweep_csv(
+            &cfg(),
+            &Exec {
+                jobs: 2,
+                ..Exec::default()
+            },
+        );
         assert_eq!(csv.lines().count(), 1 + 5 + 8);
         assert!(csv.contains("Train + Test,3,"));
         assert!(csv.contains("Test + Hit,9,"));

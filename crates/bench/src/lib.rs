@@ -11,6 +11,7 @@
 //! which don't, and where the defense thresholds fall.
 
 pub mod export;
+pub mod microbench;
 pub mod reports;
 pub mod workloads;
 

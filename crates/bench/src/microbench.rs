@@ -1,0 +1,97 @@
+//! A minimal wall-clock benchmark harness.
+//!
+//! The crates.io registry is not reachable from the build environment,
+//! so the `benches/` targets cannot use criterion; this hand-rolled
+//! replacement covers what they need — named groups, a configurable
+//! sample count, and min/median/mean reporting — with `std::time`
+//! only. Every bench target (`harness = false`) builds a [`BenchGroup`]
+//! and calls [`BenchGroup::bench`] per kernel.
+
+use std::time::{Duration, Instant};
+
+/// A group of related benchmarks sharing a sample count.
+pub struct BenchGroup {
+    name: String,
+    samples: usize,
+}
+
+impl BenchGroup {
+    /// A new group; default 10 samples per benchmark.
+    #[must_use]
+    pub fn new(name: &str) -> BenchGroup {
+        BenchGroup {
+            name: name.to_owned(),
+            samples: 10,
+        }
+    }
+
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut BenchGroup {
+        assert!(samples >= 1, "need at least one sample");
+        self.samples = samples;
+        self
+    }
+
+    /// Time `f` (`samples` runs after one untimed warmup) and print a
+    /// `group/id  min ≤ median ≤ max  (mean)` line.
+    pub fn bench<R>(&mut self, id: &str, mut f: impl FnMut() -> R) -> &mut BenchGroup {
+        std::hint::black_box(f()); // warmup
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                std::hint::black_box(f());
+                t0.elapsed()
+            })
+            .collect();
+        times.sort();
+        let total: Duration = times.iter().sum();
+        let mean = total / self.samples as u32;
+        let median = times[times.len() / 2];
+        println!(
+            "bench {:<44} {:>11} ≤ {:>11} ≤ {:>11}  (mean {:>11}, {} samples)",
+            format!("{}/{}", self.name, id),
+            format_duration(times[0]),
+            format_duration(median),
+            format_duration(*times.last().expect("samples >= 1")),
+            format_duration(mean),
+            self.samples,
+        );
+        self
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_function_expected_number_of_times() {
+        let mut calls = 0usize;
+        BenchGroup::new("test")
+            .sample_size(5)
+            .bench("count", || calls += 1);
+        // 5 samples + 1 warmup.
+        assert_eq!(calls, 6);
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(format_duration(Duration::from_nanos(10)), "10 ns");
+        assert_eq!(format_duration(Duration::from_micros(5)), "5.00 µs");
+        assert_eq!(format_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}

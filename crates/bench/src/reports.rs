@@ -19,13 +19,12 @@
 use std::fmt::Write as _;
 
 use vpsec::attacks::{build_trial, AttackCategory, AttackSetup};
-use vpsec::experiment::{
-    evaluate, run_trial, try_evaluate, Channel, Evaluation, ExperimentConfig, PredictorKind,
-};
+use vpsec::experiment::{run_trial, Channel, Evaluation, ExperimentConfig, PredictorKind};
 use vpsec::model::enumerate;
 use vpsec::{defense, taxonomy};
 use vpsim_crypto::{leak_exponent, LeakConfig, Mpi};
-use vpsim_predictor::{IndexConfig, LoadContext, Lvp, LvpConfig, ValuePredictor};
+use vpsim_harness::{Campaign, CellSpec, Exec};
+use vpsim_predictor::{DefenseSpec, IndexConfig, LoadContext, Lvp, LvpConfig, ValuePredictor};
 
 // `IndexConfig` is used both for the index-truncation microbenchmark and
 // the pid-indexing experiment below.
@@ -34,7 +33,10 @@ use vpsim_stats::Histogram;
 /// Default experiment configuration with the given trial count.
 #[must_use]
 pub fn config(trials: usize) -> ExperimentConfig {
-    ExperimentConfig { trials, ..ExperimentConfig::default() }
+    ExperimentConfig {
+        trials,
+        ..ExperimentConfig::default()
+    }
 }
 
 fn verdict(p: f64) -> &'static str {
@@ -49,7 +51,10 @@ fn verdict(p: f64) -> &'static str {
 #[must_use]
 pub fn table_i() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table I: possible actions for each step of value predictor attacks\n");
+    let _ = writeln!(
+        out,
+        "Table I: possible actions for each step of value predictor attacks\n"
+    );
     let rows = [
         ("S^KD, S^KI", "Sender accesses data (resp. index) that it knows."),
         ("R^KD, R^KI", "Receiver accesses data (resp. index) that it knows."),
@@ -80,8 +85,16 @@ pub fn table_ii() -> String {
         e.total_combinations,
         e.effective.len()
     );
-    let _ = writeln!(out, "  {:<10} {:<10} {:<10} Category", "Step 1", "Step 2", "Step 3");
-    let _ = writeln!(out, "  {:<10} {:<10} {:<10}", "(Train)", "(Modify)", "(Trigger)");
+    let _ = writeln!(
+        out,
+        "  {:<10} {:<10} {:<10} Category",
+        "Step 1", "Step 2", "Step 3"
+    );
+    let _ = writeln!(
+        out,
+        "  {:<10} {:<10} {:<10}",
+        "(Train)", "(Modify)", "(Trigger)"
+    );
     for p in &e.effective {
         let _ = writeln!(
             out,
@@ -101,11 +114,40 @@ pub fn table_ii() -> String {
     out
 }
 
+/// Build the Table III campaign: every category × channel, without and
+/// with the value predictor. Shared by the text report and the CSV
+/// export so both reduce the exact same job set.
+#[must_use]
+pub fn table_iii_campaign(cfg: &ExperimentConfig) -> Campaign {
+    let mut campaign = Campaign::new("table3");
+    for cat in AttackCategory::ALL {
+        for channel in [Channel::TimingWindow, Channel::Persistent] {
+            for kind in [PredictorKind::None, PredictorKind::Lvp] {
+                campaign.push(CellSpec::new(
+                    format!("{cat}|{channel}|{kind}"),
+                    cat,
+                    channel,
+                    kind,
+                    cfg.clone(),
+                ));
+            }
+        }
+    }
+    campaign
+}
+
 /// Table III: p-values and transmission rates for every category ×
 /// channel, without and with the value predictor.
+///
+/// # Panics
+///
+/// Panics if the campaign cannot run (unusable resume directory or a
+/// failing job).
 #[must_use]
-pub fn table_iii(trials: usize) -> String {
-    let cfg = config(trials);
+pub fn table_iii(trials: usize, exec: &Exec) -> String {
+    let outcome = table_iii_campaign(&config(trials))
+        .run(exec)
+        .unwrap_or_else(|e| panic!("table3 campaign: {e}"));
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -117,13 +159,13 @@ pub fn table_iii(trials: usize) -> String {
         "  {:<15} | {:<12} {:<26} | {:<12} {:<26}",
         "Attack Category", "TW no VP", "TW with VP (rate)", "P no VP", "P with VP (rate)"
     );
-    let cell = |e: &Option<Evaluation>| -> String {
+    let cell = |e: Option<&Evaluation>| -> String {
         match e {
             None => "—".to_owned(),
             Some(e) => format!("{:.4}", e.ttest.p_value),
         }
     };
-    let cell_rate = |e: &Option<Evaluation>| -> String {
+    let cell_rate = |e: Option<&Evaluation>| -> String {
         match e {
             None => "—".to_owned(),
             Some(e) => format!(
@@ -135,21 +177,22 @@ pub fn table_iii(trials: usize) -> String {
         }
     };
     for cat in AttackCategory::ALL {
-        let tw_none = try_evaluate(cat, Channel::TimingWindow, PredictorKind::None, &cfg);
-        let tw_lvp = try_evaluate(cat, Channel::TimingWindow, PredictorKind::Lvp, &cfg);
-        let p_none = try_evaluate(cat, Channel::Persistent, PredictorKind::None, &cfg);
-        let p_lvp = try_evaluate(cat, Channel::Persistent, PredictorKind::Lvp, &cfg);
+        let get =
+            |channel: Channel, kind: PredictorKind| outcome.get(&format!("{cat}|{channel}|{kind}"));
         let _ = writeln!(
             out,
             "  {:<15} | {:<12} {:<26} | {:<12} {:<26}",
             cat.to_string(),
-            cell(&tw_none),
-            cell_rate(&tw_lvp),
-            cell(&p_none),
-            cell_rate(&p_lvp),
+            cell(get(Channel::TimingWindow, PredictorKind::None)),
+            cell_rate(get(Channel::TimingWindow, PredictorKind::Lvp)),
+            cell(get(Channel::Persistent, PredictorKind::None)),
+            cell_rate(get(Channel::Persistent, PredictorKind::Lvp)),
         );
     }
-    let _ = writeln!(out, "\n  (* = attack effective, p < 0.05; — = channel unsupported)");
+    let _ = writeln!(
+        out,
+        "\n  (* = attack effective, p < 0.05; — = channel unsupported)"
+    );
     out
 }
 
@@ -182,7 +225,10 @@ fn vps_state(vp: &Lvp, contexts: &[(&str, LoadContext)]) -> String {
                 );
             }
             None => {
-                let _ = writeln!(out, "      (no entry)                                    <- {label}");
+                let _ = writeln!(
+                    out,
+                    "      (no entry)                                    <- {label}"
+                );
             }
         }
     }
@@ -194,27 +240,52 @@ fn vps_state(vp: &Lvp, contexts: &[(&str, LoadContext)]) -> String {
 /// and show the VPS entry after each step, for secret = 1 (modify maps
 /// to the trained index) and secret = 0 (it does not).
 fn train_test_state_diagram(setup: &AttackSetup) -> String {
-    let mut out = String::from("  VPS state evolution (LVP entries, as in the Figure 3 diagrams):\n\n");
-    for (label, mapped) in [("secret = 1 (mapped)", true), ("secret = 0 (unmapped)", false)] {
+    let mut out =
+        String::from("  VPS state evolution (LVP entries, as in the Figure 3 diagrams):\n\n");
+    for (label, mapped) in [
+        ("secret = 1 (mapped)", true),
+        ("secret = 0 (unmapped)", false),
+    ] {
         let mut vp = Lvp::new(LvpConfig {
             confidence_threshold: setup.confidence,
             ..LvpConfig::default()
         });
-        let known = LoadContext { pc: setup.target_pc(), addr: setup.known_addr, pid: 2 };
-        let secret_pc = if mapped { setup.target_slot } else { setup.alt_slot } as u64 * 4;
-        let secret = LoadContext { pc: secret_pc, addr: setup.secret1_addr, pid: 1 };
+        let known = LoadContext {
+            pc: setup.target_pc(),
+            addr: setup.known_addr,
+            pid: 2,
+        };
+        let secret_pc = if mapped {
+            setup.target_slot
+        } else {
+            setup.alt_slot
+        } as u64
+            * 4;
+        let secret = LoadContext {
+            pc: secret_pc,
+            addr: setup.secret1_addr,
+            pid: 1,
+        };
         let watch = [("known index", known), ("secret index", secret)];
         let _ = writeln!(out, "    {label}:");
         for _ in 0..setup.confidence {
             vp.train(&known, setup.known_value, None);
         }
-        let _ = writeln!(out, "    after 1) train (receiver, {}x known):", setup.confidence);
+        let _ = writeln!(
+            out,
+            "    after 1) train (receiver, {}x known):",
+            setup.confidence
+        );
         out.push_str(&vps_state(&vp, &watch));
         for _ in 0..setup.confidence {
             let p = vp.lookup(&secret).map(|p| p.value);
             vp.train(&secret, setup.known_value + 1, p);
         }
-        let _ = writeln!(out, "    after 2) modify (sender, {}x secret):", setup.confidence);
+        let _ = writeln!(
+            out,
+            "    after 2) modify (sender, {}x secret):",
+            setup.confidence
+        );
         out.push_str(&vps_state(&vp, &watch));
         let trigger = vp.lookup(&known);
         let outcome = match trigger {
@@ -232,7 +303,11 @@ fn poc_walkthrough(category: AttackCategory, trials: usize) -> String {
     let setup = AttackSetup::default();
     let mut out = String::new();
     for mapped in [true, false] {
-        let label = if mapped { "mapped (secret = 1)" } else { "unmapped (secret = 0)" };
+        let label = if mapped {
+            "mapped (secret = 1)"
+        } else {
+            "unmapped (secret = 0)"
+        };
         let trial = build_trial(category, Channel::TimingWindow, mapped, &setup)
             .expect("timing trial exists");
         let _ = writeln!(out, "--- {label} ---");
@@ -273,7 +348,12 @@ pub fn figure_4(trials: usize) -> String {
 /// One panel of a Figure 5/8-style distribution plot.
 fn panel(title: &str, e: &Evaluation) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "  {title}  pvalue = {:.4}  [{}]", e.ttest.p_value, verdict(e.ttest.p_value));
+    let _ = writeln!(
+        out,
+        "  {title}  pvalue = {:.4}  [{}]",
+        e.ttest.p_value,
+        verdict(e.ttest.p_value)
+    );
     let hi = e
         .mapped
         .iter()
@@ -306,22 +386,44 @@ fn panel(title: &str, e: &Evaluation) -> String {
 
 fn distribution_figure(
     name: &str,
+    campaign_name: &str,
     category: AttackCategory,
     trials: usize,
+    exec: &Exec,
 ) -> String {
     let cfg = config(trials);
     let mut out = format!(
         "{name}: timing distributions, {trials} trials per case\n(mapped = '#', unmapped = '-')\n\n"
     );
     let cases = [
-        ("(1) Timing-Window Channel (no VP)", Channel::TimingWindow, PredictorKind::None),
-        ("(2) Timing-Window Channel (LVP)", Channel::TimingWindow, PredictorKind::Lvp),
-        ("(3) Persistent Channel (no VP)", Channel::Persistent, PredictorKind::None),
-        ("(4) Persistent Channel (LVP)", Channel::Persistent, PredictorKind::Lvp),
+        (
+            "(1) Timing-Window Channel (no VP)",
+            Channel::TimingWindow,
+            PredictorKind::None,
+        ),
+        (
+            "(2) Timing-Window Channel (LVP)",
+            Channel::TimingWindow,
+            PredictorKind::Lvp,
+        ),
+        (
+            "(3) Persistent Channel (no VP)",
+            Channel::Persistent,
+            PredictorKind::None,
+        ),
+        (
+            "(4) Persistent Channel (LVP)",
+            Channel::Persistent,
+            PredictorKind::Lvp,
+        ),
     ];
+    let mut campaign = Campaign::new(campaign_name);
     for (title, channel, kind) in cases {
-        let e = evaluate(category, channel, kind, &cfg);
-        out.push_str(&panel(title, &e));
+        campaign.push(CellSpec::new(title, category, channel, kind, cfg.clone()));
+    }
+    let outcome = campaign.run(exec).unwrap_or_else(|e| panic!("distribution campaign: {e}"));
+    for (title, _, _) in cases {
+        out.push_str(&panel(title, outcome.expect_eval(title)));
         out.push('\n');
     }
     out
@@ -330,14 +432,26 @@ fn distribution_figure(
 /// Figure 5: Train+Test timing distributions over the timing-window and
 /// persistent channels, with and without the value predictor.
 #[must_use]
-pub fn figure_5(trials: usize) -> String {
-    distribution_figure("Figure 5 (Train + Test)", AttackCategory::TrainTest, trials)
+pub fn figure_5(trials: usize, exec: &Exec) -> String {
+    distribution_figure(
+        "Figure 5 (Train + Test)",
+        "fig5",
+        AttackCategory::TrainTest,
+        trials,
+        exec,
+    )
 }
 
 /// Figure 8: the same four panels for Test+Hit.
 #[must_use]
-pub fn figure_8(trials: usize) -> String {
-    distribution_figure("Figure 8 (Test + Hit)", AttackCategory::TestHit, trials)
+pub fn figure_8(trials: usize, exec: &Exec) -> String {
+    distribution_figure(
+        "Figure 8 (Test + Hit)",
+        "fig8",
+        AttackCategory::TestHit,
+        trials,
+        exec,
+    )
 }
 
 /// Figure 7: the receiver's per-iteration observations while the victim
@@ -362,7 +476,10 @@ pub fn figure_7(bits: usize, runs: usize) -> String {
     let mut first_series = None;
     let mut rate_sum = 0.0;
     for run in 0..runs {
-        let cfg = LeakConfig { seed: 0x965 + run as u64, ..LeakConfig::default() };
+        let cfg = LeakConfig {
+            seed: 0x965 + run as u64,
+            ..LeakConfig::default()
+        };
         let r = leak_exponent(&exponent, &cfg);
         total_correct += r
             .true_bits
@@ -377,7 +494,11 @@ pub fn figure_7(bits: usize, runs: usize) -> String {
         }
     }
     let r = first_series.expect("at least one run");
-    let _ = writeln!(out, "  iteration | e_bit | observed cycles (threshold {:.0})", r.threshold);
+    let _ = writeln!(
+        out,
+        "  iteration | e_bit | observed cycles (threshold {:.0})",
+        r.threshold
+    );
     for (i, (&bit, &obs)) in r.true_bits.iter().zip(&r.observations).enumerate() {
         let _ = writeln!(
             out,
@@ -395,29 +516,84 @@ pub fn figure_7(bits: usize, runs: usize) -> String {
         total_bits,
         runs
     );
-    let _ = writeln!(out, "  transmission rate: {:.2} Kbps", rate_sum / runs.max(1) as f64);
+    let _ = writeln!(
+        out,
+        "  transmission rate: {:.2} Kbps",
+        rate_sum / runs.max(1) as f64
+    );
     out
+}
+
+pub(crate) const SWEEPS: [(AttackCategory, &[u64]); 2] = [
+    (AttackCategory::TrainTest, &[1, 2, 3, 4, 5]),
+    (AttackCategory::TestHit, &[1, 3, 5, 7, 8, 9, 10, 11]),
+];
+
+/// Build the §VI-B campaign: the R-type window sweeps plus the defense
+/// matrix over every category and channel. Shared with the CSV export.
+#[must_use]
+pub fn defense_campaign(base: &ExperimentConfig) -> Campaign {
+    let mut campaign = Campaign::new("defenses");
+    for (cat, windows) in SWEEPS {
+        for &s in windows {
+            let cfg = ExperimentConfig {
+                defense: DefenseSpec {
+                    r_type: Some(s),
+                    ..DefenseSpec::none()
+                },
+                ..base.clone()
+            };
+            campaign.push(CellSpec::new(
+                format!("sweep|{cat}|{s}"),
+                cat,
+                Channel::TimingWindow,
+                PredictorKind::Lvp,
+                cfg,
+            ));
+        }
+    }
+    for cat in AttackCategory::ALL {
+        for channel in [Channel::TimingWindow, Channel::Persistent] {
+            for defense in defense::standard_defenses(9) {
+                let cfg = ExperimentConfig {
+                    defense,
+                    ..base.clone()
+                };
+                campaign.push(CellSpec::new(
+                    format!("matrix|{cat}|{channel}|{}", defense.label()),
+                    cat,
+                    channel,
+                    PredictorKind::Lvp,
+                    cfg,
+                ));
+            }
+        }
+    }
+    campaign
 }
 
 /// §VI-B: the defense evaluation — an A/D/R matrix per attack plus the
 /// R-type window sweeps whose thresholds the paper reports (3 for
 /// Train+Test, 9 for Test+Hit).
+///
+/// # Panics
+///
+/// Panics if the campaign cannot run.
 #[must_use]
-pub fn defense_report(trials: usize) -> String {
-    let base = config(trials);
+pub fn defense_report(trials: usize, exec: &Exec) -> String {
+    let outcome = defense_campaign(&config(trials))
+        .run(exec)
+        .unwrap_or_else(|e| panic!("defense campaign: {e}"));
     let mut out = String::from("Defense evaluation (paper §VI-B)\n\n");
     // Window sweeps.
-    for (cat, windows) in [
-        (AttackCategory::TrainTest, &[1u64, 2, 3, 4, 5][..]),
-        (AttackCategory::TestHit, &[1u64, 3, 5, 7, 8, 9, 10, 11][..]),
-    ] {
-        let sweep = defense::window_sweep(
-            cat,
-            Channel::TimingWindow,
-            PredictorKind::Lvp,
-            windows,
-            &base,
-        );
+    for (cat, windows) in SWEEPS {
+        let sweep: Vec<(u64, f64)> = windows
+            .iter()
+            .map(|&s| {
+                let e = outcome.expect_eval(&format!("sweep|{cat}|{s}"));
+                (s, e.ttest.p_value)
+            })
+            .collect();
         let _ = writeln!(out, "  R-type window sweep, {cat} (timing-window):");
         for (s, p) in &sweep {
             let _ = writeln!(out, "    S = {s:>2}: pvalue = {p:.4}  [{}]", verdict(*p));
@@ -430,22 +606,32 @@ pub fn defense_report(trials: usize) -> String {
         );
     }
     // Defense matrix per category over both channels.
-    let defenses = defense::standard_defenses(9);
     let _ = writeln!(out, "  defense matrix (R window 9):");
     for cat in AttackCategory::ALL {
         for channel in [Channel::TimingWindow, Channel::Persistent] {
-            let rows = defense::defense_matrix(cat, channel, PredictorKind::Lvp, &defenses, &base);
+            let rows: Vec<(DefenseSpec, &Evaluation)> = defense::standard_defenses(9)
+                .into_iter()
+                .filter_map(|d| {
+                    outcome
+                        .get(&format!("matrix|{cat}|{channel}|{}", d.label()))
+                        .map(|e| (d, e))
+                })
+                .collect();
             if rows.is_empty() {
                 continue;
             }
             let _ = writeln!(out, "    {cat} / {channel}:");
-            for row in rows {
+            for (defense, e) in rows {
                 let _ = writeln!(
                     out,
                     "      {:<10} pvalue = {:.4}  [{}]",
-                    row.defense.label(),
-                    row.evaluation.ttest.p_value,
-                    if row.defended() { "defended" } else { "still leaks" }
+                    defense.label(),
+                    e.ttest.p_value,
+                    if e.succeeds() {
+                        "still leaks"
+                    } else {
+                        "defended"
+                    }
                 );
             }
         }
@@ -462,7 +648,10 @@ pub fn index_bits_ablation(num_pcs: usize, rounds: usize) -> Vec<(Option<u32>, f
         .into_iter()
         .map(|bits| {
             let mut vp = Lvp::new(LvpConfig {
-                index: IndexConfig { index_bits: bits, ..IndexConfig::default() },
+                index: IndexConfig {
+                    index_bits: bits,
+                    ..IndexConfig::default()
+                },
                 capacity: 1 << 16,
                 ..LvpConfig::default()
             });
@@ -493,13 +682,138 @@ pub fn index_bits_ablation(num_pcs: usize, rounds: usize) -> Vec<(Option<u32>, f
         .collect()
 }
 
+const ABLATION_CONFIDENCES: [u32; 5] = [1, 2, 3, 5, 8];
+const ABLATION_JITTERS: [u64; 5] = [0, 12, 50, 120, 250];
+const ABLATION_KINDS: [PredictorKind; 5] = [
+    PredictorKind::Lvp,
+    PredictorKind::Vtage,
+    PredictorKind::OracleLvp,
+    PredictorKind::OracleVtage,
+    PredictorKind::Stride,
+];
+
+/// Build the ablation campaign: confidence-threshold, DRAM-jitter,
+/// prefetcher, pid-indexing and predictor-type sweeps as one job pool.
+#[must_use]
+pub fn ablation_campaign(trials: usize) -> Campaign {
+    let mut campaign = Campaign::new("ablations");
+    let tt = AttackCategory::TrainTest;
+    let tw = Channel::TimingWindow;
+    for confidence in ABLATION_CONFIDENCES {
+        let cfg = ExperimentConfig {
+            trials,
+            setup: AttackSetup {
+                confidence,
+                ..AttackSetup::default()
+            },
+            ..ExperimentConfig::default()
+        };
+        campaign.push(CellSpec::new(
+            format!("confidence|{confidence}"),
+            tt,
+            tw,
+            PredictorKind::Lvp,
+            cfg,
+        ));
+    }
+    for jitter in ABLATION_JITTERS {
+        let mem = vpsim_mem::MemoryConfig {
+            dram_jitter: jitter,
+            ..vpsim_mem::MemoryConfig::default()
+        };
+        let cfg = ExperimentConfig {
+            trials,
+            mem,
+            ..ExperimentConfig::default()
+        };
+        campaign.push(CellSpec::new(
+            format!("jitter|{jitter}"),
+            tt,
+            tw,
+            PredictorKind::Lvp,
+            cfg,
+        ));
+    }
+    let prefetch_mem = vpsim_mem::MemoryConfig {
+        prefetch: vpsim_mem::PrefetchKind::NextLine,
+        ..vpsim_mem::MemoryConfig::default()
+    };
+    for kind in [PredictorKind::None, PredictorKind::Lvp] {
+        let cfg = ExperimentConfig {
+            trials,
+            mem: prefetch_mem,
+            ..ExperimentConfig::default()
+        };
+        campaign.push(CellSpec::new(format!("prefetch|{kind}"), tt, tw, kind, cfg));
+    }
+    let pid_cfg = ExperimentConfig {
+        trials,
+        index: IndexConfig {
+            use_pid: true,
+            ..IndexConfig::default()
+        },
+        ..ExperimentConfig::default()
+    };
+    campaign.push(CellSpec::new(
+        "pid|cross",
+        tt,
+        tw,
+        PredictorKind::Lvp,
+        pid_cfg.clone(),
+    ));
+    campaign.push(CellSpec::new(
+        "pid|internal",
+        AttackCategory::FillUp,
+        tw,
+        PredictorKind::Lvp,
+        pid_cfg,
+    ));
+    for kind in ABLATION_KINDS {
+        for cat in [tt, AttackCategory::TestHit] {
+            campaign.push(CellSpec::new(
+                format!("kind|{kind}|{cat}"),
+                cat,
+                tw,
+                kind,
+                config(trials),
+            ));
+        }
+    }
+    let fcm_cfg = ExperimentConfig {
+        trials,
+        setup: AttackSetup {
+            extra_training: 8,
+            ..AttackSetup::default()
+        },
+        ..ExperimentConfig::default()
+    };
+    campaign.push(CellSpec::new(
+        "fcm|deep",
+        tt,
+        tw,
+        PredictorKind::Fcm,
+        fcm_cfg,
+    ));
+    campaign
+}
+
 /// The ablation report: index truncation, confidence threshold, and
 /// predictor type (LVP vs VTAGE vs stride vs oracle — §IV-D3).
+///
+/// # Panics
+///
+/// Panics if the campaign cannot run.
 #[must_use]
-pub fn ablation_report(trials: usize) -> String {
+pub fn ablation_report(trials: usize, exec: &Exec) -> String {
+    let outcome = ablation_campaign(trials)
+        .run(exec)
+        .unwrap_or_else(|e| panic!("ablation campaign: {e}"));
     let mut out = String::from("Design-choice ablations\n\n");
     // 1. Index truncation (predictor-level).
-    let _ = writeln!(out, "  index bits vs prediction coverage (256 loads, constant values):");
+    let _ = writeln!(
+        out,
+        "  index bits vs prediction coverage (256 loads, constant values):"
+    );
     for (bits, coverage) in index_bits_ablation(256, 6) {
         let _ = writeln!(
             out,
@@ -510,13 +824,8 @@ pub fn ablation_report(trials: usize) -> String {
     }
     // 2. Confidence threshold vs attack effectiveness.
     let _ = writeln!(out, "\n  confidence threshold vs Train+Test leak:");
-    for confidence in [1u32, 2, 3, 5, 8] {
-        let cfg = ExperimentConfig {
-            trials,
-            setup: AttackSetup { confidence, ..AttackSetup::default() },
-            ..ExperimentConfig::default()
-        };
-        let e = evaluate(AttackCategory::TrainTest, Channel::TimingWindow, PredictorKind::Lvp, &cfg);
+    for confidence in ABLATION_CONFIDENCES {
+        let e = outcome.expect_eval(&format!("confidence|{confidence}"));
         let _ = writeln!(
             out,
             "    confidence {confidence}: pvalue = {:.4} [{}], {:.2} Kbps",
@@ -527,13 +836,21 @@ pub fn ablation_report(trials: usize) -> String {
     }
     // 2a. noise robustness: attacks survive realistic DRAM jitter; the
     // covert channel's bit-error rate degrades gracefully.
-    let _ = writeln!(out, "\n  DRAM jitter vs Train+Test leak and Fill Up covert BER:");
-    for jitter in [0u64, 12, 50, 120, 250] {
-        let mem = vpsim_mem::MemoryConfig { dram_jitter: jitter, ..vpsim_mem::MemoryConfig::default() };
-        let cfg = ExperimentConfig { trials, mem, ..ExperimentConfig::default() };
-        let e = evaluate(AttackCategory::TrainTest, Channel::TimingWindow, PredictorKind::Lvp, &cfg);
+    let _ = writeln!(
+        out,
+        "\n  DRAM jitter vs Train+Test leak and Fill Up covert BER:"
+    );
+    for jitter in ABLATION_JITTERS {
+        let mem = vpsim_mem::MemoryConfig {
+            dram_jitter: jitter,
+            ..vpsim_mem::MemoryConfig::default()
+        };
+        let e = outcome.expect_eval(&format!("jitter|{jitter}"));
         let covert_cfg = vpsec::covert::CovertConfig {
-            experiment: ExperimentConfig { mem, ..ExperimentConfig::default() },
+            experiment: ExperimentConfig {
+                mem,
+                ..ExperimentConfig::default()
+            },
             calibration: 6,
             ..vpsec::covert::CovertConfig::default()
         };
@@ -550,15 +867,13 @@ pub fn ablation_report(trials: usize) -> String {
     // 2a'. prefetcher contrast (§I-B): prefetchers have no "no
     // prediction" timing case; enabling one neither creates the VP
     // channels nor masks them.
-    let _ = writeln!(out, "\n  next-line prefetcher vs the VP channel (§I-B contrast):");
+    let _ = writeln!(
+        out,
+        "\n  next-line prefetcher vs the VP channel (§I-B contrast):"
+    );
     {
-        let mem = vpsim_mem::MemoryConfig {
-            prefetch: vpsim_mem::PrefetchKind::NextLine,
-            ..vpsim_mem::MemoryConfig::default()
-        };
-        let cfg = ExperimentConfig { trials, mem, ..ExperimentConfig::default() };
-        let no_vp = evaluate(AttackCategory::TrainTest, Channel::TimingWindow, PredictorKind::None, &cfg);
-        let lvp = evaluate(AttackCategory::TrainTest, Channel::TimingWindow, PredictorKind::Lvp, &cfg);
+        let no_vp = outcome.expect_eval("prefetch|no VP");
+        let lvp = outcome.expect_eval("prefetch|LVP");
         let _ = writeln!(
             out,
             "    prefetcher on, no VP: pvalue = {:.4} [{}] (a prefetcher alone opens no VP channel)",
@@ -576,29 +891,14 @@ pub fn ablation_report(trials: usize) -> String {
     // 2b. pid-aware indexing (threat model, footnote 5): pid indexing
     // stops cross-process aliasing but not the sender-internal attacks.
     let _ = writeln!(out, "\n  pid-indexed predictor (threat-model footnote 5):");
-    let pid_cfg = ExperimentConfig {
-        trials,
-        index: IndexConfig { use_pid: true, ..IndexConfig::default() },
-        ..ExperimentConfig::default()
-    };
-    let cross = evaluate(
-        AttackCategory::TrainTest,
-        Channel::TimingWindow,
-        PredictorKind::Lvp,
-        &pid_cfg,
-    );
+    let cross = outcome.expect_eval("pid|cross");
     let _ = writeln!(
         out,
         "    cross-process Train+Test: pvalue = {:.4} [{}] (indexes no longer alias)",
         cross.ttest.p_value,
         verdict(cross.ttest.p_value)
     );
-    let internal = evaluate(
-        AttackCategory::FillUp,
-        Channel::TimingWindow,
-        PredictorKind::Lvp,
-        &pid_cfg,
-    );
+    let internal = outcome.expect_eval("pid|internal");
     let _ = writeln!(
         out,
         "    sender-internal Fill Up:  pvalue = {:.4} [{}] (pid does not eliminate attacks)",
@@ -607,17 +907,13 @@ pub fn ablation_report(trials: usize) -> String {
     );
 
     // 3. Predictor type (paper §IV-D3: LVP and VTAGE both leak).
-    let cfg = config(trials);
-    let _ = writeln!(out, "\n  predictor type vs leak (Train+Test & Test+Hit, timing-window):");
-    for kind in [
-        PredictorKind::Lvp,
-        PredictorKind::Vtage,
-        PredictorKind::OracleLvp,
-        PredictorKind::OracleVtage,
-        PredictorKind::Stride,
-    ] {
-        let tt = evaluate(AttackCategory::TrainTest, Channel::TimingWindow, kind, &cfg);
-        let th = evaluate(AttackCategory::TestHit, Channel::TimingWindow, kind, &cfg);
+    let _ = writeln!(
+        out,
+        "\n  predictor type vs leak (Train+Test & Test+Hit, timing-window):"
+    );
+    for kind in ABLATION_KINDS {
+        let tt = outcome.expect_eval(&format!("kind|{kind}|{}", AttackCategory::TrainTest));
+        let th = outcome.expect_eval(&format!("kind|{kind}|{}", AttackCategory::TestHit));
         let _ = writeln!(
             out,
             "    {:<13} Train+Test p = {:.4} [{}], Test+Hit p = {:.4} [{}]",
@@ -631,12 +927,7 @@ pub fn ablation_report(trials: usize) -> String {
     // The FCM's context must stabilise before it predicts: the attacker
     // simply trains `history_depth` extra times (higher attack cost,
     // same leak).
-    let fcm_cfg = ExperimentConfig {
-        trials,
-        setup: AttackSetup { extra_training: 8, ..AttackSetup::default() },
-        ..ExperimentConfig::default()
-    };
-    let tt = evaluate(AttackCategory::TrainTest, Channel::TimingWindow, PredictorKind::Fcm, &fcm_cfg);
+    let tt = outcome.expect_eval("fcm|deep");
     let _ = writeln!(
         out,
         "    {:<13} Train+Test p = {:.4} [{}] (with 8 extra training accesses)",
@@ -685,7 +976,7 @@ mod tests {
 
     #[test]
     fn figure_5_has_four_panels_with_expected_verdicts() {
-        let f = figure_5(T);
+        let f = figure_5(T, &Exec::default());
         assert_eq!(f.matches("pvalue").count(), 4);
         assert_eq!(f.matches("EFFECTIVE").count(), 2, "{f}");
         assert_eq!(f.matches("not effective").count(), 2, "{f}");
@@ -693,7 +984,7 @@ mod tests {
 
     #[test]
     fn table_iii_reports_every_category() {
-        let t = table_iii(T);
+        let t = table_iii(T, &Exec::default());
         for cat in AttackCategory::ALL {
             assert!(t.contains(&cat.to_string()), "{cat} missing");
         }
@@ -701,12 +992,31 @@ mod tests {
     }
 
     #[test]
+    fn table_iii_is_identical_at_any_thread_count() {
+        let serial = table_iii(T, &Exec::default());
+        let parallel = table_iii(
+            T,
+            &Exec {
+                jobs: 4,
+                ..Exec::default()
+            },
+        );
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
     fn index_bits_ablation_monotone_decreasing() {
         let results = index_bits_ablation(256, 4);
         let full = results[0].1;
         let tiny = results.last().unwrap().1;
-        assert!(full > 0.9, "full index should predict nearly always: {full}");
-        assert!(tiny < full, "truncation must reduce coverage: {tiny} vs {full}");
+        assert!(
+            full > 0.9,
+            "full index should predict nearly always: {full}"
+        );
+        assert!(
+            tiny < full,
+            "truncation must reduce coverage: {tiny} vs {full}"
+        );
     }
 
     #[test]
@@ -719,7 +1029,7 @@ mod tests {
 
     #[test]
     fn defense_report_has_both_sweeps_and_matrix() {
-        let d = defense_report(8);
+        let d = defense_report(8, &Exec::default());
         assert!(d.contains("R-type window sweep, Train + Test"));
         assert!(d.contains("R-type window sweep, Test + Hit"));
         assert!(d.contains("minimal secure window"));
@@ -729,7 +1039,13 @@ mod tests {
 
     #[test]
     fn ablation_report_sections_present() {
-        let a = ablation_report(6);
+        let a = ablation_report(
+            6,
+            &Exec {
+                jobs: 2,
+                ..Exec::default()
+            },
+        );
         for section in [
             "index bits vs prediction coverage",
             "confidence threshold",

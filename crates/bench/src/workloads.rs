@@ -59,9 +59,7 @@ pub fn pointer_chase(nodes: u64, passes: u64) -> Workload {
     }
     let hops = nodes * passes;
     let mut b = ProgramBuilder::new();
-    b.li(Reg::R1, addr_of(0))
-        .li(Reg::R2, 0)
-        .li(Reg::R3, hops);
+    b.li(Reg::R1, addr_of(0)).li(Reg::R2, 0).li(Reg::R3, hops);
     b.label("hop").unwrap();
     b.load(Reg::R1, Reg::R1, 0) // serial dependence: addr ← loaded value
         .addi(Reg::R2, Reg::R2, 1)
@@ -157,10 +155,16 @@ fn build(kind: &str) -> Box<dyn ValuePredictor> {
     // (1024-node lists), or entries churn before reaching confidence.
     match kind {
         "no VP" => Box::new(NoPredictor::new()),
-        "LVP" => Box::new(Lvp::new(LvpConfig { index, capacity: 8192, ..LvpConfig::default() })),
-        "stride" => {
-            Box::new(Stride::new(StrideConfig { index, capacity: 8192, ..StrideConfig::default() }))
-        }
+        "LVP" => Box::new(Lvp::new(LvpConfig {
+            index,
+            capacity: 8192,
+            ..LvpConfig::default()
+        })),
+        "stride" => Box::new(Stride::new(StrideConfig {
+            index,
+            capacity: 8192,
+            ..StrideConfig::default()
+        })),
         "VTAGE" => Box::new(Vtage::new(VtageConfig {
             index,
             log2_entries: 13,
@@ -188,9 +192,7 @@ pub fn run_workload(workload: &Workload, predictor: &str) -> u64 {
     for (a, v) in &workload.memory {
         m.mem_mut().store_value(*a, *v);
     }
-    m.run(0, &workload.program)
-        .expect("workload halts")
-        .cycles
+    m.run(0, &workload.program).expect("workload halts").cycles
 }
 
 /// `(workload, predictor, cycles, speedup-vs-no-VP)` for every pair.
@@ -221,14 +223,22 @@ pub fn performance_report() -> String {
          predictors gain 4.8%-11.2% on real workloads; here the shape on\n\
          synthetic kernels — dependent misses gain, adversarial loses little):\n\n",
     );
-    let _ = writeln!(out, "  {:<16} {:<8} {:>12} {:>10}", "workload", "VP", "cycles", "speedup");
+    let _ = writeln!(
+        out,
+        "  {:<16} {:<8} {:>12} {:>10}",
+        "workload", "VP", "cycles", "speedup"
+    );
     let mut last = String::new();
     for (w, kind, cycles, speedup) in speedup_table() {
         if w != last {
             let _ = writeln!(out);
             last.clone_from(&w);
         }
-        let _ = writeln!(out, "  {:<16} {:<8} {:>12} {:>9.2}x", w, kind, cycles, speedup);
+        let _ = writeln!(
+            out,
+            "  {:<16} {:<8} {:>12} {:>9.2}x",
+            w, kind, cycles, speedup
+        );
     }
     out
 }
@@ -251,7 +261,10 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         let mut addr = HEAP;
         for _ in 0..128 {
-            assert!(seen.insert(addr), "revisited {addr:#x} early: not a full cycle");
+            assert!(
+                seen.insert(addr),
+                "revisited {addr:#x} early: not a full cycle"
+            );
             addr = w
                 .memory
                 .iter()

@@ -88,13 +88,20 @@ fn timing_trial(category: AttackCategory, mapped: bool, setup: &AttackSetup) -> 
             // accesses retrain the entry); R re-probes the known index.
             // Mapped → misprediction (slow); unmapped → correct (fast).
             Trial {
-                memory_init: vec![
-                    (setup.known_addr, v.known),
-                    (setup.secret1_addr, v.secret1),
-                ],
+                memory_init: vec![(setup.known_addr, v.known), (setup.secret1_addr, v.secret1)],
                 steps: vec![
-                    step(Party::Receiver, train_program(setup, slot, setup.known_addr), c, "train"),
-                    step(Party::Sender, train_program(setup, other, setup.secret1_addr), c, "modify"),
+                    step(
+                        Party::Receiver,
+                        train_program(setup, slot, setup.known_addr),
+                        c,
+                        "train",
+                    ),
+                    step(
+                        Party::Sender,
+                        train_program(setup, other, setup.secret1_addr),
+                        c,
+                        "modify",
+                    ),
                     step(
                         Party::Receiver,
                         trigger_timing(setup, slot, setup.known_addr, &[v.known, v.secret1]),
@@ -109,13 +116,20 @@ fn timing_trial(category: AttackCategory, mapped: bool, setup: &AttackSetup) -> 
             // S trains its secret index; a known-index access modifies;
             // S re-probes. Mapped → misprediction; unmapped → correct.
             Trial {
-                memory_init: vec![
-                    (setup.known_addr, v.known),
-                    (setup.secret1_addr, v.secret1),
-                ],
+                memory_init: vec![(setup.known_addr, v.known), (setup.secret1_addr, v.secret1)],
                 steps: vec![
-                    step(Party::Sender, train_program(setup, slot, setup.secret1_addr), c, "train"),
-                    step(Party::Receiver, train_program(setup, other, setup.known_addr), c, "modify"),
+                    step(
+                        Party::Sender,
+                        train_program(setup, slot, setup.secret1_addr),
+                        c,
+                        "train",
+                    ),
+                    step(
+                        Party::Receiver,
+                        train_program(setup, other, setup.known_addr),
+                        c,
+                        "modify",
+                    ),
                     step(
                         Party::Sender,
                         trigger_timing(setup, slot, setup.secret1_addr, &[v.known, v.secret1]),
@@ -130,12 +144,14 @@ fn timing_trial(category: AttackCategory, mapped: bool, setup: &AttackSetup) -> 
             // Known-data training, secret-data trigger at the same PC.
             // Mapped (secret == known) → correct; unmapped → mispredict.
             Trial {
-                memory_init: vec![
-                    (setup.known_addr, v.known),
-                    (setup.secret1_addr, v.secret1),
-                ],
+                memory_init: vec![(setup.known_addr, v.known), (setup.secret1_addr, v.secret1)],
                 steps: vec![
-                    step(Party::Receiver, train_program(setup, slot, setup.known_addr), c, "train"),
+                    step(
+                        Party::Receiver,
+                        train_program(setup, slot, setup.known_addr),
+                        c,
+                        "train",
+                    ),
                     step(
                         Party::Sender,
                         trigger_timing(setup, slot, setup.secret1_addr, &[v.known, v.secret1]),
@@ -150,12 +166,14 @@ fn timing_trial(category: AttackCategory, mapped: bool, setup: &AttackSetup) -> 
             // Secret training by S, known-data trigger by R at the same
             // PC. Mapped (values equal) → correct; unmapped → mispredict.
             Trial {
-                memory_init: vec![
-                    (setup.known_addr, v.known),
-                    (setup.secret1_addr, v.secret1),
-                ],
+                memory_init: vec![(setup.known_addr, v.known), (setup.secret1_addr, v.secret1)],
                 steps: vec![
-                    step(Party::Sender, train_program(setup, slot, setup.secret1_addr), c, "train"),
+                    step(
+                        Party::Sender,
+                        train_program(setup, slot, setup.secret1_addr),
+                        c,
+                        "train",
+                    ),
                     step(
                         Party::Receiver,
                         trigger_timing(setup, slot, setup.known_addr, &[v.known, v.secret1]),
@@ -178,8 +196,18 @@ fn timing_trial(category: AttackCategory, mapped: bool, setup: &AttackSetup) -> 
                     (setup.secret2_addr, v.secret2),
                 ],
                 steps: vec![
-                    step(Party::Sender, train_program(setup, slot, setup.secret1_addr), exact - 1, "train"),
-                    step(Party::Sender, train_program(setup, slot, setup.secret2_addr), 1, "modify"),
+                    step(
+                        Party::Sender,
+                        train_program(setup, slot, setup.secret1_addr),
+                        exact - 1,
+                        "train",
+                    ),
+                    step(
+                        Party::Sender,
+                        train_program(setup, slot, setup.secret2_addr),
+                        1,
+                        "modify",
+                    ),
                     step(
                         Party::Sender,
                         trigger_timing(setup, slot, setup.secret1_addr, &[v.secret1, v.secret2]),
@@ -199,7 +227,12 @@ fn timing_trial(category: AttackCategory, mapped: bool, setup: &AttackSetup) -> 
                     (setup.secret2_addr, v.secret2),
                 ],
                 steps: vec![
-                    step(Party::Sender, train_program(setup, slot, setup.secret1_addr), c, "train"),
+                    step(
+                        Party::Sender,
+                        train_program(setup, slot, setup.secret1_addr),
+                        c,
+                        "train",
+                    ),
                     step(
                         Party::Sender,
                         trigger_timing(setup, slot, setup.secret2_addr, &[v.secret1, v.secret2]),
@@ -225,20 +258,32 @@ fn persistent_trial(category: AttackCategory, mapped: bool, setup: &AttackSetup)
             // mispredicted with the sender-trained secret (mapped case).
             let other = if mapped { slot } else { setup.alt_slot };
             Trial {
-                memory_init: vec![
-                    (setup.known_addr, v.known),
-                    (setup.secret1_addr, v.secret1),
-                ],
+                memory_init: vec![(setup.known_addr, v.known), (setup.secret1_addr, v.secret1)],
                 steps: vec![
-                    step(Party::Receiver, train_program(setup, slot, setup.known_addr), c, "train"),
-                    step(Party::Sender, train_program(setup, other, setup.secret1_addr), c, "modify"),
+                    step(
+                        Party::Receiver,
+                        train_program(setup, slot, setup.known_addr),
+                        c,
+                        "train",
+                    ),
+                    step(
+                        Party::Sender,
+                        train_program(setup, other, setup.secret1_addr),
+                        c,
+                        "modify",
+                    ),
                     step(
                         Party::Receiver,
                         trigger_encode(setup, slot, setup.known_addr, &[v.known, v.secret1]),
                         1,
                         "trigger",
                     ),
-                    step(Party::Receiver, decode_program(setup, v.secret1), 1, "decode"),
+                    step(
+                        Party::Receiver,
+                        decode_program(setup, v.secret1),
+                        1,
+                        "decode",
+                    ),
                 ],
                 observe_step: 3,
             }
@@ -256,19 +301,31 @@ fn persistent_trial(category: AttackCategory, mapped: bool, setup: &AttackSetup)
             let secret = v.known + 2;
             let candidate = if mapped { secret } else { v.known + 7 };
             Trial {
-                memory_init: vec![
-                    (setup.known_addr, v.known),
-                    (setup.secret1_addr, secret),
-                ],
+                memory_init: vec![(setup.known_addr, v.known), (setup.secret1_addr, secret)],
                 steps: vec![
-                    step(Party::Sender, train_program(setup, slot, setup.secret1_addr), c, "train"),
+                    step(
+                        Party::Sender,
+                        train_program(setup, slot, setup.secret1_addr),
+                        c,
+                        "train",
+                    ),
                     step(
                         Party::Receiver,
-                        trigger_encode(setup, slot, setup.known_addr, &[v.known, secret, candidate]),
+                        trigger_encode(
+                            setup,
+                            slot,
+                            setup.known_addr,
+                            &[v.known, secret, candidate],
+                        ),
                         1,
                         "trigger",
                     ),
-                    step(Party::Receiver, decode_program(setup, candidate), 1, "decode"),
+                    step(
+                        Party::Receiver,
+                        decode_program(setup, candidate),
+                        1,
+                        "decode",
+                    ),
                 ],
                 observe_step: 2,
             }
@@ -286,10 +343,20 @@ fn persistent_trial(category: AttackCategory, mapped: bool, setup: &AttackSetup)
                     (setup.secret2_addr, secret2),
                 ],
                 steps: vec![
-                    step(Party::Sender, train_program(setup, slot, setup.secret1_addr), c, "train"),
                     step(
                         Party::Sender,
-                        trigger_encode(setup, slot, setup.secret2_addr, &[v.secret1, secret2, probe]),
+                        train_program(setup, slot, setup.secret1_addr),
+                        c,
+                        "train",
+                    ),
+                    step(
+                        Party::Sender,
+                        trigger_encode(
+                            setup,
+                            slot,
+                            setup.secret2_addr,
+                            &[v.secret1, secret2, probe],
+                        ),
                         1,
                         "trigger",
                     ),
@@ -303,7 +370,12 @@ fn persistent_trial(category: AttackCategory, mapped: bool, setup: &AttackSetup)
 }
 
 fn step(party: Party, program: vpsim_isa::Program, repeat: usize, label: &'static str) -> Step {
-    Step { party, program, repeat, label }
+    Step {
+        party,
+        program,
+        repeat,
+        label,
+    }
 }
 
 #[cfg(test)]
@@ -342,7 +414,13 @@ mod tests {
     #[test]
     fn spill_over_uses_confidence_minus_one() {
         let setup = AttackSetup::default();
-        let t = build_trial(AttackCategory::SpillOver, Channel::TimingWindow, true, &setup).unwrap();
+        let t = build_trial(
+            AttackCategory::SpillOver,
+            Channel::TimingWindow,
+            true,
+            &setup,
+        )
+        .unwrap();
         assert_eq!(t.steps[0].repeat, setup.confidence as usize - 1);
         assert_eq!(t.steps[1].repeat, 1);
     }
@@ -350,9 +428,20 @@ mod tests {
     #[test]
     fn unmapped_index_attacks_use_alt_slot() {
         let setup = AttackSetup::default();
-        let mapped = build_trial(AttackCategory::TrainTest, Channel::TimingWindow, true, &setup).unwrap();
-        let unmapped =
-            build_trial(AttackCategory::TrainTest, Channel::TimingWindow, false, &setup).unwrap();
+        let mapped = build_trial(
+            AttackCategory::TrainTest,
+            Channel::TimingWindow,
+            true,
+            &setup,
+        )
+        .unwrap();
+        let unmapped = build_trial(
+            AttackCategory::TrainTest,
+            Channel::TimingWindow,
+            false,
+            &setup,
+        )
+        .unwrap();
         // The sender's modify program differs between mapped and unmapped
         // (different nop padding → different load PC).
         assert_ne!(mapped.steps[1].program, unmapped.steps[1].program);
@@ -364,15 +453,29 @@ mod tests {
     #[test]
     fn train_hit_is_internal_to_one_machine_but_two_parties() {
         let setup = AttackSetup::default();
-        let t = build_trial(AttackCategory::TrainHit, Channel::TimingWindow, true, &setup).unwrap();
+        let t = build_trial(
+            AttackCategory::TrainHit,
+            Channel::TimingWindow,
+            true,
+            &setup,
+        )
+        .unwrap();
         assert_eq!(t.steps.len(), 2);
-        assert_eq!(t.steps[1].party, Party::Sender, "trigger is the victim's access");
+        assert_eq!(
+            t.steps[1].party,
+            Party::Sender,
+            "trigger is the victim's access"
+        );
     }
 
     #[test]
     fn persistent_trials_end_with_decode() {
         let setup = AttackSetup::default();
-        for cat in [AttackCategory::TrainTest, AttackCategory::TestHit, AttackCategory::FillUp] {
+        for cat in [
+            AttackCategory::TrainTest,
+            AttackCategory::TestHit,
+            AttackCategory::FillUp,
+        ] {
             let t = build_trial(cat, Channel::Persistent, true, &setup).unwrap();
             assert_eq!(t.steps.last().unwrap().label, "decode");
             assert_eq!(t.observe_step, t.steps.len() - 1);

@@ -202,6 +202,11 @@ mod tests {
     fn overlong_preamble_detected() {
         let s = setup();
         // Ten dep candidates → preamble of 6 + 20 > 12.
-        let _ = trigger_timing(&s, s.target_slot, s.known_addr, &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        let _ = trigger_timing(
+            &s,
+            s.target_slot,
+            s.known_addr,
+            &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
+        );
     }
 }

@@ -109,7 +109,12 @@ pub struct SpectreOutcome {
 /// the probe array, run the gadget once with the out-of-bounds index,
 /// then probe `array2` slots `0..range` for the cached one.
 #[must_use]
-pub fn run_attack(layout: &SpectreLayout, secret: u64, probe_range: u64, seed: u64) -> SpectreOutcome {
+pub fn run_attack(
+    layout: &SpectreLayout,
+    secret: u64,
+    probe_range: u64,
+    seed: u64,
+) -> SpectreOutcome {
     let mut machine = Machine::new(
         CoreConfig::default(),
         MemoryConfig::deterministic(),
@@ -214,7 +219,9 @@ mod tests {
         }
         m.store_value(layout.secret_addr, 9);
         for v in 0..16 {
-            machine.mem_mut().flush_line(layout.array2 + v * layout.stride);
+            machine
+                .mem_mut()
+                .flush_line(layout.array2 + v * layout.stride);
         }
         machine.run(2, &gadget(&layout, 1)).expect("in-bounds run");
         assert!(machine.mem().probe_l2(layout.array2 + 2 * layout.stride));

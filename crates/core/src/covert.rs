@@ -101,7 +101,11 @@ fn trials_for(cfg: &CovertConfig) -> Option<Channel2Trials> {
             cfg.category.outcomes().mapped,
             crate::model::Outcome::Misprediction | crate::model::Outcome::NoPrediction
         );
-    Some(Channel2Trials { mapped, unmapped, mapped_is_slow })
+    Some(Channel2Trials {
+        mapped,
+        unmapped,
+        mapped_is_slow,
+    })
 }
 
 /// Transmit `message` through the configured attack, one bit per trial
@@ -116,8 +120,15 @@ pub fn transmit(message: &[u8], cfg: &CovertConfig) -> Option<CovertResult> {
     for i in 0..cfg.calibration {
         let seed = cfg.experiment.seed ^ (0xca1 + i as u64 * 0x9e37);
         mapped_obs.push(run_trial(&trials.mapped, cfg.predictor, &cfg.experiment, seed).observed);
-        unmapped_obs
-            .push(run_trial(&trials.unmapped, cfg.predictor, &cfg.experiment, seed ^ 0xff).observed);
+        unmapped_obs.push(
+            run_trial(
+                &trials.unmapped,
+                cfg.predictor,
+                &cfg.experiment,
+                seed ^ 0xff,
+            )
+            .observed,
+        );
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     let threshold = (mean(&mapped_obs) + mean(&unmapped_obs)) / 2.0;
@@ -133,7 +144,11 @@ pub fn transmit(message: &[u8], cfg: &CovertConfig) -> Option<CovertResult> {
                 .experiment
                 .seed
                 .wrapping_add(((byte_idx * 8 + bit_idx) as u64).wrapping_mul(0x9e37_79b9));
-            let trial = if bit { &trials.mapped } else { &trials.unmapped };
+            let trial = if bit {
+                &trials.mapped
+            } else {
+                &trials.unmapped
+            };
             let outcome = run_trial(trial, cfg.predictor, &cfg.experiment, seed);
             total_cycles += outcome.total_cycles;
             let slow = outcome.observed > threshold;

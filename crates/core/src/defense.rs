@@ -49,9 +49,18 @@ impl DefenseOutcome {
 pub fn standard_defenses(window: u64) -> Vec<DefenseSpec> {
     vec![
         DefenseSpec::none(),
-        DefenseSpec { a_type: Some(AlwaysMode::History), ..DefenseSpec::none() },
-        DefenseSpec { r_type: Some(window), ..DefenseSpec::none() },
-        DefenseSpec { d_type: true, ..DefenseSpec::none() },
+        DefenseSpec {
+            a_type: Some(AlwaysMode::History),
+            ..DefenseSpec::none()
+        },
+        DefenseSpec {
+            r_type: Some(window),
+            ..DefenseSpec::none()
+        },
+        DefenseSpec {
+            d_type: true,
+            ..DefenseSpec::none()
+        },
         DefenseSpec {
             a_type: Some(AlwaysMode::History),
             r_type: Some(window),
@@ -73,7 +82,10 @@ pub fn defense_matrix(
     defenses
         .iter()
         .filter_map(|&defense| {
-            let cfg = ExperimentConfig { defense, ..base.clone() };
+            let cfg = ExperimentConfig {
+                defense,
+                ..base.clone()
+            };
             try_evaluate(category, channel, predictor, &cfg).map(|evaluation| DefenseOutcome {
                 defense,
                 evaluation,
@@ -96,7 +108,10 @@ pub fn window_sweep(
         .iter()
         .filter_map(|&s| {
             let cfg = ExperimentConfig {
-                defense: DefenseSpec { r_type: Some(s), ..DefenseSpec::none() },
+                defense: DefenseSpec {
+                    r_type: Some(s),
+                    ..DefenseSpec::none()
+                },
                 ..base.clone()
             };
             try_evaluate(category, channel, predictor, &cfg).map(|e| (s, e.ttest.p_value))
@@ -125,7 +140,10 @@ mod tests {
     use super::*;
 
     fn quick() -> ExperimentConfig {
-        ExperimentConfig { trials: 12, ..ExperimentConfig::default() }
+        ExperimentConfig {
+            trials: 12,
+            ..ExperimentConfig::default()
+        }
     }
 
     #[test]
@@ -159,7 +177,11 @@ mod tests {
             &base,
         );
         assert_eq!(sweep.len(), 2);
-        assert!(sweep[0].1 < SIGNIFICANCE, "S=1 (no defense) leaks: p={}", sweep[0].1);
+        assert!(
+            sweep[0].1 < SIGNIFICANCE,
+            "S=1 (no defense) leaks: p={}",
+            sweep[0].1
+        );
         assert!(sweep[1].1 >= SIGNIFICANCE, "S=3 defends: p={}", sweep[1].1);
     }
 
@@ -170,7 +192,13 @@ mod tests {
             AttackCategory::FillUp,
             Channel::Persistent,
             PredictorKind::Lvp,
-            &[DefenseSpec::none(), DefenseSpec { d_type: true, ..DefenseSpec::none() }],
+            &[
+                DefenseSpec::none(),
+                DefenseSpec {
+                    d_type: true,
+                    ..DefenseSpec::none()
+                },
+            ],
             &base,
         );
         assert_eq!(outcomes.len(), 2);

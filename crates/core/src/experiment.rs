@@ -245,7 +245,10 @@ pub fn run_trial_with_defense_seed(
             }
         }
     }
-    TrialOutcome { observed, total_cycles }
+    TrialOutcome {
+        observed,
+        total_cycles,
+    }
 }
 
 /// The background process: sweeps its own working set with flushed
@@ -306,9 +309,177 @@ impl std::fmt::Display for Evaluation {
             self.predictor,
             self.defense.label(),
             self.ttest.p_value,
-            if self.succeeds() { "attack succeeds" } else { "attack fails" },
+            if self.succeeds() {
+                "attack succeeds"
+            } else {
+                "attack fails"
+            },
             self.rate_kbps
         )
+    }
+}
+
+/// The outcome of one paired trial: the mapped and unmapped arm run on
+/// a shared machine seed (so DRAM jitter cancels) with independent
+/// defense seeds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairOutcome {
+    /// Outcome of the mapped (secret = 1) arm.
+    pub mapped: TrialOutcome,
+    /// Outcome of the unmapped (secret = 0) arm.
+    pub unmapped: TrialOutcome,
+}
+
+impl PairOutcome {
+    /// Simulated cycles consumed by both arms together.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.mapped.total_cycles + self.unmapped.total_cycles
+    }
+}
+
+/// One evaluation cell (category × channel × predictor × config)
+/// decomposed into independent paired-trial jobs.
+///
+/// [`CellPlan::run_pair`] is a pure function of the plan and the trial
+/// index — every seed is derived from the coordinates alone, never from
+/// execution order or shared state — so pairs may run on any thread in
+/// any order. [`CellPlan::finish`] consumes the pairs in trial order and
+/// produces an [`Evaluation`] bitwise-identical to the sequential
+/// [`try_evaluate`], whatever the execution schedule was.
+#[derive(Debug, Clone)]
+pub struct CellPlan {
+    category: AttackCategory,
+    channel: Channel,
+    predictor: PredictorKind,
+    cfg: ExperimentConfig,
+    mapped_trial: Trial,
+    unmapped_trial: Trial,
+}
+
+impl CellPlan {
+    /// Plan the cell, or `None` if the category does not support the
+    /// channel (Table III's "—" cells).
+    #[must_use]
+    pub fn new(
+        category: AttackCategory,
+        channel: Channel,
+        predictor: PredictorKind,
+        cfg: &ExperimentConfig,
+    ) -> Option<Self> {
+        let mapped_trial = build_trial(category, channel, true, &cfg.setup)?;
+        let unmapped_trial = build_trial(category, channel, false, &cfg.setup)?;
+        Some(CellPlan {
+            category,
+            channel,
+            predictor,
+            cfg: cfg.clone(),
+            mapped_trial,
+            unmapped_trial,
+        })
+    }
+
+    /// Number of paired trials (= independent jobs) in this cell.
+    #[must_use]
+    pub fn trials(&self) -> usize {
+        self.cfg.trials
+    }
+
+    /// The attack category this cell evaluates.
+    #[must_use]
+    pub fn category(&self) -> AttackCategory {
+        self.category
+    }
+
+    /// The channel this cell evaluates.
+    #[must_use]
+    pub fn channel(&self) -> Channel {
+        self.channel
+    }
+
+    /// The predictor configuration this cell evaluates.
+    #[must_use]
+    pub fn predictor(&self) -> PredictorKind {
+        self.predictor
+    }
+
+    /// The experiment configuration the plan was built from.
+    #[must_use]
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.cfg
+    }
+
+    /// The machine seed shared by both arms of pair `t` — a pure
+    /// function of the master seed and the trial index.
+    #[must_use]
+    pub fn trial_seed(&self, t: usize) -> u64 {
+        self.cfg
+            .seed
+            .wrapping_add((t as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// Run paired trial `t` on two fresh machines.
+    ///
+    /// Paired design: the mapped and unmapped trial of each pair share a
+    /// machine seed, so jitter affects both identically. Without a value
+    /// predictor the two access streams are the same and the
+    /// distributions coincide exactly; any separation that remains is
+    /// caused by the predictor. The R-type defense draw must still be
+    /// independent per arm (see [`run_trial_with_defense_seed`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a step program fails to run (a malformed generator is a
+    /// bug).
+    #[must_use]
+    pub fn run_pair(&self, t: usize) -> PairOutcome {
+        let base = self.trial_seed(t);
+        let mapped = run_trial_with_defense_seed(
+            &self.mapped_trial,
+            self.predictor,
+            &self.cfg,
+            base,
+            base ^ 0x5ee3,
+        );
+        let unmapped = run_trial_with_defense_seed(
+            &self.unmapped_trial,
+            self.predictor,
+            &self.cfg,
+            base,
+            base ^ 0x0def_5eed,
+        );
+        PairOutcome { mapped, unmapped }
+    }
+
+    /// Reduce the pairs — in trial order — into the cell's
+    /// [`Evaluation`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs.len()` differs from [`CellPlan::trials`].
+    #[must_use]
+    pub fn finish(&self, pairs: &[PairOutcome]) -> Evaluation {
+        assert_eq!(
+            pairs.len(),
+            self.cfg.trials,
+            "finish() needs exactly one PairOutcome per trial"
+        );
+        let mapped: Vec<f64> = pairs.iter().map(|p| p.mapped.observed).collect();
+        let unmapped: Vec<f64> = pairs.iter().map(|p| p.unmapped.observed).collect();
+        let cycle_sum: u64 = pairs.iter().map(PairOutcome::total_cycles).sum();
+        let ttest = welch_t_test(&mapped, &unmapped);
+        let bits = (2 * self.cfg.trials) as u64;
+        let rate_kbps = TransmissionRate::from_total(cycle_sum.max(1), bits).kbps();
+        Evaluation {
+            category: self.category,
+            channel: self.channel,
+            predictor: self.predictor,
+            defense: self.cfg.defense,
+            mapped,
+            unmapped,
+            ttest,
+            rate_kbps,
+        }
     }
 }
 
@@ -321,40 +492,9 @@ pub fn try_evaluate(
     predictor: PredictorKind,
     cfg: &ExperimentConfig,
 ) -> Option<Evaluation> {
-    let mapped_trial = build_trial(category, channel, true, &cfg.setup)?;
-    let unmapped_trial = build_trial(category, channel, false, &cfg.setup)?;
-    let mut mapped = Vec::with_capacity(cfg.trials);
-    let mut unmapped = Vec::with_capacity(cfg.trials);
-    let mut cycle_sum = 0u64;
-    for t in 0..cfg.trials {
-        // Paired design: the mapped and unmapped trial of each pair share
-        // a machine seed, so jitter affects both identically. Without a
-        // value predictor the two access streams are the same and the
-        // distributions coincide exactly; any separation that remains is
-        // caused by the predictor.
-        let base = cfg
-            .seed
-            .wrapping_add((t as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
-        let m = run_trial_with_defense_seed(&mapped_trial, predictor, cfg, base, base ^ 0x5ee3);
-        let u =
-            run_trial_with_defense_seed(&unmapped_trial, predictor, cfg, base, base ^ 0x0def_5eed);
-        mapped.push(m.observed);
-        unmapped.push(u.observed);
-        cycle_sum += m.total_cycles + u.total_cycles;
-    }
-    let ttest = welch_t_test(&mapped, &unmapped);
-    let bits = (2 * cfg.trials) as u64;
-    let rate_kbps = TransmissionRate::from_total(cycle_sum.max(1), bits).kbps();
-    Some(Evaluation {
-        category,
-        channel,
-        predictor,
-        defense: cfg.defense,
-        mapped,
-        unmapped,
-        ttest,
-        rate_kbps,
-    })
+    let plan = CellPlan::new(category, channel, predictor, cfg)?;
+    let pairs: Vec<PairOutcome> = (0..plan.trials()).map(|t| plan.run_pair(t)).collect();
+    Some(plan.finish(&pairs))
 }
 
 /// Evaluate one attack configuration.
@@ -468,6 +608,37 @@ mod tests {
             PredictorKind::Lvp,
             &cfg,
         );
+    }
+
+    #[test]
+    fn cell_plan_is_schedule_invariant() {
+        let cfg = quick_cfg();
+        let plan = CellPlan::new(
+            AttackCategory::TrainTest,
+            Channel::TimingWindow,
+            PredictorKind::Lvp,
+            &cfg,
+        )
+        .unwrap();
+        // Run the pairs in reverse order, then reduce in trial order: the
+        // result must match the sequential evaluation exactly.
+        let mut pairs: Vec<PairOutcome> =
+            (0..plan.trials()).rev().map(|t| plan.run_pair(t)).collect();
+        pairs.reverse();
+        let parallel = plan.finish(&pairs);
+        let serial = evaluate(
+            AttackCategory::TrainTest,
+            Channel::TimingWindow,
+            PredictorKind::Lvp,
+            &cfg,
+        );
+        assert_eq!(parallel.mapped, serial.mapped);
+        assert_eq!(parallel.unmapped, serial.unmapped);
+        assert_eq!(
+            parallel.ttest.p_value.to_bits(),
+            serial.ttest.p_value.to_bits()
+        );
+        assert_eq!(parallel.rate_kbps.to_bits(), serial.rate_kbps.to_bits());
     }
 
     #[test]

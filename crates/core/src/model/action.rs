@@ -136,7 +136,10 @@ impl Action {
     pub fn is_secret(&self) -> bool {
         matches!(
             self,
-            Action::Access { knowledge: Knowledge::Secret, .. }
+            Action::Access {
+                knowledge: Knowledge::Secret,
+                ..
+            }
         )
     }
 
@@ -145,7 +148,10 @@ impl Action {
     pub fn is_known(&self) -> bool {
         matches!(
             self,
-            Action::Access { knowledge: Knowledge::Known, .. }
+            Action::Access {
+                knowledge: Knowledge::Known,
+                ..
+            }
         )
     }
 
@@ -181,7 +187,12 @@ impl std::fmt::Display for Action {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Action::None => write!(f, "—"),
-            Action::Access { actor, knowledge, dimension, variant } => {
+            Action::Access {
+                actor,
+                knowledge,
+                dimension,
+                variant,
+            } => {
                 let k = match knowledge {
                     Knowledge::Known => "K",
                     Knowledge::Secret => "S",
@@ -209,9 +220,9 @@ mod tests {
 
     #[test]
     fn no_receiver_secret_actions() {
-        assert!(Action::step_actions().iter().all(|a| {
-            !(a.is_secret() && a.actor() == Some(Actor::Receiver))
-        }));
+        assert!(Action::step_actions()
+            .iter()
+            .all(|a| { !(a.is_secret() && a.actor() == Some(Actor::Receiver)) }));
     }
 
     #[test]

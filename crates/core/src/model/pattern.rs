@@ -69,7 +69,11 @@ impl AttackPattern {
     /// Construct a pattern.
     #[must_use]
     pub fn new(train: Action, modify: Action, trigger: Action) -> AttackPattern {
-        AttackPattern { train, modify, trigger }
+        AttackPattern {
+            train,
+            modify,
+            trigger,
+        }
     }
 
     /// The actions in step order.
@@ -127,9 +131,12 @@ impl AttackPattern {
                         (false, true, Some(SecretVariant::Prime), None) => {
                             Some(AttackCategory::TestHit)
                         }
-                        (false, false, Some(SecretVariant::Prime), Some(SecretVariant::DoublePrime)) => {
-                            Some(AttackCategory::FillUp)
-                        }
+                        (
+                            false,
+                            false,
+                            Some(SecretVariant::Prime),
+                            Some(SecretVariant::DoublePrime),
+                        ) => Some(AttackCategory::FillUp),
                         _ => None,
                     };
                 }
@@ -171,8 +178,13 @@ impl AttackPattern {
 
 impl std::fmt::Display for AttackPattern {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:8} {:8} {:8}",
-            self.train.to_string(), self.modify.to_string(), self.trigger.to_string())
+        write!(
+            f,
+            "{:8} {:8} {:8}",
+            self.train.to_string(),
+            self.modify.to_string(),
+            self.trigger.to_string()
+        )
     }
 }
 
@@ -193,14 +205,23 @@ mod tests {
         let sd2 = Action::secret(Data, DoublePrime);
         let si1 = Action::secret(Index, Prime);
         let cases = [
-            (AttackPattern::new(known(Sender, Data), Action::None, sd1), AttackCategory::TrainHit),
+            (
+                AttackPattern::new(known(Sender, Data), Action::None, sd1),
+                AttackCategory::TrainHit,
+            ),
             (
                 AttackPattern::new(known(Receiver, Index), si1, known(Receiver, Index)),
                 AttackCategory::TrainTest,
             ),
             (AttackPattern::new(sd1, sd2, sd1), AttackCategory::SpillOver),
-            (AttackPattern::new(sd1, Action::None, known(Receiver, Data)), AttackCategory::TestHit),
-            (AttackPattern::new(sd1, Action::None, sd2), AttackCategory::FillUp),
+            (
+                AttackPattern::new(sd1, Action::None, known(Receiver, Data)),
+                AttackCategory::TestHit,
+            ),
+            (
+                AttackPattern::new(sd1, Action::None, sd2),
+                AttackCategory::FillUp,
+            ),
             (
                 AttackPattern::new(si1, known(Receiver, Index), si1),
                 AttackCategory::ModifyTest,
@@ -234,11 +255,31 @@ mod tests {
     #[test]
     fn distinguishability_rules() {
         use Outcome::{CorrectPrediction, Misprediction, NoPrediction};
-        assert!(OutcomePair { mapped: CorrectPrediction, unmapped: Misprediction }.distinguishable());
-        assert!(OutcomePair { mapped: CorrectPrediction, unmapped: NoPrediction }.distinguishable());
-        assert!(OutcomePair { mapped: Misprediction, unmapped: CorrectPrediction }.distinguishable());
-        assert!(!OutcomePair { mapped: Misprediction, unmapped: NoPrediction }.distinguishable());
-        assert!(!OutcomePair { mapped: NoPrediction, unmapped: NoPrediction }.distinguishable());
+        assert!(OutcomePair {
+            mapped: CorrectPrediction,
+            unmapped: Misprediction
+        }
+        .distinguishable());
+        assert!(OutcomePair {
+            mapped: CorrectPrediction,
+            unmapped: NoPrediction
+        }
+        .distinguishable());
+        assert!(OutcomePair {
+            mapped: Misprediction,
+            unmapped: CorrectPrediction
+        }
+        .distinguishable());
+        assert!(!OutcomePair {
+            mapped: Misprediction,
+            unmapped: NoPrediction
+        }
+        .distinguishable());
+        assert!(!OutcomePair {
+            mapped: NoPrediction,
+            unmapped: NoPrediction
+        }
+        .distinguishable());
     }
 
     #[test]

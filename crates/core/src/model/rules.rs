@@ -134,8 +134,18 @@ fn check_index(p: &AttackPattern) -> Result<(), Rejection> {
     // The trigger must probe the same entry the train step set: same
     // knowledge class and, for secrets, the same variant.
     let probe_matches = match (p.train, p.trigger) {
-        (Action::Access { knowledge: k1, variant: v1, .. },
-         Action::Access { knowledge: k2, variant: v2, .. }) => k1 == k2 && v1 == v2,
+        (
+            Action::Access {
+                knowledge: k1,
+                variant: v1,
+                ..
+            },
+            Action::Access {
+                knowledge: k2,
+                variant: v2,
+                ..
+            },
+        ) => k1 == k2 && v1 == v2,
         _ => false,
     };
     if !probe_matches {
@@ -288,18 +298,48 @@ mod tests {
         let si1 = Action::secret(Index, Prime);
         let none = Action::None;
         let table_ii = [
-            (AttackPattern::new(kd(Sender), none, sd1), AttackCategory::TrainHit),
-            (AttackPattern::new(ki(Sender), si1, ki(Sender)), AttackCategory::TrainTest),
-            (AttackPattern::new(ki(Sender), si1, ki(Receiver)), AttackCategory::TrainTest),
-            (AttackPattern::new(kd(Receiver), none, sd1), AttackCategory::TrainHit),
-            (AttackPattern::new(ki(Receiver), si1, ki(Sender)), AttackCategory::TrainTest),
-            (AttackPattern::new(ki(Receiver), si1, ki(Receiver)), AttackCategory::TrainTest),
+            (
+                AttackPattern::new(kd(Sender), none, sd1),
+                AttackCategory::TrainHit,
+            ),
+            (
+                AttackPattern::new(ki(Sender), si1, ki(Sender)),
+                AttackCategory::TrainTest,
+            ),
+            (
+                AttackPattern::new(ki(Sender), si1, ki(Receiver)),
+                AttackCategory::TrainTest,
+            ),
+            (
+                AttackPattern::new(kd(Receiver), none, sd1),
+                AttackCategory::TrainHit,
+            ),
+            (
+                AttackPattern::new(ki(Receiver), si1, ki(Sender)),
+                AttackCategory::TrainTest,
+            ),
+            (
+                AttackPattern::new(ki(Receiver), si1, ki(Receiver)),
+                AttackCategory::TrainTest,
+            ),
             (AttackPattern::new(sd1, sd2, sd1), AttackCategory::SpillOver),
-            (AttackPattern::new(sd1, none, kd(Sender)), AttackCategory::TestHit),
-            (AttackPattern::new(sd1, none, kd(Receiver)), AttackCategory::TestHit),
+            (
+                AttackPattern::new(sd1, none, kd(Sender)),
+                AttackCategory::TestHit,
+            ),
+            (
+                AttackPattern::new(sd1, none, kd(Receiver)),
+                AttackCategory::TestHit,
+            ),
             (AttackPattern::new(sd1, none, sd2), AttackCategory::FillUp),
-            (AttackPattern::new(si1, ki(Sender), si1), AttackCategory::ModifyTest),
-            (AttackPattern::new(si1, ki(Receiver), si1), AttackCategory::ModifyTest),
+            (
+                AttackPattern::new(si1, ki(Sender), si1),
+                AttackCategory::ModifyTest,
+            ),
+            (
+                AttackPattern::new(si1, ki(Receiver), si1),
+                AttackCategory::ModifyTest,
+            ),
         ];
         let e = enumerate();
         assert_eq!(e.effective.len(), table_ii.len());

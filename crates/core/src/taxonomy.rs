@@ -152,7 +152,9 @@ mod tests {
     #[test]
     fn unknown_class_has_no_examples() {
         assert!(!TimingWindowClass::NoPredictionVsIncorrect.has_known_examples());
-        assert!(TimingWindowClass::NoPredictionVsIncorrect.examples().is_empty());
+        assert!(TimingWindowClass::NoPredictionVsIncorrect
+            .examples()
+            .is_empty());
     }
 
     #[test]

@@ -52,7 +52,10 @@ impl Mpi {
         let digits: Vec<u32> = s
             .chars()
             .filter(|c| !c.is_whitespace())
-            .map(|c| c.to_digit(16).unwrap_or_else(|| panic!("bad hex digit {c:?}")))
+            .map(|c| {
+                c.to_digit(16)
+                    .unwrap_or_else(|| panic!("bad hex digit {c:?}"))
+            })
             .collect();
         let mut m = Mpi::zero();
         for d in digits {
@@ -199,9 +202,7 @@ impl Mpi {
         for (i, &a) in self.limbs.iter().enumerate() {
             let mut carry = 0u128;
             for (j, &b) in other.limbs.iter().enumerate() {
-                let cur = u128::from(limbs[i + j])
-                    + u128::from(a) * u128::from(b)
-                    + carry;
+                let cur = u128::from(limbs[i + j]) + u128::from(a) * u128::from(b) + carry;
                 limbs[i + j] = cur as u64;
                 carry = cur >> 64;
             }
@@ -400,7 +401,10 @@ mod tests {
     #[test]
     fn powm_small_cases() {
         let m = Mpi::from_u64(1000);
-        assert_eq!(Mpi::powm(&Mpi::from_u64(2), &Mpi::from_u64(10), &m).low_u64(), 24);
+        assert_eq!(
+            Mpi::powm(&Mpi::from_u64(2), &Mpi::from_u64(10), &m).low_u64(),
+            24
+        );
         assert_eq!(Mpi::powm(&Mpi::from_u64(5), &Mpi::zero(), &m).low_u64(), 1);
         assert_eq!(Mpi::powm(&Mpi::from_u64(5), &Mpi::one(), &m).low_u64(), 5);
     }

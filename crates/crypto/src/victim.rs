@@ -53,7 +53,10 @@ pub fn iteration_program(bit: bool, setup: &AttackSetup) -> Program {
         .flush(Reg::R3, 0)
         .fence();
     let here = b.here().0 as usize;
-    assert!(here <= setup.target_slot, "victim preamble overruns the slot");
+    assert!(
+        here <= setup.target_slot,
+        "victim preamble overruns the slot"
+    );
     b.nops(setup.target_slot - here);
     if bit {
         // if (e_bit_is1) { tp = rp; ... } — the conditional swap load.
@@ -268,7 +271,11 @@ mod tests {
         };
         let r = leak_exponent(&Mpi::from_u64(0b10), &cfg);
         assert_eq!(r.true_bits, vec![true, false]);
-        assert_eq!(r.recovered_bits, r.true_bits, "observations: {:?}", r.observations);
+        assert_eq!(
+            r.recovered_bits, r.true_bits,
+            "observations: {:?}",
+            r.observations
+        );
     }
 
     #[test]

@@ -1,102 +1,169 @@
-//! Property-based tests for the MPI arithmetic.
+//! Randomized-property tests for the MPI arithmetic, driven by a seeded
+//! [`SmallRng`] so every failure reproduces exactly.
 
-use proptest::prelude::*;
 use vpsim_crypto::Mpi;
+use vpsim_rng::SmallRng;
 
-fn arb_mpi() -> impl Strategy<Value = Mpi> {
-    prop::collection::vec(any::<u64>(), 0..5).prop_map(Mpi::from_limbs)
+const CASES: usize = 128;
+
+fn rng(test: u64) -> SmallRng {
+    SmallRng::seed_from_u64(0x3d9_0000 ^ test)
 }
 
-fn arb_small_mpi() -> impl Strategy<Value = Mpi> {
-    prop::collection::vec(any::<u64>(), 0..3).prop_map(Mpi::from_limbs)
+fn arb_mpi(rng: &mut SmallRng) -> Mpi {
+    let n = rng.gen_range(0usize..5);
+    Mpi::from_limbs(rng.vec_of(n, SmallRng::next_u64))
 }
 
-proptest! {
-    #[test]
-    fn add_commutes(a in arb_mpi(), b in arb_mpi()) {
-        prop_assert_eq!(a.add(&b), b.add(&a));
-    }
+fn arb_small_mpi(rng: &mut SmallRng) -> Mpi {
+    let n = rng.gen_range(0usize..3);
+    Mpi::from_limbs(rng.vec_of(n, SmallRng::next_u64))
+}
 
-    #[test]
-    fn add_associates(a in arb_mpi(), b in arb_mpi(), c in arb_mpi()) {
-        prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+#[test]
+fn add_commutes() {
+    let mut rng = rng(1);
+    for _ in 0..CASES {
+        let (a, b) = (arb_mpi(&mut rng), arb_mpi(&mut rng));
+        assert_eq!(a.add(&b), b.add(&a));
     }
+}
 
-    #[test]
-    fn sub_inverts_add(a in arb_mpi(), b in arb_mpi()) {
-        prop_assert_eq!(a.add(&b).sub(&b), a);
+#[test]
+fn add_associates() {
+    let mut rng = rng(2);
+    for _ in 0..CASES {
+        let (a, b, c) = (arb_mpi(&mut rng), arb_mpi(&mut rng), arb_mpi(&mut rng));
+        assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
     }
+}
 
-    #[test]
-    fn mul_commutes(a in arb_small_mpi(), b in arb_small_mpi()) {
-        prop_assert_eq!(a.mul(&b), b.mul(&a));
+#[test]
+fn sub_inverts_add() {
+    let mut rng = rng(3);
+    for _ in 0..CASES {
+        let (a, b) = (arb_mpi(&mut rng), arb_mpi(&mut rng));
+        assert_eq!(a.add(&b).sub(&b), a);
     }
+}
 
-    #[test]
-    fn mul_distributes(a in arb_small_mpi(), b in arb_small_mpi(), c in arb_small_mpi()) {
-        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+#[test]
+fn mul_commutes() {
+    let mut rng = rng(4);
+    for _ in 0..CASES {
+        let (a, b) = (arb_small_mpi(&mut rng), arb_small_mpi(&mut rng));
+        assert_eq!(a.mul(&b), b.mul(&a));
     }
+}
 
-    #[test]
-    fn mul_matches_u128(a: u64, b: u64) {
+#[test]
+fn mul_distributes() {
+    let mut rng = rng(5);
+    for _ in 0..CASES {
+        let (a, b, c) = (
+            arb_small_mpi(&mut rng),
+            arb_small_mpi(&mut rng),
+            arb_small_mpi(&mut rng),
+        );
+        assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+}
+
+#[test]
+fn mul_matches_u128() {
+    let mut rng = rng(6);
+    for _ in 0..CASES {
+        let (a, b) = (rng.next_u64(), rng.next_u64());
         let expect = u128::from(a) * u128::from(b);
         let got = Mpi::from_u64(a).mul(&Mpi::from_u64(b));
-        prop_assert_eq!(
+        assert_eq!(
             got,
             Mpi::from_limbs(vec![expect as u64, (expect >> 64) as u64])
         );
     }
+}
 
-    #[test]
-    fn div_rem_reconstructs(a in arb_mpi(), d in arb_small_mpi()) {
-        prop_assume!(!d.is_zero());
+#[test]
+fn div_rem_reconstructs() {
+    let mut rng = rng(7);
+    for _ in 0..CASES {
+        let a = arb_mpi(&mut rng);
+        let d = arb_small_mpi(&mut rng);
+        if d.is_zero() {
+            continue;
+        }
         let (q, r) = a.div_rem(&d);
-        prop_assert!(r.cmp_mag(&d) == std::cmp::Ordering::Less);
-        prop_assert_eq!(q.mul(&d).add(&r), a);
+        assert!(r.cmp_mag(&d) == std::cmp::Ordering::Less);
+        assert_eq!(q.mul(&d).add(&r), a);
     }
+}
 
-    #[test]
-    fn shl_is_mul_by_power_of_two(a in arb_small_mpi(), s in 0usize..100) {
+#[test]
+fn shl_is_mul_by_power_of_two() {
+    let mut rng = rng(8);
+    for _ in 0..CASES {
+        let a = arb_small_mpi(&mut rng);
+        let s = rng.gen_range(0usize..100);
         let two_s = Mpi::one().shl_bits(s);
-        prop_assert_eq!(a.shl_bits(s), a.mul(&two_s));
+        assert_eq!(a.shl_bits(s), a.mul(&two_s));
     }
+}
 
-    #[test]
-    fn powm_matches_u128_model(base in 1u64..1000, exp in 0u64..32, m in 2u64..10_000) {
+#[test]
+fn powm_matches_u128_model() {
+    let mut rng = rng(9);
+    for _ in 0..CASES {
+        let base = rng.gen_range(1u64..1000);
+        let exp = rng.gen_range(0u64..32);
+        let m = rng.gen_range(2u64..10_000);
         let mut model = 1u128;
         for _ in 0..exp {
             model = model * u128::from(base) % u128::from(m);
         }
         let got = Mpi::powm(&Mpi::from_u64(base), &Mpi::from_u64(exp), &Mpi::from_u64(m));
-        prop_assert_eq!(u128::from(got.low_u64()), model);
+        assert_eq!(u128::from(got.low_u64()), model);
     }
+}
 
-    #[test]
-    fn powm_exponent_additivity(base in 2u64..100, x in 0u64..20, y in 0u64..20, m in 2u64..1000) {
-        let m = Mpi::from_u64(m);
+#[test]
+fn powm_exponent_additivity() {
+    let mut rng = rng(10);
+    for _ in 0..CASES {
+        let base = rng.gen_range(2u64..100);
+        let x = rng.gen_range(0u64..20);
+        let y = rng.gen_range(0u64..20);
+        let m = Mpi::from_u64(rng.gen_range(2u64..1000));
         let b = Mpi::from_u64(base);
         let lhs = Mpi::powm(&b, &Mpi::from_u64(x + y), &m);
         let rhs = Mpi::powm(&b, &Mpi::from_u64(x), &m)
             .mul(&Mpi::powm(&b, &Mpi::from_u64(y), &m))
             .rem(&m);
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs);
     }
+}
 
-    #[test]
-    fn bits_roundtrip(v: u64) {
+#[test]
+fn bits_roundtrip() {
+    let mut rng = rng(11);
+    for _ in 0..CASES {
+        let v = rng.next_u64();
         let m = Mpi::from_u64(v);
         let bits = m.bits_msb_first();
         let mut rebuilt = 0u64;
         for b in bits {
             rebuilt = (rebuilt << 1) | u64::from(b);
         }
-        prop_assert_eq!(rebuilt, v);
+        assert_eq!(rebuilt, v);
     }
+}
 
-    #[test]
-    fn hex_display_roundtrip(limbs in prop::collection::vec(any::<u64>(), 0..4)) {
-        let m = Mpi::from_limbs(limbs);
+#[test]
+fn hex_display_roundtrip() {
+    let mut rng = rng(12);
+    for _ in 0..CASES {
+        let n = rng.gen_range(0usize..4);
+        let m = Mpi::from_limbs(rng.vec_of(n, SmallRng::next_u64));
         let s = m.to_string();
-        prop_assert_eq!(Mpi::from_hex(&s[2..]), m);
+        assert_eq!(Mpi::from_hex(&s[2..]), m);
     }
 }

@@ -1,0 +1,441 @@
+//! The campaign job model: cells → jobs → deterministic reduction.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use vpsec::attacks::AttackCategory;
+use vpsec::experiment::{
+    CellPlan, Channel, Evaluation, ExperimentConfig, PairOutcome, PredictorKind,
+};
+
+use crate::exec::Exec;
+use crate::pool::{self, JobFailure, PoolStats};
+use crate::sink::{JobRecord, Manifest};
+
+/// One named evaluation cell of a campaign.
+#[derive(Debug, Clone)]
+pub struct CellSpec {
+    /// Unique name; the key for looking the result up in the
+    /// [`CampaignOutcome`].
+    pub name: String,
+    /// Attack category evaluated.
+    pub category: AttackCategory,
+    /// Channel used.
+    pub channel: Channel,
+    /// Predictor configuration.
+    pub predictor: PredictorKind,
+    /// Experiment parameters (trial count, seed, defenses, ...).
+    pub cfg: ExperimentConfig,
+}
+
+impl CellSpec {
+    /// Build a cell spec.
+    pub fn new(
+        name: impl Into<String>,
+        category: AttackCategory,
+        channel: Channel,
+        predictor: PredictorKind,
+        cfg: ExperimentConfig,
+    ) -> Self {
+        CellSpec {
+            name: name.into(),
+            category,
+            channel,
+            predictor,
+            cfg,
+        }
+    }
+}
+
+/// Why a cell could not be evaluated.
+#[derive(Debug, Clone)]
+pub enum CellError {
+    /// A job of the cell panicked. Panics are deterministic, so the
+    /// cell is failed immediately instead of retried.
+    JobPanicked {
+        /// Trial index of the panicking job.
+        trial: usize,
+        /// The panic message.
+        message: String,
+    },
+}
+
+impl fmt::Display for CellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellError::JobPanicked { trial, message } => {
+                write!(f, "trial {trial} panicked: {message}")
+            }
+        }
+    }
+}
+
+/// The per-cell result of a campaign run.
+#[derive(Debug, Clone)]
+pub enum CellOutcome {
+    /// The category does not support the channel (Table III "—").
+    Unsupported,
+    /// All jobs completed; the reduced evaluation.
+    Evaluated(Evaluation),
+    /// At least one job failed permanently.
+    Failed(CellError),
+}
+
+/// A named cell outcome.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// The cell's name, as given in its [`CellSpec`].
+    pub name: String,
+    /// What happened to it.
+    pub outcome: CellOutcome,
+}
+
+impl CellResult {
+    /// The evaluation, if the cell completed.
+    #[must_use]
+    pub fn evaluation(&self) -> Option<&Evaluation> {
+        match &self.outcome {
+            CellOutcome::Evaluated(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Aggregated observability counters for one campaign run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CampaignStats {
+    /// Jobs in the campaign (sum of trials over supported cells).
+    pub jobs_total: usize,
+    /// Jobs executed by this run.
+    pub jobs_run: usize,
+    /// Jobs skipped because the resume manifest already had them.
+    pub jobs_resumed: usize,
+    /// Quarantine retries performed (wall-budget overruns).
+    pub retries: usize,
+    /// Jobs that exceeded the wall-time budget.
+    pub quarantined_wall: usize,
+    /// Jobs that exceeded the simulated-cycle budget.
+    pub quarantined_cycles: usize,
+    /// Jobs that panicked.
+    pub panics: usize,
+    /// Wall time of this run.
+    pub wall_time: Duration,
+    /// Simulated cycles over all completed jobs (resumed included).
+    pub sim_cycles: u64,
+}
+
+impl fmt::Display for CampaignStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} jobs ({} run, {} resumed) in {:.2?}; {:.1} Mcycles simulated",
+            self.jobs_total,
+            self.jobs_run,
+            self.jobs_resumed,
+            self.wall_time,
+            self.sim_cycles as f64 / 1e6
+        )?;
+        if self.retries + self.quarantined_wall + self.quarantined_cycles + self.panics > 0 {
+            write!(
+                f,
+                "; {} wall-quarantined ({} retries), {} cycle-quarantined, {} panicked",
+                self.quarantined_wall, self.retries, self.quarantined_cycles, self.panics
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Everything a campaign run produced.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    cells: Vec<CellResult>,
+    /// Run counters.
+    pub stats: CampaignStats,
+}
+
+impl CampaignOutcome {
+    /// All cell results, in push order.
+    #[must_use]
+    pub fn cells(&self) -> &[CellResult] {
+        &self.cells
+    }
+
+    /// Consume into the cell results.
+    #[must_use]
+    pub fn into_cells(self) -> Vec<CellResult> {
+        self.cells
+    }
+
+    /// The evaluation of the named cell, if it completed.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Evaluation> {
+        self.cells.iter().find(|c| c.name == name)?.evaluation()
+    }
+
+    /// The evaluation of the named cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is missing, unsupported, or failed.
+    #[must_use]
+    pub fn expect_eval(&self, name: &str) -> &Evaluation {
+        match self.cells.iter().find(|c| c.name == name) {
+            Some(c) => match &c.outcome {
+                CellOutcome::Evaluated(e) => e,
+                CellOutcome::Unsupported => panic!("cell {name} is unsupported"),
+                CellOutcome::Failed(err) => panic!("cell {name} failed: {err}"),
+            },
+            None => panic!("no cell named {name}"),
+        }
+    }
+}
+
+/// Errors setting up or resuming a campaign run.
+#[derive(Debug, Clone)]
+pub enum HarnessError {
+    /// I/O on the resume directory failed.
+    Io(String),
+    /// The resume manifest belongs to a different campaign definition.
+    ManifestMismatch {
+        /// The manifest file.
+        path: String,
+        /// Fingerprint of the campaign being run.
+        expected: String,
+        /// Fingerprint recorded in the manifest.
+        found: String,
+    },
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarnessError::Io(e) => write!(f, "resume-manifest I/O error: {e}"),
+            HarnessError::ManifestMismatch {
+                path,
+                expected,
+                found,
+            } => write!(
+                f,
+                "manifest {path} was written by a different campaign \
+                 (fingerprint {found}, this campaign is {expected}); \
+                 delete it or pick another resume directory"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+/// A list of evaluation cells that expand into independent,
+/// coordinate-seeded jobs.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    name: String,
+    cells: Vec<(CellSpec, Option<CellPlan>)>,
+}
+
+impl Campaign {
+    /// An empty campaign. The name keys the resume manifest file.
+    pub fn new(name: impl Into<String>) -> Self {
+        Campaign {
+            name: name.into(),
+            cells: Vec::new(),
+        }
+    }
+
+    /// The campaign's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Add a cell. Returns `false` if the category does not support the
+    /// channel — the cell is kept and will report
+    /// [`CellOutcome::Unsupported`].
+    pub fn push(&mut self, spec: CellSpec) -> bool {
+        let plan = CellPlan::new(spec.category, spec.channel, spec.predictor, &spec.cfg);
+        let supported = plan.is_some();
+        self.cells.push((spec, plan));
+        supported
+    }
+
+    /// Number of cells (supported or not).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the campaign has no cells.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Total jobs the campaign expands into.
+    #[must_use]
+    pub fn num_jobs(&self) -> usize {
+        self.cells
+            .iter()
+            .map(|(_, p)| p.as_ref().map_or(0, CellPlan::trials))
+            .sum()
+    }
+
+    /// A structural hash of the campaign definition: name, cell names,
+    /// coordinates and full experiment configurations. Guards resume
+    /// manifests against being replayed into a different campaign.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        fnv1a(&mut hash, self.name.as_bytes());
+        for (spec, _) in &self.cells {
+            fnv1a(&mut hash, spec.name.as_bytes());
+            let coords = format!(
+                "{:?}|{:?}|{:?}|{:?}",
+                spec.category, spec.channel, spec.predictor, spec.cfg
+            );
+            fnv1a(&mut hash, coords.as_bytes());
+        }
+        hash
+    }
+
+    /// Run every job and reduce each cell into its [`Evaluation`].
+    ///
+    /// Results are bitwise-identical for every [`Exec::jobs`] value and
+    /// across resumed runs.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the resume directory is unusable or its manifest was
+    /// written by a different campaign.
+    pub fn run(&self, exec: &Exec) -> Result<CampaignOutcome, HarnessError> {
+        let started = Instant::now();
+        let fingerprint = self.fingerprint();
+        let jobs_total = self.num_jobs();
+        let manifest = match &exec.resume {
+            Some(dir) => Some(Manifest::open(dir, &self.name, fingerprint, jobs_total)?),
+            None => None,
+        };
+        let resumed: HashMap<(usize, usize), JobRecord> = manifest
+            .as_ref()
+            .map(Manifest::completed)
+            .cloned()
+            .unwrap_or_default();
+
+        // The campaign-global job list: (global index, cell, trial).
+        let mut job_index: HashMap<(usize, usize), usize> = HashMap::with_capacity(jobs_total);
+        let mut pending = Vec::new();
+        for (cell, (_, plan)) in self.cells.iter().enumerate() {
+            let Some(plan) = plan else { continue };
+            for trial in 0..plan.trials() {
+                let index = job_index.len();
+                job_index.insert((cell, trial), index);
+                if !resumed.contains_key(&(cell, trial)) {
+                    pending.push((index, cell, trial));
+                }
+            }
+        }
+
+        let plans: Vec<Option<CellPlan>> = self.cells.iter().map(|(_, p)| p.clone()).collect();
+        let stats = PoolStats::default();
+        let on_done = |cell: usize, trial: usize, done: &pool::JobDone| {
+            if let Some(m) = &manifest {
+                m.record(JobRecord {
+                    cell,
+                    trial,
+                    pair: done.pair,
+                    wall_nanos: done.wall_nanos,
+                    attempts: done.attempts,
+                });
+            }
+        };
+        let results = pool::run_jobs(
+            &pool::Batch {
+                campaign: &self.name,
+                plans: &plans,
+                pending: &pending,
+                total_jobs: jobs_total,
+                resumed: resumed.len(),
+            },
+            exec,
+            &stats,
+            &on_done,
+        );
+
+        // Reduce each cell in trial order; execution order is irrelevant.
+        let mut sim_cycles = 0u64;
+        let mut cells_out = Vec::with_capacity(self.cells.len());
+        for (cell, (spec, plan)) in self.cells.iter().enumerate() {
+            let Some(plan) = plan else {
+                cells_out.push(CellResult {
+                    name: spec.name.clone(),
+                    outcome: CellOutcome::Unsupported,
+                });
+                continue;
+            };
+            let mut pairs: Vec<PairOutcome> = Vec::with_capacity(plan.trials());
+            let mut error = None;
+            for trial in 0..plan.trials() {
+                if let Some(rec) = resumed.get(&(cell, trial)) {
+                    pairs.push(rec.pair);
+                    continue;
+                }
+                let index = job_index[&(cell, trial)];
+                match &results[index] {
+                    Some(Ok(done)) => pairs.push(done.pair),
+                    Some(Err(JobFailure::Panic(message))) => {
+                        error = Some(CellError::JobPanicked {
+                            trial,
+                            message: message.clone(),
+                        });
+                        break;
+                    }
+                    None => unreachable!("pending job {index} has no result"),
+                }
+            }
+            let outcome = match error {
+                Some(e) => CellOutcome::Failed(e),
+                None => {
+                    sim_cycles += pairs.iter().map(PairOutcome::total_cycles).sum::<u64>();
+                    CellOutcome::Evaluated(plan.finish(&pairs))
+                }
+            };
+            cells_out.push(CellResult {
+                name: spec.name.clone(),
+                outcome,
+            });
+        }
+
+        let stats = CampaignStats {
+            jobs_total,
+            jobs_run: stats.jobs_run.load(std::sync::atomic::Ordering::Relaxed) as usize,
+            jobs_resumed: resumed.len(),
+            retries: stats.retries.load(std::sync::atomic::Ordering::Relaxed) as usize,
+            quarantined_wall: stats
+                .quarantined_wall
+                .load(std::sync::atomic::Ordering::Relaxed) as usize,
+            quarantined_cycles: stats
+                .quarantined_cycles
+                .load(std::sync::atomic::Ordering::Relaxed)
+                as usize,
+            panics: stats.panics.load(std::sync::atomic::Ordering::Relaxed) as usize,
+            wall_time: started.elapsed(),
+            sim_cycles,
+        };
+        if exec.progress {
+            eprintln!("[{}] done: {stats}", self.name);
+        }
+        Ok(CampaignOutcome {
+            cells: cells_out,
+            stats,
+        })
+    }
+}

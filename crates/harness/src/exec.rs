@@ -1,0 +1,88 @@
+//! Execution policy for a campaign run.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// How a [`Campaign`](crate::Campaign) executes: worker count, resume
+/// directory, observability, and the watchdog budgets.
+///
+/// The execution policy never changes *what* a campaign computes — only
+/// how fast, how observably, and how fault-tolerantly. Results are
+/// bitwise-identical for every `jobs` value.
+#[derive(Debug, Clone)]
+pub struct Exec {
+    /// Worker threads. `1` runs jobs inline on the calling thread;
+    /// `0` resolves to the machine's available parallelism.
+    pub jobs: usize,
+    /// Directory for the resumable manifest. When set, every finished
+    /// job is appended to `<dir>/<campaign-name>.jsonl` as it completes,
+    /// and a rerun with the same directory skips the jobs already
+    /// recorded there.
+    pub resume: Option<PathBuf>,
+    /// Print live progress/throughput lines to stderr.
+    pub progress: bool,
+    /// Wall-clock budget per job. A job still running past the budget is
+    /// quarantined: its eventual result is discarded and the job is
+    /// retried (the overrun may be host contention), up to
+    /// [`Exec::max_retries`] times; the final attempt's result is used
+    /// regardless, since job outputs are deterministic.
+    pub job_wall_budget: Duration,
+    /// Retries granted to wall-budget-quarantined jobs.
+    pub max_retries: u32,
+    /// Simulated-cycle budget per job. A job whose pair consumes more
+    /// simulated cycles is flagged as a runaway in the campaign stats
+    /// (cycle counts are deterministic, so it is never retried).
+    pub cycle_budget: u64,
+}
+
+impl Default for Exec {
+    fn default() -> Self {
+        Exec {
+            jobs: 1,
+            resume: None,
+            progress: false,
+            job_wall_budget: Duration::from_secs(60),
+            max_retries: 1,
+            cycle_budget: u64::MAX,
+        }
+    }
+}
+
+impl Exec {
+    /// An execution policy using every available core.
+    #[must_use]
+    pub fn parallel() -> Self {
+        Exec {
+            jobs: 0,
+            ..Exec::default()
+        }
+    }
+
+    /// The resolved worker count (`0` → available parallelism).
+    #[must_use]
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.jobs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sequential() {
+        let e = Exec::default();
+        assert_eq!(e.jobs, 1);
+        assert_eq!(e.effective_jobs(), 1);
+        assert!(e.resume.is_none());
+    }
+
+    #[test]
+    fn zero_jobs_resolves_to_at_least_one() {
+        assert!(Exec::parallel().effective_jobs() >= 1);
+    }
+}

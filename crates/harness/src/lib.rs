@@ -1,0 +1,110 @@
+//! `vpsim-harness` — a deterministic, parallel, fault-tolerant campaign
+//! engine for the attack-evaluation experiments.
+//!
+//! A [`Campaign`] is a list of evaluation *cells* (attack category ×
+//! channel × predictor × [`ExperimentConfig`]); each cell expands into
+//! one independent *job* per paired trial via
+//! `vpsec::experiment::CellPlan`. Because every job's seed is a pure
+//! function of its coordinates, the engine can run jobs on any number
+//! of worker threads in any order and still produce results
+//! bitwise-identical to a sequential run — `jobs = 1` and `jobs = 8`
+//! yield the same [`Evaluation`]s, byte for byte.
+//!
+//! On top of the job model the engine layers:
+//!
+//! * a std-only worker pool ([`Exec::jobs`]) with per-job panic
+//!   isolation (`catch_unwind`) — one crashing job fails its cell, not
+//!   the campaign;
+//! * a watchdog that quarantines jobs exceeding the wall-time or
+//!   simulated-cycle budget, with a retry policy for wall-time
+//!   overruns (panics and cycle overruns are deterministic, so they are
+//!   never retried);
+//! * structured observability — a JSONL result sink, live progress
+//!   reporting, and per-job wall/cycle counters aggregated into a
+//!   [`CampaignStats`] summary;
+//! * a resumable manifest ([`Exec::resume`]): an interrupted campaign
+//!   restarted with the same resume directory skips every job already
+//!   recorded there.
+//!
+//! ```no_run
+//! use vpsec::attacks::AttackCategory;
+//! use vpsec::experiment::{Channel, ExperimentConfig, PredictorKind};
+//! use vpsim_harness::{Campaign, CellSpec, Exec};
+//!
+//! let cfg = ExperimentConfig { trials: 30, ..ExperimentConfig::default() };
+//! let mut campaign = Campaign::new("table3");
+//! campaign.push(CellSpec::new(
+//!     "train_test/tw/lvp",
+//!     AttackCategory::TrainTest,
+//!     Channel::TimingWindow,
+//!     PredictorKind::Lvp,
+//!     cfg,
+//! ));
+//! let outcome = campaign.run(&Exec { jobs: 8, ..Exec::default() }).unwrap();
+//! let e = outcome.expect_eval("train_test/tw/lvp");
+//! println!("p = {}", e.ttest.p_value);
+//! ```
+
+mod campaign;
+mod exec;
+mod pool;
+mod sink;
+
+pub use campaign::{
+    Campaign, CampaignOutcome, CampaignStats, CellError, CellOutcome, CellResult, CellSpec,
+    HarnessError,
+};
+pub use exec::Exec;
+
+use vpsec::attacks::AttackCategory;
+use vpsec::experiment::{Channel, Evaluation, ExperimentConfig, PredictorKind};
+
+/// Evaluate a single cell through the campaign engine, if the category
+/// supports the channel. A drop-in parallel replacement for
+/// `vpsec::experiment::try_evaluate`.
+///
+/// # Panics
+///
+/// Panics if the campaign cannot run (manifest mismatch or I/O error on
+/// the resume directory) or a job fails.
+#[must_use]
+pub fn try_evaluate(
+    category: AttackCategory,
+    channel: Channel,
+    predictor: PredictorKind,
+    cfg: &ExperimentConfig,
+    exec: &Exec,
+) -> Option<Evaluation> {
+    let mut campaign = Campaign::new("adhoc");
+    let name = format!("{category}/{channel}/{predictor}/{}", cfg.defense.label());
+    campaign.push(CellSpec::new(
+        &name,
+        category,
+        channel,
+        predictor,
+        cfg.clone(),
+    ));
+    let outcome = campaign.run(exec).unwrap_or_else(|e| panic!("adhoc campaign: {e}"));
+    match outcome.into_cells().pop().expect("one cell").outcome {
+        CellOutcome::Evaluated(e) => Some(e),
+        CellOutcome::Unsupported => None,
+        CellOutcome::Failed(err) => panic!("cell {name} failed: {err}"),
+    }
+}
+
+/// [`try_evaluate`] for cells known to support the channel.
+///
+/// # Panics
+///
+/// Panics if `category` does not support `channel`.
+#[must_use]
+pub fn evaluate(
+    category: AttackCategory,
+    channel: Channel,
+    predictor: PredictorKind,
+    cfg: &ExperimentConfig,
+    exec: &Exec,
+) -> Evaluation {
+    try_evaluate(category, channel, predictor, cfg, exec)
+        .unwrap_or_else(|| panic!("{category} does not support the {channel} channel"))
+}

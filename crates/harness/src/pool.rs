@@ -1,0 +1,262 @@
+//! The std-only worker pool: a shared injector queue, per-job panic
+//! isolation, a watchdog/progress thread, and a retry policy for
+//! quarantined jobs.
+//!
+//! Scheduling never affects results — each job is a pure function of
+//! its `(cell, trial)` coordinates — so the pool is free to run jobs in
+//! any order on any number of threads. Failure handling follows from
+//! determinism too: a panic would recur on every retry, so panicking
+//! jobs fail immediately; a *wall-time* overrun may be host contention,
+//! so those jobs are quarantined and retried up to
+//! [`Exec::max_retries`] times; a simulated-cycle overrun is
+//! deterministic and is flagged, not retried.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use vpsec::experiment::{CellPlan, PairOutcome};
+
+use crate::exec::Exec;
+
+/// A schedulable unit: one paired trial of one cell.
+#[derive(Debug, Clone, Copy)]
+struct JobRef {
+    /// Index into the campaign's global job list.
+    index: usize,
+    cell: usize,
+    trial: usize,
+    /// Zero-based attempt counter (incremented on quarantine retry).
+    attempt: u32,
+}
+
+/// A successfully finished job.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct JobDone {
+    pub pair: PairOutcome,
+    pub wall_nanos: u64,
+    pub attempts: u32,
+}
+
+/// Why a job permanently failed.
+#[derive(Debug, Clone)]
+pub(crate) enum JobFailure {
+    /// The job panicked; deterministic, so never retried.
+    Panic(String),
+}
+
+/// Counters shared by workers and the watchdog.
+#[derive(Debug, Default)]
+pub(crate) struct PoolStats {
+    pub jobs_run: AtomicU64,
+    pub retries: AtomicU64,
+    pub quarantined_wall: AtomicU64,
+    pub quarantined_cycles: AtomicU64,
+    pub panics: AtomicU64,
+    pub sim_cycles: AtomicU64,
+}
+
+struct Shared<'a> {
+    plans: &'a [Option<CellPlan>],
+    exec: &'a Exec,
+    queue: Mutex<VecDeque<JobRef>>,
+    cond: Condvar,
+    /// Jobs not yet permanently resolved (done or failed).
+    outstanding: AtomicU64,
+    done: AtomicBool,
+    results: Mutex<Vec<Option<Result<JobDone, JobFailure>>>>,
+    /// Per-worker `(job index, start)` of the job in flight, for the
+    /// watchdog's stall detection.
+    slots: Mutex<Vec<Option<(usize, Instant)>>>,
+    stats: &'a PoolStats,
+    on_done: &'a (dyn Fn(usize, usize, &JobDone) + Sync),
+}
+
+impl Shared<'_> {
+    fn pop(&self) -> Option<JobRef> {
+        let mut q = self.queue.lock().expect("queue poisoned");
+        loop {
+            if let Some(job) = q.pop_front() {
+                return Some(job);
+            }
+            if self.done.load(Ordering::Acquire) {
+                return None;
+            }
+            q = self.cond.wait(q).expect("queue poisoned");
+        }
+    }
+
+    fn requeue(&self, job: JobRef) {
+        self.queue.lock().expect("queue poisoned").push_back(job);
+        self.cond.notify_one();
+    }
+
+    fn resolve_one(&self) {
+        if self.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.done.store(true, Ordering::Release);
+            self.cond.notify_all();
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_owned())
+}
+
+fn worker(shared: &Shared<'_>, slot: usize) {
+    while let Some(job) = shared.pop() {
+        let plan = shared.plans[job.cell]
+            .as_ref()
+            .expect("queued jobs only reference planned cells");
+        let start = Instant::now();
+        shared.slots.lock().expect("slots poisoned")[slot] = Some((job.index, start));
+        let result = catch_unwind(AssertUnwindSafe(|| plan.run_pair(job.trial)));
+        let elapsed = start.elapsed();
+        shared.slots.lock().expect("slots poisoned")[slot] = None;
+        match result {
+            Ok(pair) => {
+                let over_wall = elapsed > shared.exec.job_wall_budget;
+                if over_wall {
+                    shared
+                        .stats
+                        .quarantined_wall
+                        .fetch_add(1, Ordering::Relaxed);
+                    if job.attempt < shared.exec.max_retries {
+                        shared.stats.retries.fetch_add(1, Ordering::Relaxed);
+                        shared.requeue(JobRef {
+                            attempt: job.attempt + 1,
+                            ..job
+                        });
+                        continue;
+                    }
+                }
+                if pair.total_cycles() > shared.exec.cycle_budget {
+                    shared
+                        .stats
+                        .quarantined_cycles
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                shared.stats.jobs_run.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .stats
+                    .sim_cycles
+                    .fetch_add(pair.total_cycles(), Ordering::Relaxed);
+                let done = JobDone {
+                    pair,
+                    wall_nanos: u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+                    attempts: job.attempt + 1,
+                };
+                (shared.on_done)(job.cell, job.trial, &done);
+                shared.results.lock().expect("results poisoned")[job.index] = Some(Ok(done));
+                shared.resolve_one();
+            }
+            Err(payload) => {
+                shared.stats.panics.fetch_add(1, Ordering::Relaxed);
+                shared.results.lock().expect("results poisoned")[job.index] =
+                    Some(Err(JobFailure::Panic(panic_message(payload.as_ref()))));
+                shared.resolve_one();
+            }
+        }
+    }
+}
+
+/// The watchdog doubles as the progress reporter: it periodically logs
+/// throughput (when enabled) and warns about jobs running past the wall
+/// budget. The quarantine decision itself is taken by the worker at job
+/// completion, where the elapsed time is exact.
+fn watchdog(shared: &Shared<'_>, campaign: &str, total: usize, resumed: usize) {
+    let started = Instant::now();
+    let mut warned: Vec<usize> = Vec::new();
+    let mut last_report = Instant::now();
+    while !shared.done.load(Ordering::Acquire) {
+        std::thread::sleep(Duration::from_millis(50));
+        for (job_index, job_start) in shared
+            .slots
+            .lock()
+            .expect("slots poisoned")
+            .iter()
+            .flatten()
+        {
+            if job_start.elapsed() > shared.exec.job_wall_budget && !warned.contains(job_index) {
+                warned.push(*job_index);
+                eprintln!(
+                    "[{campaign}] watchdog: job {job_index} over wall budget ({:?}), will quarantine",
+                    shared.exec.job_wall_budget
+                );
+            }
+        }
+        if shared.exec.progress && last_report.elapsed() >= Duration::from_secs(1) {
+            last_report = Instant::now();
+            let run = shared.stats.jobs_run.load(Ordering::Relaxed) as usize;
+            let secs = started.elapsed().as_secs_f64().max(1e-9);
+            eprintln!(
+                "[{campaign}] {}/{total} jobs ({resumed} resumed), {:.1} jobs/s, {:.1} Mcycles simulated",
+                resumed + run,
+                run as f64 / secs,
+                shared.stats.sim_cycles.load(Ordering::Relaxed) as f64 / 1e6
+            );
+        }
+    }
+}
+
+/// The work a single pool run executes: the campaign's cell plans, the
+/// still-pending jobs (as positions into the campaign-global job list),
+/// and the bookkeeping the progress reporter needs.
+pub(crate) struct Batch<'a> {
+    pub campaign: &'a str,
+    pub plans: &'a [Option<CellPlan>],
+    pub pending: &'a [(usize, usize, usize)],
+    pub total_jobs: usize,
+    pub resumed: usize,
+}
+
+/// Run the batch's pending jobs and return one result per global job
+/// index; indices not in `batch.pending` stay `None`.
+pub(crate) fn run_jobs(
+    batch: &Batch<'_>,
+    exec: &Exec,
+    stats: &PoolStats,
+    on_done: &(dyn Fn(usize, usize, &JobDone) + Sync),
+) -> Vec<Option<Result<JobDone, JobFailure>>> {
+    if batch.pending.is_empty() {
+        return vec![None; batch.total_jobs];
+    }
+    let shared = Shared {
+        plans: batch.plans,
+        exec,
+        queue: Mutex::new(
+            batch
+                .pending
+                .iter()
+                .map(|&(index, cell, trial)| JobRef {
+                    index,
+                    cell,
+                    trial,
+                    attempt: 0,
+                })
+                .collect(),
+        ),
+        cond: Condvar::new(),
+        outstanding: AtomicU64::new(batch.pending.len() as u64),
+        done: AtomicBool::new(false),
+        results: Mutex::new(vec![None; batch.total_jobs]),
+        slots: Mutex::new(vec![None; exec.effective_jobs()]),
+        stats,
+        on_done,
+    };
+    std::thread::scope(|scope| {
+        for slot in 0..exec.effective_jobs() {
+            let shared = &shared;
+            scope.spawn(move || worker(shared, slot));
+        }
+        let shared = &shared;
+        scope.spawn(move || watchdog(shared, batch.campaign, batch.total_jobs, batch.resumed));
+    });
+    shared.results.into_inner().expect("results poisoned")
+}

@@ -1,0 +1,255 @@
+//! The JSONL result sink and resumable manifest.
+//!
+//! One file per campaign, `<dir>/<campaign-name>.jsonl`:
+//!
+//! ```text
+//! {"v":1,"campaign":"table3","fingerprint":"89abcdef01234567","jobs":240}
+//! {"cell":0,"trial":3,"m_obs":"4080e00000000000","m_cyc":8123,"u_obs":"4081a00000000000","u_cyc":8256,"wall_ns":91827,"attempts":1}
+//! ```
+//!
+//! The header pins the campaign *fingerprint* (a structural hash of the
+//! campaign definition) so a manifest is never resumed against a
+//! different campaign. Observations are stored as the hex bit pattern
+//! of the `f64`, so a resumed value round-trips exactly and parallel
+//! and resumed runs stay bitwise-identical. Lines are flushed as jobs
+//! complete; a truncated final line (killed campaign) is ignored on
+//! resume. Everything is hand-rolled `std` — no serde in the image.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use vpsec::experiment::{PairOutcome, TrialOutcome};
+
+use crate::campaign::HarnessError;
+
+/// A completed job as recorded in the manifest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct JobRecord {
+    pub cell: usize,
+    pub trial: usize,
+    pub pair: PairOutcome,
+    pub wall_nanos: u64,
+    pub attempts: u32,
+}
+
+impl JobRecord {
+    fn to_line(self) -> String {
+        format!(
+            "{{\"cell\":{},\"trial\":{},\"m_obs\":\"{:016x}\",\"m_cyc\":{},\"u_obs\":\"{:016x}\",\"u_cyc\":{},\"wall_ns\":{},\"attempts\":{}}}",
+            self.cell,
+            self.trial,
+            self.pair.mapped.observed.to_bits(),
+            self.pair.mapped.total_cycles,
+            self.pair.unmapped.observed.to_bits(),
+            self.pair.unmapped.total_cycles,
+            self.wall_nanos,
+            self.attempts,
+        )
+    }
+
+    fn parse(line: &str) -> Option<JobRecord> {
+        Some(JobRecord {
+            cell: field_u64(line, "cell")? as usize,
+            trial: field_u64(line, "trial")? as usize,
+            pair: PairOutcome {
+                mapped: TrialOutcome {
+                    observed: f64::from_bits(field_hex(line, "m_obs")?),
+                    total_cycles: field_u64(line, "m_cyc")?,
+                },
+                unmapped: TrialOutcome {
+                    observed: f64::from_bits(field_hex(line, "u_obs")?),
+                    total_cycles: field_u64(line, "u_cyc")?,
+                },
+            },
+            wall_nanos: field_u64(line, "wall_ns")?,
+            attempts: field_u64(line, "attempts")? as u32,
+        })
+    }
+}
+
+/// Extract the raw text of `"key":<value>` from a single-line JSON
+/// object (no nesting, no escaped quotes — the writer never emits any).
+fn field_raw<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}'])?;
+    Some(rest[..end].trim())
+}
+
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    field_raw(line, key)?.parse().ok()
+}
+
+fn field_hex(line: &str, key: &str) -> Option<u64> {
+    u64::from_str_radix(field_raw(line, key)?.trim_matches('"'), 16).ok()
+}
+
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    Some(field_raw(line, key)?.trim_matches('"'))
+}
+
+fn escape(name: &str) -> String {
+    name.chars()
+        .filter(|c| *c != '"' && *c != '\\' && !c.is_control())
+        .collect()
+}
+
+/// The append-only manifest: completed jobs loaded at open, new jobs
+/// flushed line-by-line as they finish.
+pub(crate) struct Manifest {
+    writer: Mutex<BufWriter<File>>,
+    completed: HashMap<(usize, usize), JobRecord>,
+}
+
+impl Manifest {
+    /// Path of the manifest for `campaign` inside `dir`.
+    pub fn path(dir: &Path, campaign: &str) -> PathBuf {
+        let safe: String = campaign
+            .chars()
+            .map(|c| {
+                if c.is_alphanumeric() || c == '-' || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        dir.join(format!("{safe}.jsonl"))
+    }
+
+    /// Open (or create) the manifest, validating any existing header
+    /// against this campaign's fingerprint and job count.
+    pub fn open(
+        dir: &Path,
+        campaign: &str,
+        fingerprint: u64,
+        jobs_total: usize,
+    ) -> Result<Manifest, HarnessError> {
+        std::fs::create_dir_all(dir).map_err(|e| HarnessError::Io(e.to_string()))?;
+        let path = Manifest::path(dir, campaign);
+        let mut completed = HashMap::new();
+        let exists = path.exists();
+        if exists {
+            let reader =
+                BufReader::new(File::open(&path).map_err(|e| HarnessError::Io(e.to_string()))?);
+            let mut lines = reader.lines();
+            let header = match lines.next() {
+                Some(Ok(h)) => h,
+                _ => String::new(),
+            };
+            if !header.is_empty() {
+                let fp = field_str(&header, "fingerprint").unwrap_or("");
+                let jobs = field_u64(&header, "jobs").unwrap_or(0);
+                if fp != format!("{fingerprint:016x}") || jobs as usize != jobs_total {
+                    return Err(HarnessError::ManifestMismatch {
+                        path: path.display().to_string(),
+                        expected: format!("{fingerprint:016x}"),
+                        found: fp.to_owned(),
+                    });
+                }
+                for line in lines.map_while(Result::ok) {
+                    // A truncated trailing line (killed mid-write) simply
+                    // fails to parse and is re-run.
+                    if let Some(rec) = JobRecord::parse(&line) {
+                        completed.insert((rec.cell, rec.trial), rec);
+                    }
+                }
+            }
+        }
+        // Rewrite header + surviving records: this drops any torn
+        // trailing line a kill left behind, so later appends start on a
+        // clean line boundary.
+        let file = OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .write(true)
+            .open(&path)
+            .map_err(|e| HarnessError::Io(e.to_string()))?;
+        let mut writer = BufWriter::new(file);
+        writeln!(
+            writer,
+            "{{\"v\":1,\"campaign\":\"{}\",\"fingerprint\":\"{fingerprint:016x}\",\"jobs\":{jobs_total}}}",
+            escape(campaign)
+        )
+        .map_err(|e| HarnessError::Io(e.to_string()))?;
+        let mut records: Vec<&JobRecord> = completed.values().collect();
+        records.sort_by_key(|r| (r.cell, r.trial));
+        for rec in records {
+            writeln!(writer, "{}", rec.to_line()).map_err(|e| HarnessError::Io(e.to_string()))?;
+        }
+        writer
+            .flush()
+            .map_err(|e| HarnessError::Io(e.to_string()))?;
+        Ok(Manifest {
+            writer: Mutex::new(writer),
+            completed,
+        })
+    }
+
+    /// Jobs already recorded by a previous (interrupted) run.
+    pub fn completed(&self) -> &HashMap<(usize, usize), JobRecord> {
+        &self.completed
+    }
+
+    /// Append one finished job, flushing so a kill loses at most the
+    /// line in flight.
+    pub fn record(&self, rec: JobRecord) {
+        let mut w = self.writer.lock().expect("manifest writer poisoned");
+        let _ = writeln!(w, "{}", rec.to_line());
+        let _ = w.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(cell: usize, trial: usize, obs: f64) -> JobRecord {
+        JobRecord {
+            cell,
+            trial,
+            pair: PairOutcome {
+                mapped: TrialOutcome {
+                    observed: obs,
+                    total_cycles: 101,
+                },
+                unmapped: TrialOutcome {
+                    observed: obs + 0.5,
+                    total_cycles: 202,
+                },
+            },
+            wall_nanos: 42_000,
+            attempts: 1,
+        }
+    }
+
+    #[test]
+    fn job_record_round_trips_exactly() {
+        // A value with a messy bit pattern must survive the text form.
+        let r = rec(3, 17, 512.000_000_000_1_f64);
+        let parsed = JobRecord::parse(&r.to_line()).unwrap();
+        assert_eq!(parsed, r);
+        assert_eq!(
+            parsed.pair.mapped.observed.to_bits(),
+            r.pair.mapped.observed.to_bits()
+        );
+    }
+
+    #[test]
+    fn truncated_line_is_ignored() {
+        let full = rec(0, 0, 1.0).to_line();
+        assert!(JobRecord::parse(&full[..full.len() / 2]).is_none());
+    }
+
+    #[test]
+    fn field_extraction_handles_last_field() {
+        let line = "{\"cell\":7,\"attempts\":2}";
+        assert_eq!(field_u64(line, "cell"), Some(7));
+        assert_eq!(field_u64(line, "attempts"), Some(2));
+        assert_eq!(field_u64(line, "missing"), None);
+    }
+}

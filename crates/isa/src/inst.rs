@@ -107,7 +107,12 @@ pub enum Inst {
     /// `rd = imm`.
     Li { rd: Reg, imm: u64 },
     /// Three-register ALU operation.
-    Alu { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    Alu {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// `rd = rs + imm` (wrapping add of a signed immediate).
     Addi { rd: Reg, rs: Reg, imm: i64 },
     /// `rd = mem[rs_base + offset]` — the value-predicted operation.
@@ -124,7 +129,12 @@ pub enum Inst {
     /// it is the oldest un-committed instruction.
     Rdtsc { rd: Reg },
     /// Conditional branch to an absolute instruction index.
-    Branch { cond: BranchCond, rs1: Reg, rs2: Reg, target: Pc },
+    Branch {
+        cond: BranchCond,
+        rs1: Reg,
+        rs2: Reg,
+        target: Pc,
+    },
     /// Unconditional jump to an absolute instruction index.
     Jump { target: Pc },
     /// Stop the program.
@@ -194,7 +204,12 @@ impl std::fmt::Display for Inst {
             Inst::Flush { base, offset } => write!(f, "flush {offset}({base})"),
             Inst::Fence => write!(f, "fence"),
             Inst::Rdtsc { rd } => write!(f, "rdtsc {rd}"),
-            Inst::Branch { cond, rs1, rs2, target } => {
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
                 write!(f, "{:<5} {rs1}, {rs2}, {target}", cond.mnemonic())
             }
             Inst::Jump { target } => write!(f, "jmp   {target}"),
@@ -239,16 +254,29 @@ mod tests {
 
     #[test]
     fn dest_and_sources() {
-        let ld = Inst::Load { rd: Reg::R1, base: Reg::R2, offset: 8 };
+        let ld = Inst::Load {
+            rd: Reg::R1,
+            base: Reg::R2,
+            offset: 8,
+        };
         assert_eq!(ld.dest(), Some(Reg::R1));
         assert_eq!(ld.sources(), [Some(Reg::R2), None]);
         assert!(ld.is_load());
 
-        let st = Inst::Store { src: Reg::R3, base: Reg::R4, offset: 0 };
+        let st = Inst::Store {
+            src: Reg::R3,
+            base: Reg::R4,
+            offset: 0,
+        };
         assert_eq!(st.dest(), None);
         assert_eq!(st.sources(), [Some(Reg::R4), Some(Reg::R3)]);
 
-        let alu = Inst::Alu { op: AluOp::Add, rd: Reg::R5, rs1: Reg::R6, rs2: Reg::R7 };
+        let alu = Inst::Alu {
+            op: AluOp::Add,
+            rd: Reg::R5,
+            rs1: Reg::R6,
+            rs2: Reg::R7,
+        };
         assert_eq!(alu.dest(), Some(Reg::R5));
         assert_eq!(alu.sources(), [Some(Reg::R6), Some(Reg::R7)]);
     }
@@ -267,7 +295,12 @@ mod tests {
     fn display_forms() {
         assert_eq!(Inst::Nop.to_string(), "nop");
         assert_eq!(
-            Inst::Load { rd: Reg::R1, base: Reg::R2, offset: -8 }.to_string(),
+            Inst::Load {
+                rd: Reg::R1,
+                base: Reg::R2,
+                offset: -8
+            }
+            .to_string(),
             "ld    r1, -8(r2)"
         );
         assert_eq!(

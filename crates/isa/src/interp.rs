@@ -130,7 +130,12 @@ impl Interpreter {
                     self.memory.insert(addr & !7, v);
                 }
                 Inst::Rdtsc { rd } => self.regs.write(rd, self.executed),
-                Inst::Branch { cond, rs1, rs2, target } => {
+                Inst::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    target,
+                } => {
                     if cond.eval(self.regs.read(rs1), self.regs.read(rs2)) {
                         next = target;
                     }
@@ -173,7 +178,9 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.li(Reg::R1, 0).li(Reg::R2, 10);
         b.label("l").unwrap();
-        b.addi(Reg::R1, Reg::R1, 1).blt(Reg::R1, Reg::R2, "l").halt();
+        b.addi(Reg::R1, Reg::R1, 1)
+            .blt(Reg::R1, Reg::R2, "l")
+            .halt();
         let mut i = Interpreter::new();
         let r = i.run(&b.build().unwrap(), 1000).unwrap();
         assert_eq!(r.regs.read(Reg::R1), 10);

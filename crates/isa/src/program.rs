@@ -205,7 +205,12 @@ impl ProgramBuilder {
             at: self.insts.len(),
             label: label.to_owned(),
         });
-        self.push(Inst::Branch { cond, rs1, rs2, target: Pc(u32::MAX) })
+        self.push(Inst::Branch {
+            cond,
+            rs1,
+            rs2,
+            target: Pc(u32::MAX),
+        })
     }
 
     /// Emit `beq rs1, rs2, label`.
@@ -234,7 +239,9 @@ impl ProgramBuilder {
             at: self.insts.len(),
             label: label.to_owned(),
         });
-        self.push(Inst::Jump { target: Pc(u32::MAX) })
+        self.push(Inst::Jump {
+            target: Pc(u32::MAX),
+        })
     }
 
     /// Emit `halt`.
@@ -305,7 +312,10 @@ mod tests {
     fn duplicate_label_rejected() {
         let mut b = ProgramBuilder::new();
         b.label("x").unwrap();
-        assert_eq!(b.label("x").unwrap_err(), AsmError::DuplicateLabel("x".into()));
+        assert_eq!(
+            b.label("x").unwrap_err(),
+            AsmError::DuplicateLabel("x".into())
+        );
     }
 
     #[test]
@@ -367,6 +377,9 @@ mod tests {
             AsmError::UndefinedLabel("b".into()).to_string(),
             "undefined label `b`"
         );
-        assert_eq!(AsmError::MissingHalt.to_string(), "program does not end with halt");
+        assert_eq!(
+            AsmError::MissingHalt.to_string(),
+            "program does not end with halt"
+        );
     }
 }

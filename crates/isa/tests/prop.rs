@@ -1,79 +1,129 @@
-//! Property-based tests for the ISA crate.
+//! Randomized-property tests for the ISA crate.
+//!
+//! Each test draws a few hundred cases from a seeded [`SmallRng`], so
+//! failures reproduce exactly; no external property-testing framework
+//! is required (the build must work offline).
 
-use proptest::prelude::*;
 use vpsim_isa::{AluOp, BranchCond, Inst, Pc, ProgramBuilder, Reg};
+use vpsim_rng::SmallRng;
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(Reg::new)
+const CASES: usize = 256;
+
+fn rng(test: u64) -> SmallRng {
+    SmallRng::seed_from_u64(0x15a_0000 ^ test)
 }
 
-fn arb_alu_op() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::And),
-        Just(AluOp::Or),
-        Just(AluOp::Xor),
-        Just(AluOp::Shl),
-        Just(AluOp::Shr),
-        Just(AluOp::Mul),
-    ]
+const ALU_OPS: [AluOp; 8] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Shl,
+    AluOp::Shr,
+    AluOp::Mul,
+];
+
+#[test]
+fn alu_add_commutes() {
+    let mut rng = rng(1);
+    for _ in 0..CASES {
+        let (a, b) = (rng.next_u64(), rng.next_u64());
+        assert_eq!(AluOp::Add.eval(a, b), AluOp::Add.eval(b, a));
+    }
 }
 
-proptest! {
-    #[test]
-    fn alu_add_commutes(a: u64, b: u64) {
-        prop_assert_eq!(AluOp::Add.eval(a, b), AluOp::Add.eval(b, a));
+#[test]
+fn alu_xor_self_inverse() {
+    let mut rng = rng(2);
+    for _ in 0..CASES {
+        let (a, b) = (rng.next_u64(), rng.next_u64());
+        assert_eq!(AluOp::Xor.eval(AluOp::Xor.eval(a, b), b), a);
     }
+}
 
-    #[test]
-    fn alu_xor_self_inverse(a: u64, b: u64) {
-        prop_assert_eq!(AluOp::Xor.eval(AluOp::Xor.eval(a, b), b), a);
+#[test]
+fn alu_sub_inverts_add() {
+    let mut rng = rng(3);
+    for _ in 0..CASES {
+        let (a, b) = (rng.next_u64(), rng.next_u64());
+        assert_eq!(AluOp::Sub.eval(AluOp::Add.eval(a, b), b), a);
     }
+}
 
-    #[test]
-    fn alu_sub_inverts_add(a: u64, b: u64) {
-        prop_assert_eq!(AluOp::Sub.eval(AluOp::Add.eval(a, b), b), a);
+#[test]
+fn shift_roundtrip_when_no_overflow() {
+    let mut rng = rng(4);
+    for _ in 0..CASES {
+        let a = rng.gen_range(0u64..(1 << 32));
+        let s = rng.gen_range(0u64..16);
+        assert_eq!(AluOp::Shr.eval(AluOp::Shl.eval(a, s), s), a);
     }
+}
 
-    #[test]
-    fn shift_roundtrip_when_no_overflow(a in 0u64..(1 << 32), s in 0u64..16) {
-        prop_assert_eq!(AluOp::Shr.eval(AluOp::Shl.eval(a, s), s), a);
+#[test]
+fn branch_lt_ge_are_complements() {
+    let mut rng = rng(5);
+    for _ in 0..CASES {
+        let (a, b) = (rng.next_u64(), rng.next_u64());
+        assert_ne!(BranchCond::Lt.eval(a, b), BranchCond::Ge.eval(a, b));
     }
+}
 
-    #[test]
-    fn branch_lt_ge_are_complements(a: u64, b: u64) {
-        prop_assert_ne!(BranchCond::Lt.eval(a, b), BranchCond::Ge.eval(a, b));
+#[test]
+fn branch_eq_ne_are_complements() {
+    let mut rng = rng(6);
+    for _ in 0..CASES {
+        // Mix fully random pairs with forced-equal pairs so both sides
+        // of the complement are exercised.
+        let a = rng.next_u64();
+        let b = if rng.gen_bool(0.5) { a } else { rng.next_u64() };
+        assert_ne!(BranchCond::Eq.eval(a, b), BranchCond::Ne.eval(a, b));
     }
+}
 
-    #[test]
-    fn branch_eq_ne_are_complements(a: u64, b: u64) {
-        prop_assert_ne!(BranchCond::Eq.eval(a, b), BranchCond::Ne.eval(a, b));
+#[test]
+fn dest_never_appears_in_sources_for_load() {
+    let mut rng = rng(7);
+    for _ in 0..CASES {
+        let rd = Reg::new(rng.gen_range(0u64..32) as u8);
+        let base = Reg::new(rng.gen_range(0u64..32) as u8);
+        let off = rng.gen_range(-64i64..64);
+        let inst = Inst::Load {
+            rd,
+            base,
+            offset: off,
+        };
+        assert_eq!(inst.dest(), Some(rd));
+        assert_eq!(inst.sources()[0], Some(base));
     }
+}
 
-    #[test]
-    fn dest_never_appears_in_sources_for_load(rd in arb_reg(), base in arb_reg(), off in -64i64..64) {
-        let inst = Inst::Load { rd, base, offset: off };
-        prop_assert_eq!(inst.dest(), Some(rd));
-        prop_assert_eq!(inst.sources()[0], Some(base));
-    }
-
-    #[test]
-    fn builder_preserves_instruction_count(nops in 0usize..64, op in arb_alu_op(), r in arb_reg()) {
+#[test]
+fn builder_preserves_instruction_count() {
+    let mut rng = rng(8);
+    for _ in 0..CASES {
+        let nops = rng.gen_range(0usize..64);
+        let op = *rng.choose(&ALU_OPS);
+        let r = Reg::new(rng.gen_range(0u64..32) as u8);
         let mut b = ProgramBuilder::new();
         b.nops(nops).alu(op, r, r, r).halt();
         let p = b.build().unwrap();
-        prop_assert_eq!(p.len(), nops + 2);
+        assert_eq!(p.len(), nops + 2);
         // The padded ALU op lands exactly after the nops.
         let is_alu = matches!(p.fetch(Pc(nops as u32)).unwrap(), Inst::Alu { .. });
-        prop_assert!(is_alu, "padded ALU op must land right after the nops");
+        assert!(is_alu, "padded ALU op must land right after the nops");
     }
+}
 
-    #[test]
-    fn disassembly_has_one_line_per_inst(nops in 1usize..32) {
+#[test]
+fn disassembly_has_one_line_per_inst() {
+    let mut rng = rng(9);
+    for _ in 0..CASES {
+        let nops = rng.gen_range(1usize..32);
         let mut b = ProgramBuilder::new();
         b.nops(nops).halt();
         let p = b.build().unwrap();
-        prop_assert_eq!(p.disassemble().lines().count(), nops + 1);
+        assert_eq!(p.disassemble().lines().count(), nops + 1);
     }
 }

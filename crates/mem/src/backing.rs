@@ -80,7 +80,9 @@ impl BackingStore {
     /// Panics if `base` is not 8-byte aligned.
     #[must_use]
     pub fn read_words(&self, base: Addr, count: usize) -> Vec<u64> {
-        (0..count).map(|i| self.read(base + (i as u64) * 8)).collect()
+        (0..count)
+            .map(|i| self.read(base + (i as u64) * 8))
+            .collect()
     }
 }
 

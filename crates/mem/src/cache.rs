@@ -130,7 +130,10 @@ impl Cache {
                 self.sets[set][way].dirty = true;
             }
             self.stats.hits += 1;
-            return CacheAccess { hit: true, eviction: None };
+            return CacheAccess {
+                hit: true,
+                eviction: None,
+            };
         }
         // Miss path: find an invalid way, or evict the policy's victim.
         self.stats.misses += 1;
@@ -158,7 +161,10 @@ impl Cache {
             line_addr: line,
         };
         self.policies[set].touch(way);
-        CacheAccess { hit: false, eviction }
+        CacheAccess {
+            hit: false,
+            eviction,
+        }
     }
 
     /// Install a line without counting a demand access (used when an inner

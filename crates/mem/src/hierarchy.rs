@@ -1,7 +1,6 @@
 //! The two-level hierarchy façade used by the pipeline's load-store unit.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use vpsim_rng::SmallRng;
 
 use crate::backing::BackingStore;
 use crate::cache::Cache;
@@ -200,7 +199,11 @@ impl MemoryHierarchy {
             self.l1.fill(next);
             self.stats.prefetches += 1;
         }
-        AccessOutcome { value, latency, level }
+        AccessOutcome {
+            value,
+            latency,
+            level,
+        }
     }
 
     /// Load *without installing* the line into any cache (InvisiSpec-style
@@ -213,7 +216,11 @@ impl MemoryHierarchy {
         let addr = addr & !7;
         let value = self.backing.read(addr);
         let (latency, level) = self.access_inner(addr, false, false);
-        AccessOutcome { value, latency, level }
+        AccessOutcome {
+            value,
+            latency,
+            level,
+        }
     }
 
     /// Demand store (write-allocate, write-back). `addr` is truncated to
@@ -222,7 +229,11 @@ impl MemoryHierarchy {
         let addr = addr & !7;
         self.backing.write(addr, value);
         let (latency, level) = self.access_inner(addr, true, true);
-        AccessOutcome { value, latency, level }
+        AccessOutcome {
+            value,
+            latency,
+            level,
+        }
     }
 
     /// Install the line containing `addr` into L1, L2 and the TLB without
@@ -359,7 +370,10 @@ mod tests {
 
     #[test]
     fn jitter_accumulates_and_is_seeded() {
-        let cfg = MemoryConfig { dram_jitter: 16, ..MemoryConfig::default() };
+        let cfg = MemoryConfig {
+            dram_jitter: 16,
+            ..MemoryConfig::default()
+        };
         let mut a = MemoryHierarchy::new(cfg, 5);
         let mut b = MemoryHierarchy::new(cfg, 5);
         let la: Vec<u64> = (0..16).map(|i| a.read(i * 4096).latency).collect();
@@ -376,10 +390,7 @@ mod tests {
         let first = m.read(0x10000); // TLB miss + DRAM
         m.flush_line(0x10000);
         let second = m.read(0x10000); // TLB hit + DRAM
-        assert_eq!(
-            first.latency - second.latency,
-            m.config().page_walk_latency
-        );
+        assert_eq!(first.latency - second.latency, m.config().page_walk_latency);
     }
 
     #[test]

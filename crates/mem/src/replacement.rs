@@ -4,8 +4,7 @@
 //! policy per set. The trait is object-safe so a cache can mix policies
 //! behind `Box<dyn ReplacementPolicy>`.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use vpsim_rng::SmallRng;
 
 /// Per-set replacement state.
 ///
@@ -84,7 +83,10 @@ impl TreePlru {
     /// Panics if `ways` is not a power of two.
     #[must_use]
     pub fn new(ways: usize) -> TreePlru {
-        assert!(ways.is_power_of_two(), "tree-PLRU requires power-of-two ways");
+        assert!(
+            ways.is_power_of_two(),
+            "tree-PLRU requires power-of-two ways"
+        );
         TreePlru {
             bits: vec![false; ways.saturating_sub(1)],
             ways,

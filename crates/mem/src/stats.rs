@@ -91,7 +91,11 @@ mod tests {
 
     #[test]
     fn hit_rate_math() {
-        let s = CacheStats { hits: 3, misses: 1, ..Default::default() };
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            ..Default::default()
+        };
         assert_eq!(s.accesses(), 4);
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
     }

@@ -36,7 +36,10 @@ impl Tlb {
     #[must_use]
     pub fn new(capacity: usize, page_bytes: u64, hit_latency: Cycles, walk_latency: Cycles) -> Tlb {
         assert!(capacity >= 1, "TLB capacity must be at least 1");
-        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         Tlb {
             entries: Vec::with_capacity(capacity),
             capacity,
@@ -59,7 +62,10 @@ impl Tlb {
     pub fn probe(&self, addr: Addr) -> TlbOutcome {
         let page = self.page(addr);
         if self.entries.contains(&page) {
-            TlbOutcome { hit: true, latency: self.hit_latency }
+            TlbOutcome {
+                hit: true,
+                latency: self.hit_latency,
+            }
         } else {
             TlbOutcome {
                 hit: false,
@@ -89,7 +95,10 @@ impl Tlb {
         if let Some(pos) = self.entries.iter().position(|&p| p == page) {
             let p = self.entries.remove(pos);
             self.entries.insert(0, p);
-            return TlbOutcome { hit: true, latency: self.hit_latency };
+            return TlbOutcome {
+                hit: true,
+                latency: self.hit_latency,
+            };
         }
         if self.entries.len() == self.capacity {
             self.entries.pop();

@@ -1,101 +1,127 @@
-//! Property-based tests for the memory system.
+//! Randomized-property tests for the memory system, driven by a seeded
+//! [`SmallRng`] so every failure reproduces exactly.
 
-use proptest::prelude::*;
-use vpsim_mem::{
-    Cache, CacheGeometry, MemoryConfig, MemoryHierarchy, ReplacementKind,
-};
+use vpsim_mem::{Cache, CacheGeometry, MemoryConfig, MemoryHierarchy, ReplacementKind};
+use vpsim_rng::SmallRng;
 
-fn arb_geometry() -> impl Strategy<Value = CacheGeometry> {
-    (
-        prop_oneof![Just(4usize), Just(8), Just(16), Just(64)],
-        1usize..=8,
-        prop_oneof![Just(64u64), Just(128)],
-        prop_oneof![
-            Just(ReplacementKind::Lru),
-            Just(ReplacementKind::TreePlru),
-            Just(ReplacementKind::Random)
-        ],
-    )
-        .prop_filter("plru needs pow2 ways", |(_, ways, _, repl)| {
-            *repl != ReplacementKind::TreePlru || ways.is_power_of_two()
-        })
-        .prop_map(|(sets, ways, line, repl)| CacheGeometry {
-            sets,
-            ways,
-            line_bytes: line,
-            hit_latency: 4,
-            replacement: repl,
-        })
+const CASES: usize = 64;
+
+fn rng(test: u64) -> SmallRng {
+    SmallRng::seed_from_u64(0x3e3_0000 ^ test)
 }
 
-proptest! {
-    /// Occupancy never exceeds capacity regardless of the access stream.
-    #[test]
-    fn occupancy_bounded(geom in arb_geometry(), addrs in prop::collection::vec(0u64..(1 << 20), 1..200)) {
+fn arb_geometry(rng: &mut SmallRng) -> CacheGeometry {
+    let sets = *rng.choose(&[4usize, 8, 16, 64]);
+    let repl = *rng.choose(&[
+        ReplacementKind::Lru,
+        ReplacementKind::TreePlru,
+        ReplacementKind::Random,
+    ]);
+    let ways = if repl == ReplacementKind::TreePlru {
+        *rng.choose(&[1usize, 2, 4, 8])
+    } else {
+        rng.gen_range(1usize..=8)
+    };
+    CacheGeometry {
+        sets,
+        ways,
+        line_bytes: *rng.choose(&[64u64, 128]),
+        hit_latency: 4,
+        replacement: repl,
+    }
+}
+
+#[test]
+fn occupancy_bounded() {
+    let mut rng = rng(1);
+    for _ in 0..CASES {
+        let geom = arb_geometry(&mut rng);
+        let n = rng.gen_range(1usize..200);
         let mut c = Cache::new(geom, 1);
-        for a in addrs {
+        for _ in 0..n {
+            let a = rng.gen_range(0u64..(1 << 20));
             c.access(a & !7, false);
-            prop_assert!(c.valid_lines() <= geom.sets * geom.ways);
+            assert!(c.valid_lines() <= geom.sets * geom.ways);
         }
     }
+}
 
-    /// An access always results in the line being present immediately after.
-    #[test]
-    fn access_installs_line(geom in arb_geometry(), addrs in prop::collection::vec(0u64..(1 << 20), 1..100)) {
+#[test]
+fn access_installs_line() {
+    let mut rng = rng(2);
+    for _ in 0..CASES {
+        let geom = arb_geometry(&mut rng);
+        let n = rng.gen_range(1usize..100);
         let mut c = Cache::new(geom, 2);
-        for a in addrs {
-            let a = a & !7;
+        for _ in 0..n {
+            let a = rng.gen_range(0u64..(1 << 20)) & !7;
             c.access(a, false);
-            prop_assert!(c.probe(a), "line must be resident right after access");
+            assert!(c.probe(a), "line must be resident right after access");
         }
     }
+}
 
-    /// Two same-line addresses always behave identically for probe.
-    #[test]
-    fn probe_is_line_granular(geom in arb_geometry(), base in 0u64..(1 << 18), off in 0u64..8) {
+#[test]
+fn probe_is_line_granular() {
+    let mut rng = rng(3);
+    for _ in 0..CASES {
+        let geom = arb_geometry(&mut rng);
+        let base = rng.gen_range(0u64..(1 << 18)) & !7;
+        let off = rng.gen_range(0u64..8);
         let mut c = Cache::new(geom, 3);
-        let base = base & !7;
         let line = c.line_addr(base);
         let other = line + (off * 8) % geom.line_bytes;
         c.access(base, false);
-        prop_assert_eq!(c.probe(base), c.probe(other));
+        assert_eq!(c.probe(base), c.probe(other));
     }
+}
 
-    /// Hierarchy reads always return the stored value, hot or cold.
-    #[test]
-    fn hierarchy_value_correctness(writes in prop::collection::vec((0u64..1024, any::<u64>()), 1..64)) {
+#[test]
+fn hierarchy_value_correctness() {
+    let mut rng = rng(4);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..64);
         let mut m = MemoryHierarchy::new(MemoryConfig::deterministic(), 0);
         let mut model = std::collections::HashMap::new();
-        for (slot, v) in &writes {
-            let addr = slot * 8;
-            m.write(addr, *v);
-            model.insert(addr, *v);
+        for _ in 0..n {
+            let addr = rng.gen_range(0u64..1024) * 8;
+            let v = rng.next_u64();
+            m.write(addr, v);
+            model.insert(addr, v);
         }
         for (addr, v) in &model {
-            prop_assert_eq!(m.read(*addr).value, *v);
+            assert_eq!(m.read(*addr).value, *v);
         }
     }
+}
 
-    /// Deterministic config ⇒ identical latencies for identical streams.
-    #[test]
-    fn deterministic_latencies(addrs in prop::collection::vec(0u64..(1 << 16), 1..64)) {
+#[test]
+fn deterministic_latencies() {
+    let mut rng = rng(5);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..64);
+        // Deterministic config ⇒ identical latencies for identical
+        // streams, even across different machine seeds.
         let mut a = MemoryHierarchy::new(MemoryConfig::deterministic(), 11);
         let mut b = MemoryHierarchy::new(MemoryConfig::deterministic(), 99);
-        for addr in addrs {
-            let addr = addr & !7;
-            prop_assert_eq!(a.read(addr).latency, b.read(addr).latency);
+        for _ in 0..n {
+            let addr = rng.gen_range(0u64..(1 << 16)) & !7;
+            assert_eq!(a.read(addr).latency, b.read(addr).latency);
         }
     }
+}
 
-    /// Flush always forces the next access to miss L1.
-    #[test]
-    fn flush_forces_miss(addrs in prop::collection::vec(0u64..(1 << 16), 1..32)) {
+#[test]
+fn flush_forces_miss() {
+    let mut rng = rng(6);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..32);
         let mut m = MemoryHierarchy::new(MemoryConfig::deterministic(), 0);
-        for addr in addrs {
-            let addr = addr & !7;
+        for _ in 0..n {
+            let addr = rng.gen_range(0u64..(1 << 16)) & !7;
             m.read(addr);
             m.flush_line(addr);
-            prop_assert!(m.read(addr).is_l1_miss());
+            assert!(m.read(addr).is_l1_miss());
         }
     }
 }

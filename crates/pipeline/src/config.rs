@@ -96,7 +96,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "ROB")]
     fn tiny_rob_rejected() {
-        CoreConfig { rob_entries: 1, ..CoreConfig::default() }.validate();
+        CoreConfig {
+            rob_entries: 1,
+            ..CoreConfig::default()
+        }
+        .validate();
     }
 
     #[test]

@@ -144,7 +144,14 @@ mod tests {
     use vpsim_isa::Reg;
 
     fn entry() -> DynInst {
-        DynInst::new(0, Pc(0), Inst::Li { rd: Reg::R1, imm: 5 })
+        DynInst::new(
+            0,
+            Pc(0),
+            Inst::Li {
+                rd: Reg::R1,
+                imm: 5,
+            },
+        )
     }
 
     #[test]
@@ -169,11 +176,22 @@ mod tests {
 
     #[test]
     fn unverified_prediction_blocks_commit() {
-        let mut e = DynInst::new(1, Pc(0), Inst::Load { rd: Reg::R1, base: Reg::R2, offset: 0 });
+        let mut e = DynInst::new(
+            1,
+            Pc(0),
+            Inst::Load {
+                rd: Reg::R1,
+                base: Reg::R2,
+                offset: 0,
+            },
+        );
         e.result = Some(7);
         e.done_at = Some(5);
         e.status = Status::Done;
-        e.load_origin = Some(LoadOrigin::Predicted { predicted: 7, actual: 7 });
+        e.load_origin = Some(LoadOrigin::Predicted {
+            predicted: 7,
+            actual: 7,
+        });
         e.verify_at = Some(50);
         assert!(e.is_unverified_prediction());
         assert!(!e.committable(10));
@@ -184,7 +202,15 @@ mod tests {
 
     #[test]
     fn pending_src_tags_block_readiness() {
-        let mut e = DynInst::new(2, Pc(0), Inst::Addi { rd: Reg::R1, rs: Reg::R2, imm: 1 });
+        let mut e = DynInst::new(
+            2,
+            Pc(0),
+            Inst::Addi {
+                rd: Reg::R1,
+                rs: Reg::R2,
+                imm: 1,
+            },
+        );
         e.src_tags[0] = Some(1);
         assert!(!e.operands_ready());
         e.src_tags[0] = None;

@@ -117,8 +117,7 @@ impl<'a> Executor<'a> {
         loop {
             // Oldest unverified predicted load whose data has arrived.
             let pos = self.rob.iter().position(|e| {
-                e.is_unverified_prediction()
-                    && matches!(e.verify_at, Some(v) if v <= self.cycle)
+                e.is_unverified_prediction() && matches!(e.verify_at, Some(v) if v <= self.cycle)
             });
             let Some(pos) = pos else { break };
             let (seq, pc, addr) = {
@@ -152,11 +151,7 @@ impl<'a> Executor<'a> {
     /// at the branch's true target; value mispredictions refetch the
     /// squashed path itself).
     fn squash_younger_than(&mut self, seq: Seq, redirect: Option<Pc>) {
-        let first_squashed_pc = self
-            .rob
-            .iter()
-            .find(|e| e.seq > seq)
-            .map(|e| e.pc);
+        let first_squashed_pc = self.rob.iter().find(|e| e.seq > seq).map(|e| e.pc);
         let before = self.rob.len();
         let discarded_fills = self
             .rob
@@ -196,8 +191,8 @@ impl<'a> Executor<'a> {
         let mut idx = 0;
         while idx < self.rob.len() {
             let e = &mut self.rob[idx];
-            let ready = e.status == Status::Executing
-                && matches!(e.done_at, Some(d) if d <= self.cycle);
+            let ready =
+                e.status == Status::Executing && matches!(e.done_at, Some(d) if d <= self.cycle);
             if !ready {
                 idx += 1;
                 continue;
@@ -488,7 +483,9 @@ impl<'a> Executor<'a> {
                 return Ok(());
             }
             let Some(inst) = self.program.fetch(self.fetch_pc) else {
-                return Err(RunError::FetchPastEnd { pc: self.fetch_pc.0 });
+                return Err(RunError::FetchPastEnd {
+                    pc: self.fetch_pc.0,
+                });
             };
             if matches!(inst, Inst::Fence) && !self.rob.is_empty() {
                 return Ok(());
@@ -534,7 +531,11 @@ impl<'a> Executor<'a> {
                 Inst::Branch { target, .. } if self.config.branch_prediction => {
                     // Static BTFN: predict backward branches taken
                     // (loops) and forward branches not taken.
-                    let predicted = if target.0 <= e.pc.0 { target } else { e.pc.next() };
+                    let predicted = if target.0 <= e.pc.0 {
+                        target
+                    } else {
+                        e.pc.next()
+                    };
                     e.predicted_next = Some(predicted);
                     self.fetch_pc = predicted;
                 }

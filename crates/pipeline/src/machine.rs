@@ -101,12 +101,7 @@ mod tests {
     use vpsim_predictor::{Lvp, LvpConfig, NoPredictor};
 
     fn machine(vp: Box<dyn ValuePredictor>) -> Machine {
-        Machine::new(
-            CoreConfig::default(),
-            MemoryConfig::deterministic(),
-            vp,
-            7,
-        )
+        Machine::new(CoreConfig::default(), MemoryConfig::deterministic(), vp, 7)
     }
 
     #[test]

@@ -141,7 +141,9 @@ mod tests {
 
     #[test]
     fn error_messages() {
-        assert!(RunError::CycleLimitExceeded { limit: 5 }.to_string().contains('5'));
+        assert!(RunError::CycleLimitExceeded { limit: 5 }
+            .to_string()
+            .contains('5'));
         assert!(RunError::FetchPastEnd { pc: 3 }.to_string().contains("pc3"));
     }
 }

@@ -166,7 +166,10 @@ fn cycle_limit_enforced() {
     b.label("spin").unwrap();
     b.jump("spin").halt();
     let p = b.build().unwrap();
-    let cfg = CoreConfig { max_cycles: 1000, ..CoreConfig::default() };
+    let cfg = CoreConfig {
+        max_cycles: 1000,
+        ..CoreConfig::default()
+    };
     let mut m = Machine::new(
         cfg,
         MemoryConfig::deterministic(),
@@ -193,7 +196,10 @@ fn branch_prediction_speeds_up_loops() {
         .halt();
     let p = b.build().unwrap();
     let run = |speculate: bool| {
-        let cfg = CoreConfig { branch_prediction: speculate, ..CoreConfig::default() };
+        let cfg = CoreConfig {
+            branch_prediction: speculate,
+            ..CoreConfig::default()
+        };
         let mut m = Machine::new(
             cfg,
             MemoryConfig::deterministic(),
@@ -330,7 +336,10 @@ fn no_prediction_below_confidence() {
     m.cold_caches();
     let (_, r) = trigger(&mut m);
     // Note each trigger run contains exactly one miss-load of DATA.
-    assert_eq!(r.stats.predicted_loads, 0, "below confidence: no prediction");
+    assert_eq!(
+        r.stats.predicted_loads, 0,
+        "below confidence: no prediction"
+    );
 }
 
 #[test]
@@ -429,7 +438,10 @@ fn d_type_defense_suppresses_transient_trace() {
     m.cold_caches();
     let r = m.run(0, &p).unwrap();
     assert!(r.stats.mispredictions >= 1);
-    assert!(r.stats.deferred_fills_discarded >= 1, "squashed fill discarded");
+    assert!(
+        r.stats.deferred_fills_discarded >= 1,
+        "squashed fill discarded"
+    );
     // The transient (squashed) encode line must NOT be visible.
     assert!(
         !m.mem().probe_l2(PROBE + 3 * 4096),
@@ -496,7 +508,10 @@ fn squash_preserves_architectural_state() {
 
 #[test]
 fn commit_trace_records_program_order() {
-    let core = CoreConfig { record_commit_trace: true, ..CoreConfig::default() };
+    let core = CoreConfig {
+        record_commit_trace: true,
+        ..CoreConfig::default()
+    };
     let mut m = Machine::new(
         core,
         MemoryConfig::deterministic(),

@@ -7,9 +7,9 @@
 //! sequences (straight-line bodies inside counted loops) over a small
 //! address pool, with `flush` instructions sprinkled in so loads miss
 //! and the value predictor engages; stores mutate the pool so trained
-//! predictions go stale and squashes actually happen.
+//! predictions go stale and squashes actually happen. Generation draws
+//! from a seeded [`SmallRng`], so any failure reproduces exactly.
 
-use proptest::prelude::*;
 use vpsim_isa::{AluOp, Interpreter, Program, ProgramBuilder, Reg};
 use vpsim_mem::MemoryConfig;
 use vpsim_pipeline::{CoreConfig, Machine};
@@ -17,6 +17,9 @@ use vpsim_predictor::{
     Fcm, FcmConfig, Lvp, LvpConfig, NoPredictor, Stride, StrideConfig, ValuePredictor, Vtage,
     VtageConfig,
 };
+use vpsim_rng::SmallRng;
+
+const CASES: usize = 48;
 
 /// One generated body operation.
 #[derive(Debug, Clone)]
@@ -45,32 +48,48 @@ fn pool_reg(i: usize) -> Reg {
     Reg::new(1 + (i % 4) as u8)
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (
-            prop_oneof![
-                Just(AluOp::Add),
-                Just(AluOp::Sub),
-                Just(AluOp::Xor),
-                Just(AluOp::And),
-                Just(AluOp::Or),
-                Just(AluOp::Mul),
-                Just(AluOp::Shl),
-                Just(AluOp::Shr)
-            ],
-            any::<u8>(),
-            any::<u8>(),
-            any::<u8>()
-        )
-            .prop_map(|(op, a, b, c)| Op::Alu(op, a, b, c)),
-        (any::<u8>(), any::<u8>(), any::<i8>()).prop_map(|(a, b, i)| Op::Addi(a, b, i)),
-        (any::<u8>(), any::<u16>()).prop_map(|(r, v)| Op::Li(r, v)),
-        (any::<u8>(), 0usize..4).prop_map(|(r, s)| Op::Load(r, s)),
-        (any::<u8>(), 0usize..4).prop_map(|(r, s)| Op::Store(r, s)),
-        (0usize..4).prop_map(Op::Flush),
-        Just(Op::Fence),
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::SkipNextIfGe(a, b)),
-    ]
+const ALU_OPS: [AluOp; 8] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Xor,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Mul,
+    AluOp::Shl,
+    AluOp::Shr,
+];
+
+fn arb_op(rng: &mut SmallRng) -> Op {
+    match rng.gen_range(0usize..8) {
+        0 => Op::Alu(
+            *rng.choose(&ALU_OPS),
+            rng.gen_range(0u64..256) as u8,
+            rng.gen_range(0u64..256) as u8,
+            rng.gen_range(0u64..256) as u8,
+        ),
+        1 => Op::Addi(
+            rng.gen_range(0u64..256) as u8,
+            rng.gen_range(0u64..256) as u8,
+            rng.gen_range(-128i64..128) as i8,
+        ),
+        2 => Op::Li(
+            rng.gen_range(0u64..256) as u8,
+            rng.gen_range(0u64..65536) as u16,
+        ),
+        3 => Op::Load(rng.gen_range(0u64..256) as u8, rng.gen_range(0usize..4)),
+        4 => Op::Store(rng.gen_range(0u64..256) as u8, rng.gen_range(0usize..4)),
+        5 => Op::Flush(rng.gen_range(0usize..4)),
+        6 => Op::Fence,
+        _ => Op::SkipNextIfGe(
+            rng.gen_range(0u64..256) as u8,
+            rng.gen_range(0u64..256) as u8,
+        ),
+    }
+}
+
+fn arb_body(rng: &mut SmallRng, max_len: usize) -> Vec<Op> {
+    let n = rng.gen_range(1usize..max_len);
+    rng.vec_of(n, arb_op)
 }
 
 /// Build a program: pool setup, then `iters` passes over the body via a
@@ -138,9 +157,7 @@ fn build_program(body: &[Op], iters: u64) -> Program {
 fn run_both(program: &Program, vp: Box<dyn ValuePredictor>) -> (Vec<u64>, Vec<u64>, u64) {
     // Golden model.
     let mut interp = Interpreter::new();
-    let golden = interp
-        .run(program, 2_000_000)
-        .expect("golden model halts");
+    let golden = interp.run(program, 2_000_000).expect("golden model halts");
     // Pipeline.
     let mut machine = Machine::new(
         CoreConfig::default(),
@@ -162,86 +179,99 @@ fn run_both(program: &Program, vp: Box<dyn ValuePredictor>) -> (Vec<u64>, Vec<u6
     (g_regs, p_regs, result.stats.mispredictions)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// With an LVP, arbitrary programs retire to the same architectural
-    /// state as sequential execution — squashes must be invisible.
-    #[test]
-    fn pipeline_matches_golden_model_with_lvp(
-        body in prop::collection::vec(arb_op(), 1..24),
-        iters in 1u64..6,
-    ) {
+/// Run the "pipeline ≡ golden model" differential for `CASES` random
+/// programs with the given predictor factory.
+fn differential(seed: u64, make_vp: impl Fn() -> Box<dyn ValuePredictor>) {
+    let mut rng = SmallRng::seed_from_u64(0xd1ff_0000 ^ seed);
+    for case in 0..CASES {
+        let body = arb_body(&mut rng, 24);
+        let iters = rng.gen_range(1u64..6);
         let program = build_program(&body, iters);
-        let vp = Box::new(Lvp::new(LvpConfig { confidence_threshold: 1, ..LvpConfig::default() }));
-        let (g, p, _) = run_both(&program, vp);
-        prop_assert_eq!(g, p, "architectural registers diverged");
+        let (g, p, _) = run_both(&program, make_vp());
+        assert_eq!(
+            g, p,
+            "architectural registers diverged (case {case}: {body:?} × {iters})"
+        );
     }
+}
 
-    /// Same property with the stride predictor (different speculation
-    /// pattern: it predicts changing values).
-    #[test]
-    fn pipeline_matches_golden_model_with_stride(
-        body in prop::collection::vec(arb_op(), 1..24),
-        iters in 1u64..6,
-    ) {
-        let program = build_program(&body, iters);
-        let vp = Box::new(Stride::new(StrideConfig { confidence_threshold: 1, ..StrideConfig::default() }));
-        let (g, p, _) = run_both(&program, vp);
-        prop_assert_eq!(g, p);
-    }
+/// With an LVP, arbitrary programs retire to the same architectural
+/// state as sequential execution — squashes must be invisible.
+#[test]
+fn pipeline_matches_golden_model_with_lvp() {
+    differential(1, || {
+        Box::new(Lvp::new(LvpConfig {
+            confidence_threshold: 1,
+            ..LvpConfig::default()
+        }))
+    });
+}
 
-    /// Same property with VTAGE.
-    #[test]
-    fn pipeline_matches_golden_model_with_vtage(
-        body in prop::collection::vec(arb_op(), 1..24),
-        iters in 1u64..6,
-    ) {
-        let program = build_program(&body, iters);
-        let vp = Box::new(Vtage::new(VtageConfig { confidence_threshold: 1, ..VtageConfig::default() }));
-        let (g, p, _) = run_both(&program, vp);
-        prop_assert_eq!(g, p);
-    }
+/// Same property with the stride predictor (different speculation
+/// pattern: it predicts changing values).
+#[test]
+fn pipeline_matches_golden_model_with_stride() {
+    differential(2, || {
+        Box::new(Stride::new(StrideConfig {
+            confidence_threshold: 1,
+            ..StrideConfig::default()
+        }))
+    });
+}
 
-    /// Same property with the two-level FCM (history-hash speculation).
-    #[test]
-    fn pipeline_matches_golden_model_with_fcm(
-        body in prop::collection::vec(arb_op(), 1..24),
-        iters in 1u64..6,
-    ) {
-        let program = build_program(&body, iters);
-        let vp = Box::new(Fcm::new(FcmConfig { confidence_threshold: 1, ..FcmConfig::default() }));
-        let (g, p, _) = run_both(&program, vp);
-        prop_assert_eq!(g, p);
-    }
+/// Same property with VTAGE.
+#[test]
+fn pipeline_matches_golden_model_with_vtage() {
+    differential(3, || {
+        Box::new(Vtage::new(VtageConfig {
+            confidence_threshold: 1,
+            ..VtageConfig::default()
+        }))
+    });
+}
 
-    /// And with no predictor at all (baseline sanity).
-    #[test]
-    fn pipeline_matches_golden_model_without_vp(
-        body in prop::collection::vec(arb_op(), 1..24),
-        iters in 1u64..6,
-    ) {
-        let program = build_program(&body, iters);
-        let (g, p, _) = run_both(&program, Box::new(NoPredictor::new()));
-        prop_assert_eq!(g, p);
-    }
+/// Same property with the two-level FCM (history-hash speculation).
+#[test]
+fn pipeline_matches_golden_model_with_fcm() {
+    differential(4, || {
+        Box::new(Fcm::new(FcmConfig {
+            confidence_threshold: 1,
+            ..FcmConfig::default()
+        }))
+    });
+}
 
-    /// D-type (delayed side effects) must not change architectural
-    /// results either — only cache visibility.
-    #[test]
-    fn d_type_is_architecturally_invisible(
-        body in prop::collection::vec(arb_op(), 1..20),
-        iters in 1u64..5,
-    ) {
+/// And with no predictor at all (baseline sanity).
+#[test]
+fn pipeline_matches_golden_model_without_vp() {
+    differential(5, || Box::new(NoPredictor::new()));
+}
+
+/// D-type (delayed side effects) must not change architectural
+/// results either — only cache visibility.
+#[test]
+fn d_type_is_architecturally_invisible() {
+    let mut rng = SmallRng::seed_from_u64(0xd1ff_0006);
+    for _ in 0..CASES {
+        let body = arb_body(&mut rng, 20);
+        let iters = rng.gen_range(1u64..5);
         let program = build_program(&body, iters);
         let run = |delay: bool| {
-            let core = CoreConfig { delay_side_effects: delay, ..CoreConfig::default() };
-            let vp = Box::new(Lvp::new(LvpConfig { confidence_threshold: 1, ..LvpConfig::default() }));
+            let core = CoreConfig {
+                delay_side_effects: delay,
+                ..CoreConfig::default()
+            };
+            let vp = Box::new(Lvp::new(LvpConfig {
+                confidence_threshold: 1,
+                ..LvpConfig::default()
+            }));
             let mut m = Machine::new(core, MemoryConfig::deterministic(), vp, 5);
             let r = m.run(0, &program).expect("halts");
-            (0..32).map(|i| r.regs.read(Reg::new(i))).collect::<Vec<u64>>()
+            (0..32)
+                .map(|i| r.regs.read(Reg::new(i)))
+                .collect::<Vec<u64>>()
         };
-        prop_assert_eq!(run(false), run(true));
+        assert_eq!(run(false), run(true));
     }
 }
 
@@ -271,13 +301,11 @@ fn squash_storm_matches_golden_model() {
     let mut interp = Interpreter::new();
     let golden = interp.run(&program, 100_000).unwrap();
 
-    let vp = Box::new(Lvp::new(LvpConfig { confidence_threshold: 1, ..LvpConfig::default() }));
-    let mut machine = Machine::new(
-        CoreConfig::default(),
-        MemoryConfig::deterministic(),
-        vp,
-        9,
-    );
+    let vp = Box::new(Lvp::new(LvpConfig {
+        confidence_threshold: 1,
+        ..LvpConfig::default()
+    }));
+    let mut machine = Machine::new(CoreConfig::default(), MemoryConfig::deterministic(), vp, 9);
     let result = machine.run(0, &program).unwrap();
     assert!(
         result.stats.mispredictions >= 5,

@@ -16,8 +16,7 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use vpsim_rng::SmallRng;
 
 use crate::index::IndexConfig;
 use crate::stats::PredictorStats;
@@ -89,7 +88,10 @@ impl<P: ValuePredictor> ValuePredictor for AlwaysPredict<P> {
                 self.last_seen.get(&idx).copied().unwrap_or(0)
             }
         };
-        Some(Predicted { value, confidence: 0 })
+        Some(Predicted {
+            value,
+            confidence: 0,
+        })
     }
 
     fn train(&mut self, ctx: &LoadContext, actual: u64, prediction: Option<u64>) {
@@ -285,12 +287,20 @@ mod tests {
     use crate::NoPredictor;
 
     fn ctx(pc: u64) -> LoadContext {
-        LoadContext { pc, addr: 0, pid: 0 }
+        LoadContext {
+            pc,
+            addr: 0,
+            pid: 0,
+        }
     }
 
     #[test]
     fn always_predict_fills_no_prediction() {
-        let mut vp = AlwaysPredict::new(NoPredictor::new(), AlwaysMode::Fixed(99), IndexConfig::default());
+        let mut vp = AlwaysPredict::new(
+            NoPredictor::new(),
+            AlwaysMode::Fixed(99),
+            IndexConfig::default(),
+        );
         let p = vp.lookup(&ctx(0x40)).expect("A-type always predicts");
         assert_eq!(p.value, 99);
         assert_eq!(vp.forced_predictions(), 1);
@@ -298,7 +308,11 @@ mod tests {
 
     #[test]
     fn always_predict_history_mode_tracks_last_value() {
-        let mut vp = AlwaysPredict::new(NoPredictor::new(), AlwaysMode::History, IndexConfig::default());
+        let mut vp = AlwaysPredict::new(
+            NoPredictor::new(),
+            AlwaysMode::History,
+            IndexConfig::default(),
+        );
         assert_eq!(vp.lookup(&ctx(0x40)).unwrap().value, 0, "unseen index → 0");
         vp.train(&ctx(0x40), 1234, None);
         assert_eq!(vp.lookup(&ctx(0x40)).unwrap().value, 1234);
@@ -312,7 +326,11 @@ mod tests {
             inner.train(&ctx(0x40), 5, None);
         }
         let mut vp = AlwaysPredict::new(inner, AlwaysMode::Fixed(99), IndexConfig::default());
-        assert_eq!(vp.lookup(&ctx(0x40)).unwrap().value, 5, "inner wins when confident");
+        assert_eq!(
+            vp.lookup(&ctx(0x40)).unwrap().value,
+            5,
+            "inner wins when confident"
+        );
         assert_eq!(vp.forced_predictions(), 0);
     }
 
@@ -385,7 +403,11 @@ mod tests {
         assert_eq!(DefenseSpec::none().label(), "none");
         assert_eq!(DefenseSpec::full(3).label(), "A+R(3)+D");
         assert_eq!(
-            DefenseSpec { r_type: Some(9), ..DefenseSpec::none() }.label(),
+            DefenseSpec {
+                r_type: Some(9),
+                ..DefenseSpec::none()
+            }
+            .label(),
             "R(9)"
         );
     }

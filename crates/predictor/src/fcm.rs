@@ -81,7 +81,10 @@ impl Fcm {
     pub fn new(config: FcmConfig) -> Fcm {
         assert!(config.history_depth >= 1, "history depth must be >= 1");
         assert!(config.confidence_threshold >= 1, "threshold must be >= 1");
-        assert!(config.l1_capacity >= 1 && config.l2_capacity >= 1, "capacities must be >= 1");
+        assert!(
+            config.l1_capacity >= 1 && config.l2_capacity >= 1,
+            "capacities must be >= 1"
+        );
         Fcm {
             config,
             level1: HashMap::new(),
@@ -147,7 +150,10 @@ impl ValuePredictor for Fcm {
         match prediction {
             Some(e) if e.confidence >= self.config.confidence_threshold => {
                 self.stats.predictions += 1;
-                Some(Predicted { value: e.value, confidence: e.confidence })
+                Some(Predicted {
+                    value: e.value,
+                    confidence: e.confidence,
+                })
             }
             _ => {
                 self.stats.no_predictions += 1;
@@ -182,7 +188,11 @@ impl ValuePredictor for Fcm {
                     self.evict_l2_if_full();
                     self.level2.insert(
                         key,
-                        ContextEntry { value: actual, confidence: 1, seq: self.next_seq },
+                        ContextEntry {
+                            value: actual,
+                            confidence: 1,
+                            seq: self.next_seq,
+                        },
                     );
                 }
             }
@@ -198,7 +208,13 @@ impl ValuePredictor for Fcm {
             }
             None => {
                 self.evict_l1_if_full();
-                self.level1.insert(index, HistoryEntry { values: vec![actual], seq });
+                self.level1.insert(
+                    index,
+                    HistoryEntry {
+                        values: vec![actual],
+                        seq,
+                    },
+                );
             }
         }
     }
@@ -224,7 +240,11 @@ mod tests {
     use super::*;
 
     fn ctx(pc: u64) -> LoadContext {
-        LoadContext { pc, addr: 0, pid: 0 }
+        LoadContext {
+            pc,
+            addr: 0,
+            pid: 0,
+        }
     }
 
     fn drive(vp: &mut Fcm, pc: u64, v: u64) -> Option<u64> {
@@ -293,7 +313,10 @@ mod tests {
 
     #[test]
     fn capacity_eviction_l1() {
-        let mut vp = Fcm::new(FcmConfig { l1_capacity: 2, ..FcmConfig::default() });
+        let mut vp = Fcm::new(FcmConfig {
+            l1_capacity: 2,
+            ..FcmConfig::default()
+        });
         drive(&mut vp, 0x40, 1);
         drive(&mut vp, 0x44, 2);
         drive(&mut vp, 0x48, 3);
@@ -326,6 +349,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "history depth")]
     fn zero_depth_rejected() {
-        let _ = Fcm::new(FcmConfig { history_depth: 0, ..FcmConfig::default() });
+        let _ = Fcm::new(FcmConfig {
+            history_depth: 0,
+            ..FcmConfig::default()
+        });
     }
 }

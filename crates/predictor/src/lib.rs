@@ -162,7 +162,11 @@ mod tests {
     #[test]
     fn no_predictor_never_predicts() {
         let mut vp = NoPredictor::new();
-        let ctx = LoadContext { pc: 0, addr: 0, pid: 0 };
+        let ctx = LoadContext {
+            pc: 0,
+            addr: 0,
+            pid: 0,
+        };
         for _ in 0..10 {
             assert!(vp.lookup(&ctx).is_none());
             vp.train(&ctx, 1, None);
@@ -175,7 +179,11 @@ mod tests {
     #[test]
     fn no_predictor_reset_clears_stats() {
         let mut vp = NoPredictor::new();
-        vp.lookup(&LoadContext { pc: 0, addr: 0, pid: 0 });
+        vp.lookup(&LoadContext {
+            pc: 0,
+            addr: 0,
+            pid: 0,
+        });
         vp.reset();
         assert_eq!(vp.stats(), PredictorStats::default());
     }

@@ -137,11 +137,7 @@ impl Lvp {
         }
         // Evict the entry with the smallest usefulness; break ties by
         // oldest insertion so eviction is deterministic.
-        if let Some((&victim, _)) = self
-            .table
-            .iter()
-            .min_by_key(|(_, e)| (e.usefulness, e.seq))
-        {
+        if let Some((&victim, _)) = self.table.iter().min_by_key(|(_, e)| (e.usefulness, e.seq)) {
             self.table.remove(&victim);
             self.stats.evictions += 1;
         }
@@ -233,7 +229,11 @@ mod tests {
     use crate::index::{IndexConfig, IndexKind};
 
     fn ctx(pc: u64) -> LoadContext {
-        LoadContext { pc, addr: 0x1000, pid: 0 }
+        LoadContext {
+            pc,
+            addr: 0x1000,
+            pid: 0,
+        }
     }
 
     fn lvp() -> Lvp {
@@ -314,20 +314,33 @@ mod tests {
             ..LvpConfig::default()
         };
         let mut vp = Lvp::new(cfg);
-        let a = LoadContext { pc: 0x40, addr: 0x1000, pid: 0 };
-        let b = LoadContext { pc: 0x80, addr: 0x1000, pid: 0 }; // same data addr
+        let a = LoadContext {
+            pc: 0x40,
+            addr: 0x1000,
+            pid: 0,
+        };
+        let b = LoadContext {
+            pc: 0x80,
+            addr: 0x1000,
+            pid: 0,
+        }; // same data addr
         for _ in 0..3 {
             vp.train(&a, 5, None);
         }
         assert_eq!(
-            vp.lookup(&b).expect("data-address predictors alias by addr").value,
+            vp.lookup(&b)
+                .expect("data-address predictors alias by addr")
+                .value,
             5
         );
     }
 
     #[test]
     fn usefulness_based_eviction() {
-        let cfg = LvpConfig { capacity: 2, ..LvpConfig::default() };
+        let cfg = LvpConfig {
+            capacity: 2,
+            ..LvpConfig::default()
+        };
         let mut vp = Lvp::new(cfg);
         // Entry A trained 4 times (usefulness 3), entry B once (usefulness 0).
         for _ in 0..4 {
@@ -368,7 +381,10 @@ mod tests {
 
     #[test]
     fn confidence_saturates() {
-        let cfg = LvpConfig { max_confidence: 5, ..LvpConfig::default() };
+        let cfg = LvpConfig {
+            max_confidence: 5,
+            ..LvpConfig::default()
+        };
         let mut vp = Lvp::new(cfg);
         let c = ctx(0x40);
         for _ in 0..20 {
@@ -391,22 +407,39 @@ mod tests {
     #[test]
     #[should_panic(expected = "threshold must be >= 1")]
     fn zero_threshold_rejected() {
-        let _ = Lvp::new(LvpConfig { confidence_threshold: 0, ..LvpConfig::default() });
+        let _ = Lvp::new(LvpConfig {
+            confidence_threshold: 0,
+            ..LvpConfig::default()
+        });
     }
 
     #[test]
     fn pid_mixing_isolates_processes() {
         let cfg = LvpConfig {
-            index: IndexConfig { use_pid: true, ..IndexConfig::default() },
+            index: IndexConfig {
+                use_pid: true,
+                ..IndexConfig::default()
+            },
             ..LvpConfig::default()
         };
         let mut vp = Lvp::new(cfg);
-        let p1 = LoadContext { pc: 0x40, addr: 0, pid: 1 };
-        let p2 = LoadContext { pc: 0x40, addr: 0, pid: 2 };
+        let p1 = LoadContext {
+            pc: 0x40,
+            addr: 0,
+            pid: 1,
+        };
+        let p2 = LoadContext {
+            pc: 0x40,
+            addr: 0,
+            pid: 2,
+        };
         for _ in 0..4 {
             vp.train(&p1, 1, None);
         }
         assert!(vp.lookup(&p1).is_some());
-        assert!(vp.lookup(&p2).is_none(), "pid-indexed entries must not alias");
+        assert!(
+            vp.lookup(&p2).is_none(),
+            "pid-indexed entries must not alias"
+        );
     }
 }

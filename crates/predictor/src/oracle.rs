@@ -82,7 +82,11 @@ mod tests {
     fn trained_oracle(target: u64) -> Oracle<Lvp> {
         let mut o = Oracle::new(Lvp::new(LvpConfig::default()), [target]);
         for pc in [0x40u64, 0x80] {
-            let ctx = LoadContext { pc, addr: 0, pid: 0 };
+            let ctx = LoadContext {
+                pc,
+                addr: 0,
+                pid: 0,
+            };
             for _ in 0..4 {
                 o.train(&ctx, 5, None);
             }
@@ -93,10 +97,21 @@ mod tests {
     #[test]
     fn predicts_only_for_target() {
         let mut o = trained_oracle(0x40);
-        let target = LoadContext { pc: 0x40, addr: 0, pid: 0 };
-        let other = LoadContext { pc: 0x80, addr: 0, pid: 0 };
+        let target = LoadContext {
+            pc: 0x40,
+            addr: 0,
+            pid: 0,
+        };
+        let other = LoadContext {
+            pc: 0x80,
+            addr: 0,
+            pid: 0,
+        };
         assert!(o.lookup(&target).is_some());
-        assert!(o.lookup(&other).is_none(), "non-target load must not predict");
+        assert!(
+            o.lookup(&other).is_none(),
+            "non-target load must not predict"
+        );
     }
 
     #[test]
@@ -105,7 +120,11 @@ mod tests {
         // 0x80 was trained even though it can't predict: adding it as a
         // target later immediately enables prediction.
         o.add_target(0x80);
-        let other = LoadContext { pc: 0x80, addr: 0, pid: 0 };
+        let other = LoadContext {
+            pc: 0x80,
+            addr: 0,
+            pid: 0,
+        };
         assert!(o.lookup(&other).is_some());
     }
 
@@ -114,7 +133,11 @@ mod tests {
         let o = trained_oracle(0x40);
         let lvp = o.into_inner();
         let view = lvp
-            .entry_view(&LoadContext { pc: 0x80, addr: 0, pid: 0 })
+            .entry_view(&LoadContext {
+                pc: 0x80,
+                addr: 0,
+                pid: 0,
+            })
             .expect("inner entry exists");
         assert_eq!(view.value, 5);
     }

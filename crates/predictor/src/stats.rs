@@ -93,8 +93,17 @@ mod tests {
 
     #[test]
     fn merge_adds_fields() {
-        let mut a = PredictorStats { lookups: 1, correct: 2, ..Default::default() };
-        let b = PredictorStats { lookups: 3, correct: 4, evictions: 1, ..Default::default() };
+        let mut a = PredictorStats {
+            lookups: 1,
+            correct: 2,
+            ..Default::default()
+        };
+        let b = PredictorStats {
+            lookups: 3,
+            correct: 4,
+            evictions: 1,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.lookups, 4);
         assert_eq!(a.correct, 6);

@@ -87,11 +87,7 @@ impl Stride {
         if self.table.len() < self.config.capacity {
             return;
         }
-        if let Some((&victim, _)) = self
-            .table
-            .iter()
-            .min_by_key(|(_, e)| (e.usefulness, e.seq))
-        {
+        if let Some((&victim, _)) = self.table.iter().min_by_key(|(_, e)| (e.usefulness, e.seq)) {
             self.table.remove(&victim);
             self.stats.evictions += 1;
         }
@@ -178,7 +174,11 @@ mod tests {
     use super::*;
 
     fn ctx(pc: u64) -> LoadContext {
-        LoadContext { pc, addr: 0, pid: 0 }
+        LoadContext {
+            pc,
+            addr: 0,
+            pid: 0,
+        }
     }
 
     #[test]
@@ -248,7 +248,10 @@ mod tests {
 
     #[test]
     fn capacity_eviction() {
-        let mut vp = Stride::new(StrideConfig { capacity: 1, ..StrideConfig::default() });
+        let mut vp = Stride::new(StrideConfig {
+            capacity: 1,
+            ..StrideConfig::default()
+        });
         vp.train(&ctx(0x40), 1, None);
         vp.train(&ctx(0x44), 2, None);
         assert_eq!(vp.occupancy(), 1);

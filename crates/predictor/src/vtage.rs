@@ -94,8 +94,14 @@ impl Vtage {
     #[must_use]
     pub fn new(config: VtageConfig) -> Vtage {
         assert!(config.confidence_threshold >= 1, "threshold must be >= 1");
-        assert!(config.num_components >= 1, "need at least one tagged component");
-        assert!(config.log2_entries >= 1, "tables must have at least 2 entries");
+        assert!(
+            config.num_components >= 1,
+            "need at least one tagged component"
+        );
+        assert!(
+            config.log2_entries >= 1,
+            "tables must have at least 2 entries"
+        );
         let entries = 1usize << config.log2_entries;
         Vtage {
             base: vec![BaseEntry::default(); entries],
@@ -115,7 +121,12 @@ impl Vtage {
         // Hash the load index with the most recent `history_len` history
         // entries; split into a table slot and a tag.
         let mut h = index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        for (i, past) in self.history.iter().take(self.history_len(component)).enumerate() {
+        for (i, past) in self
+            .history
+            .iter()
+            .take(self.history_len(component))
+            .enumerate()
+        {
             h ^= past
                 .wrapping_mul(0xc2b2_ae3d_27d4_eb4f)
                 .rotate_left((i as u32 * 13 + component as u32 * 7) & 63);
@@ -158,7 +169,10 @@ impl ValuePredictor for Vtage {
                 self.last_provider = Some((index, Provider::Tagged(comp)));
                 if e.confidence >= self.config.confidence_threshold {
                     self.stats.predictions += 1;
-                    return Some(Predicted { value: e.value, confidence: e.confidence });
+                    return Some(Predicted {
+                        value: e.value,
+                        confidence: e.confidence,
+                    });
                 }
                 self.stats.no_predictions += 1;
                 return None;
@@ -169,7 +183,10 @@ impl ValuePredictor for Vtage {
         self.last_provider = Some((index, Provider::Base));
         if e.valid && e.tag == tag && e.confidence >= self.config.confidence_threshold {
             self.stats.predictions += 1;
-            return Some(Predicted { value: e.value, confidence: e.confidence });
+            return Some(Predicted {
+                value: e.value,
+                confidence: e.confidence,
+            });
         }
         self.stats.no_predictions += 1;
         None
@@ -221,7 +238,12 @@ impl ValuePredictor for Vtage {
                     if e.valid {
                         self.stats.evictions += 1;
                     }
-                    *e = BaseEntry { valid: true, tag, value: actual, confidence: 1 };
+                    *e = BaseEntry {
+                        valid: true,
+                        tag,
+                        value: actual,
+                        confidence: 1,
+                    };
                 }
             }
         }
@@ -288,7 +310,11 @@ mod tests {
     use super::*;
 
     fn ctx(pc: u64) -> LoadContext {
-        LoadContext { pc, addr: 0x1000, pid: 0 }
+        LoadContext {
+            pc,
+            addr: 0x1000,
+            pid: 0,
+        }
     }
 
     #[test]

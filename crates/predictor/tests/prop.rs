@@ -1,36 +1,59 @@
-//! Property-based tests for the predictor crate.
+//! Randomized-property tests for the predictor crate, driven by a
+//! seeded [`SmallRng`] so every failure reproduces exactly.
 
-use proptest::prelude::*;
 use vpsim_predictor::{
     AlwaysMode, AlwaysPredict, IndexConfig, LoadContext, Lvp, LvpConfig, RandomWindow, Stride,
     StrideConfig, ValuePredictor, Vtage, VtageConfig,
 };
+use vpsim_rng::SmallRng;
 
-fn ctx(pc: u64) -> LoadContext {
-    LoadContext { pc, addr: pc ^ 0xaaaa, pid: 0 }
+const CASES: usize = 96;
+
+fn rng(test: u64) -> SmallRng {
+    SmallRng::seed_from_u64(0xbed_0000 ^ test)
 }
 
-proptest! {
-    /// LVP never predicts before `threshold` same-value observations.
-    #[test]
-    fn lvp_threshold_respected(threshold in 1u32..8, value: u64, pc in 0u64..4096) {
+fn ctx(pc: u64) -> LoadContext {
+    LoadContext {
+        pc,
+        addr: pc ^ 0xaaaa,
+        pid: 0,
+    }
+}
+
+#[test]
+fn lvp_threshold_respected() {
+    let mut rng = rng(1);
+    for _ in 0..CASES {
+        let threshold = rng.gen_range(1u32..8);
+        let value = rng.next_u64();
+        let pc = rng.gen_range(0u64..4096);
         let mut vp = Lvp::new(LvpConfig {
             confidence_threshold: threshold,
             ..LvpConfig::default()
         });
         let c = ctx(pc * 4);
         for i in 0..threshold {
-            prop_assert!(vp.lookup(&c).is_none(), "predicted after only {i} trainings");
+            assert!(
+                vp.lookup(&c).is_none(),
+                "predicted after only {i} trainings"
+            );
             vp.train(&c, value, None);
         }
-        let p = vp.lookup(&c);
-        prop_assert_eq!(p.map(|p| p.value), Some(value));
+        assert_eq!(vp.lookup(&c).map(|p| p.value), Some(value));
     }
+}
 
-    /// Once trained, a prediction always equals the last trained value.
-    #[test]
-    fn lvp_predicts_last_value(values in prop::collection::vec(any::<u64>(), 1..20)) {
-        let mut vp = Lvp::new(LvpConfig { confidence_threshold: 1, ..LvpConfig::default() });
+#[test]
+fn lvp_predicts_last_value() {
+    let mut rng = rng(2);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..20);
+        let values = rng.vec_of(n, SmallRng::next_u64);
+        let mut vp = Lvp::new(LvpConfig {
+            confidence_threshold: 1,
+            ..LvpConfig::default()
+        });
         let c = ctx(0x40);
         for v in &values {
             vp.train(&c, *v, None);
@@ -38,52 +61,74 @@ proptest! {
         // threshold 1 + same value trains means prediction only after the
         // last value has been seen; retrain it once to confirm.
         vp.train(&c, *values.last().unwrap(), None);
-        prop_assert_eq!(vp.lookup(&c).unwrap().value, *values.last().unwrap());
+        assert_eq!(vp.lookup(&c).unwrap().value, *values.last().unwrap());
     }
+}
 
-    /// Occupancy never exceeds capacity.
-    #[test]
-    fn lvp_capacity_bounded(capacity in 1usize..32, pcs in prop::collection::vec(0u64..4096, 1..200)) {
-        let mut vp = Lvp::new(LvpConfig { capacity, ..LvpConfig::default() });
-        for pc in pcs {
+#[test]
+fn lvp_capacity_bounded() {
+    let mut rng = rng(3);
+    for _ in 0..CASES {
+        let capacity = rng.gen_range(1usize..32);
+        let n = rng.gen_range(1usize..200);
+        let mut vp = Lvp::new(LvpConfig {
+            capacity,
+            ..LvpConfig::default()
+        });
+        for _ in 0..n {
+            let pc = rng.gen_range(0u64..4096);
             vp.train(&ctx(pc * 4), pc, None);
-            prop_assert!(vp.occupancy() <= capacity);
+            assert!(vp.occupancy() <= capacity);
         }
     }
+}
 
-    /// A different value at the same index always suppresses the next
-    /// prediction (the paper's 1-access invalidation).
-    #[test]
-    fn lvp_single_access_invalidation(value: u64, other: u64, pc in 0u64..1024) {
-        prop_assume!(value != other);
+#[test]
+fn lvp_single_access_invalidation() {
+    let mut rng = rng(4);
+    for _ in 0..CASES {
+        let value = rng.next_u64();
+        let other = rng.next_u64();
+        if value == other {
+            continue;
+        }
+        let pc = rng.gen_range(0u64..1024);
         let mut vp = Lvp::new(LvpConfig::default());
         let c = ctx(pc * 4);
         for _ in 0..5 {
             vp.train(&c, value, None);
         }
-        prop_assert!(vp.lookup(&c).is_some());
+        assert!(vp.lookup(&c).is_some());
         vp.train(&c, other, None);
-        prop_assert!(vp.lookup(&c).is_none());
+        assert!(vp.lookup(&c).is_none());
     }
+}
 
-    /// The A-type wrapper never returns `None` — by construction there is
-    /// no observable "no prediction" case left.
-    #[test]
-    fn always_predict_total(pcs in prop::collection::vec(0u64..4096, 1..100)) {
+#[test]
+fn always_predict_total() {
+    let mut rng = rng(5);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..100);
         let mut vp = AlwaysPredict::new(
             Lvp::new(LvpConfig::default()),
             AlwaysMode::History,
             IndexConfig::default(),
         );
-        for pc in pcs {
-            prop_assert!(vp.lookup(&ctx(pc * 4)).is_some());
+        for _ in 0..n {
+            let pc = rng.gen_range(0u64..4096);
+            assert!(vp.lookup(&ctx(pc * 4)).is_some());
             vp.train(&ctx(pc * 4), pc, None);
         }
     }
+}
 
-    /// R-type predictions always land within the configured window.
-    #[test]
-    fn random_window_bounded(window in 2u64..32, value in 1000u64..2000, seed: u64) {
+#[test]
+fn random_window_bounded() {
+    let mut rng = rng(6);
+    for _ in 0..CASES {
+        let window = rng.gen_range(2u64..32);
+        let value = rng.gen_range(1000u64..2000);
+        let seed = rng.next_u64();
         let mut inner = Lvp::new(LvpConfig::default());
         let c = ctx(0x40);
         for _ in 0..4 {
@@ -94,13 +139,17 @@ proptest! {
         let hi = lo + window - 1;
         for _ in 0..64 {
             let v = vp.lookup(&c).unwrap().value;
-            prop_assert!((lo..=hi).contains(&v), "{v} outside [{lo}, {hi}]");
+            assert!((lo..=hi).contains(&v), "{v} outside [{lo}, {hi}]");
         }
     }
+}
 
-    /// Stride with constant values behaves exactly like an LVP.
-    #[test]
-    fn stride_equals_lvp_on_constants(value: u64, n in 3usize..10) {
+#[test]
+fn stride_equals_lvp_on_constants() {
+    let mut rng = rng(7);
+    for _ in 0..CASES {
+        let value = rng.next_u64();
+        let n = rng.gen_range(3usize..10);
         let mut lvp = Lvp::new(LvpConfig::default());
         let mut stride = Stride::new(StrideConfig::default());
         let c = ctx(0x40);
@@ -108,40 +157,47 @@ proptest! {
             lvp.train(&c, value, None);
             stride.train(&c, value, None);
         }
-        prop_assert_eq!(
+        assert_eq!(
             lvp.lookup(&c).map(|p| p.value),
             stride.lookup(&c).map(|p| p.value)
         );
     }
+}
 
-    /// VTAGE is deterministic: identical streams give identical outputs.
-    #[test]
-    fn vtage_deterministic(stream in prop::collection::vec((0u64..64, 0u64..8), 1..100)) {
+#[test]
+fn vtage_deterministic() {
+    let mut rng = rng(8);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..100);
+        let stream = rng.vec_of(n, |r| (r.gen_range(0u64..64), r.gen_range(0u64..8)));
         let mut a = Vtage::new(VtageConfig::default());
         let mut b = Vtage::new(VtageConfig::default());
         for (pc, v) in stream {
             let c = ctx(pc * 4);
             let pa = a.lookup(&c).map(|p| p.value);
-            prop_assert_eq!(pa, b.lookup(&c).map(|p| p.value));
+            assert_eq!(pa, b.lookup(&c).map(|p| p.value));
             a.train(&c, v, pa);
             b.train(&c, v, pa);
         }
     }
+}
 
-    /// Stats invariants: lookups = predictions + no_predictions, and
-    /// verified outcomes never exceed predictions.
-    #[test]
-    fn stats_invariants(stream in prop::collection::vec((0u64..16, 0u64..4), 1..200)) {
+#[test]
+fn stats_invariants() {
+    let mut rng = rng(9);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..200);
         let mut vp = Lvp::new(LvpConfig::default());
-        for (pc, v) in stream {
-            let c = ctx(pc * 4);
+        for _ in 0..n {
+            let c = ctx(rng.gen_range(0u64..16) * 4);
+            let v = rng.gen_range(0u64..4);
             let p = vp.lookup(&c);
             vp.train(&c, v, p.map(|p| p.value));
         }
         let s = vp.stats();
-        prop_assert_eq!(s.lookups, s.predictions + s.no_predictions);
-        prop_assert!(s.correct + s.incorrect <= s.predictions);
-        prop_assert!(s.coverage() >= 0.0 && s.coverage() <= 1.0);
-        prop_assert!(s.accuracy() >= 0.0 && s.accuracy() <= 1.0);
+        assert_eq!(s.lookups, s.predictions + s.no_predictions);
+        assert!(s.correct + s.incorrect <= s.predictions);
+        assert!(s.coverage() >= 0.0 && s.coverage() <= 1.0);
+        assert!(s.accuracy() >= 0.0 && s.accuracy() <= 1.0);
     }
 }

@@ -104,6 +104,8 @@ mod tests {
 
     #[test]
     fn display_unit() {
-        assert!(TransmissionRate::from_cycles_per_bit(1e6).to_string().ends_with("Kbps"));
+        assert!(TransmissionRate::from_cycles_per_bit(1e6)
+            .to_string()
+            .ends_with("Kbps"));
     }
 }

@@ -57,7 +57,11 @@ pub fn student_t_sf(t: f64, df: f64) -> f64 {
 #[must_use]
 pub fn welch_t_test(a: &[f64], b: &[f64]) -> TTestResult {
     if a.len() < 2 || b.len() < 2 {
-        return TTestResult { t: 0.0, df: 1.0, p_value: 1.0 };
+        return TTestResult {
+            t: 0.0,
+            df: 1.0,
+            p_value: 1.0,
+        };
     }
     let (ma, mb) = (mean(a), mean(b));
     let (va, vb) = (sample_variance(a), sample_variance(b));
@@ -66,7 +70,11 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> TTestResult {
     if se2 == 0.0 {
         // Two constant samples: distinguishable iff the constants differ.
         let p = if ma == mb { 1.0 } else { 0.0 };
-        return TTestResult { t: if ma == mb { 0.0 } else { f64::INFINITY }, df: na + nb - 2.0, p_value: p };
+        return TTestResult {
+            t: if ma == mb { 0.0 } else { f64::INFINITY },
+            df: na + nb - 2.0,
+            p_value: p,
+        };
     }
     let t = (ma - mb) / se2.sqrt();
     // Welch–Satterthwaite. Guard each term against zero variance.
@@ -77,7 +85,11 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> TTestResult {
     if vb > 0.0 {
         denom += (vb / nb).powi(2) / (nb - 1.0);
     }
-    let df = if denom == 0.0 { na + nb - 2.0 } else { se2.powi(2) / denom };
+    let df = if denom == 0.0 {
+        na + nb - 2.0
+    } else {
+        se2.powi(2) / denom
+    };
     let p_value = 2.0 * student_t_sf(t.abs(), df);
     TTestResult {
         t,

@@ -1,100 +1,140 @@
-//! Property-based tests for the statistics crate.
+//! Randomized-property tests for the statistics crate, driven by a
+//! seeded [`SmallRng`] so every failure reproduces exactly.
 
-use proptest::prelude::*;
+use vpsim_rng::SmallRng;
 use vpsim_stats::{
     ln_gamma, mean, reg_incomplete_beta, sample_variance, student_t_sf, welch_t_test, Histogram,
     Summary,
 };
 
-proptest! {
-    /// p-values are always valid probabilities.
-    #[test]
-    fn p_value_in_unit_interval(
-        a in prop::collection::vec(-1e6f64..1e6, 2..50),
-        b in prop::collection::vec(-1e6f64..1e6, 2..50),
-    ) {
-        let r = welch_t_test(&a, &b);
-        prop_assert!((0.0..=1.0).contains(&r.p_value), "p = {}", r.p_value);
-    }
+const CASES: usize = 128;
 
-    /// The test is symmetric in its arguments (up to the sign of t).
-    #[test]
-    fn t_test_symmetric(
-        a in prop::collection::vec(0f64..1e3, 3..30),
-        b in prop::collection::vec(0f64..1e3, 3..30),
-    ) {
+fn rng(test: u64) -> SmallRng {
+    SmallRng::seed_from_u64(0x57a7_0000 ^ test)
+}
+
+fn vec_in(rng: &mut SmallRng, lo: f64, hi: f64, len_lo: usize, len_hi: usize) -> Vec<f64> {
+    let n = rng.gen_range(len_lo..len_hi);
+    rng.vec_of(n, |r| lo + r.gen_f64() * (hi - lo))
+}
+
+#[test]
+fn p_value_in_unit_interval() {
+    let mut rng = rng(1);
+    for _ in 0..CASES {
+        let a = vec_in(&mut rng, -1e6, 1e6, 2, 50);
+        let b = vec_in(&mut rng, -1e6, 1e6, 2, 50);
+        let r = welch_t_test(&a, &b);
+        assert!((0.0..=1.0).contains(&r.p_value), "p = {}", r.p_value);
+    }
+}
+
+#[test]
+fn t_test_symmetric() {
+    let mut rng = rng(2);
+    for _ in 0..CASES {
+        let a = vec_in(&mut rng, 0.0, 1e3, 3, 30);
+        let b = vec_in(&mut rng, 0.0, 1e3, 3, 30);
         let r1 = welch_t_test(&a, &b);
         let r2 = welch_t_test(&b, &a);
-        prop_assert!((r1.p_value - r2.p_value).abs() < 1e-9);
+        assert!((r1.p_value - r2.p_value).abs() < 1e-9);
     }
+}
 
-    /// A sample against itself is never significant.
-    #[test]
-    fn self_comparison_not_significant(a in prop::collection::vec(0f64..1e3, 2..50)) {
+#[test]
+fn self_comparison_not_significant() {
+    let mut rng = rng(3);
+    for _ in 0..CASES {
+        let a = vec_in(&mut rng, 0.0, 1e3, 2, 50);
         let r = welch_t_test(&a, &a);
-        prop_assert!(!r.significant(), "p = {}", r.p_value);
+        assert!(!r.significant(), "p = {}", r.p_value);
     }
+}
 
-    /// Shifting one sample far away always becomes significant.
-    #[test]
-    fn large_shift_detected(base in prop::collection::vec(0f64..10.0, 10..50)) {
+#[test]
+fn large_shift_detected() {
+    let mut rng = rng(4);
+    for _ in 0..CASES {
+        let base = vec_in(&mut rng, 0.0, 10.0, 10, 50);
         let spread = 1.0 + base.iter().fold(0.0f64, |m, &x| m.max(x));
         let shifted: Vec<f64> = base.iter().map(|x| x + 1000.0 * spread).collect();
         let r = welch_t_test(&base, &shifted);
-        prop_assert!(r.significant(), "p = {}", r.p_value);
+        assert!(r.significant(), "p = {}", r.p_value);
     }
+}
 
-    /// Mean lies within [min, max]; variance is nonnegative.
-    #[test]
-    fn describe_sanity(xs in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+#[test]
+fn describe_sanity() {
+    let mut rng = rng(5);
+    for _ in 0..CASES {
+        let xs = vec_in(&mut rng, -1e6, 1e6, 1, 100);
         let m = mean(&xs);
         let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(m >= lo - 1e-6 && m <= hi + 1e-6);
-        prop_assert!(sample_variance(&xs) >= 0.0);
+        assert!(m >= lo - 1e-6 && m <= hi + 1e-6);
+        assert!(sample_variance(&xs) >= 0.0);
     }
+}
 
-    /// CI bounds bracket the mean.
-    #[test]
-    fn ci_brackets_mean(xs in prop::collection::vec(0f64..1e4, 2..100)) {
+#[test]
+fn ci_brackets_mean() {
+    let mut rng = rng(6);
+    for _ in 0..CASES {
+        let xs = vec_in(&mut rng, 0.0, 1e4, 2, 100);
         let s = Summary::of(&xs);
-        prop_assert!(s.ci95_lo <= s.mean + 1e-9);
-        prop_assert!(s.ci95_hi >= s.mean - 1e-9);
+        assert!(s.ci95_lo <= s.mean + 1e-9);
+        assert!(s.ci95_hi >= s.mean - 1e-9);
     }
+}
 
-    /// Survival function is a probability, decreasing in t.
-    #[test]
-    fn sf_valid(t in 0f64..100.0, df in 0.5f64..200.0) {
+#[test]
+fn sf_valid() {
+    let mut rng = rng(7);
+    for _ in 0..CASES {
+        let t = rng.gen_f64() * 100.0;
+        let df = 0.5 + rng.gen_f64() * 199.5;
         let v = student_t_sf(t, df);
-        prop_assert!((0.0..=0.5).contains(&v));
+        assert!((0.0..=0.5).contains(&v));
         let v2 = student_t_sf(t + 1.0, df);
-        prop_assert!(v2 <= v + 1e-12);
+        assert!(v2 <= v + 1e-12);
     }
+}
 
-    /// Incomplete beta stays in [0,1] and respects its symmetry identity.
-    #[test]
-    fn beta_identities(a in 0.1f64..50.0, b in 0.1f64..50.0, x in 0f64..1.0) {
+#[test]
+fn beta_identities() {
+    let mut rng = rng(8);
+    for _ in 0..CASES {
+        let a = 0.1 + rng.gen_f64() * 49.9;
+        let b = 0.1 + rng.gen_f64() * 49.9;
+        let x = rng.gen_f64();
         let v = reg_incomplete_beta(a, b, x);
-        prop_assert!((0.0..=1.0).contains(&v));
+        assert!((0.0..=1.0).contains(&v));
         let sym = 1.0 - reg_incomplete_beta(b, a, 1.0 - x);
-        prop_assert!((v - sym).abs() < 1e-8, "v={v} sym={sym}");
+        assert!((v - sym).abs() < 1e-8, "v={v} sym={sym}");
     }
+}
 
-    /// ln_gamma satisfies the recurrence Γ(x+1) = xΓ(x).
-    #[test]
-    fn gamma_recurrence(x in 0.1f64..50.0) {
+#[test]
+fn gamma_recurrence() {
+    let mut rng = rng(9);
+    for _ in 0..CASES {
+        let x = 0.1 + rng.gen_f64() * 49.9;
         let lhs = ln_gamma(x + 1.0);
         let rhs = x.ln() + ln_gamma(x);
-        prop_assert!((lhs - rhs).abs() < 1e-8);
+        assert!((lhs - rhs).abs() < 1e-8);
     }
+}
 
-    /// Histogram conservation: bins + outliers = total.
-    #[test]
-    fn histogram_conserves_mass(xs in prop::collection::vec(-50f64..150.0, 0..200)) {
+#[test]
+fn histogram_conserves_mass() {
+    let mut rng = rng(10);
+    for _ in 0..CASES {
+        let n = rng.gen_range(0usize..200);
+        let xs = rng.vec_of(n, |r| -50.0 + r.gen_f64() * 200.0);
         let mut h = Histogram::new(0.0, 100.0, 10);
         h.record_all(&xs);
         let binned: u64 = h.counts().iter().sum();
-        prop_assert_eq!(binned + h.outliers(), h.total());
-        prop_assert_eq!(h.total(), xs.len() as u64);
+        assert_eq!(binned + h.outliers(), h.total());
+        assert_eq!(h.total(), xs.len() as u64);
     }
 }

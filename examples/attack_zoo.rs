@@ -16,7 +16,10 @@ fn main() {
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(30);
-    let cfg = ExperimentConfig { trials, ..ExperimentConfig::default() };
+    let cfg = ExperimentConfig {
+        trials,
+        ..ExperimentConfig::default()
+    };
 
     // The model first: where do these six categories come from?
     let e = enumerate();

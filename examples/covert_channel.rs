@@ -39,22 +39,38 @@ fn main() {
         .nth(1)
         .unwrap_or_else(|| "value prediction leaks".to_owned());
     let message = message.as_bytes();
-    println!("sending {:?} ({} bits per configuration)\n", String::from_utf8_lossy(message), message.len() * 8);
+    println!(
+        "sending {:?} ({} bits per configuration)\n",
+        String::from_utf8_lossy(message),
+        message.len() * 8
+    );
 
     let base = CovertConfig::default();
     show(
         "Fill Up / timing-window / LVP",
-        &CovertConfig { category: AttackCategory::FillUp, channel: Channel::TimingWindow, ..base.clone() },
+        &CovertConfig {
+            category: AttackCategory::FillUp,
+            channel: Channel::TimingWindow,
+            ..base.clone()
+        },
         message,
     );
     show(
         "Train+Test / timing-window / LVP",
-        &CovertConfig { category: AttackCategory::TrainTest, channel: Channel::TimingWindow, ..base.clone() },
+        &CovertConfig {
+            category: AttackCategory::TrainTest,
+            channel: Channel::TimingWindow,
+            ..base.clone()
+        },
         message,
     );
     show(
         "Test+Hit / persistent / LVP",
-        &CovertConfig { category: AttackCategory::TestHit, channel: Channel::Persistent, ..base.clone() },
+        &CovertConfig {
+            category: AttackCategory::TestHit,
+            channel: Channel::Persistent,
+            ..base.clone()
+        },
         message,
     );
     show(

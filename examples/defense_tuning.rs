@@ -15,7 +15,10 @@ fn main() {
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(40);
-    let base = ExperimentConfig { trials, ..ExperimentConfig::default() };
+    let base = ExperimentConfig {
+        trials,
+        ..ExperimentConfig::default()
+    };
 
     println!("R-type defense: predict a random value from a window of size S");
     println!("around the would-be prediction (correct with probability 1/S).");
@@ -24,10 +27,23 @@ fn main() {
 
     for (cat, delta, windows) in [
         (AttackCategory::TrainTest, 1u64, vec![1, 2, 3, 4, 5]),
-        (AttackCategory::TestHit, 4u64, vec![1, 3, 5, 7, 8, 9, 10, 11]),
+        (
+            AttackCategory::TestHit,
+            4u64,
+            vec![1, 3, 5, 7, 8, 9, 10, 11],
+        ),
     ] {
-        println!("{cat} (value distance Δ = {delta}, predicted threshold {}):", 2 * delta + 1);
-        let sweep = window_sweep(cat, Channel::TimingWindow, PredictorKind::Lvp, &windows, &base);
+        println!(
+            "{cat} (value distance Δ = {delta}, predicted threshold {}):",
+            2 * delta + 1
+        );
+        let sweep = window_sweep(
+            cat,
+            Channel::TimingWindow,
+            PredictorKind::Lvp,
+            &windows,
+            &base,
+        );
         for (s, p) in &sweep {
             println!(
                 "  S = {s:>2}  p = {p:.4}  {}",
@@ -54,7 +70,11 @@ fn main() {
             "  {:<10} p = {:.4}  {}",
             row.defense.label(),
             row.evaluation.ttest.p_value,
-            if row.defended() { "defended" } else { "still leaks" }
+            if row.defended() {
+                "defended"
+            } else {
+                "still leaks"
+            }
         );
     }
     println!("\nR-type alone leaves the no-prediction case observable;");

@@ -51,7 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "{run:>3} | {:>27} | {}",
             r.timing_windows()[0],
-            if r.stats.predicted_loads > 0 { "yes" } else { "no" }
+            if r.stats.predicted_loads > 0 {
+                "yes"
+            } else {
+                "no"
+            }
         );
     }
     println!("\nAfter `confidence` (3) trainings the predictor supplies the");
@@ -59,11 +63,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("the miss: the window collapses — that is the side channel.\n");
 
     // 3. The same effect, packaged: a Fill Up attack trial.
-    let cfg = ExperimentConfig { trials: 25, ..ExperimentConfig::default() };
-    let mapped = build_trial(AttackCategory::FillUp, Channel::TimingWindow, true, &cfg.setup)
-        .expect("supported");
-    let unmapped = build_trial(AttackCategory::FillUp, Channel::TimingWindow, false, &cfg.setup)
-        .expect("supported");
+    let cfg = ExperimentConfig {
+        trials: 25,
+        ..ExperimentConfig::default()
+    };
+    let mapped = build_trial(
+        AttackCategory::FillUp,
+        Channel::TimingWindow,
+        true,
+        &cfg.setup,
+    )
+    .expect("supported");
+    let unmapped = build_trial(
+        AttackCategory::FillUp,
+        Channel::TimingWindow,
+        false,
+        &cfg.setup,
+    )
+    .expect("supported");
     let mut m_obs = Vec::new();
     let mut u_obs = Vec::new();
     for t in 0..cfg.trials as u64 {
@@ -72,10 +89,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let t = welch_t_test(&m_obs, &u_obs);
     println!("Fill Up attack: same-secret trials vs different-secret trials");
-    println!("  mean(mapped)   = {:.0} cycles (correct prediction)",
-        m_obs.iter().sum::<f64>() / m_obs.len() as f64);
-    println!("  mean(unmapped) = {:.0} cycles (misprediction)",
-        u_obs.iter().sum::<f64>() / u_obs.len() as f64);
+    println!(
+        "  mean(mapped)   = {:.0} cycles (correct prediction)",
+        m_obs.iter().sum::<f64>() / m_obs.len() as f64
+    );
+    println!(
+        "  mean(unmapped) = {:.0} cycles (misprediction)",
+        u_obs.iter().sum::<f64>() / u_obs.len() as f64
+    );
     println!("  Welch t-test: {t}");
     println!("  → the receiver learns whether two secret values are equal.");
     Ok(())

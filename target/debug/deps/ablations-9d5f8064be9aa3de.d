@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-9d5f8064be9aa3de.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/ablations-9d5f8064be9aa3de: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

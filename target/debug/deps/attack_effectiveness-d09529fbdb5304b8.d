@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attack_effectiveness-d09529fbdb5304b8.d: crates/core/../../tests/attack_effectiveness.rs
+
+/root/repo/target/debug/deps/attack_effectiveness-d09529fbdb5304b8: crates/core/../../tests/attack_effectiveness.rs
+
+crates/core/../../tests/attack_effectiveness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/attack_effectiveness-ed428a3327aab37f.d: crates/core/../../tests/attack_effectiveness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libattack_effectiveness-ed428a3327aab37f.rmeta: crates/core/../../tests/attack_effectiveness.rs Cargo.toml
+
+crates/core/../../tests/attack_effectiveness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

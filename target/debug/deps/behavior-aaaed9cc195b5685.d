@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/behavior-aaaed9cc195b5685.d: crates/pipeline/tests/behavior.rs
+
+/root/repo/target/debug/deps/behavior-aaaed9cc195b5685: crates/pipeline/tests/behavior.rs
+
+crates/pipeline/tests/behavior.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/behavior-fbfd51482711899a.d: crates/pipeline/tests/behavior.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbehavior-fbfd51482711899a.rmeta: crates/pipeline/tests/behavior.rs Cargo.toml
+
+crates/pipeline/tests/behavior.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

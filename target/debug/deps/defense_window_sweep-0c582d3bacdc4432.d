@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/defense_window_sweep-0c582d3bacdc4432.d: crates/bench/benches/defense_window_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdefense_window_sweep-0c582d3bacdc4432.rmeta: crates/bench/benches/defense_window_sweep.rs Cargo.toml
+
+crates/bench/benches/defense_window_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/defense_window_sweep-6238b84349b566c6.d: crates/bench/benches/defense_window_sweep.rs
+
+/root/repo/target/debug/deps/defense_window_sweep-6238b84349b566c6: crates/bench/benches/defense_window_sweep.rs
+
+crates/bench/benches/defense_window_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-48187d1b78f6c9eb.d: crates/harness/tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-48187d1b78f6c9eb.rmeta: crates/harness/tests/determinism.rs Cargo.toml
+
+crates/harness/tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

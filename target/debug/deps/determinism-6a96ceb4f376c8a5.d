@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-6a96ceb4f376c8a5.d: crates/harness/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-6a96ceb4f376c8a5: crates/harness/tests/determinism.rs
+
+crates/harness/tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-7c08e1bb58ff69ef.d: crates/pipeline/tests/differential.rs
+
+/root/repo/target/debug/deps/differential-7c08e1bb58ff69ef: crates/pipeline/tests/differential.rs
+
+crates/pipeline/tests/differential.rs:

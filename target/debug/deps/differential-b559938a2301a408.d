@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/differential-b559938a2301a408.d: crates/pipeline/tests/differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdifferential-b559938a2301a408.rmeta: crates/pipeline/tests/differential.rs Cargo.toml
+
+crates/pipeline/tests/differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

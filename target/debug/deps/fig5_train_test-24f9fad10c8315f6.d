@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_train_test-24f9fad10c8315f6.d: crates/bench/benches/fig5_train_test.rs
+
+/root/repo/target/debug/deps/fig5_train_test-24f9fad10c8315f6: crates/bench/benches/fig5_train_test.rs
+
+crates/bench/benches/fig5_train_test.rs:

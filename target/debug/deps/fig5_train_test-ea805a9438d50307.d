@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_train_test-ea805a9438d50307.d: crates/bench/benches/fig5_train_test.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_train_test-ea805a9438d50307.rmeta: crates/bench/benches/fig5_train_test.rs Cargo.toml
+
+crates/bench/benches/fig5_train_test.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

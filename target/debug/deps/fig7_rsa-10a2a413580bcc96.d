@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_rsa-10a2a413580bcc96.d: crates/bench/benches/fig7_rsa.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_rsa-10a2a413580bcc96.rmeta: crates/bench/benches/fig7_rsa.rs Cargo.toml
+
+crates/bench/benches/fig7_rsa.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_rsa-79388cfdc4472dd0.d: crates/bench/benches/fig7_rsa.rs
+
+/root/repo/target/debug/deps/fig7_rsa-79388cfdc4472dd0: crates/bench/benches/fig7_rsa.rs
+
+crates/bench/benches/fig7_rsa.rs:

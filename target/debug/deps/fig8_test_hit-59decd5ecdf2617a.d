@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_test_hit-59decd5ecdf2617a.d: crates/bench/benches/fig8_test_hit.rs
+
+/root/repo/target/debug/deps/fig8_test_hit-59decd5ecdf2617a: crates/bench/benches/fig8_test_hit.rs
+
+crates/bench/benches/fig8_test_hit.rs:

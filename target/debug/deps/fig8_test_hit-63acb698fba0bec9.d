@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_test_hit-63acb698fba0bec9.d: crates/bench/benches/fig8_test_hit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_test_hit-63acb698fba0bec9.rmeta: crates/bench/benches/fig8_test_hit.rs Cargo.toml
+
+crates/bench/benches/fig8_test_hit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-51aee9fc6b9cab3f.d: crates/core/../../tests/integration.rs
+
+/root/repo/target/debug/deps/integration-51aee9fc6b9cab3f: crates/core/../../tests/integration.rs
+
+crates/core/../../tests/integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration-d9c2da1e427c5019.d: crates/core/../../tests/integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration-d9c2da1e427c5019.rmeta: crates/core/../../tests/integration.rs Cargo.toml
+
+crates/core/../../tests/integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_properties-02d1a99ab22230d7.d: crates/core/../../tests/model_properties.rs
+
+/root/repo/target/debug/deps/model_properties-02d1a99ab22230d7: crates/core/../../tests/model_properties.rs
+
+crates/core/../../tests/model_properties.rs:

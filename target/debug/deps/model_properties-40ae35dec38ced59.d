@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_properties-40ae35dec38ced59.d: crates/core/../../tests/model_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_properties-40ae35dec38ced59.rmeta: crates/core/../../tests/model_properties.rs Cargo.toml
+
+crates/core/../../tests/model_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

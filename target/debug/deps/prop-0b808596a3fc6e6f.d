@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-0b808596a3fc6e6f.d: crates/predictor/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-0b808596a3fc6e6f: crates/predictor/tests/prop.rs
+
+crates/predictor/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-3e5633ba8fc556a6.d: crates/stats/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-3e5633ba8fc556a6: crates/stats/tests/prop.rs
+
+crates/stats/tests/prop.rs:

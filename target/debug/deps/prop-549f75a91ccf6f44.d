@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-549f75a91ccf6f44.d: crates/crypto/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-549f75a91ccf6f44: crates/crypto/tests/prop.rs
+
+crates/crypto/tests/prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-5a81a18c1b5a6071.d: crates/crypto/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-5a81a18c1b5a6071.rmeta: crates/crypto/tests/prop.rs Cargo.toml
+
+crates/crypto/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-6f18b874d3be6022.d: crates/mem/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-6f18b874d3be6022: crates/mem/tests/prop.rs
+
+crates/mem/tests/prop.rs:

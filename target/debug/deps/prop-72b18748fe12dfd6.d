@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-72b18748fe12dfd6.d: crates/predictor/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-72b18748fe12dfd6.rmeta: crates/predictor/tests/prop.rs Cargo.toml
+
+crates/predictor/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

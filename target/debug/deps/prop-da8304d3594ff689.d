@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-da8304d3594ff689.d: crates/isa/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-da8304d3594ff689.rmeta: crates/isa/tests/prop.rs Cargo.toml
+
+crates/isa/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-dd82ee5181a21cff.d: crates/isa/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-dd82ee5181a21cff: crates/isa/tests/prop.rs
+
+crates/isa/tests/prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-fee2a0a0fbcd8981.d: crates/stats/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-fee2a0a0fbcd8981.rmeta: crates/stats/tests/prop.rs Cargo.toml
+
+crates/stats/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

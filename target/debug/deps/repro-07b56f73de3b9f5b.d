@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-07b56f73de3b9f5b.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-07b56f73de3b9f5b: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

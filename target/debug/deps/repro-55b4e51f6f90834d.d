@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-55b4e51f6f90834d.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-55b4e51f6f90834d: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rsa_end_to_end-1c09ac5493bb9d26.d: crates/crypto/../../tests/rsa_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/librsa_end_to_end-1c09ac5493bb9d26.rmeta: crates/crypto/../../tests/rsa_end_to_end.rs Cargo.toml
+
+crates/crypto/../../tests/rsa_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

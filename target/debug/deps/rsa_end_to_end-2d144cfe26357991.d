@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rsa_end_to_end-2d144cfe26357991.d: crates/crypto/../../tests/rsa_end_to_end.rs
+
+/root/repo/target/debug/deps/rsa_end_to_end-2d144cfe26357991: crates/crypto/../../tests/rsa_end_to_end.rs
+
+crates/crypto/../../tests/rsa_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_model-6fc35d0a5b5e6b46.d: crates/bench/benches/table2_model.rs
+
+/root/repo/target/debug/deps/table2_model-6fc35d0a5b5e6b46: crates/bench/benches/table2_model.rs
+
+crates/bench/benches/table2_model.rs:

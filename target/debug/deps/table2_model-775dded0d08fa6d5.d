@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_model-775dded0d08fa6d5.d: crates/bench/benches/table2_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_model-775dded0d08fa6d5.rmeta: crates/bench/benches/table2_model.rs Cargo.toml
+
+crates/bench/benches/table2_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

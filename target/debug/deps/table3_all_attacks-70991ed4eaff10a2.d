@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_all_attacks-70991ed4eaff10a2.d: crates/bench/benches/table3_all_attacks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_all_attacks-70991ed4eaff10a2.rmeta: crates/bench/benches/table3_all_attacks.rs Cargo.toml
+
+crates/bench/benches/table3_all_attacks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_all_attacks-c18425fbe73c7769.d: crates/bench/benches/table3_all_attacks.rs
+
+/root/repo/target/debug/deps/table3_all_attacks-c18425fbe73c7769: crates/bench/benches/table3_all_attacks.rs
+
+crates/bench/benches/table3_all_attacks.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vp_speedup-31d9c78da8e5d3ed.d: crates/bench/benches/vp_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvp_speedup-31d9c78da8e5d3ed.rmeta: crates/bench/benches/vp_speedup.rs Cargo.toml
+
+crates/bench/benches/vp_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vp_speedup-b32617d4fc29f4d7.d: crates/bench/benches/vp_speedup.rs
+
+/root/repo/target/debug/deps/vp_speedup-b32617d4fc29f4d7: crates/bench/benches/vp_speedup.rs
+
+crates/bench/benches/vp_speedup.rs:

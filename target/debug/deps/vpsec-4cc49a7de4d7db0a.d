@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/vpsec-4cc49a7de4d7db0a.d: crates/core/src/lib.rs crates/core/src/attacks/mod.rs crates/core/src/attacks/categories.rs crates/core/src/attacks/programs.rs crates/core/src/attacks/spectre.rs crates/core/src/covert.rs crates/core/src/defense.rs crates/core/src/experiment.rs crates/core/src/model/mod.rs crates/core/src/model/action.rs crates/core/src/model/pattern.rs crates/core/src/model/rules.rs crates/core/src/taxonomy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvpsec-4cc49a7de4d7db0a.rmeta: crates/core/src/lib.rs crates/core/src/attacks/mod.rs crates/core/src/attacks/categories.rs crates/core/src/attacks/programs.rs crates/core/src/attacks/spectre.rs crates/core/src/covert.rs crates/core/src/defense.rs crates/core/src/experiment.rs crates/core/src/model/mod.rs crates/core/src/model/action.rs crates/core/src/model/pattern.rs crates/core/src/model/rules.rs crates/core/src/taxonomy.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/attacks/mod.rs:
+crates/core/src/attacks/categories.rs:
+crates/core/src/attacks/programs.rs:
+crates/core/src/attacks/spectre.rs:
+crates/core/src/covert.rs:
+crates/core/src/defense.rs:
+crates/core/src/experiment.rs:
+crates/core/src/model/mod.rs:
+crates/core/src/model/action.rs:
+crates/core/src/model/pattern.rs:
+crates/core/src/model/rules.rs:
+crates/core/src/taxonomy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

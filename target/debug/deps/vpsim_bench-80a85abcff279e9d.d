@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/vpsim_bench-80a85abcff279e9d.d: crates/bench/src/lib.rs crates/bench/src/export.rs crates/bench/src/microbench.rs crates/bench/src/reports.rs crates/bench/src/workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvpsim_bench-80a85abcff279e9d.rmeta: crates/bench/src/lib.rs crates/bench/src/export.rs crates/bench/src/microbench.rs crates/bench/src/reports.rs crates/bench/src/workloads.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/export.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/reports.rs:
+crates/bench/src/workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

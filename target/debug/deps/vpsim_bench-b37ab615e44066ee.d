@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/vpsim_bench-b37ab615e44066ee.d: crates/bench/src/lib.rs crates/bench/src/export.rs crates/bench/src/microbench.rs crates/bench/src/reports.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libvpsim_bench-b37ab615e44066ee.rlib: crates/bench/src/lib.rs crates/bench/src/export.rs crates/bench/src/microbench.rs crates/bench/src/reports.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libvpsim_bench-b37ab615e44066ee.rmeta: crates/bench/src/lib.rs crates/bench/src/export.rs crates/bench/src/microbench.rs crates/bench/src/reports.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/export.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/reports.rs:
+crates/bench/src/workloads.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vpsim_bench-eb64a0bd2379f129.d: crates/bench/src/lib.rs crates/bench/src/export.rs crates/bench/src/microbench.rs crates/bench/src/reports.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/vpsim_bench-eb64a0bd2379f129: crates/bench/src/lib.rs crates/bench/src/export.rs crates/bench/src/microbench.rs crates/bench/src/reports.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/export.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/reports.rs:
+crates/bench/src/workloads.rs:

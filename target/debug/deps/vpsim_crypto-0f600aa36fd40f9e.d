@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/vpsim_crypto-0f600aa36fd40f9e.d: crates/crypto/src/lib.rs crates/crypto/src/mpi.rs crates/crypto/src/victim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvpsim_crypto-0f600aa36fd40f9e.rmeta: crates/crypto/src/lib.rs crates/crypto/src/mpi.rs crates/crypto/src/victim.rs Cargo.toml
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/mpi.rs:
+crates/crypto/src/victim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

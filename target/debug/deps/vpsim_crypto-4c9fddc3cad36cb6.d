@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/vpsim_crypto-4c9fddc3cad36cb6.d: crates/crypto/src/lib.rs crates/crypto/src/mpi.rs crates/crypto/src/victim.rs
+
+/root/repo/target/debug/deps/vpsim_crypto-4c9fddc3cad36cb6: crates/crypto/src/lib.rs crates/crypto/src/mpi.rs crates/crypto/src/victim.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/mpi.rs:
+crates/crypto/src/victim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vpsim_crypto-e828563f3fc53922.d: crates/crypto/src/lib.rs crates/crypto/src/mpi.rs crates/crypto/src/victim.rs
+
+/root/repo/target/debug/deps/libvpsim_crypto-e828563f3fc53922.rlib: crates/crypto/src/lib.rs crates/crypto/src/mpi.rs crates/crypto/src/victim.rs
+
+/root/repo/target/debug/deps/libvpsim_crypto-e828563f3fc53922.rmeta: crates/crypto/src/lib.rs crates/crypto/src/mpi.rs crates/crypto/src/victim.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/mpi.rs:
+crates/crypto/src/victim.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/vpsim_harness-0abb8b6440aa14f2.d: crates/harness/src/lib.rs crates/harness/src/campaign.rs crates/harness/src/exec.rs crates/harness/src/pool.rs crates/harness/src/sink.rs
+
+/root/repo/target/debug/deps/libvpsim_harness-0abb8b6440aa14f2.rlib: crates/harness/src/lib.rs crates/harness/src/campaign.rs crates/harness/src/exec.rs crates/harness/src/pool.rs crates/harness/src/sink.rs
+
+/root/repo/target/debug/deps/libvpsim_harness-0abb8b6440aa14f2.rmeta: crates/harness/src/lib.rs crates/harness/src/campaign.rs crates/harness/src/exec.rs crates/harness/src/pool.rs crates/harness/src/sink.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/campaign.rs:
+crates/harness/src/exec.rs:
+crates/harness/src/pool.rs:
+crates/harness/src/sink.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/vpsim_harness-b9f7f6f40dcb579d.d: crates/harness/src/lib.rs crates/harness/src/campaign.rs crates/harness/src/exec.rs crates/harness/src/pool.rs crates/harness/src/sink.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvpsim_harness-b9f7f6f40dcb579d.rmeta: crates/harness/src/lib.rs crates/harness/src/campaign.rs crates/harness/src/exec.rs crates/harness/src/pool.rs crates/harness/src/sink.rs Cargo.toml
+
+crates/harness/src/lib.rs:
+crates/harness/src/campaign.rs:
+crates/harness/src/exec.rs:
+crates/harness/src/pool.rs:
+crates/harness/src/sink.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

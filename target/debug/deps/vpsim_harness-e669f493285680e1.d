@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vpsim_harness-e669f493285680e1.d: crates/harness/src/lib.rs crates/harness/src/campaign.rs crates/harness/src/exec.rs crates/harness/src/pool.rs crates/harness/src/sink.rs
+
+/root/repo/target/debug/deps/vpsim_harness-e669f493285680e1: crates/harness/src/lib.rs crates/harness/src/campaign.rs crates/harness/src/exec.rs crates/harness/src/pool.rs crates/harness/src/sink.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/campaign.rs:
+crates/harness/src/exec.rs:
+crates/harness/src/pool.rs:
+crates/harness/src/sink.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vpsim_isa-22e995e7927877c1.d: crates/isa/src/lib.rs crates/isa/src/inst.rs crates/isa/src/interp.rs crates/isa/src/program.rs crates/isa/src/reg.rs
+
+/root/repo/target/debug/deps/vpsim_isa-22e995e7927877c1: crates/isa/src/lib.rs crates/isa/src/inst.rs crates/isa/src/interp.rs crates/isa/src/program.rs crates/isa/src/reg.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/interp.rs:
+crates/isa/src/program.rs:
+crates/isa/src/reg.rs:

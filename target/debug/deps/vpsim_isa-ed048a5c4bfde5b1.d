@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/vpsim_isa-ed048a5c4bfde5b1.d: crates/isa/src/lib.rs crates/isa/src/inst.rs crates/isa/src/interp.rs crates/isa/src/program.rs crates/isa/src/reg.rs
+
+/root/repo/target/debug/deps/libvpsim_isa-ed048a5c4bfde5b1.rlib: crates/isa/src/lib.rs crates/isa/src/inst.rs crates/isa/src/interp.rs crates/isa/src/program.rs crates/isa/src/reg.rs
+
+/root/repo/target/debug/deps/libvpsim_isa-ed048a5c4bfde5b1.rmeta: crates/isa/src/lib.rs crates/isa/src/inst.rs crates/isa/src/interp.rs crates/isa/src/program.rs crates/isa/src/reg.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/interp.rs:
+crates/isa/src/program.rs:
+crates/isa/src/reg.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/vpsim_mem-1f7592ce1aeddfc7.d: crates/mem/src/lib.rs crates/mem/src/backing.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/hierarchy.rs crates/mem/src/replacement.rs crates/mem/src/stats.rs crates/mem/src/tlb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvpsim_mem-1f7592ce1aeddfc7.rmeta: crates/mem/src/lib.rs crates/mem/src/backing.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/hierarchy.rs crates/mem/src/replacement.rs crates/mem/src/stats.rs crates/mem/src/tlb.rs Cargo.toml
+
+crates/mem/src/lib.rs:
+crates/mem/src/backing.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/config.rs:
+crates/mem/src/hierarchy.rs:
+crates/mem/src/replacement.rs:
+crates/mem/src/stats.rs:
+crates/mem/src/tlb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/vpsim_mem-cc68decd0c403280.d: crates/mem/src/lib.rs crates/mem/src/backing.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/hierarchy.rs crates/mem/src/replacement.rs crates/mem/src/stats.rs crates/mem/src/tlb.rs
+
+/root/repo/target/debug/deps/libvpsim_mem-cc68decd0c403280.rlib: crates/mem/src/lib.rs crates/mem/src/backing.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/hierarchy.rs crates/mem/src/replacement.rs crates/mem/src/stats.rs crates/mem/src/tlb.rs
+
+/root/repo/target/debug/deps/libvpsim_mem-cc68decd0c403280.rmeta: crates/mem/src/lib.rs crates/mem/src/backing.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/hierarchy.rs crates/mem/src/replacement.rs crates/mem/src/stats.rs crates/mem/src/tlb.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/backing.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/config.rs:
+crates/mem/src/hierarchy.rs:
+crates/mem/src/replacement.rs:
+crates/mem/src/stats.rs:
+crates/mem/src/tlb.rs:

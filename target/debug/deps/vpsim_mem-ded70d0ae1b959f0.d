@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/vpsim_mem-ded70d0ae1b959f0.d: crates/mem/src/lib.rs crates/mem/src/backing.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/hierarchy.rs crates/mem/src/replacement.rs crates/mem/src/stats.rs crates/mem/src/tlb.rs
+
+/root/repo/target/debug/deps/vpsim_mem-ded70d0ae1b959f0: crates/mem/src/lib.rs crates/mem/src/backing.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/hierarchy.rs crates/mem/src/replacement.rs crates/mem/src/stats.rs crates/mem/src/tlb.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/backing.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/config.rs:
+crates/mem/src/hierarchy.rs:
+crates/mem/src/replacement.rs:
+crates/mem/src/stats.rs:
+crates/mem/src/tlb.rs:

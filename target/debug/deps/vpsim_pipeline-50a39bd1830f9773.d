@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/vpsim_pipeline-50a39bd1830f9773.d: crates/pipeline/src/lib.rs crates/pipeline/src/config.rs crates/pipeline/src/dyninst.rs crates/pipeline/src/executor.rs crates/pipeline/src/machine.rs crates/pipeline/src/result.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvpsim_pipeline-50a39bd1830f9773.rmeta: crates/pipeline/src/lib.rs crates/pipeline/src/config.rs crates/pipeline/src/dyninst.rs crates/pipeline/src/executor.rs crates/pipeline/src/machine.rs crates/pipeline/src/result.rs Cargo.toml
+
+crates/pipeline/src/lib.rs:
+crates/pipeline/src/config.rs:
+crates/pipeline/src/dyninst.rs:
+crates/pipeline/src/executor.rs:
+crates/pipeline/src/machine.rs:
+crates/pipeline/src/result.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

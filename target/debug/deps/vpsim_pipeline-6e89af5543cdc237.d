@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/vpsim_pipeline-6e89af5543cdc237.d: crates/pipeline/src/lib.rs crates/pipeline/src/config.rs crates/pipeline/src/dyninst.rs crates/pipeline/src/executor.rs crates/pipeline/src/machine.rs crates/pipeline/src/result.rs
+
+/root/repo/target/debug/deps/libvpsim_pipeline-6e89af5543cdc237.rlib: crates/pipeline/src/lib.rs crates/pipeline/src/config.rs crates/pipeline/src/dyninst.rs crates/pipeline/src/executor.rs crates/pipeline/src/machine.rs crates/pipeline/src/result.rs
+
+/root/repo/target/debug/deps/libvpsim_pipeline-6e89af5543cdc237.rmeta: crates/pipeline/src/lib.rs crates/pipeline/src/config.rs crates/pipeline/src/dyninst.rs crates/pipeline/src/executor.rs crates/pipeline/src/machine.rs crates/pipeline/src/result.rs
+
+crates/pipeline/src/lib.rs:
+crates/pipeline/src/config.rs:
+crates/pipeline/src/dyninst.rs:
+crates/pipeline/src/executor.rs:
+crates/pipeline/src/machine.rs:
+crates/pipeline/src/result.rs:

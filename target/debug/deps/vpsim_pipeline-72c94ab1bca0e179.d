@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/vpsim_pipeline-72c94ab1bca0e179.d: crates/pipeline/src/lib.rs crates/pipeline/src/config.rs crates/pipeline/src/dyninst.rs crates/pipeline/src/executor.rs crates/pipeline/src/machine.rs crates/pipeline/src/result.rs
+
+/root/repo/target/debug/deps/vpsim_pipeline-72c94ab1bca0e179: crates/pipeline/src/lib.rs crates/pipeline/src/config.rs crates/pipeline/src/dyninst.rs crates/pipeline/src/executor.rs crates/pipeline/src/machine.rs crates/pipeline/src/result.rs
+
+crates/pipeline/src/lib.rs:
+crates/pipeline/src/config.rs:
+crates/pipeline/src/dyninst.rs:
+crates/pipeline/src/executor.rs:
+crates/pipeline/src/machine.rs:
+crates/pipeline/src/result.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/vpsim_predictor-b60c8e4106b0f151.d: crates/predictor/src/lib.rs crates/predictor/src/defense.rs crates/predictor/src/fcm.rs crates/predictor/src/index.rs crates/predictor/src/lvp.rs crates/predictor/src/oracle.rs crates/predictor/src/stats.rs crates/predictor/src/stride.rs crates/predictor/src/vtage.rs
+
+/root/repo/target/debug/deps/vpsim_predictor-b60c8e4106b0f151: crates/predictor/src/lib.rs crates/predictor/src/defense.rs crates/predictor/src/fcm.rs crates/predictor/src/index.rs crates/predictor/src/lvp.rs crates/predictor/src/oracle.rs crates/predictor/src/stats.rs crates/predictor/src/stride.rs crates/predictor/src/vtage.rs
+
+crates/predictor/src/lib.rs:
+crates/predictor/src/defense.rs:
+crates/predictor/src/fcm.rs:
+crates/predictor/src/index.rs:
+crates/predictor/src/lvp.rs:
+crates/predictor/src/oracle.rs:
+crates/predictor/src/stats.rs:
+crates/predictor/src/stride.rs:
+crates/predictor/src/vtage.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/vpsim_predictor-d134668d65aed19b.d: crates/predictor/src/lib.rs crates/predictor/src/defense.rs crates/predictor/src/fcm.rs crates/predictor/src/index.rs crates/predictor/src/lvp.rs crates/predictor/src/oracle.rs crates/predictor/src/stats.rs crates/predictor/src/stride.rs crates/predictor/src/vtage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvpsim_predictor-d134668d65aed19b.rmeta: crates/predictor/src/lib.rs crates/predictor/src/defense.rs crates/predictor/src/fcm.rs crates/predictor/src/index.rs crates/predictor/src/lvp.rs crates/predictor/src/oracle.rs crates/predictor/src/stats.rs crates/predictor/src/stride.rs crates/predictor/src/vtage.rs Cargo.toml
+
+crates/predictor/src/lib.rs:
+crates/predictor/src/defense.rs:
+crates/predictor/src/fcm.rs:
+crates/predictor/src/index.rs:
+crates/predictor/src/lvp.rs:
+crates/predictor/src/oracle.rs:
+crates/predictor/src/stats.rs:
+crates/predictor/src/stride.rs:
+crates/predictor/src/vtage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

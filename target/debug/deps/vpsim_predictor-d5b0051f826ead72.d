@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/vpsim_predictor-d5b0051f826ead72.d: crates/predictor/src/lib.rs crates/predictor/src/defense.rs crates/predictor/src/fcm.rs crates/predictor/src/index.rs crates/predictor/src/lvp.rs crates/predictor/src/oracle.rs crates/predictor/src/stats.rs crates/predictor/src/stride.rs crates/predictor/src/vtage.rs
+
+/root/repo/target/debug/deps/libvpsim_predictor-d5b0051f826ead72.rlib: crates/predictor/src/lib.rs crates/predictor/src/defense.rs crates/predictor/src/fcm.rs crates/predictor/src/index.rs crates/predictor/src/lvp.rs crates/predictor/src/oracle.rs crates/predictor/src/stats.rs crates/predictor/src/stride.rs crates/predictor/src/vtage.rs
+
+/root/repo/target/debug/deps/libvpsim_predictor-d5b0051f826ead72.rmeta: crates/predictor/src/lib.rs crates/predictor/src/defense.rs crates/predictor/src/fcm.rs crates/predictor/src/index.rs crates/predictor/src/lvp.rs crates/predictor/src/oracle.rs crates/predictor/src/stats.rs crates/predictor/src/stride.rs crates/predictor/src/vtage.rs
+
+crates/predictor/src/lib.rs:
+crates/predictor/src/defense.rs:
+crates/predictor/src/fcm.rs:
+crates/predictor/src/index.rs:
+crates/predictor/src/lvp.rs:
+crates/predictor/src/oracle.rs:
+crates/predictor/src/stats.rs:
+crates/predictor/src/stride.rs:
+crates/predictor/src/vtage.rs:

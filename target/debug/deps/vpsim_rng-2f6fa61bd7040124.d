@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vpsim_rng-2f6fa61bd7040124.d: crates/rng/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvpsim_rng-2f6fa61bd7040124.rmeta: crates/rng/src/lib.rs Cargo.toml
+
+crates/rng/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

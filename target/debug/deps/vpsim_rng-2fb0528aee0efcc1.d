@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vpsim_rng-2fb0528aee0efcc1.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/vpsim_rng-2fb0528aee0efcc1: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/vpsim_rng-8a9d4f1d903738df.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libvpsim_rng-8a9d4f1d903738df.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libvpsim_rng-8a9d4f1d903738df.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

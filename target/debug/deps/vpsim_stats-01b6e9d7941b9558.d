@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/vpsim_stats-01b6e9d7941b9558.d: crates/stats/src/lib.rs crates/stats/src/describe.rs crates/stats/src/histogram.rs crates/stats/src/rate.rs crates/stats/src/special.rs crates/stats/src/ttest.rs
+
+/root/repo/target/debug/deps/vpsim_stats-01b6e9d7941b9558: crates/stats/src/lib.rs crates/stats/src/describe.rs crates/stats/src/histogram.rs crates/stats/src/rate.rs crates/stats/src/special.rs crates/stats/src/ttest.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/describe.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/rate.rs:
+crates/stats/src/special.rs:
+crates/stats/src/ttest.rs:

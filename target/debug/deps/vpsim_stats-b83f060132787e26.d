@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/vpsim_stats-b83f060132787e26.d: crates/stats/src/lib.rs crates/stats/src/describe.rs crates/stats/src/histogram.rs crates/stats/src/rate.rs crates/stats/src/special.rs crates/stats/src/ttest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvpsim_stats-b83f060132787e26.rmeta: crates/stats/src/lib.rs crates/stats/src/describe.rs crates/stats/src/histogram.rs crates/stats/src/rate.rs crates/stats/src/special.rs crates/stats/src/ttest.rs Cargo.toml
+
+crates/stats/src/lib.rs:
+crates/stats/src/describe.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/rate.rs:
+crates/stats/src/special.rs:
+crates/stats/src/ttest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/vpsim_stats-d32a956aaa66b1c4.d: crates/stats/src/lib.rs crates/stats/src/describe.rs crates/stats/src/histogram.rs crates/stats/src/rate.rs crates/stats/src/special.rs crates/stats/src/ttest.rs
+
+/root/repo/target/debug/deps/libvpsim_stats-d32a956aaa66b1c4.rlib: crates/stats/src/lib.rs crates/stats/src/describe.rs crates/stats/src/histogram.rs crates/stats/src/rate.rs crates/stats/src/special.rs crates/stats/src/ttest.rs
+
+/root/repo/target/debug/deps/libvpsim_stats-d32a956aaa66b1c4.rmeta: crates/stats/src/lib.rs crates/stats/src/describe.rs crates/stats/src/histogram.rs crates/stats/src/rate.rs crates/stats/src/special.rs crates/stats/src/ttest.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/describe.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/rate.rs:
+crates/stats/src/special.rs:
+crates/stats/src/ttest.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/attack_zoo-15220db034e7440c.d: crates/core/../../examples/attack_zoo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libattack_zoo-15220db034e7440c.rmeta: crates/core/../../examples/attack_zoo.rs Cargo.toml
+
+crates/core/../../examples/attack_zoo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attack_zoo-9569e27ac3ce15de.d: crates/core/../../examples/attack_zoo.rs
+
+/root/repo/target/debug/examples/attack_zoo-9569e27ac3ce15de: crates/core/../../examples/attack_zoo.rs
+
+crates/core/../../examples/attack_zoo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/covert_channel-1398744ee4d3c2d5.d: crates/core/../../examples/covert_channel.rs
+
+/root/repo/target/debug/examples/covert_channel-1398744ee4d3c2d5: crates/core/../../examples/covert_channel.rs
+
+crates/core/../../examples/covert_channel.rs:

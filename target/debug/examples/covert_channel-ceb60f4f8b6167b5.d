@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/covert_channel-ceb60f4f8b6167b5.d: crates/core/../../examples/covert_channel.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcovert_channel-ceb60f4f8b6167b5.rmeta: crates/core/../../examples/covert_channel.rs Cargo.toml
+
+crates/core/../../examples/covert_channel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/defense_tuning-0d6bec5d27de2098.d: crates/core/../../examples/defense_tuning.rs
+
+/root/repo/target/debug/examples/defense_tuning-0d6bec5d27de2098: crates/core/../../examples/defense_tuning.rs
+
+crates/core/../../examples/defense_tuning.rs:

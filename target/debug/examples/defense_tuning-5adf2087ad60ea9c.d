@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/defense_tuning-5adf2087ad60ea9c.d: crates/core/../../examples/defense_tuning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdefense_tuning-5adf2087ad60ea9c.rmeta: crates/core/../../examples/defense_tuning.rs Cargo.toml
+
+crates/core/../../examples/defense_tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-83c7eaeb968796d7.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-83c7eaeb968796d7: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/rsa_key_leak-6f0a67d11d5aad14.d: crates/crypto/../../examples/rsa_key_leak.rs Cargo.toml
+
+/root/repo/target/debug/examples/librsa_key_leak-6f0a67d11d5aad14.rmeta: crates/crypto/../../examples/rsa_key_leak.rs Cargo.toml
+
+crates/crypto/../../examples/rsa_key_leak.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

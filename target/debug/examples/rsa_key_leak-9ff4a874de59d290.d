@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rsa_key_leak-9ff4a874de59d290.d: crates/crypto/../../examples/rsa_key_leak.rs
+
+/root/repo/target/debug/examples/rsa_key_leak-9ff4a874de59d290: crates/crypto/../../examples/rsa_key_leak.rs
+
+crates/crypto/../../examples/rsa_key_leak.rs:

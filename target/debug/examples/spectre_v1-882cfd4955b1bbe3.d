@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/spectre_v1-882cfd4955b1bbe3.d: crates/core/../../examples/spectre_v1.rs Cargo.toml
+
+/root/repo/target/debug/examples/libspectre_v1-882cfd4955b1bbe3.rmeta: crates/core/../../examples/spectre_v1.rs Cargo.toml
+
+crates/core/../../examples/spectre_v1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

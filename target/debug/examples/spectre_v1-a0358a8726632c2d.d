@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spectre_v1-a0358a8726632c2d.d: crates/core/../../examples/spectre_v1.rs
+
+/root/repo/target/debug/examples/spectre_v1-a0358a8726632c2d: crates/core/../../examples/spectre_v1.rs
+
+crates/core/../../examples/spectre_v1.rs:

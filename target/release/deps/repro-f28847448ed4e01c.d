@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-f28847448ed4e01c.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-f28847448ed4e01c: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

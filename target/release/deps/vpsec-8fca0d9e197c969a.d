@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/vpsec-8fca0d9e197c969a.d: crates/core/src/lib.rs crates/core/src/attacks/mod.rs crates/core/src/attacks/categories.rs crates/core/src/attacks/programs.rs crates/core/src/attacks/spectre.rs crates/core/src/covert.rs crates/core/src/defense.rs crates/core/src/experiment.rs crates/core/src/model/mod.rs crates/core/src/model/action.rs crates/core/src/model/pattern.rs crates/core/src/model/rules.rs crates/core/src/taxonomy.rs
+
+/root/repo/target/release/deps/libvpsec-8fca0d9e197c969a.rlib: crates/core/src/lib.rs crates/core/src/attacks/mod.rs crates/core/src/attacks/categories.rs crates/core/src/attacks/programs.rs crates/core/src/attacks/spectre.rs crates/core/src/covert.rs crates/core/src/defense.rs crates/core/src/experiment.rs crates/core/src/model/mod.rs crates/core/src/model/action.rs crates/core/src/model/pattern.rs crates/core/src/model/rules.rs crates/core/src/taxonomy.rs
+
+/root/repo/target/release/deps/libvpsec-8fca0d9e197c969a.rmeta: crates/core/src/lib.rs crates/core/src/attacks/mod.rs crates/core/src/attacks/categories.rs crates/core/src/attacks/programs.rs crates/core/src/attacks/spectre.rs crates/core/src/covert.rs crates/core/src/defense.rs crates/core/src/experiment.rs crates/core/src/model/mod.rs crates/core/src/model/action.rs crates/core/src/model/pattern.rs crates/core/src/model/rules.rs crates/core/src/taxonomy.rs
+
+crates/core/src/lib.rs:
+crates/core/src/attacks/mod.rs:
+crates/core/src/attacks/categories.rs:
+crates/core/src/attacks/programs.rs:
+crates/core/src/attacks/spectre.rs:
+crates/core/src/covert.rs:
+crates/core/src/defense.rs:
+crates/core/src/experiment.rs:
+crates/core/src/model/mod.rs:
+crates/core/src/model/action.rs:
+crates/core/src/model/pattern.rs:
+crates/core/src/model/rules.rs:
+crates/core/src/taxonomy.rs:

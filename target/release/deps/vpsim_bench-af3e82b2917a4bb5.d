@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/vpsim_bench-af3e82b2917a4bb5.d: crates/bench/src/lib.rs crates/bench/src/export.rs crates/bench/src/microbench.rs crates/bench/src/reports.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/libvpsim_bench-af3e82b2917a4bb5.rlib: crates/bench/src/lib.rs crates/bench/src/export.rs crates/bench/src/microbench.rs crates/bench/src/reports.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/libvpsim_bench-af3e82b2917a4bb5.rmeta: crates/bench/src/lib.rs crates/bench/src/export.rs crates/bench/src/microbench.rs crates/bench/src/reports.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/export.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/reports.rs:
+crates/bench/src/workloads.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/vpsim_crypto-e7027785a4a706d5.d: crates/crypto/src/lib.rs crates/crypto/src/mpi.rs crates/crypto/src/victim.rs
+
+/root/repo/target/release/deps/libvpsim_crypto-e7027785a4a706d5.rlib: crates/crypto/src/lib.rs crates/crypto/src/mpi.rs crates/crypto/src/victim.rs
+
+/root/repo/target/release/deps/libvpsim_crypto-e7027785a4a706d5.rmeta: crates/crypto/src/lib.rs crates/crypto/src/mpi.rs crates/crypto/src/victim.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/mpi.rs:
+crates/crypto/src/victim.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/vpsim_harness-71f6fe6655a1ecaa.d: crates/harness/src/lib.rs crates/harness/src/campaign.rs crates/harness/src/exec.rs crates/harness/src/pool.rs crates/harness/src/sink.rs
+
+/root/repo/target/release/deps/libvpsim_harness-71f6fe6655a1ecaa.rlib: crates/harness/src/lib.rs crates/harness/src/campaign.rs crates/harness/src/exec.rs crates/harness/src/pool.rs crates/harness/src/sink.rs
+
+/root/repo/target/release/deps/libvpsim_harness-71f6fe6655a1ecaa.rmeta: crates/harness/src/lib.rs crates/harness/src/campaign.rs crates/harness/src/exec.rs crates/harness/src/pool.rs crates/harness/src/sink.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/campaign.rs:
+crates/harness/src/exec.rs:
+crates/harness/src/pool.rs:
+crates/harness/src/sink.rs:

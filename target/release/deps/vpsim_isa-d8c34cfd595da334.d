@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/vpsim_isa-d8c34cfd595da334.d: crates/isa/src/lib.rs crates/isa/src/inst.rs crates/isa/src/interp.rs crates/isa/src/program.rs crates/isa/src/reg.rs
+
+/root/repo/target/release/deps/libvpsim_isa-d8c34cfd595da334.rlib: crates/isa/src/lib.rs crates/isa/src/inst.rs crates/isa/src/interp.rs crates/isa/src/program.rs crates/isa/src/reg.rs
+
+/root/repo/target/release/deps/libvpsim_isa-d8c34cfd595da334.rmeta: crates/isa/src/lib.rs crates/isa/src/inst.rs crates/isa/src/interp.rs crates/isa/src/program.rs crates/isa/src/reg.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/interp.rs:
+crates/isa/src/program.rs:
+crates/isa/src/reg.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/vpsim_mem-b1d1eebe23671252.d: crates/mem/src/lib.rs crates/mem/src/backing.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/hierarchy.rs crates/mem/src/replacement.rs crates/mem/src/stats.rs crates/mem/src/tlb.rs
+
+/root/repo/target/release/deps/libvpsim_mem-b1d1eebe23671252.rlib: crates/mem/src/lib.rs crates/mem/src/backing.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/hierarchy.rs crates/mem/src/replacement.rs crates/mem/src/stats.rs crates/mem/src/tlb.rs
+
+/root/repo/target/release/deps/libvpsim_mem-b1d1eebe23671252.rmeta: crates/mem/src/lib.rs crates/mem/src/backing.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/hierarchy.rs crates/mem/src/replacement.rs crates/mem/src/stats.rs crates/mem/src/tlb.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/backing.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/config.rs:
+crates/mem/src/hierarchy.rs:
+crates/mem/src/replacement.rs:
+crates/mem/src/stats.rs:
+crates/mem/src/tlb.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/vpsim_pipeline-e1da6fd5b5262541.d: crates/pipeline/src/lib.rs crates/pipeline/src/config.rs crates/pipeline/src/dyninst.rs crates/pipeline/src/executor.rs crates/pipeline/src/machine.rs crates/pipeline/src/result.rs
+
+/root/repo/target/release/deps/libvpsim_pipeline-e1da6fd5b5262541.rlib: crates/pipeline/src/lib.rs crates/pipeline/src/config.rs crates/pipeline/src/dyninst.rs crates/pipeline/src/executor.rs crates/pipeline/src/machine.rs crates/pipeline/src/result.rs
+
+/root/repo/target/release/deps/libvpsim_pipeline-e1da6fd5b5262541.rmeta: crates/pipeline/src/lib.rs crates/pipeline/src/config.rs crates/pipeline/src/dyninst.rs crates/pipeline/src/executor.rs crates/pipeline/src/machine.rs crates/pipeline/src/result.rs
+
+crates/pipeline/src/lib.rs:
+crates/pipeline/src/config.rs:
+crates/pipeline/src/dyninst.rs:
+crates/pipeline/src/executor.rs:
+crates/pipeline/src/machine.rs:
+crates/pipeline/src/result.rs:

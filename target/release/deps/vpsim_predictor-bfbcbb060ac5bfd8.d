@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/vpsim_predictor-bfbcbb060ac5bfd8.d: crates/predictor/src/lib.rs crates/predictor/src/defense.rs crates/predictor/src/fcm.rs crates/predictor/src/index.rs crates/predictor/src/lvp.rs crates/predictor/src/oracle.rs crates/predictor/src/stats.rs crates/predictor/src/stride.rs crates/predictor/src/vtage.rs
+
+/root/repo/target/release/deps/libvpsim_predictor-bfbcbb060ac5bfd8.rlib: crates/predictor/src/lib.rs crates/predictor/src/defense.rs crates/predictor/src/fcm.rs crates/predictor/src/index.rs crates/predictor/src/lvp.rs crates/predictor/src/oracle.rs crates/predictor/src/stats.rs crates/predictor/src/stride.rs crates/predictor/src/vtage.rs
+
+/root/repo/target/release/deps/libvpsim_predictor-bfbcbb060ac5bfd8.rmeta: crates/predictor/src/lib.rs crates/predictor/src/defense.rs crates/predictor/src/fcm.rs crates/predictor/src/index.rs crates/predictor/src/lvp.rs crates/predictor/src/oracle.rs crates/predictor/src/stats.rs crates/predictor/src/stride.rs crates/predictor/src/vtage.rs
+
+crates/predictor/src/lib.rs:
+crates/predictor/src/defense.rs:
+crates/predictor/src/fcm.rs:
+crates/predictor/src/index.rs:
+crates/predictor/src/lvp.rs:
+crates/predictor/src/oracle.rs:
+crates/predictor/src/stats.rs:
+crates/predictor/src/stride.rs:
+crates/predictor/src/vtage.rs:

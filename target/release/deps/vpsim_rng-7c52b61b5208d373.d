@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/vpsim_rng-7c52b61b5208d373.d: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/libvpsim_rng-7c52b61b5208d373.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/libvpsim_rng-7c52b61b5208d373.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

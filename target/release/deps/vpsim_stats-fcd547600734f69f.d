@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/vpsim_stats-fcd547600734f69f.d: crates/stats/src/lib.rs crates/stats/src/describe.rs crates/stats/src/histogram.rs crates/stats/src/rate.rs crates/stats/src/special.rs crates/stats/src/ttest.rs
+
+/root/repo/target/release/deps/libvpsim_stats-fcd547600734f69f.rlib: crates/stats/src/lib.rs crates/stats/src/describe.rs crates/stats/src/histogram.rs crates/stats/src/rate.rs crates/stats/src/special.rs crates/stats/src/ttest.rs
+
+/root/repo/target/release/deps/libvpsim_stats-fcd547600734f69f.rmeta: crates/stats/src/lib.rs crates/stats/src/describe.rs crates/stats/src/histogram.rs crates/stats/src/rate.rs crates/stats/src/special.rs crates/stats/src/ttest.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/describe.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/rate.rs:
+crates/stats/src/special.rs:
+crates/stats/src/ttest.rs:

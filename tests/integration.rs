@@ -124,7 +124,10 @@ fn cross_process_predictor_aliasing() {
 /// statistics crate making the call — the complete paper pipeline.
 #[test]
 fn full_pipeline_statistics_verdict() {
-    let cfg = ExperimentConfig { trials: 15, ..ExperimentConfig::default() };
+    let cfg = ExperimentConfig {
+        trials: 15,
+        ..ExperimentConfig::default()
+    };
     let setup = cfg.setup;
     let mapped = build_trial(AttackCategory::FillUp, Channel::TimingWindow, true, &setup).unwrap();
     let unmapped =
@@ -147,8 +150,16 @@ fn full_pipeline_statistics_verdict() {
 fn trials_assign_parties_correctly() {
     let setup = AttackSetup::default();
     let t = build_trial(AttackCategory::TestHit, Channel::TimingWindow, true, &setup).unwrap();
-    assert_eq!(t.steps[0].party, Party::Sender, "secret training is the victim's");
-    assert_eq!(t.steps[1].party, Party::Receiver, "trigger is the attacker's");
+    assert_eq!(
+        t.steps[0].party,
+        Party::Sender,
+        "secret training is the victim's"
+    );
+    assert_eq!(
+        t.steps[1].party,
+        Party::Receiver,
+        "trigger is the attacker's"
+    );
 }
 
 /// Memory hierarchy and predictor compose under the raw run_program API.

@@ -1,50 +1,39 @@
 //! Property-style invariants of the attack model (§V): the enumeration,
 //! the reduction rules, and the taxonomy must stay mutually consistent.
 
-use proptest::prelude::*;
 use vpsec::attacks::AttackCategory;
 use vpsec::model::{enumerate, rules, Action, Actor, AttackPattern, Dimension, SecretVariant};
 use vpsec::taxonomy::{classify, TimingWindowClass};
 
-fn all_actions() -> Vec<Action> {
-    Action::modify_actions()
-}
-
-fn arb_action() -> impl Strategy<Value = Action> {
-    (0..all_actions().len()).prop_map(|i| all_actions()[i])
-}
-
-fn arb_step_action() -> impl Strategy<Value = Action> {
-    (0..Action::step_actions().len()).prop_map(|i| Action::step_actions()[i])
-}
-
-proptest! {
-    /// `check` accepts a pattern iff it appears in the enumeration's
-    /// survivor list — the two code paths agree.
-    #[test]
-    fn check_agrees_with_enumeration(
-        train in arb_step_action(),
-        modify in arb_action(),
-        trigger in arb_step_action(),
-    ) {
-        let p = AttackPattern::new(train, modify, trigger);
-        let e = enumerate();
-        prop_assert_eq!(rules::check(&p).is_ok(), e.effective.contains(&p), "{}", p);
-    }
-
-    /// Every survivor classifies; every survivor involves the sender
-    /// (only the sender can touch the secret); no survivor mixes
-    /// dimensions.
-    #[test]
-    fn survivor_invariants(_x in 0..1i32) {
-        for p in enumerate().effective {
-            let cat = p.category();
-            prop_assert!(cat.is_some(), "{} must classify", p);
-            prop_assert!(p.actors().contains(&Actor::Sender), "{}", p);
-            let dims: std::collections::HashSet<_> =
-                p.steps().iter().filter_map(Action::dimension).collect();
-            prop_assert_eq!(dims.len(), 1, "{} single-dimension", p);
+/// `check` accepts a pattern iff it appears in the enumeration's
+/// survivor list — the two code paths agree. The full cross product is
+/// only 576 patterns, so this checks every single one instead of
+/// sampling.
+#[test]
+fn check_agrees_with_enumeration() {
+    let e = enumerate();
+    for &train in &Action::step_actions() {
+        for &modify in &Action::modify_actions() {
+            for &trigger in &Action::step_actions() {
+                let p = AttackPattern::new(train, modify, trigger);
+                assert_eq!(rules::check(&p).is_ok(), e.effective.contains(&p), "{p}");
+            }
         }
+    }
+}
+
+/// Every survivor classifies; every survivor involves the sender
+/// (only the sender can touch the secret); no survivor mixes
+/// dimensions.
+#[test]
+fn survivor_invariants() {
+    for p in enumerate().effective {
+        let cat = p.category();
+        assert!(cat.is_some(), "{p} must classify");
+        assert!(p.actors().contains(&Actor::Sender), "{p}");
+        let dims: std::collections::HashSet<_> =
+            p.steps().iter().filter_map(Action::dimension).collect();
+        assert_eq!(dims.len(), 1, "{p} single-dimension");
     }
 }
 
@@ -61,13 +50,34 @@ fn rejection_reasons_are_stable() {
     let sd2 = Action::secret(Data, DoublePrime);
     let si1 = Action::secret(Index, Prime);
     let cases = [
-        (AttackPattern::new(kd_s, Action::None, kd_r), rules::Rejection::NoSecret),
-        (AttackPattern::new(kd_s, Action::None, si1), rules::Rejection::MixedDimensions),
-        (AttackPattern::new(sd2, Action::None, kd_s), rules::Rejection::NonCanonicalNaming),
-        (AttackPattern::new(sd1, sd1, sd1), rules::Rejection::ModifyExtendsTrain),
-        (AttackPattern::new(ki_s, Action::None, ki_s), rules::Rejection::NoSecret),
-        (AttackPattern::new(sd1, kd_s, sd1), rules::Rejection::ReducibleDataModify),
-        (AttackPattern::new(sd1, sd2, sd2), rules::Rejection::TriggerRepeatsState),
+        (
+            AttackPattern::new(kd_s, Action::None, kd_r),
+            rules::Rejection::NoSecret,
+        ),
+        (
+            AttackPattern::new(kd_s, Action::None, si1),
+            rules::Rejection::MixedDimensions,
+        ),
+        (
+            AttackPattern::new(sd2, Action::None, kd_s),
+            rules::Rejection::NonCanonicalNaming,
+        ),
+        (
+            AttackPattern::new(sd1, sd1, sd1),
+            rules::Rejection::ModifyExtendsTrain,
+        ),
+        (
+            AttackPattern::new(ki_s, Action::None, ki_s),
+            rules::Rejection::NoSecret,
+        ),
+        (
+            AttackPattern::new(sd1, kd_s, sd1),
+            rules::Rejection::ReducibleDataModify,
+        ),
+        (
+            AttackPattern::new(sd1, sd2, sd2),
+            rules::Rejection::TriggerRepeatsState,
+        ),
         (
             AttackPattern::new(ki_s, Action::None, si1),
             rules::Rejection::MalformedIndexInterference,
@@ -84,7 +94,10 @@ fn taxonomy_covers_all_categories_consistently() {
         let class = classify(cat).expect("every category has a timing class");
         // The class must be one with known examples — the model never
         // emits the unknown "no prediction vs incorrect" class.
-        assert!(class.has_known_examples(), "{cat} landed in the unknown class");
+        assert!(
+            class.has_known_examples(),
+            "{cat} landed in the unknown class"
+        );
         // Spill Over and only Spill Over uses the new class.
         assert_eq!(
             class == TimingWindowClass::NoPredictionVsCorrect,

@@ -16,7 +16,10 @@ fn reassemble(bits: &[bool]) -> Mpi {
 
 #[test]
 fn leak_reconstructs_various_exponent_shapes() {
-    let cfg = LeakConfig { calibration_runs: 4, ..LeakConfig::default() };
+    let cfg = LeakConfig {
+        calibration_runs: 4,
+        ..LeakConfig::default()
+    };
     // All-ones, single-bit, alternating and irregular exponents.
     for exp in [
         Mpi::from_u64(0b1111_1111),
@@ -44,7 +47,11 @@ fn leak_success_across_seeds() {
     let mut correct = 0usize;
     let mut total = 0usize;
     for seed in 0..6u64 {
-        let cfg = LeakConfig { seed: 0x5eed + seed, calibration_runs: 4, ..LeakConfig::default() };
+        let cfg = LeakConfig {
+            seed: 0x5eed + seed,
+            calibration_runs: 4,
+            ..LeakConfig::default()
+        };
         let r = leak_exponent(&exp, &cfg);
         correct += r
             .true_bits
@@ -67,7 +74,10 @@ fn stolen_key_actually_decrypts() {
     let d = Mpi::from_u64(2753);
     let msg = Mpi::from_u64(123);
     let ct = Mpi::powm(&msg, &e, &n);
-    let cfg = LeakConfig { calibration_runs: 4, ..LeakConfig::default() };
+    let cfg = LeakConfig {
+        calibration_runs: 4,
+        ..LeakConfig::default()
+    };
     let r = leak_exponent(&d, &cfg);
     let stolen = reassemble(&r.recovered_bits);
     assert_eq!(stolen, d, "exponent must reconstruct exactly");
