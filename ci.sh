@@ -12,4 +12,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo build --workspace --release
 cargo test --workspace --quiet
 
+# Perf smoke: rerun the quick executor-benchmark matrix and compare
+# against the committed baseline. Fails on any simulated-cycle drift
+# (the event-driven scheduler must stay cycle-exact; the golden-trace
+# suite above checks the same property per-instruction) or on a >2x
+# wall-clock regression.
+cargo run --release -p vpsim-bench --bin bench_pipeline -- \
+    --quick --check BENCH_pipeline.quick.json
+
 echo "ci: all checks passed"

@@ -1,0 +1,138 @@
+//! `bench_pipeline` — run the pipeline-executor workload matrix and emit
+//! the machine-readable `BENCH_pipeline.json` performance baseline.
+//!
+//! ```text
+//! bench_pipeline                         # full matrix -> BENCH_pipeline.json
+//! bench_pipeline --quick                 # CI-sized matrix
+//! bench_pipeline --out FILE              # write elsewhere
+//! bench_pipeline --baseline FILE         # embed FILE as "before" + speedups
+//! bench_pipeline --check FILE            # compare against FILE: fail on
+//!                                        #   cycle drift or a >2x slowdown
+//! bench_pipeline --check FILE --max-slowdown 3
+//! ```
+//!
+//! Simulated cycle counts are bit-deterministic; `--check` therefore
+//! treats *any* cycle drift as an error (the scheduler must stay
+//! cycle-exact) and only tolerates wall-clock noise up to the slowdown
+//! factor.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use vpsim_bench::pipeline_bench::{check_against, parse_cells, render, run_matrix, to_json};
+
+#[derive(Debug, Default)]
+struct Args {
+    quick: bool,
+    out: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    check: Option<PathBuf>,
+    max_slowdown: f64,
+}
+
+fn parse_from<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
+    let mut args = Args {
+        max_slowdown: 2.0,
+        ..Args::default()
+    };
+    let mut it = argv.into_iter();
+    let value = |flag: &str, it: &mut dyn Iterator<Item = String>| -> Result<String, String> {
+        it.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--out" => args.out = Some(PathBuf::from(value("--out", &mut it)?)),
+            "--baseline" => args.baseline = Some(PathBuf::from(value("--baseline", &mut it)?)),
+            "--check" => args.check = Some(PathBuf::from(value("--check", &mut it)?)),
+            "--max-slowdown" => {
+                let v = value("--max-slowdown", &mut it)?;
+                args.max_slowdown = v
+                    .parse()
+                    .map_err(|_| format!("--max-slowdown expects a number, got `{v}`"))?;
+                if args.max_slowdown < 1.0 {
+                    return Err("--max-slowdown must be >= 1".to_owned());
+                }
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_from(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: bench_pipeline [--quick] [--out FILE] [--baseline FILE] \
+                 [--check FILE] [--max-slowdown X]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = run_matrix(args.quick);
+    print!("{}", render(&report));
+
+    if let Some(path) = &args.check {
+        let baseline = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read baseline {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        match check_against(&report, &baseline, args.max_slowdown) {
+            Ok(()) => {
+                println!(
+                    "check: {} cells within {}x of {}",
+                    report.cells.len(),
+                    args.max_slowdown,
+                    path.display()
+                );
+            }
+            Err(problems) => {
+                eprintln!("perf check FAILED against {}:\n{problems}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        // --check is read-only: never overwrite the committed baseline.
+        return ExitCode::SUCCESS;
+    }
+
+    let before = match &args.baseline {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(s) => {
+                // Re-hydrate only what the report embeds: cells.
+                let cells = parse_cells(&s);
+                if cells.is_empty() {
+                    eprintln!("error: baseline {} contains no cells", path.display());
+                    return ExitCode::FAILURE;
+                }
+                Some(s)
+            }
+            Err(e) => {
+                eprintln!("error: cannot read baseline {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let json = match &before {
+        Some(b) => {
+            let before_report = vpsim_bench::pipeline_bench::report_from_json(b);
+            to_json(&report, Some(&before_report))
+        }
+        None => to_json(&report, None),
+    };
+    let out = args
+        .out
+        .unwrap_or_else(|| PathBuf::from("BENCH_pipeline.json"));
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("error: cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", out.display());
+    ExitCode::SUCCESS
+}

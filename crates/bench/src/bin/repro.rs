@@ -10,6 +10,7 @@
 //! repro --table 3 --jobs 8         # shard trials across 8 workers
 //! repro --all --jobs 0             # jobs 0 = all available cores
 //! repro --table 3 --resume out/    # record/skip finished jobs in out/
+//! repro --bench                    # quick executor-throughput matrix
 //! ```
 //!
 //! Evaluations run through the `vpsim-harness` campaign engine: results
@@ -37,6 +38,7 @@ enum Item {
     Defenses,
     Ablations,
     Performance,
+    Bench,
 }
 
 impl std::fmt::Display for Item {
@@ -47,6 +49,7 @@ impl std::fmt::Display for Item {
             Item::Defenses => write!(f, "--defenses"),
             Item::Ablations => write!(f, "--ablations"),
             Item::Performance => write!(f, "--performance"),
+            Item::Bench => write!(f, "--bench"),
         }
     }
 }
@@ -57,7 +60,8 @@ const VALID_FIGURES: [u32; 6] = [2, 3, 4, 5, 7, 8];
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro [--trials N] [--jobs N] [--resume DIR] [--progress] [--csv DIR] \
-         (--all | --table {{1|2|3}} | --figure {{2|3|4|5|7|8}} | --defenses | --ablations | --performance)..."
+         (--all | --table {{1|2|3}} | --figure {{2|3|4|5|7|8}} | --defenses | --ablations | \
+         --performance | --bench)..."
     );
     ExitCode::FAILURE
 }
@@ -135,6 +139,7 @@ fn parse_from<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
             "--defenses" => push(&mut args.items, Item::Defenses)?,
             "--ablations" => push(&mut args.items, Item::Ablations)?,
             "--performance" => push(&mut args.items, Item::Performance)?,
+            "--bench" => push(&mut args.items, Item::Bench)?,
             "--all" => {
                 for item in [
                     Item::Table(1),
@@ -149,6 +154,7 @@ fn parse_from<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
                     Item::Defenses,
                     Item::Ablations,
                     Item::Performance,
+                    Item::Bench,
                 ] {
                     push(&mut args.items, item)?;
                 }
@@ -250,6 +256,11 @@ fn main() -> ExitCode {
             Item::Defenses => reports::defense_report(args.trials, &args.exec),
             Item::Ablations => reports::ablation_report(args.trials, &args.exec),
             Item::Performance => vpsim_bench::workloads::performance_report(),
+            Item::Bench => {
+                // The quick matrix: the full one is `bench_pipeline`'s job.
+                let r = vpsim_bench::pipeline_bench::run_matrix(true);
+                vpsim_bench::pipeline_bench::render(&r)
+            }
             Item::Table(n) | Item::Figure(n) => unreachable!("id {n} rejected at parse time"),
         });
         match report {
@@ -278,7 +289,8 @@ mod tests {
     fn minimal_invocations_parse() {
         let a = parse(&["--all"]).unwrap();
         assert_eq!(a.trials, 100);
-        assert_eq!(a.items.len(), 12);
+        assert_eq!(a.items.len(), 13);
+        assert!(a.items.contains(&Item::Bench));
         assert_eq!(a.exec.jobs, 1);
 
         let a = parse(&["--table", "3", "--trials", "30", "--jobs", "8"]).unwrap();

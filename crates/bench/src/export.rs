@@ -59,7 +59,9 @@ pub fn figure_distributions_csv(
             cfg.clone(),
         ));
     }
-    let outcome = campaign.run(exec).unwrap_or_else(|e| panic!("distribution campaign: {e}"));
+    let outcome = campaign
+        .run(exec)
+        .unwrap_or_else(|e| panic!("distribution campaign: {e}"));
     for (panel, channel, kind) in panels {
         let Some(e) = outcome.get(&format!("{panel}")) else {
             continue;
@@ -129,7 +131,9 @@ pub fn window_sweep_csv(cfg: &ExperimentConfig, exec: &Exec) -> String {
             ));
         }
     }
-    let outcome = campaign.run(exec).unwrap_or_else(|e| panic!("sweep campaign: {e}"));
+    let outcome = campaign
+        .run(exec)
+        .unwrap_or_else(|e| panic!("sweep campaign: {e}"));
     let mut out = String::from("category,window,pvalue\n");
     for (cat, windows) in reports::SWEEPS {
         for &s in windows {

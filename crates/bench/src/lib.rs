@@ -12,6 +12,7 @@
 
 pub mod export;
 pub mod microbench;
+pub mod pipeline_bench;
 pub mod reports;
 pub mod workloads;
 

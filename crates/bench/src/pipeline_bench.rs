@@ -1,0 +1,566 @@
+//! `bench_pipeline` — the machine-readable performance baseline for the
+//! pipeline executor's hot loop.
+//!
+//! Runs a fixed workload matrix (attack-zoo trial programs and synthetic
+//! kernels x predictor types x cache configurations) under
+//! `vpsim-rng`-seeded determinism, measuring simulated cycles, wall time
+//! and sim-cycles/sec per cell, and emits `BENCH_pipeline.json` so every
+//! performance PR records its trajectory. The simulated-cycle counts are
+//! bit-deterministic; only wall time varies between hosts.
+//!
+//! The DRAM-miss-heavy `flush_reload` cell is the headline number: a
+//! Flush+Reload covert-channel loop spends most of its simulated time in
+//! long miss stalls, which is exactly what the event-driven scheduler's
+//! cycle-skipping collapses.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use vpsec::attacks::{build_trial, AttackCategory, AttackSetup};
+use vpsec::experiment::Channel;
+use vpsim_isa::{AluOp, ProgramBuilder, Reg};
+use vpsim_mem::MemoryConfig;
+use vpsim_pipeline::{CoreConfig, Machine, SchedStats};
+use vpsim_predictor::{Lvp, LvpConfig, NoPredictor, ValuePredictor, Vtage, VtageConfig};
+use vpsim_rng::SmallRng;
+
+use crate::workloads::{constant_table, pointer_chase, random_values, Workload};
+
+/// One cell of the benchmark matrix.
+#[derive(Debug, Clone)]
+pub struct BenchCell {
+    /// Workload name.
+    pub workload: String,
+    /// Predictor label (`novp`, `lvp`, `vtage`).
+    pub predictor: String,
+    /// Cache configuration label (`det`, `jitter`).
+    pub mem: String,
+    /// Total simulated cycles across all runs of the cell.
+    pub cycles: u64,
+    /// Wall-clock nanoseconds for those runs.
+    pub wall_ns: u128,
+    /// Scheduler phase counters summed over the cell's runs.
+    pub sched: SchedStats,
+}
+
+impl BenchCell {
+    /// The headline throughput metric.
+    #[must_use]
+    pub fn sim_cycles_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return f64::INFINITY;
+        }
+        self.cycles as f64 / (self.wall_ns as f64 / 1e9)
+    }
+
+    /// The `workload/predictor/mem` key used for baseline matching.
+    #[must_use]
+    pub fn key(&self) -> String {
+        format!("{}/{}/{}", self.workload, self.predictor, self.mem)
+    }
+}
+
+/// A full benchmark run: the matrix plus metadata.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// `quick` or `full`.
+    pub mode: String,
+    /// The measured cells.
+    pub cells: Vec<BenchCell>,
+}
+
+fn predictor(kind: &str) -> Box<dyn ValuePredictor> {
+    match kind {
+        "novp" => Box::new(NoPredictor::new()),
+        "lvp" => Box::new(Lvp::new(LvpConfig::default())),
+        "vtage" => Box::new(Vtage::new(VtageConfig::default())),
+        other => unreachable!("unknown predictor {other}"),
+    }
+}
+
+fn mem_config(label: &str) -> MemoryConfig {
+    match label {
+        "det" => MemoryConfig::deterministic(),
+        "jitter" => MemoryConfig::default(),
+        other => unreachable!("unknown mem config {other}"),
+    }
+}
+
+/// The Flush+Reload covert-channel loop: flush the probe set, touch the
+/// secret slot, then time a reload of every slot. Every iteration is a
+/// train of DRAM misses separated by long stalls — the worst case for a
+/// tick-by-tick simulator and the best case for cycle-skipping.
+#[must_use]
+pub fn flush_reload(slots: u64, iterations: u64) -> Workload {
+    const PROBE: u64 = 0x500_000;
+    const STRIDE: u64 = 4096;
+    let mut b = ProgramBuilder::new();
+    b.li(Reg::R1, PROBE)
+        .li(Reg::R9, STRIDE)
+        .li(Reg::R2, 0)
+        .li(Reg::R3, iterations);
+    b.label("iter").unwrap();
+    // Flush every slot.
+    b.li(Reg::R4, 0).li(Reg::R5, slots).li(Reg::R6, PROBE);
+    b.label("flush").unwrap();
+    b.flush(Reg::R6, 0)
+        .alu(AluOp::Add, Reg::R6, Reg::R6, Reg::R9)
+        .addi(Reg::R4, Reg::R4, 1)
+        .blt(Reg::R4, Reg::R5, "flush")
+        .fence();
+    // Sender: touch the "secret" slot (iteration-dependent).
+    b.load(Reg::R10, Reg::R1, 0);
+    // Receiver: timed reload of every slot.
+    b.li(Reg::R4, 0).li(Reg::R6, PROBE);
+    b.label("reload").unwrap();
+    b.rdtsc(Reg::R11)
+        .load(Reg::R12, Reg::R6, 0)
+        .alu(AluOp::Add, Reg::R13, Reg::R12, Reg::R11)
+        .rdtsc(Reg::R14)
+        .alu(AluOp::Add, Reg::R6, Reg::R6, Reg::R9)
+        .addi(Reg::R4, Reg::R4, 1)
+        .blt(Reg::R4, Reg::R5, "reload")
+        .addi(Reg::R2, Reg::R2, 1)
+        .blt(Reg::R2, Reg::R3, "iter")
+        .halt();
+    let memory = (0..slots).map(|i| (PROBE + i * STRIDE, i + 1)).collect();
+    Workload {
+        name: "flush_reload",
+        program: b.build().expect("valid workload"),
+        memory,
+    }
+}
+
+/// An attack-zoo trial flattened into one repeatedly-run machine
+/// workload: the steps of `category`/`channel` (mapped), re-run
+/// `iterations` times on the same machine.
+struct TrialWorkload {
+    name: &'static str,
+    category: AttackCategory,
+    channel: Channel,
+    iterations: usize,
+}
+
+fn run_trial_cell(
+    t: &TrialWorkload,
+    kind: &str,
+    mem_label: &str,
+    seed: u64,
+) -> (u64, u128, SchedStats) {
+    let setup = AttackSetup::default();
+    let trial =
+        build_trial(t.category, t.channel, true, &setup).expect("bench trials are supported");
+    let mut machine = Machine::new(
+        CoreConfig::default(),
+        mem_config(mem_label),
+        predictor(kind),
+        seed,
+    );
+    for (addr, value) in &trial.memory_init {
+        machine.mem_mut().store_value(*addr, *value);
+    }
+    let mut cycles = 0u64;
+    let mut sched = SchedStats::default();
+    let start = Instant::now();
+    for _ in 0..t.iterations {
+        for step in &trial.steps {
+            for _ in 0..step.repeat {
+                let r = machine
+                    .run(step.party.pid(), &step.program)
+                    .unwrap_or_else(|e| panic!("bench step `{}` failed: {e}", step.label));
+                cycles += r.cycles;
+                sched.merge(&r.sched);
+            }
+        }
+    }
+    (cycles, start.elapsed().as_nanos(), sched)
+}
+
+fn run_kernel_cell(
+    w: &Workload,
+    kind: &str,
+    mem_label: &str,
+    seed: u64,
+) -> (u64, u128, SchedStats) {
+    let mut m = Machine::new(
+        CoreConfig::default(),
+        mem_config(mem_label),
+        predictor(kind),
+        seed,
+    );
+    for (a, v) in &w.memory {
+        m.mem_mut().store_value(*a, *v);
+    }
+    let start = Instant::now();
+    let r = m.run(0, &w.program).expect("bench kernel halts");
+    (r.cycles, start.elapsed().as_nanos(), r.sched)
+}
+
+/// Best-of-N timing: re-run a cell with the same seed, keep the fastest
+/// wall time (the sustainable throughput, shielded from scheduler noise)
+/// and assert the simulated cycle count never wavers between repeats.
+fn best_of<F: FnMut() -> (u64, u128, SchedStats)>(
+    reps: usize,
+    mut run: F,
+) -> (u64, u128, SchedStats) {
+    let (cycles, mut wall_ns, sched) = run();
+    for _ in 1..reps {
+        let (c, w, _) = run();
+        assert_eq!(c, cycles, "simulated cycles must not vary between repeats");
+        wall_ns = wall_ns.min(w);
+    }
+    (cycles, wall_ns, sched)
+}
+
+/// Run the benchmark matrix. `quick` shrinks every workload so the whole
+/// matrix finishes in a few seconds (the CI smoke configuration).
+#[must_use]
+pub fn run_matrix(quick: bool) -> BenchReport {
+    let scale = if quick { 1u64 } else { 4 };
+    let reps = if quick { 2 } else { 3 };
+    let kernels = [
+        flush_reload(8, 64 * scale),
+        pointer_chase(1024, 2 * scale),
+        constant_table(1024, 2 * scale),
+        random_values(128 * scale),
+    ];
+    let trials = [
+        TrialWorkload {
+            name: "zoo_train_test",
+            category: AttackCategory::TrainTest,
+            channel: Channel::Persistent,
+            iterations: (16 * scale) as usize,
+        },
+        TrialWorkload {
+            name: "zoo_test_hit",
+            category: AttackCategory::TestHit,
+            channel: Channel::Persistent,
+            iterations: (16 * scale) as usize,
+        },
+    ];
+    // Seeds are derived from one master stream so the matrix is
+    // reproducible but cells are decorrelated.
+    let mut rng = SmallRng::seed_from_u64(0xbe9c_0000_dac2_2021);
+    let mut cells = Vec::new();
+    for mem_label in ["det", "jitter"] {
+        for kind in ["novp", "lvp", "vtage"] {
+            for w in &kernels {
+                let seed = rng.next_u64();
+                let (cycles, wall_ns, sched) =
+                    best_of(reps, || run_kernel_cell(w, kind, mem_label, seed));
+                cells.push(BenchCell {
+                    workload: w.name.to_owned(),
+                    predictor: kind.to_owned(),
+                    mem: mem_label.to_owned(),
+                    cycles,
+                    wall_ns,
+                    sched,
+                });
+            }
+            for t in &trials {
+                let seed = rng.next_u64();
+                let (cycles, wall_ns, sched) =
+                    best_of(reps, || run_trial_cell(t, kind, mem_label, seed));
+                cells.push(BenchCell {
+                    workload: t.name.to_owned(),
+                    predictor: kind.to_owned(),
+                    mem: mem_label.to_owned(),
+                    cycles,
+                    wall_ns,
+                    sched,
+                });
+            }
+        }
+    }
+    BenchReport {
+        mode: if quick { "quick" } else { "full" }.to_owned(),
+        cells,
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON (hand-rolled: the workspace is dependency-free by design).
+// ---------------------------------------------------------------------
+
+fn json_cell(c: &BenchCell, out: &mut String) {
+    let _ = write!(
+        out,
+        "    {{\"workload\": \"{}\", \"predictor\": \"{}\", \"mem\": \"{}\", \
+         \"cycles\": {}, \"wall_ns\": {}, \"sim_cycles_per_sec\": {:.1}, \
+         \"sched\": {{\"ticks\": {}, \"skipped_cycles\": {}, \"completion_events\": {}, \
+         \"wakeup_broadcasts\": {}, \"verify_events\": {}, \"issue_slots\": {}, \
+         \"dispatched\": {}}}}}",
+        c.workload,
+        c.predictor,
+        c.mem,
+        c.cycles,
+        c.wall_ns,
+        c.sim_cycles_per_sec(),
+        c.sched.ticks,
+        c.sched.skipped_cycles,
+        c.sched.completion_events,
+        c.sched.wakeup_broadcasts,
+        c.sched.verify_events,
+        c.sched.issue_slots,
+        c.sched.dispatched,
+    );
+}
+
+/// Render the report (optionally with an embedded `before` baseline and
+/// per-cell speedups) as the `BENCH_pipeline.json` document.
+#[must_use]
+pub fn to_json(report: &BenchReport, before: Option<&BenchReport>) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"vpsim-bench-pipeline/v1\",");
+    let _ = writeln!(out, "  \"mode\": \"{}\",", report.mode);
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in report.cells.iter().enumerate() {
+        json_cell(c, &mut out);
+        out.push_str(if i + 1 < report.cells.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ]");
+    if let Some(before) = before {
+        out.push_str(",\n  \"before\": [\n");
+        for (i, c) in before.cells.iter().enumerate() {
+            json_cell(c, &mut out);
+            out.push_str(if i + 1 < before.cells.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n  \"speedup\": {\n");
+        let pairs: Vec<String> = report
+            .cells
+            .iter()
+            .filter_map(|c| {
+                let b = before.cells.iter().find(|b| b.key() == c.key())?;
+                Some(format!(
+                    "    \"{}\": {:.2}",
+                    c.key(),
+                    c.sim_cycles_per_sec() / b.sim_cycles_per_sec()
+                ))
+            })
+            .collect();
+        out.push_str(&pairs.join(",\n"));
+        out.push_str("\n  }");
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Extract one `"name": value` field from a single-line JSON cell.
+fn field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let pat = format!("\"{name}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+/// Re-hydrate a `BENCH_pipeline.json` document produced by [`to_json`]
+/// into a [`BenchReport`]. A minimal line-oriented parser — each cell is
+/// rendered on one line, so no JSON dependency is needed. Only the
+/// primary `cells` section is read (an embedded `before` is ignored).
+#[must_use]
+pub fn report_from_json(json: &str) -> BenchReport {
+    let mut cells = Vec::new();
+    let mut mode = "unknown".to_owned();
+    for line in json.lines() {
+        if let Some(m) = field(line, "mode") {
+            if !line.contains("\"workload\"") {
+                mode = m.to_owned();
+            }
+        }
+        if line.contains("\"before\"") {
+            break;
+        }
+        let Some(workload) = field(line, "workload") else {
+            continue;
+        };
+        let parsed = (|| -> Option<BenchCell> {
+            Some(BenchCell {
+                workload: workload.to_owned(),
+                predictor: field(line, "predictor")?.to_owned(),
+                mem: field(line, "mem")?.to_owned(),
+                cycles: field(line, "cycles")?.parse().ok()?,
+                wall_ns: field(line, "wall_ns")?.parse().ok()?,
+                sched: SchedStats {
+                    ticks: field(line, "ticks")?.parse().ok()?,
+                    skipped_cycles: field(line, "skipped_cycles")?.parse().ok()?,
+                    completion_events: field(line, "completion_events")?.parse().ok()?,
+                    wakeup_broadcasts: field(line, "wakeup_broadcasts")?.parse().ok()?,
+                    verify_events: field(line, "verify_events")?.parse().ok()?,
+                    issue_slots: field(line, "issue_slots")?.parse().ok()?,
+                    dispatched: field(line, "dispatched")?.parse().ok()?,
+                },
+            })
+        })();
+        if let Some(cell) = parsed {
+            cells.push(cell);
+        }
+    }
+    BenchReport { mode, cells }
+}
+
+/// The `(key, sim-cycles/sec, cycles)` triples used for baseline
+/// comparison.
+#[must_use]
+pub fn parse_cells(json: &str) -> Vec<(String, f64, u64)> {
+    report_from_json(json)
+        .cells
+        .iter()
+        .map(|c| (c.key(), c.sim_cycles_per_sec(), c.cycles))
+        .collect()
+}
+
+/// Compare a fresh run against a committed baseline file: error if any
+/// cell's simulated cycle count changed (the scheduler must be
+/// cycle-exact) or its throughput regressed by more than `max_slowdown`.
+///
+/// # Errors
+///
+/// Returns a human-readable description of every violated cell.
+pub fn check_against(
+    report: &BenchReport,
+    baseline_json: &str,
+    max_slowdown: f64,
+) -> Result<(), String> {
+    let base_report = report_from_json(baseline_json);
+    if base_report.cells.is_empty() {
+        return Err("baseline file contains no cells".to_owned());
+    }
+    // Cell keys are mode-independent but cycle counts are not: a quick
+    // run checked against a full baseline would report phantom drift.
+    if base_report.mode != report.mode {
+        return Err(format!(
+            "baseline mode `{}` does not match run mode `{}`",
+            base_report.mode, report.mode
+        ));
+    }
+    let baseline: Vec<(String, f64, u64)> = base_report
+        .cells
+        .iter()
+        .map(|c| (c.key(), c.sim_cycles_per_sec(), c.cycles))
+        .collect();
+    let mut problems = Vec::new();
+    for c in &report.cells {
+        let Some((_, base_cps, base_cycles)) = baseline.iter().find(|(k, _, _)| *k == c.key())
+        else {
+            continue;
+        };
+        if c.cycles != *base_cycles {
+            problems.push(format!(
+                "{}: simulated cycles changed {} -> {} (scheduler must be cycle-exact)",
+                c.key(),
+                base_cycles,
+                c.cycles
+            ));
+        }
+        let cps = c.sim_cycles_per_sec();
+        if cps * max_slowdown < *base_cps {
+            problems.push(format!(
+                "{}: throughput regressed >{}x: {:.0} -> {:.0} sim-cycles/sec",
+                c.key(),
+                max_slowdown,
+                base_cps,
+                cps
+            ));
+        }
+    }
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(problems.join("\n"))
+    }
+}
+
+/// Render the human-readable table printed by `bench_pipeline` and
+/// `repro --bench`.
+#[must_use]
+pub fn render(report: &BenchReport) -> String {
+    let mut out = String::from("Pipeline executor throughput (event-driven scheduler):\n\n");
+    let _ = writeln!(
+        out,
+        "  {:<16} {:<7} {:<7} {:>14} {:>12} {:>16} {:>8}",
+        "workload", "VP", "mem", "sim cycles", "wall ms", "sim-cycles/sec", "skip%"
+    );
+    for c in &report.cells {
+        let skip_pct = if c.sched.ticks + c.sched.skipped_cycles == 0 {
+            0.0
+        } else {
+            100.0 * c.sched.skipped_cycles as f64 / (c.sched.ticks + c.sched.skipped_cycles) as f64
+        };
+        let _ = writeln!(
+            out,
+            "  {:<16} {:<7} {:<7} {:>14} {:>12.2} {:>16.0} {:>7.1}%",
+            c.workload,
+            c.predictor,
+            c.mem,
+            c.cycles,
+            c.wall_ns as f64 / 1e6,
+            c.sim_cycles_per_sec(),
+            skip_pct,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flush_reload_kernel_halts_and_misses() {
+        let w = flush_reload(4, 2);
+        let mut m = Machine::new(
+            CoreConfig::default(),
+            MemoryConfig::deterministic(),
+            Box::new(NoPredictor::new()),
+            0,
+        );
+        for (a, v) in &w.memory {
+            m.mem_mut().store_value(*a, *v);
+        }
+        let r = m.run(0, &w.program).expect("halts");
+        assert!(r.stats.loads > 0);
+        assert_eq!(r.rdtsc_values.len() % 2, 0, "rdtsc readings pair up");
+    }
+
+    #[test]
+    fn matrix_is_cycle_deterministic() {
+        let a = run_matrix(true);
+        let b = run_matrix(true);
+        let ka: Vec<(String, u64)> = a.cells.iter().map(|c| (c.key(), c.cycles)).collect();
+        let kb: Vec<(String, u64)> = b.cells.iter().map(|c| (c.key(), c.cycles)).collect();
+        assert_eq!(ka, kb, "simulated cycles must not depend on wall time");
+    }
+
+    #[test]
+    fn json_roundtrips_through_parser() {
+        let r = run_matrix(true);
+        let json = to_json(&r, None);
+        let cells = parse_cells(&json);
+        assert_eq!(cells.len(), r.cells.len());
+        for (c, (key, _, cycles)) in r.cells.iter().zip(&cells) {
+            assert_eq!(c.key(), *key);
+            assert_eq!(c.cycles, *cycles);
+        }
+    }
+
+    #[test]
+    fn check_against_flags_cycle_drift() {
+        let r = run_matrix(true);
+        let json = to_json(&r, None);
+        assert!(check_against(&r, &json, 2.0).is_ok());
+        let mut drifted = r.clone();
+        drifted.cells[0].cycles += 1;
+        let err = check_against(&drifted, &json, 2.0).unwrap_err();
+        assert!(err.contains("cycle-exact"), "{err}");
+    }
+}

@@ -421,7 +421,9 @@ fn distribution_figure(
     for (title, channel, kind) in cases {
         campaign.push(CellSpec::new(title, category, channel, kind, cfg.clone()));
     }
-    let outcome = campaign.run(exec).unwrap_or_else(|e| panic!("distribution campaign: {e}"));
+    let outcome = campaign
+        .run(exec)
+        .unwrap_or_else(|e| panic!("distribution campaign: {e}"));
     for (title, _, _) in cases {
         out.push_str(&panel(title, outcome.expect_eval(title)));
         out.push('\n');

@@ -84,7 +84,9 @@ pub fn try_evaluate(
         predictor,
         cfg.clone(),
     ));
-    let outcome = campaign.run(exec).unwrap_or_else(|e| panic!("adhoc campaign: {e}"));
+    let outcome = campaign
+        .run(exec)
+        .unwrap_or_else(|e| panic!("adhoc campaign: {e}"));
     match outcome.into_cells().pop().expect("one cell").outcome {
         CellOutcome::Evaluated(e) => Some(e),
         CellOutcome::Unsupported => None,

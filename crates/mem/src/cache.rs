@@ -44,6 +44,12 @@ pub struct Cache {
     geometry: CacheGeometry,
     sets: Vec<Vec<Line>>,
     policies: Vec<Box<dyn ReplacementPolicy>>,
+    /// Per-set most-recently-used way, checked before the way scan.
+    /// Purely a lookup accelerator: a line lives in at most one way, so a
+    /// validated hint hit returns exactly what the scan would have found.
+    /// The hint may go stale (invalidation, eviction); it is re-validated
+    /// on every use.
+    mru_way: Vec<u32>,
     stats: CacheStats,
 }
 
@@ -71,8 +77,51 @@ impl Cache {
         Cache {
             sets: vec![vec![Line::default(); geometry.ways]; geometry.sets],
             policies,
+            mru_way: vec![0; geometry.sets],
             geometry,
             stats: CacheStats::default(),
+        }
+    }
+
+    /// The way holding `line` in `set`, if present. Checks the per-set
+    /// MRU hint before falling back to the way scan; under the streaks of
+    /// repeated same-line accesses the attack loops produce, the hint
+    /// almost always short-circuits the scan.
+    fn find_way(&self, set: usize, line: Addr) -> Option<usize> {
+        let hint = self.mru_way[set] as usize;
+        let l = &self.sets[set][hint];
+        if l.valid && l.line_addr == line {
+            return Some(hint);
+        }
+        self.sets[set]
+            .iter()
+            .position(|l| l.valid && l.line_addr == line)
+    }
+
+    /// Pick the way a missing line should occupy: an invalid way if one
+    /// exists, otherwise the replacement policy's victim (counted as an
+    /// eviction, plus a writeback if dirty). Shared by the demand-miss
+    /// path ([`access`](Cache::access)) and the fill path
+    /// ([`fill`](Cache::fill)) so victim selection cannot drift between
+    /// them.
+    fn allocate_way(&mut self, set: usize) -> (usize, Option<Eviction>) {
+        match self.sets[set].iter().position(|l| !l.valid) {
+            Some(way) => (way, None),
+            None => {
+                let way = self.policies[set].victim();
+                let victim = self.sets[set][way];
+                self.stats.evictions += 1;
+                if victim.dirty {
+                    self.stats.writebacks += 1;
+                }
+                (
+                    way,
+                    Some(Eviction {
+                        line_addr: victim.line_addr,
+                        dirty: victim.dirty,
+                    }),
+                )
+            }
         }
     }
 
@@ -109,9 +158,9 @@ impl Cache {
     pub fn probe(&self, addr: Addr) -> bool {
         let line = self.line_addr(addr);
         let set = self.set_index(line);
-        self.sets[set]
-            .iter()
-            .any(|l| l.valid && l.line_addr == line)
+        // `probe` is &self, so it reads the MRU hint without refreshing it
+        // — silence is part of the contract.
+        self.find_way(set, line).is_some()
     }
 
     /// Perform an access: on a hit, update recency; on a miss, allocate
@@ -121,11 +170,9 @@ impl Cache {
         let line = self.line_addr(addr);
         let set = self.set_index(line);
         // Hit path.
-        if let Some(way) = self.sets[set]
-            .iter()
-            .position(|l| l.valid && l.line_addr == line)
-        {
+        if let Some(way) = self.find_way(set, line) {
             self.policies[set].touch(way);
+            self.mru_way[set] = way as u32;
             if is_write {
                 self.sets[set][way].dirty = true;
             }
@@ -137,30 +184,14 @@ impl Cache {
         }
         // Miss path: find an invalid way, or evict the policy's victim.
         self.stats.misses += 1;
-        let (way, eviction) = match self.sets[set].iter().position(|l| !l.valid) {
-            Some(way) => (way, None),
-            None => {
-                let way = self.policies[set].victim();
-                let victim = self.sets[set][way];
-                self.stats.evictions += 1;
-                if victim.dirty {
-                    self.stats.writebacks += 1;
-                }
-                (
-                    way,
-                    Some(Eviction {
-                        line_addr: victim.line_addr,
-                        dirty: victim.dirty,
-                    }),
-                )
-            }
-        };
+        let (way, eviction) = self.allocate_way(set);
         self.sets[set][way] = Line {
             valid: true,
             dirty: is_write,
             line_addr: line,
         };
         self.policies[set].touch(way);
+        self.mru_way[set] = way as u32;
         CacheAccess {
             hit: false,
             eviction,
@@ -173,37 +204,19 @@ impl Cache {
     pub fn fill(&mut self, addr: Addr) -> Option<Eviction> {
         let line = self.line_addr(addr);
         let set = self.set_index(line);
-        if let Some(way) = self.sets[set]
-            .iter()
-            .position(|l| l.valid && l.line_addr == line)
-        {
+        if let Some(way) = self.find_way(set, line) {
             self.policies[set].touch(way);
+            self.mru_way[set] = way as u32;
             return None;
         }
-        let (way, eviction) = match self.sets[set].iter().position(|l| !l.valid) {
-            Some(way) => (way, None),
-            None => {
-                let way = self.policies[set].victim();
-                let victim = self.sets[set][way];
-                self.stats.evictions += 1;
-                if victim.dirty {
-                    self.stats.writebacks += 1;
-                }
-                (
-                    way,
-                    Some(Eviction {
-                        line_addr: victim.line_addr,
-                        dirty: victim.dirty,
-                    }),
-                )
-            }
-        };
+        let (way, eviction) = self.allocate_way(set);
         self.sets[set][way] = Line {
             valid: true,
             dirty: false,
             line_addr: line,
         };
         self.policies[set].touch(way);
+        self.mru_way[set] = way as u32;
         eviction
     }
 
@@ -212,9 +225,7 @@ impl Cache {
     pub fn invalidate(&mut self, addr: Addr) -> Option<Eviction> {
         let line = self.line_addr(addr);
         let set = self.set_index(line);
-        let way = self.sets[set]
-            .iter()
-            .position(|l| l.valid && l.line_addr == line)?;
+        let way = self.find_way(set, line)?;
         let victim = self.sets[set][way];
         self.sets[set][way] = Line::default();
         self.stats.invalidations += 1;
@@ -234,6 +245,7 @@ impl Cache {
         for p in &mut self.policies {
             p.reset();
         }
+        self.mru_way.fill(0);
     }
 
     /// Number of currently valid lines (for occupancy assertions).
@@ -354,6 +366,22 @@ mod tests {
         let mut c = Cache::new(g, 0);
         c.access(0x0000, false);
         assert!(c.access(0x0000, false).hit);
+    }
+
+    #[test]
+    fn stale_mru_hint_never_lies() {
+        let mut c = Cache::new(small(), 0);
+        // Fill set 0 (stride 256), making 0x0100 the MRU way.
+        c.access(0x0000, false);
+        c.access(0x0100, false);
+        // Invalidate the MRU line: the hint now points at an empty way.
+        c.invalidate(0x0100);
+        assert!(!c.probe(0x0100), "hint must not resurrect the line");
+        assert!(c.probe(0x0000), "other ways still found via the scan");
+        // Refill through the stale hint path; both lines resolve.
+        assert!(!c.access(0x0100, false).hit);
+        assert!(c.access(0x0000, false).hit);
+        assert!(c.access(0x0100, false).hit);
     }
 
     #[test]

@@ -1,6 +1,7 @@
-//! The cycle-by-cycle out-of-order execution engine.
+//! The cycle-accurate out-of-order execution engine, scheduled
+//! event-driven.
 //!
-//! Each simulated cycle runs six phases in order:
+//! Each *simulated* cycle runs six phases in order:
 //!
 //! 1. **verify** — predicted loads whose miss data has arrived are
 //!    checked; a mismatch squashes every younger instruction and refetches
@@ -14,6 +15,42 @@
 //!    resolve; `fence` waits for a drained ROB);
 //! 6. **commit** — in-order retirement performs stores and flushes,
 //!    releases D-type deferred fills, and records `rdtsc` observations.
+//!
+//! The scheduler, however, does **not** tick every cycle. A cycle on
+//! which no phase has anything to do is *provably* a no-op: every
+//! cycle-dependent condition in the six phases compares the clock
+//! against one of four timer classes — an executing instruction's
+//! `done_at`, a predicted load's `verify_at`, `fetch_stall_until`, or
+//! `commit_stall_until` — and everything else is a pure function of
+//! machine state that only the phases themselves mutate. So whenever a
+//! full phase sweep performs zero work, the executor jumps the clock
+//! straight to the earliest pending timer (see [`DESIGN.md` §10] for the
+//! invariant argument). Long DRAM-miss stalls collapse from thousands of
+//! idle sweeps into a single jump while remaining **cycle-for-cycle
+//! identical** to the tick-by-tick schedule — the golden-trace suite in
+//! `crates/bench/tests/golden_equivalence.rs` holds the executor to
+//! bit-identical results.
+//!
+//! Within a ticked cycle, the phases run on indexed structures instead
+//! of rescanning the whole ROB:
+//!
+//! * a min-heap of **completion events** keyed `(done_at, seq)` drives
+//!   the complete phase;
+//! * a min-heap of **verification events** keyed `(verify_at, seq)`
+//!   drives the verify phase;
+//! * a **consumer index** (producer seq → waiting consumer seqs) routes
+//!   wakeup broadcasts to exactly the instructions that asked for them;
+//! * a **ready queue** (ordered set of issuable seqs) feeds the issue
+//!   phase oldest-first;
+//! * **pending VPS trainings** live in a seq-keyed map with O(1)
+//!   removal.
+//!
+//! Heap entries invalidated by a squash are discarded lazily: each pop
+//! re-checks the event against the live ROB entry. Seqs are never
+//! reused within a run, so a stale event can never alias a live one.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, HashMap, VecDeque};
 
 use vpsim_isa::{Inst, Pc, Program, RegFile, NUM_REGS};
 use vpsim_mem::{Cycles, MemoryHierarchy};
@@ -21,7 +58,7 @@ use vpsim_predictor::{LoadContext, ValuePredictor};
 
 use crate::config::CoreConfig;
 use crate::dyninst::{DynInst, LoadOrigin, Seq, Status};
-use crate::result::{CommitEvent, RunError, RunResult, RunStats};
+use crate::result::{CommitEvent, RunError, RunResult, RunStats, SchedStats};
 
 pub(crate) struct Executor<'a> {
     config: CoreConfig,
@@ -29,7 +66,7 @@ pub(crate) struct Executor<'a> {
     pid: u32,
     mem: &'a mut MemoryHierarchy,
     vp: &'a mut dyn ValuePredictor,
-    rob: Vec<DynInst>,
+    rob: VecDeque<DynInst>,
     rat: [Option<Seq>; NUM_REGS],
     regs: RegFile,
     fetch_pc: Pc,
@@ -40,10 +77,39 @@ pub(crate) struct Executor<'a> {
     halted: bool,
     rdtsc_values: Vec<u64>,
     stats: RunStats,
+    sched: SchedStats,
     trace: Vec<CommitEvent>,
+    /// Work performed in the current phase sweep; zero means the machine
+    /// is quiescent and the clock may jump to the next timer.
+    work_this_cycle: u64,
+    /// Completion events `(done_at, seq)`; lazily invalidated.
+    completions: BinaryHeap<Reverse<(Cycles, Seq)>>,
+    /// Verification events `(verify_at, seq)`; lazily invalidated.
+    verifications: BinaryHeap<Reverse<(Cycles, Seq)>>,
+    /// Producer seq → consumers waiting on its result broadcast.
+    consumers: HashMap<Seq, Vec<Seq>>,
+    /// Results that became available this cycle, in completion order.
+    pending_wakeup: Vec<(Seq, u64)>,
+    /// Waiting entries whose operands are all ready, oldest first.
+    ready: BTreeSet<Seq>,
+    /// Seqs of in-flight loads carrying an unverified prediction (the
+    /// D-type shadow test needs "any unverified prediction older than
+    /// seq" as a range query).
+    unverified: BTreeSet<Seq>,
+    /// Stores whose address is still unknown (not yet issued). Loads
+    /// cannot issue past them; "any older unissued store" is a range
+    /// query instead of a ROB scan.
+    unissued_stores: BTreeSet<Seq>,
+    /// Flushes anywhere in the ROB (they block younger loads from
+    /// dispatch until commit).
+    flushes_in_rob: BTreeSet<Seq>,
+    /// Fetched-but-uncommitted `halt`s (fetch stalls behind them).
+    halts_in_flight: usize,
+    /// Dispatched-but-unresolved branches (stall-mode fetch gate).
+    unresolved_branches: usize,
     /// Loads (by seq) that missed without a prediction and still owe the
     /// VPS a training update when their data arrives.
-    pending_train: Vec<(Seq, LoadContext, u64)>,
+    pending_train: HashMap<Seq, (LoadContext, u64)>,
 }
 
 impl<'a> Executor<'a> {
@@ -61,7 +127,7 @@ impl<'a> Executor<'a> {
             pid,
             mem,
             vp,
-            rob: Vec::new(),
+            rob: VecDeque::new(),
             rat: [None; NUM_REGS],
             regs: RegFile::new(),
             fetch_pc: Pc(0),
@@ -72,8 +138,20 @@ impl<'a> Executor<'a> {
             halted: false,
             rdtsc_values: Vec::new(),
             stats: RunStats::default(),
+            sched: SchedStats::default(),
             trace: Vec::new(),
-            pending_train: Vec::new(),
+            work_this_cycle: 0,
+            completions: BinaryHeap::new(),
+            verifications: BinaryHeap::new(),
+            consumers: HashMap::new(),
+            pending_wakeup: Vec::new(),
+            ready: BTreeSet::new(),
+            unverified: BTreeSet::new(),
+            unissued_stores: BTreeSet::new(),
+            flushes_in_rob: BTreeSet::new(),
+            halts_in_flight: 0,
+            unresolved_branches: 0,
+            pending_train: HashMap::new(),
         }
     }
 
@@ -84,13 +162,25 @@ impl<'a> Executor<'a> {
                     limit: self.config.max_cycles,
                 });
             }
+            self.work_this_cycle = 0;
             self.verify_predictions();
             self.complete();
             self.wakeup();
             self.issue();
             self.dispatch()?;
             self.commit();
-            self.cycle += 1;
+            self.sched.ticks += 1;
+            if self.work_this_cycle > 0 || self.halted {
+                self.cycle += 1;
+            } else {
+                // Quiescent: nothing can change until the next timer
+                // fires. Jump straight to it (capped at max_cycles so a
+                // deadlocked machine still reports CycleLimitExceeded at
+                // the same point the tick-by-tick schedule would).
+                let target = self.next_event();
+                self.sched.skipped_cycles += target - self.cycle - 1;
+                self.cycle = target;
+            }
         }
         Ok(RunResult {
             cycles: self.cycle,
@@ -98,6 +188,7 @@ impl<'a> Executor<'a> {
             rdtsc_values: self.rdtsc_values,
             stats: self.stats,
             trace: self.trace,
+            sched: self.sched,
         })
     }
 
@@ -109,20 +200,128 @@ impl<'a> Executor<'a> {
         }
     }
 
+    /// ROB position of `seq`, if still in flight. The ROB is ordered by
+    /// seq (dispatch appends monotonically; squash and commit preserve
+    /// order), so this is a binary search.
+    fn rob_pos(&self, seq: Seq) -> Option<usize> {
+        let pos = self.rob.partition_point(|e| e.seq < seq);
+        (pos < self.rob.len() && self.rob[pos].seq == seq).then_some(pos)
+    }
+
+    // ------------------------------------------------------------------
+    // The next-event clock.
+    // ------------------------------------------------------------------
+
+    /// Earliest upcoming cycle at which any phase could perform work:
+    /// the minimum over all live completion and verification events,
+    /// the fetch- and commit-stall releases, capped at `max_cycles`.
+    /// Only meaningful (and only called) when the current cycle was
+    /// quiescent, so every live timer is strictly in the future.
+    fn next_event(&mut self) -> Cycles {
+        let mut next = self.config.max_cycles;
+        if let Some(t) = self.peek_completion() {
+            next = next.min(t);
+        }
+        if let Some(t) = self.peek_verification() {
+            next = next.min(t);
+        }
+        if self.fetch_stall_until > self.cycle {
+            next = next.min(self.fetch_stall_until);
+        }
+        if self.commit_stall_until > self.cycle {
+            next = next.min(self.commit_stall_until);
+        }
+        // Guaranteed by the quiescence argument; the clamp is defensive
+        // (a jump of one cycle is always safe, merely slower).
+        next.max(self.cycle + 1)
+    }
+
+    /// Whether a completion event still refers to a live executing entry.
+    fn completion_is_live(&self, t: Cycles, seq: Seq) -> bool {
+        self.rob_pos(seq).is_some_and(|p| {
+            let e = &self.rob[p];
+            e.status == Status::Executing && e.done_at == Some(t)
+        })
+    }
+
+    /// Whether a verification event still refers to an unverified
+    /// predicted load.
+    fn verification_is_live(&self, t: Cycles, seq: Seq) -> bool {
+        self.rob_pos(seq).is_some_and(|p| {
+            let e = &self.rob[p];
+            e.is_unverified_prediction() && e.verify_at == Some(t)
+        })
+    }
+
+    /// Time of the earliest live completion event, discarding stale ones.
+    fn peek_completion(&mut self) -> Option<Cycles> {
+        while let Some(&Reverse((t, seq))) = self.completions.peek() {
+            if self.completion_is_live(t, seq) {
+                return Some(t);
+            }
+            self.completions.pop();
+        }
+        None
+    }
+
+    /// Time of the earliest live verification event, discarding stale
+    /// ones.
+    fn peek_verification(&mut self) -> Option<Cycles> {
+        while let Some(&Reverse((t, seq))) = self.verifications.peek() {
+            if self.verification_is_live(t, seq) {
+                return Some(t);
+            }
+            self.verifications.pop();
+        }
+        None
+    }
+
+    /// Pop the oldest live completion event due at the current cycle.
+    fn pop_due_completion(&mut self) -> Option<Seq> {
+        while let Some(&Reverse((t, seq))) = self.completions.peek() {
+            if !self.completion_is_live(t, seq) {
+                self.completions.pop();
+                continue;
+            }
+            if t > self.cycle {
+                return None;
+            }
+            self.completions.pop();
+            return Some(seq);
+        }
+        None
+    }
+
+    /// Pop the oldest live verification event due at the current cycle.
+    fn pop_due_verification(&mut self) -> Option<Seq> {
+        while let Some(&Reverse((t, seq))) = self.verifications.peek() {
+            if !self.verification_is_live(t, seq) {
+                self.verifications.pop();
+                continue;
+            }
+            if t > self.cycle {
+                return None;
+            }
+            self.verifications.pop();
+            return Some(seq);
+        }
+        None
+    }
+
     // ------------------------------------------------------------------
     // Phase 1: prediction verification (and misprediction squash).
     // ------------------------------------------------------------------
 
     fn verify_predictions(&mut self) {
-        loop {
-            // Oldest unverified predicted load whose data has arrived.
-            let pos = self.rob.iter().position(|e| {
-                e.is_unverified_prediction() && matches!(e.verify_at, Some(v) if v <= self.cycle)
-            });
-            let Some(pos) = pos else { break };
-            let (seq, pc, addr) = {
+        // Events share one due cycle (a prediction is verified the cycle
+        // its data arrives), so heap order == ROB order among due events.
+        while let Some(seq) = self.pop_due_verification() {
+            let pos = self.rob_pos(seq).expect("live verification event");
+            self.work_this_cycle += 1;
+            self.sched.verify_events += 1;
+            let (pc, addr) = {
                 let e = &self.rob[pos];
-                (e.seq, e.pc, e.addr.expect("predicted load has an address"))
+                (e.pc, e.addr.expect("predicted load has an address"))
             };
             let (predicted, actual) = match self.rob[pos].load_origin {
                 Some(LoadOrigin::Predicted { predicted, actual }) => (predicted, actual),
@@ -131,6 +330,7 @@ impl<'a> Executor<'a> {
             let ctx = self.ctx_for(pc, addr);
             self.vp.train(&ctx, actual, Some(predicted));
             self.rob[pos].verified = true;
+            self.unverified.remove(&seq);
             if predicted == actual {
                 self.stats.correct_predictions += 1;
                 continue;
@@ -162,8 +362,25 @@ impl<'a> Executor<'a> {
         let squashed = (before - self.rob.len()) as u64;
         self.stats.squashed_insts += squashed;
         self.stats.deferred_fills_discarded += discarded_fills;
-        // Drop pending VPS trainings owed by squashed loads.
-        self.pending_train.retain(|(s, _, _)| *s <= seq);
+        // Purge squashed seqs from the phase indices. Heap events decay
+        // lazily; stale consumer registrations are re-checked against
+        // the live ROB at broadcast time.
+        self.pending_train.retain(|s, _| *s <= seq);
+        self.consumers.retain(|p, _| *p <= seq);
+        drop(self.ready.split_off(&(seq + 1)));
+        drop(self.unverified.split_off(&(seq + 1)));
+        drop(self.unissued_stores.split_off(&(seq + 1)));
+        drop(self.flushes_in_rob.split_off(&(seq + 1)));
+        self.halts_in_flight = self
+            .rob
+            .iter()
+            .filter(|e| matches!(e.inst, Inst::Halt))
+            .count();
+        self.unresolved_branches = self
+            .rob
+            .iter()
+            .filter(|e| matches!(e.inst, Inst::Branch { .. }) && e.status != Status::Done)
+            .count();
         // Roll the rename table back to the surviving producers.
         self.rat = [None; NUM_REGS];
         for e in &self.rob {
@@ -188,21 +405,25 @@ impl<'a> Executor<'a> {
 
     fn complete(&mut self) {
         let mut trains = Vec::new();
-        let mut idx = 0;
-        while idx < self.rob.len() {
-            let e = &mut self.rob[idx];
-            let ready =
-                e.status == Status::Executing && matches!(e.done_at, Some(d) if d <= self.cycle);
-            if !ready {
-                idx += 1;
-                continue;
-            }
+        // Due events pop in (cycle, seq) order; all due events share the
+        // current cycle, so this is ROB (program) order, exactly the
+        // order the tick-by-tick scan processed them in. A mispredicted
+        // branch squashes every younger entry; their events go stale and
+        // the drain loop discards them.
+        while let Some(seq) = self.pop_due_completion() {
+            let pos = self.rob_pos(seq).expect("live completion event");
+            self.work_this_cycle += 1;
+            self.sched.completion_events += 1;
+            let e = &mut self.rob[pos];
             e.status = Status::Done;
             if e.inst.is_load() {
-                let seq = e.seq;
-                if let Some(i) = self.pending_train.iter().position(|(s, _, _)| *s == seq) {
-                    trains.push(self.pending_train.remove(i));
+                if let Some(train) = self.pending_train.remove(&seq) {
+                    trains.push(train);
                 }
+            }
+            if e.inst.dest().is_some() {
+                self.pending_wakeup
+                    .push((seq, e.result.expect("completed instruction has a result")));
             }
             if let Inst::Branch { .. } = e.inst {
                 let actual = e.redirect.expect("resolved branch has a redirect");
@@ -211,20 +432,18 @@ impl<'a> Executor<'a> {
                         // Direction misprediction: discard the wrong
                         // path and resume at the true target.
                         self.stats.branch_mispredictions += 1;
-                        let seq = e.seq;
                         self.squash_younger_than(seq, Some(actual));
-                        // Everything after `idx` was just removed.
-                        break;
+                        continue;
                     }
                 } else {
                     // Stall-mode front-end: fetch waited for this branch;
                     // at most one is in flight.
                     self.fetch_pc = actual;
+                    self.unresolved_branches -= 1;
                 }
             }
-            idx += 1;
         }
-        for (_, ctx, actual) in trains {
+        for (ctx, actual) in trains {
             self.vp.train(&ctx, actual, None);
         }
     }
@@ -234,19 +453,28 @@ impl<'a> Executor<'a> {
     // ------------------------------------------------------------------
 
     fn wakeup(&mut self) {
-        let ready: Vec<(Seq, u64)> = self
-            .rob
-            .iter()
-            .filter(|e| e.status == Status::Done && e.result_available(self.cycle))
-            .map(|e| (e.seq, e.result.expect("available result")))
-            .collect();
-        for e in &mut self.rob {
-            for i in 0..2 {
-                if let Some(tag) = e.src_tags[i] {
-                    if let Some(&(_, v)) = ready.iter().find(|(s, _)| *s == tag) {
-                        e.operands[i] = Some(v);
+        let pending = std::mem::take(&mut self.pending_wakeup);
+        for (producer, value) in pending {
+            let Some(waiters) = self.consumers.remove(&producer) else {
+                continue;
+            };
+            for consumer in waiters {
+                // A squashed consumer may still be registered; the seq
+                // lookup and tag check make stale registrations inert.
+                let Some(pos) = self.rob_pos(consumer) else {
+                    continue;
+                };
+                let e = &mut self.rob[pos];
+                for i in 0..2 {
+                    if e.src_tags[i] == Some(producer) {
+                        e.operands[i] = Some(value);
                         e.src_tags[i] = None;
+                        self.work_this_cycle += 1;
+                        self.sched.wakeup_broadcasts += 1;
                     }
+                }
+                if e.status == Status::Waiting && e.operands_ready() {
+                    self.ready.insert(consumer);
                 }
             }
         }
@@ -258,32 +486,42 @@ impl<'a> Executor<'a> {
 
     fn issue(&mut self) {
         let mut issued = 0;
-        let mut idx = 0;
-        while idx < self.rob.len() && issued < self.config.issue_width {
-            if self.rob[idx].status != Status::Waiting || !self.rob[idx].operands_ready() {
-                idx += 1;
-                continue;
+        // The ready queue iterates oldest-first, mirroring the seed
+        // executor's ascending ROB scan. Entries that fail their issue
+        // check (blocked loads, a non-head rdtsc) stay queued and are
+        // retried on the next ticked cycle.
+        let candidates: Vec<Seq> = self.ready.iter().copied().collect();
+        for seq in candidates {
+            if issued >= self.config.issue_width {
+                break;
             }
-            let inst = self.rob[idx].inst;
+            let pos = self.rob_pos(seq).expect("ready entries are in the ROB");
+            let inst = self.rob[pos].inst;
             let ok = match inst {
-                Inst::Rdtsc { .. } => self.issue_rdtsc(idx),
-                Inst::Load { .. } => self.issue_load(idx),
-                Inst::Store { .. } => self.issue_store(idx),
-                Inst::Flush { .. } => self.issue_flush(idx),
-                Inst::Branch { .. } => self.issue_branch(idx),
+                Inst::Rdtsc { .. } => self.issue_rdtsc(pos),
+                Inst::Load { .. } => self.issue_load(pos),
+                Inst::Store { .. } => self.issue_store(pos),
+                Inst::Flush { .. } => self.issue_flush(pos),
+                Inst::Branch { .. } => self.issue_branch(pos),
                 Inst::Alu { .. } | Inst::Addi { .. } | Inst::Li { .. } | Inst::Nop => {
-                    self.issue_alu(idx)
+                    self.issue_alu(pos)
                 }
-                // Fence/Halt/Jump are finished at dispatch.
+                // Fence/Halt/Jump are finished at dispatch and never
+                // enter the ready queue.
                 Inst::Fence | Inst::Halt | Inst::Jump { .. } => {
-                    idx += 1;
-                    continue;
+                    unreachable!("dispatch-completed instruction in the ready queue")
                 }
             };
             if ok {
                 issued += 1;
+                self.ready.remove(&seq);
+                self.work_this_cycle += 1;
+                self.sched.issue_slots += 1;
+                let e = &self.rob[self.rob_pos(seq).expect("just issued")];
+                debug_assert_eq!(e.status, Status::Executing);
+                self.completions
+                    .push(Reverse((e.done_at.expect("issued with a latency"), seq)));
             }
-            idx += 1;
         }
     }
 
@@ -354,6 +592,7 @@ impl<'a> Executor<'a> {
         e.result = Some(e.operands[1].expect("ready operand"));
         e.status = Status::Executing;
         e.done_at = Some(self.cycle + self.config.alu_latency);
+        self.unissued_stores.remove(&self.rob[idx].seq);
         true
     }
 
@@ -375,13 +614,12 @@ impl<'a> Executor<'a> {
         // Memory ordering: wait until every older store knows its address
         // and no older flush is still in flight (flushes order younger
         // loads so that attack code like `flush(x); r = x` reliably
-        // misses, as the PoCs require).
-        for older in self.rob.iter().take(idx) {
-            match older.inst {
-                Inst::Store { .. } if older.addr.is_none() => return false,
-                Inst::Flush { .. } => return false,
-                _ => {}
-            }
+        // misses, as the PoCs require). Both conditions are range queries
+        // on the order indices — no ROB scan on the retry path.
+        if self.unissued_stores.range(..seq).next().is_some()
+            || self.flushes_in_rob.range(..seq).next().is_some()
+        {
+            return false;
         }
         let Inst::Load { offset, .. } = self.rob[idx].inst else {
             unreachable!()
@@ -409,11 +647,8 @@ impl<'a> Executor<'a> {
         }
         // D-type shadow: an older load with an unverified prediction makes
         // this access speculative; suppress its cache fill until commit.
-        let shadowed = self.config.delay_side_effects
-            && self
-                .rob
-                .iter()
-                .any(|o| o.seq < seq && o.is_unverified_prediction());
+        let shadowed =
+            self.config.delay_side_effects && self.unverified.range(..seq).next().is_some();
         let outcome = if shadowed {
             self.mem.read_no_fill(addr)
         } else {
@@ -441,19 +676,22 @@ impl<'a> Executor<'a> {
                 // the real miss completes in the background.
                 e.result = Some(p.value);
                 e.done_at = Some(self.cycle + l1_hit_latency);
-                e.verify_at = Some(self.cycle + outcome.latency);
+                let verify_at = self.cycle + outcome.latency;
+                e.verify_at = Some(verify_at);
                 e.load_origin = Some(LoadOrigin::Predicted {
                     predicted: p.value,
                     actual: outcome.value,
                 });
                 self.stats.predicted_loads += 1;
+                self.verifications.push(Reverse((verify_at, seq)));
+                self.unverified.insert(seq);
             }
             None => {
                 e.result = Some(outcome.value);
                 e.done_at = Some(self.cycle + outcome.latency);
                 e.load_origin = Some(LoadOrigin::Memory);
                 // Train once the data arrives (complete phase).
-                self.pending_train.push((seq, ctx, outcome.value));
+                self.pending_train.insert(seq, (ctx, outcome.value));
             }
         }
         true
@@ -473,12 +711,8 @@ impl<'a> Executor<'a> {
             }
             // Fetch stalls behind a fetched halt, and — without branch
             // prediction — behind unresolved branches.
-            let blocked = self.rob.iter().any(|e| {
-                matches!(e.inst, Inst::Halt)
-                    || (!self.config.branch_prediction
-                        && matches!(e.inst, Inst::Branch { .. })
-                        && e.status != Status::Done)
-            });
+            let blocked = self.halts_in_flight > 0
+                || (!self.config.branch_prediction && self.unresolved_branches > 0);
             if blocked {
                 return Ok(());
             }
@@ -498,15 +732,13 @@ impl<'a> Executor<'a> {
                 match self.rat[r.index()] {
                     None => e.operands[i] = Some(self.regs.read(r)),
                     Some(tag) => {
-                        let producer = self
-                            .rob
-                            .iter()
-                            .find(|p| p.seq == tag)
-                            .expect("RAT points at a live producer");
+                        let pos = self.rob_pos(tag).expect("RAT points at a live producer");
+                        let producer = &self.rob[pos];
                         if producer.result_available(self.cycle) {
                             e.operands[i] = producer.result;
                         } else {
                             e.src_tags[i] = Some(tag);
+                            self.consumers.entry(tag).or_default().push(e.seq);
                         }
                     }
                 }
@@ -520,6 +752,9 @@ impl<'a> Executor<'a> {
                     e.status = Status::Done;
                     e.result = Some(0);
                     e.done_at = Some(self.cycle);
+                    if matches!(inst, Inst::Halt) {
+                        self.halts_in_flight += 1;
+                    }
                     self.fetch_pc = self.fetch_pc.next();
                 }
                 Inst::Jump { target } => {
@@ -539,11 +774,29 @@ impl<'a> Executor<'a> {
                     e.predicted_next = Some(predicted);
                     self.fetch_pc = predicted;
                 }
+                Inst::Branch { .. } => {
+                    self.unresolved_branches += 1;
+                    self.fetch_pc = self.fetch_pc.next();
+                }
                 _ => {
                     self.fetch_pc = self.fetch_pc.next();
                 }
             }
-            self.rob.push(e);
+            match inst {
+                Inst::Store { .. } => {
+                    self.unissued_stores.insert(e.seq);
+                }
+                Inst::Flush { .. } => {
+                    self.flushes_in_rob.insert(e.seq);
+                }
+                _ => {}
+            }
+            if e.status == Status::Waiting && e.operands_ready() {
+                self.ready.insert(e.seq);
+            }
+            self.work_this_cycle += 1;
+            self.sched.dispatched += 1;
+            self.rob.push_back(e);
         }
         Ok(())
     }
@@ -557,11 +810,12 @@ impl<'a> Executor<'a> {
             if self.cycle < self.commit_stall_until {
                 return;
             }
-            let Some(head) = self.rob.first() else { return };
+            let Some(head) = self.rob.front() else { return };
             if !head.committable(self.cycle) {
                 return;
             }
-            let e = self.rob.remove(0);
+            let e = self.rob.pop_front().expect("head exists");
+            self.work_this_cycle += 1;
             self.stats.committed += 1;
             if self.config.record_commit_trace {
                 self.trace.push(CommitEvent {
@@ -580,6 +834,7 @@ impl<'a> Executor<'a> {
                     let addr = e.addr.expect("committed flush has an address");
                     let cost = self.mem.flush_line(addr);
                     self.commit_stall_until = self.cycle + cost;
+                    self.flushes_in_rob.remove(&e.seq);
                 }
                 Inst::Rdtsc { .. } => {
                     self.rdtsc_values.push(e.result.expect("rdtsc result"));
@@ -597,6 +852,7 @@ impl<'a> Executor<'a> {
                     self.stats.branches += 1;
                 }
                 Inst::Halt => {
+                    self.halts_in_flight -= 1;
                     self.halted = true;
                     return;
                 }

@@ -55,4 +55,4 @@ mod result;
 pub use config::CoreConfig;
 pub use executor::run_program;
 pub use machine::Machine;
-pub use result::{CommitEvent, RunError, RunResult, RunStats};
+pub use result::{CommitEvent, RunError, RunResult, RunStats, SchedStats};

@@ -49,6 +49,46 @@ pub struct RunStats {
     pub deferred_fills_discarded: u64,
 }
 
+/// Scheduler work counters for one run — diagnostics for the
+/// event-driven executor's next-event clock and indexed phase
+/// structures.
+///
+/// These are *not* part of the architectural result: two scheduler
+/// implementations may differ here while remaining cycle-for-cycle
+/// identical on `cycles`, `rdtsc_values`, `stats` and `trace`. The
+/// golden-trace equivalence suite deliberately excludes this struct.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Cycles on which the six phases actually ran (phase sweeps).
+    pub ticks: u64,
+    /// Idle cycles jumped over by the next-event clock. `cycles =
+    /// ticks + skipped_cycles` for a run that halts normally.
+    pub skipped_cycles: u64,
+    /// Execution-completion events drained from the completion heap.
+    pub completion_events: u64,
+    /// Result broadcasts delivered through the consumer index.
+    pub wakeup_broadcasts: u64,
+    /// Prediction verifications drained from the verify heap.
+    pub verify_events: u64,
+    /// Instructions issued to execution.
+    pub issue_slots: u64,
+    /// Instructions dispatched into the ROB.
+    pub dispatched: u64,
+}
+
+impl SchedStats {
+    /// Accumulate another run's counters (for multi-run benchmarks).
+    pub fn merge(&mut self, other: &SchedStats) {
+        self.ticks += other.ticks;
+        self.skipped_cycles += other.skipped_cycles;
+        self.completion_events += other.completion_events;
+        self.wakeup_broadcasts += other.wakeup_broadcasts;
+        self.verify_events += other.verify_events;
+        self.issue_slots += other.issue_slots;
+        self.dispatched += other.dispatched;
+    }
+}
+
 /// The outcome of running a program to its `halt`.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -64,6 +104,8 @@ pub struct RunResult {
     /// Per-commit trace (empty unless
     /// [`CoreConfig::record_commit_trace`](crate::CoreConfig) is set).
     pub trace: Vec<CommitEvent>,
+    /// Scheduler work counters (diagnostic; see [`SchedStats`]).
+    pub sched: SchedStats,
 }
 
 impl RunResult {
@@ -123,6 +165,7 @@ mod tests {
             rdtsc_values: vec![10, 40, 50, 95],
             stats: RunStats::default(),
             trace: Vec::new(),
+            sched: SchedStats::default(),
         };
         assert_eq!(r.timing_windows(), vec![30, 45]);
     }
@@ -135,6 +178,7 @@ mod tests {
             rdtsc_values: vec![1, 5, 9],
             stats: RunStats::default(),
             trace: Vec::new(),
+            sched: SchedStats::default(),
         };
         assert_eq!(r.timing_windows(), vec![4]);
     }
