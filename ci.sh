@@ -20,4 +20,13 @@ cargo test --workspace --quiet
 cargo run --release -p vpsim-bench --bin bench_pipeline -- \
     --quick --check BENCH_pipeline.quick.json
 
+# Robustness smoke: the quick chaos sweep (12 attack variants + RSA x
+# noise levels 0-4 x both receivers) is fully seeded, so every cell
+# must match the committed baseline bit for bit.
+cargo run --release -p vpsim-bench --bin bench_chaos -- \
+    --quick --check BENCH_chaos.quick.json
+
+# Fuzz: malformed configs/programs must return typed errors, not panic.
+cargo test --release -q -p vpsim-bench --test fuzz_validation
+
 echo "ci: all checks passed"

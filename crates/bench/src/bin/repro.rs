@@ -11,6 +11,7 @@
 //! repro --all --jobs 0             # jobs 0 = all available cores
 //! repro --table 3 --resume out/    # record/skip finished jobs in out/
 //! repro --bench                    # quick executor-throughput matrix
+//! repro --chaos 2                  # robustness sweep at noise level 2
 //! ```
 //!
 //! Evaluations run through the `vpsim-harness` campaign engine: results
@@ -39,6 +40,7 @@ enum Item {
     Ablations,
     Performance,
     Bench,
+    Chaos(u8),
 }
 
 impl std::fmt::Display for Item {
@@ -50,6 +52,7 @@ impl std::fmt::Display for Item {
             Item::Ablations => write!(f, "--ablations"),
             Item::Performance => write!(f, "--performance"),
             Item::Bench => write!(f, "--bench"),
+            Item::Chaos(l) => write!(f, "--chaos {l}"),
         }
     }
 }
@@ -61,7 +64,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: repro [--trials N] [--jobs N] [--resume DIR] [--progress] [--csv DIR] \
          (--all | --table {{1|2|3}} | --figure {{2|3|4|5|7|8}} | --defenses | --ablations | \
-         --performance | --bench)..."
+         --performance | --bench | --chaos {{0..4}})..."
     );
     ExitCode::FAILURE
 }
@@ -140,6 +143,17 @@ fn parse_from<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
             "--ablations" => push(&mut args.items, Item::Ablations)?,
             "--performance" => push(&mut args.items, Item::Performance)?,
             "--bench" => push(&mut args.items, Item::Bench)?,
+            "--chaos" => {
+                let v = value("--chaos", &mut it)?;
+                let max = vpsec::chaos::ChaosConfig::NUM_LEVELS - 1;
+                let l: u8 = v
+                    .parse()
+                    .map_err(|_| format!("--chaos expects a level 0..={max}, got `{v}`"))?;
+                if l > max {
+                    return Err(format!("unknown chaos level {l}; levels are 0..={max}"));
+                }
+                push(&mut args.items, Item::Chaos(l))?;
+            }
             "--all" => {
                 for item in [
                     Item::Table(1),
@@ -261,6 +275,12 @@ fn main() -> ExitCode {
                 let r = vpsim_bench::pipeline_bench::run_matrix(true);
                 vpsim_bench::pipeline_bench::render(&r)
             }
+            Item::Chaos(l) => {
+                // One level of the quick robustness sweep; the full
+                // all-levels report is `bench_chaos`'s job.
+                let r = vpsim_bench::chaos_bench::run_sweep_levels(true, &[*l]);
+                vpsim_bench::chaos_bench::render(&r)
+            }
             Item::Table(n) | Item::Figure(n) => unreachable!("id {n} rejected at parse time"),
         });
         match report {
@@ -323,6 +343,17 @@ mod tests {
         let e = parse(&["--figure", "6"]).unwrap_err();
         assert!(e.contains("unknown figure 6"), "{e}");
         assert!(e.contains("vpsim-crypto"), "{e}");
+    }
+
+    #[test]
+    fn chaos_levels_validated_at_parse_time() {
+        let a = parse(&["--chaos", "2"]).unwrap();
+        assert_eq!(a.items, vec![Item::Chaos(2)]);
+        let e = parse(&["--chaos", "9"]).unwrap_err();
+        assert!(e.contains("unknown chaos level 9"), "{e}");
+        let e = parse(&["--chaos", "loud"]).unwrap_err();
+        assert!(e.contains("--chaos"), "{e}");
+        assert!(parse(&["--chaos"]).unwrap_err().contains("needs a value"));
     }
 
     #[test]

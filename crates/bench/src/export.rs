@@ -137,8 +137,16 @@ pub fn window_sweep_csv(cfg: &ExperimentConfig, exec: &Exec) -> String {
     let mut out = String::from("category,window,pvalue\n");
     for (cat, windows) in reports::SWEEPS {
         for &s in windows {
-            let e = outcome.expect_eval(&format!("{cat}|{s}"));
-            let _ = writeln!(out, "{cat},{s},{:.6}", e.ttest.p_value);
+            match outcome.try_eval(&format!("{cat}|{s}")) {
+                Ok(e) => {
+                    let _ = writeln!(out, "{cat},{s},{:.6}", e.ttest.p_value);
+                }
+                Err(err) => {
+                    // Quarantined cell: keep the CSV parseable, note the
+                    // loss as a comment row.
+                    let _ = writeln!(out, "# {err}");
+                }
+            }
         }
     }
     out

@@ -10,6 +10,7 @@
 //! *shape* is what reproduces: which configurations leak (red p-values),
 //! which don't, and where the defense thresholds fall.
 
+pub mod chaos_bench;
 pub mod export;
 pub mod microbench;
 pub mod pipeline_bench;

@@ -23,7 +23,7 @@ use vpsec::experiment::{run_trial, Channel, Evaluation, ExperimentConfig, Predic
 use vpsec::model::enumerate;
 use vpsec::{defense, taxonomy};
 use vpsim_crypto::{leak_exponent, LeakConfig, Mpi};
-use vpsim_harness::{Campaign, CellSpec, Exec};
+use vpsim_harness::{Campaign, CampaignOutcome, CellSpec, Exec};
 use vpsim_predictor::{DefenseSpec, IndexConfig, LoadContext, Lvp, LvpConfig, ValuePredictor};
 
 // `IndexConfig` is used both for the index-truncation microbenchmark and
@@ -44,6 +44,23 @@ fn verdict(p: f64) -> &'static str {
         "EFFECTIVE (red)"
     } else {
         "not effective (black)"
+    }
+}
+
+/// Fetch a cell's evaluation, or append a one-line quarantine note to the
+/// report and return `None` — one failed cell degrades its own row, not
+/// the whole report.
+fn eval_or_quarantine<'a>(
+    outcome: &'a CampaignOutcome,
+    name: &str,
+    out: &mut String,
+) -> Option<&'a Evaluation> {
+    match outcome.try_eval(name) {
+        Ok(e) => Some(e),
+        Err(err) => {
+            let _ = writeln!(out, "    [quarantined] {err}");
+            None
+        }
     }
 }
 
@@ -425,8 +442,15 @@ fn distribution_figure(
         .run(exec)
         .unwrap_or_else(|e| panic!("distribution campaign: {e}"));
     for (title, _, _) in cases {
-        out.push_str(&panel(title, outcome.expect_eval(title)));
-        out.push('\n');
+        match outcome.try_eval(title) {
+            Ok(e) => {
+                out.push_str(&panel(title, e));
+                out.push('\n');
+            }
+            Err(err) => {
+                let _ = writeln!(out, "{title}\n    [quarantined] {err}\n");
+            }
+        }
     }
     out
 }
@@ -589,14 +613,14 @@ pub fn defense_report(trials: usize, exec: &Exec) -> String {
     let mut out = String::from("Defense evaluation (paper §VI-B)\n\n");
     // Window sweeps.
     for (cat, windows) in SWEEPS {
+        let _ = writeln!(out, "  R-type window sweep, {cat} (timing-window):");
         let sweep: Vec<(u64, f64)> = windows
             .iter()
-            .map(|&s| {
-                let e = outcome.expect_eval(&format!("sweep|{cat}|{s}"));
-                (s, e.ttest.p_value)
+            .filter_map(|&s| {
+                eval_or_quarantine(&outcome, &format!("sweep|{cat}|{s}"), &mut out)
+                    .map(|e| (s, e.ttest.p_value))
             })
             .collect();
-        let _ = writeln!(out, "  R-type window sweep, {cat} (timing-window):");
         for (s, p) in &sweep {
             let _ = writeln!(out, "    S = {s:>2}: pvalue = {p:.4}  [{}]", verdict(*p));
         }
@@ -827,7 +851,10 @@ pub fn ablation_report(trials: usize, exec: &Exec) -> String {
     // 2. Confidence threshold vs attack effectiveness.
     let _ = writeln!(out, "\n  confidence threshold vs Train+Test leak:");
     for confidence in ABLATION_CONFIDENCES {
-        let e = outcome.expect_eval(&format!("confidence|{confidence}"));
+        let Some(e) = eval_or_quarantine(&outcome, &format!("confidence|{confidence}"), &mut out)
+        else {
+            continue;
+        };
         let _ = writeln!(
             out,
             "    confidence {confidence}: pvalue = {:.4} [{}], {:.2} Kbps",
@@ -847,7 +874,9 @@ pub fn ablation_report(trials: usize, exec: &Exec) -> String {
             dram_jitter: jitter,
             ..vpsim_mem::MemoryConfig::default()
         };
-        let e = outcome.expect_eval(&format!("jitter|{jitter}"));
+        let Some(e) = eval_or_quarantine(&outcome, &format!("jitter|{jitter}"), &mut out) else {
+            continue;
+        };
         let covert_cfg = vpsec::covert::CovertConfig {
             experiment: ExperimentConfig {
                 mem,
@@ -873,15 +902,15 @@ pub fn ablation_report(trials: usize, exec: &Exec) -> String {
         out,
         "\n  next-line prefetcher vs the VP channel (§I-B contrast):"
     );
-    {
-        let no_vp = outcome.expect_eval("prefetch|no VP");
-        let lvp = outcome.expect_eval("prefetch|LVP");
+    if let Some(no_vp) = eval_or_quarantine(&outcome, "prefetch|no VP", &mut out) {
         let _ = writeln!(
             out,
             "    prefetcher on, no VP: pvalue = {:.4} [{}] (a prefetcher alone opens no VP channel)",
             no_vp.ttest.p_value,
             verdict(no_vp.ttest.p_value)
         );
+    }
+    if let Some(lvp) = eval_or_quarantine(&outcome, "prefetch|LVP", &mut out) {
         let _ = writeln!(
             out,
             "    prefetcher on, LVP:   pvalue = {:.4} [{}] (and it does not mask the leak)",
@@ -893,20 +922,22 @@ pub fn ablation_report(trials: usize, exec: &Exec) -> String {
     // 2b. pid-aware indexing (threat model, footnote 5): pid indexing
     // stops cross-process aliasing but not the sender-internal attacks.
     let _ = writeln!(out, "\n  pid-indexed predictor (threat-model footnote 5):");
-    let cross = outcome.expect_eval("pid|cross");
-    let _ = writeln!(
-        out,
-        "    cross-process Train+Test: pvalue = {:.4} [{}] (indexes no longer alias)",
-        cross.ttest.p_value,
-        verdict(cross.ttest.p_value)
-    );
-    let internal = outcome.expect_eval("pid|internal");
-    let _ = writeln!(
-        out,
-        "    sender-internal Fill Up:  pvalue = {:.4} [{}] (pid does not eliminate attacks)",
-        internal.ttest.p_value,
-        verdict(internal.ttest.p_value)
-    );
+    if let Some(cross) = eval_or_quarantine(&outcome, "pid|cross", &mut out) {
+        let _ = writeln!(
+            out,
+            "    cross-process Train+Test: pvalue = {:.4} [{}] (indexes no longer alias)",
+            cross.ttest.p_value,
+            verdict(cross.ttest.p_value)
+        );
+    }
+    if let Some(internal) = eval_or_quarantine(&outcome, "pid|internal", &mut out) {
+        let _ = writeln!(
+            out,
+            "    sender-internal Fill Up:  pvalue = {:.4} [{}] (pid does not eliminate attacks)",
+            internal.ttest.p_value,
+            verdict(internal.ttest.p_value)
+        );
+    }
 
     // 3. Predictor type (paper §IV-D3: LVP and VTAGE both leak).
     let _ = writeln!(
@@ -914,8 +945,19 @@ pub fn ablation_report(trials: usize, exec: &Exec) -> String {
         "\n  predictor type vs leak (Train+Test & Test+Hit, timing-window):"
     );
     for kind in ABLATION_KINDS {
-        let tt = outcome.expect_eval(&format!("kind|{kind}|{}", AttackCategory::TrainTest));
-        let th = outcome.expect_eval(&format!("kind|{kind}|{}", AttackCategory::TestHit));
+        let tt = eval_or_quarantine(
+            &outcome,
+            &format!("kind|{kind}|{}", AttackCategory::TrainTest),
+            &mut out,
+        );
+        let th = eval_or_quarantine(
+            &outcome,
+            &format!("kind|{kind}|{}", AttackCategory::TestHit),
+            &mut out,
+        );
+        let (Some(tt), Some(th)) = (tt, th) else {
+            continue;
+        };
         let _ = writeln!(
             out,
             "    {:<13} Train+Test p = {:.4} [{}], Test+Hit p = {:.4} [{}]",
@@ -929,14 +971,15 @@ pub fn ablation_report(trials: usize, exec: &Exec) -> String {
     // The FCM's context must stabilise before it predicts: the attacker
     // simply trains `history_depth` extra times (higher attack cost,
     // same leak).
-    let tt = outcome.expect_eval("fcm|deep");
-    let _ = writeln!(
-        out,
-        "    {:<13} Train+Test p = {:.4} [{}] (with 8 extra training accesses)",
-        "FCM",
-        tt.ttest.p_value,
-        verdict(tt.ttest.p_value),
-    );
+    if let Some(tt) = eval_or_quarantine(&outcome, "fcm|deep", &mut out) {
+        let _ = writeln!(
+            out,
+            "    {:<13} Train+Test p = {:.4} [{}] (with 8 extra training accesses)",
+            "FCM",
+            tt.ttest.p_value,
+            verdict(tt.ttest.p_value),
+        );
+    }
     out
 }
 

@@ -1,0 +1,187 @@
+//! Hand-rolled fuzz suite for the user-input surfaces: malformed
+//! configurations and malformed programs must come back as typed `Err`s
+//! — never a panic. The generator is `vpsim-rng`'s `SmallRng` with fixed
+//! seeds, so every "random" case is reproducible; a failure message
+//! names the iteration that crashed.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use vpsim_isa::{AluOp, BranchCond, ProgramBuilder, Reg};
+use vpsim_mem::{CacheGeometry, MemoryConfig, ReplacementKind};
+use vpsim_pipeline::CoreConfig;
+use vpsim_rng::SmallRng;
+
+const ITERATIONS: usize = 400;
+
+/// Run `f`, converting a panic into a test failure naming the case.
+fn must_not_panic<T>(case: &str, f: impl FnOnce() -> T) -> T {
+    catch_unwind(AssertUnwindSafe(f))
+        .unwrap_or_else(|_| panic!("{case}: panicked on malformed input instead of returning Err"))
+}
+
+fn fuzz_geometry(rng: &mut SmallRng) -> CacheGeometry {
+    CacheGeometry {
+        sets: *rng.choose(&[0, 1, 3, 63, 64, 65, 512, usize::MAX / 2]),
+        ways: rng.gen_range(0..4usize),
+        line_bytes: *rng.choose(&[0, 1, 4, 7, 8, 64, 100, 1 << 62]),
+        hit_latency: rng.gen_range(0..32u64),
+        replacement: *rng.choose(&[
+            ReplacementKind::Lru,
+            ReplacementKind::TreePlru,
+            ReplacementKind::Random,
+        ]),
+    }
+}
+
+#[test]
+fn malformed_memory_configs_error_never_panic() {
+    let mut rng = SmallRng::seed_from_u64(0xf022_0001);
+    let mut rejected = 0usize;
+    for i in 0..ITERATIONS {
+        let cfg = MemoryConfig {
+            l1: fuzz_geometry(&mut rng),
+            l2: fuzz_geometry(&mut rng),
+            dram_latency: rng.gen_range(0..400u64),
+            dram_jitter: rng.gen_range(0..64u64),
+            page_bytes: *rng.choose(&[0, 1, 9, 4096, 1000, 1 << 40]),
+            tlb_entries: rng.gen_range(0..3usize),
+            tlb_hit_latency: rng.gen_range(0..4u64),
+            page_walk_latency: rng.gen_range(0..64u64),
+            prefetch: MemoryConfig::default().prefetch,
+        };
+        let case = format!("mem config #{i} ({cfg:?})");
+        let result = must_not_panic(&case, || cfg.validate());
+        if let Err(e) = result {
+            rejected += 1;
+            let msg = e.to_string();
+            assert!(
+                !msg.is_empty() && !msg.contains('\n'),
+                "{case}: error must render as one clean line, got {msg:?}"
+            );
+        }
+    }
+    assert!(
+        rejected > ITERATIONS / 2,
+        "the generator should produce mostly-invalid configs (rejected {rejected})"
+    );
+}
+
+#[test]
+fn malformed_core_configs_error_never_panic() {
+    let mut rng = SmallRng::seed_from_u64(0xf022_0002);
+    let mut rejected = 0usize;
+    for i in 0..ITERATIONS {
+        let cfg = CoreConfig {
+            fetch_width: rng.gen_range(0..3usize),
+            issue_width: rng.gen_range(0..3usize),
+            commit_width: rng.gen_range(0..3usize),
+            rob_entries: rng.gen_range(0..5usize),
+            alu_latency: rng.gen_range(0..4u64),
+            mul_latency: rng.gen_range(0..8u64),
+            squash_penalty: rng.gen_range(0..16u64),
+            branch_prediction: rng.gen_bool(0.5),
+            forward_latency: rng.gen_range(0..4u64),
+            max_cycles: *rng.choose(&[0, 1, 1000, 50_000_000]),
+            delay_side_effects: rng.gen_bool(0.5),
+            record_commit_trace: rng.gen_bool(0.5),
+        };
+        let case = format!("core config #{i} ({cfg:?})");
+        let result = must_not_panic(&case, || cfg.validate());
+        if let Err(e) = result {
+            rejected += 1;
+            let msg = e.to_string();
+            assert!(
+                !msg.is_empty() && !msg.contains('\n'),
+                "{case}: error must render as one clean line, got {msg:?}"
+            );
+        }
+    }
+    assert!(rejected > ITERATIONS / 2, "rejected only {rejected}");
+}
+
+#[test]
+fn malformed_programs_error_never_panic() {
+    let regs = [Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6];
+    let labels = ["a", "b", "ghost", "a"]; // "a" twice → duplicate chances
+    let mut rng = SmallRng::seed_from_u64(0xf022_0003);
+    let mut rejected = 0usize;
+    for i in 0..ITERATIONS {
+        let mut b = ProgramBuilder::new();
+        let mut label_failed = false;
+        for _ in 0..rng.gen_range(0..12usize) {
+            match rng.gen_range(0..8u32) {
+                0 => {
+                    b.li(*rng.choose(&regs), rng.next_u64());
+                }
+                1 => {
+                    b.load(*rng.choose(&regs), *rng.choose(&regs), 0);
+                }
+                2 => {
+                    b.alu(
+                        AluOp::Add,
+                        *rng.choose(&regs),
+                        *rng.choose(&regs),
+                        *rng.choose(&regs),
+                    );
+                }
+                3 => {
+                    // Possibly-duplicate label definition: an Err here is
+                    // valid rejection, not a crash.
+                    let label = *rng.choose(&labels);
+                    if b.label(label).is_err() {
+                        label_failed = true;
+                    }
+                }
+                4 => {
+                    // Branch to a label that may never be defined.
+                    let label = *rng.choose(&labels);
+                    b.branch(
+                        BranchCond::Eq,
+                        *rng.choose(&regs),
+                        *rng.choose(&regs),
+                        label,
+                    );
+                }
+                5 => {
+                    let label = *rng.choose(&labels);
+                    b.jump(label);
+                }
+                6 => {
+                    b.nops(rng.gen_range(0..3usize));
+                }
+                _ => {
+                    // Sometimes a halt mid-program; often no halt at all.
+                    if rng.gen_bool(0.3) {
+                        b.halt();
+                    }
+                }
+            }
+        }
+        let case = format!("program #{i}");
+        let result = must_not_panic(&case, || b.build());
+        if label_failed || result.is_err() {
+            rejected += 1;
+        }
+        if let Err(e) = result {
+            let msg = e.to_string();
+            assert!(
+                !msg.is_empty() && !msg.contains('\n'),
+                "{case}: error must render as one clean line, got {msg:?}"
+            );
+        }
+    }
+    assert!(
+        rejected > ITERATIONS / 4,
+        "the generator should hit undefined labels / missing halts often (rejected {rejected})"
+    );
+}
+
+#[test]
+fn chaos_levels_saturate_never_panic() {
+    for l in 0..=u8::MAX {
+        let cfg = must_not_panic(&format!("chaos level {l}"), || {
+            vpsec::chaos::ChaosConfig::level(l)
+        });
+        assert_eq!(cfg.is_off(), l == 0, "only level 0 is the off plane");
+    }
+}

@@ -20,6 +20,7 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use vpsec::attacks::{build_trial, AttackCategory, AttackSetup, Trial};
+use vpsec::chaos::ChaosConfig;
 use vpsec::experiment::Channel;
 use vpsim_crypto::{leak_exponent, LeakConfig, Mpi};
 use vpsim_isa::Reg;
@@ -104,7 +105,15 @@ fn predictor_for(kind: &str, setup: &AttackSetup) -> Box<dyn ValuePredictor> {
 }
 
 /// Run one attack trial on a fresh machine, digesting every step run.
-fn run_attack_cell(name: &str, trial: &Trial, core: CoreConfig, kind: &str) -> CellDigest {
+/// `chaos` optionally installs the fault/noise plane — passing
+/// `ChaosConfig::level(0)` must leave every digest untouched.
+fn run_attack_cell(
+    name: &str,
+    trial: &Trial,
+    core: CoreConfig,
+    kind: &str,
+    chaos: Option<&ChaosConfig>,
+) -> CellDigest {
     let setup = AttackSetup::default();
     let seed = fnv1a(FNV_OFFSET, name.as_bytes());
     let mut machine = Machine::new(
@@ -113,6 +122,9 @@ fn run_attack_cell(name: &str, trial: &Trial, core: CoreConfig, kind: &str) -> C
         predictor_for(kind, &setup),
         seed,
     );
+    if let Some(c) = chaos {
+        machine.set_chaos(c, seed ^ 0xc4a0_5eed_0bad_f00d);
+    }
     for (addr, value) in &trial.memory_init {
         machine.mem_mut().store_value(*addr, *value);
     }
@@ -141,6 +153,10 @@ fn run_attack_cell(name: &str, trial: &Trial, core: CoreConfig, kind: &str) -> C
 /// 3 predictors, plus D-type-defended and stall-front-end variants for
 /// the cells that exercise those paths.
 fn attack_cells() -> Vec<CellDigest> {
+    attack_cells_with(None)
+}
+
+fn attack_cells_with(chaos: Option<&ChaosConfig>) -> Vec<CellDigest> {
     let setup = AttackSetup::default();
     let mut out = Vec::new();
     for cat in AttackCategory::ALL {
@@ -154,7 +170,7 @@ fn attack_cells() -> Vec<CellDigest> {
                         "{cat:?}/{channel:?}/{}/{kind}",
                         if mapped { "mapped" } else { "unmapped" }
                     );
-                    out.push(run_attack_cell(&name, &trial, golden_core(), kind));
+                    out.push(run_attack_cell(&name, &trial, golden_core(), kind, chaos));
                 }
             }
         }
@@ -171,6 +187,7 @@ fn attack_cells() -> Vec<CellDigest> {
             &trial,
             golden_core().with_delayed_side_effects(),
             "lvp",
+            chaos,
         ));
     }
     // Stall-mode front-end (no branch prediction): fetch waits on
@@ -192,6 +209,7 @@ fn attack_cells() -> Vec<CellDigest> {
             &trial,
             core,
             "lvp",
+            chaos,
         ));
     }
     out
@@ -367,6 +385,22 @@ fn check_or_record(fixture: &str, actual: &str) {
 #[test]
 fn attack_zoo_traces_are_bit_identical() {
     check_or_record("attack_zoo.tsv", &render_digests(&attack_cells()));
+}
+
+/// The level-0 determinism contract of the fault/noise plane, checked
+/// against the *committed* fixtures: installing `ChaosConfig::level(0)`
+/// through the public `Machine::set_chaos` API must reproduce every
+/// attack-zoo digest bit for bit — a zeroed plane consumes no RNG words
+/// and perturbs nothing.
+#[test]
+fn chaos_level_zero_matches_golden_fixtures() {
+    if recording() {
+        return; // `attack_zoo_traces_are_bit_identical` records the fixture.
+    }
+    check_or_record(
+        "attack_zoo.tsv",
+        &render_digests(&attack_cells_with(Some(&ChaosConfig::level(0)))),
+    );
 }
 
 #[test]

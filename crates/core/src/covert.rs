@@ -81,15 +81,15 @@ impl CovertResult {
     }
 }
 
-struct Channel2Trials {
-    mapped: Trial,
-    unmapped: Trial,
+pub(crate) struct Channel2Trials {
+    pub(crate) mapped: Trial,
+    pub(crate) unmapped: Trial,
     /// Whether the mapped symbol reads *slower* than the unmapped one
     /// (depends on the category's outcome pair).
-    mapped_is_slow: bool,
+    pub(crate) mapped_is_slow: bool,
 }
 
-fn trials_for(cfg: &CovertConfig) -> Option<Channel2Trials> {
+pub(crate) fn trials_for(cfg: &CovertConfig) -> Option<Channel2Trials> {
     let mapped = build_trial(cfg.category, cfg.channel, true, &cfg.experiment.setup)?;
     let unmapped = build_trial(cfg.category, cfg.channel, false, &cfg.experiment.setup)?;
     // For the timing-window channel, categories whose mapped case is a

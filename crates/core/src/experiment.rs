@@ -9,6 +9,7 @@
 //! decides whether the receiver can distinguish the two cases — the
 //! attack succeeds iff `p < 0.05`.
 
+use vpsim_chaos::ChaosConfig;
 use vpsim_mem::MemoryConfig;
 use vpsim_pipeline::{CoreConfig, Machine};
 use vpsim_predictor::{
@@ -102,6 +103,11 @@ pub struct ExperimentConfig {
     /// polluting caches, TLB and predictor state with its own loads —
     /// a robustness stressor absent from the paper's clean gem5 runs.
     pub background_noise: bool,
+    /// Fault/noise-injection plane ([`ChaosConfig::off`] by default).
+    /// The chaos stream is seeded from the machine seed, so the mapped
+    /// and unmapped arm of a paired trial see the *same* noise
+    /// (common-mode, like DRAM jitter) and the paired design survives.
+    pub chaos: ChaosConfig,
 }
 
 impl Default for ExperimentConfig {
@@ -115,9 +121,15 @@ impl Default for ExperimentConfig {
             core: CoreConfig::default(),
             index: IndexConfig::default(),
             background_noise: false,
+            chaos: ChaosConfig::off(),
         }
     }
 }
+
+/// Salt mixed into the machine seed to derive the chaos-plane seed, so
+/// the chaos streams are decorrelated from the DRAM-jitter stream that
+/// shares the same machine seed.
+const CHAOS_SEED_SALT: u64 = 0xc4a0_5eed_0bad_f00d;
 
 /// The observation extracted from one trial.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -219,6 +231,9 @@ pub fn run_trial_with_defense_seed(
     core.delay_side_effects = core.delay_side_effects || cfg.defense.d_type;
     let vp = build_predictor(predictor, &cfg.setup, &cfg.defense, cfg.index, defense_seed);
     let mut machine = Machine::new(core, cfg.mem, vp, seed);
+    if !cfg.chaos.is_off() {
+        machine.set_chaos(&cfg.chaos, seed ^ CHAOS_SEED_SALT);
+    }
     for (addr, value) in &trial.memory_init {
         machine.mem_mut().store_value(*addr, *value);
     }

@@ -59,12 +59,14 @@ pub mod covert;
 pub mod defense;
 pub mod experiment;
 pub mod model;
+pub mod receiver;
 pub mod taxonomy;
 
 pub use attacks::AttackCategory;
 pub use experiment::{Channel, ExperimentConfig, PredictorKind};
 
 // Re-export the substrate crates so downstream users need only `vpsec`.
+pub use vpsim_chaos as chaos;
 pub use vpsim_isa as isa;
 pub use vpsim_mem as mem;
 pub use vpsim_pipeline as pipeline;

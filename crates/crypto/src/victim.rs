@@ -11,6 +11,7 @@
 //! its trained entry, recovering the exponent bit by bit (Figure 7).
 
 use vpsec::attacks::{train_program, trigger_timing, AttackSetup};
+use vpsim_chaos::ChaosConfig;
 use vpsim_isa::{Program, ProgramBuilder, Reg};
 use vpsim_mem::MemoryConfig;
 use vpsim_pipeline::{CoreConfig, Machine};
@@ -81,6 +82,13 @@ pub struct LeakConfig {
     pub seed: u64,
     /// Calibration probes per class used to fix the decision threshold.
     pub calibration_runs: usize,
+    /// Fault/noise-injection plane applied to every machine
+    /// ([`ChaosConfig::off`] by default).
+    pub chaos: ChaosConfig,
+    /// Self-calibration: exponent bits between in-band probe pairs that
+    /// re-centre the decision threshold. `0` keeps the one-time
+    /// fixed-threshold receiver of the paper's Figure 7 run.
+    pub recalibrate_every: usize,
 }
 
 impl Default for LeakConfig {
@@ -91,6 +99,8 @@ impl Default for LeakConfig {
             core: CoreConfig::default(),
             seed: 0x9_65,
             calibration_runs: 8,
+            chaos: ChaosConfig::off(),
+            recalibrate_every: 0,
         }
     }
 }
@@ -144,6 +154,9 @@ fn fresh_machine(cfg: &LeakConfig, seed: u64) -> Machine {
         ..LvpConfig::default()
     });
     let mut machine = Machine::new(cfg.core, cfg.mem, Box::new(lvp), seed);
+    if !cfg.chaos.is_off() {
+        machine.set_chaos(&cfg.chaos, seed ^ 0xc4a0_5eed_0bad_f00d);
+    }
     let m = machine.mem_mut();
     m.store_value(SQR_ADDR, 0x5051);
     m.store_value(MUL_ADDR, 0x6061);
@@ -194,11 +207,23 @@ pub fn leak_exponent(exponent: &Mpi, cfg: &LeakConfig) -> LeakResult {
         slow.push(observe_iteration(&mut cal, true, cfg));
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-    let threshold = (mean(&fast) + mean(&slow)) / 2.0;
+    let mut threshold = (mean(&fast) + mean(&slow)) / 2.0;
 
     let mut observations = Vec::with_capacity(true_bits.len());
     let mut recovered_bits = Vec::with_capacity(true_bits.len());
-    for &bit in &true_bits {
+    for (bit_idx, &bit) in true_bits.iter().enumerate() {
+        // Self-calibration: every `recalibrate_every` bits the receiver
+        // re-runs one known probe pair and blends the observed midpoint
+        // into its threshold, tracking noise-induced drift.
+        if cfg.recalibrate_every > 0 && bit_idx > 0 && bit_idx % cfg.recalibrate_every == 0 {
+            let round = (bit_idx / cfg.recalibrate_every) as u64;
+            let mut cal = fresh_machine(cfg, cfg.seed ^ (0xca33 + round * 0x9e37));
+            let f = observe_iteration(&mut cal, false, cfg);
+            let mut cal = fresh_machine(cfg, cfg.seed ^ (0xca44 + round * 0x9e37));
+            let s = observe_iteration(&mut cal, true, cfg);
+            threshold = 0.5 * threshold + 0.5 * (f + s) / 2.0;
+            total_cycles += (f + s) as u64;
+        }
         let obs = observe_iteration(&mut machine, bit, cfg);
         // Account the cycles of the full step sequence approximately via
         // the machine's committed work: use the observation plus the

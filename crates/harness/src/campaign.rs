@@ -174,23 +174,78 @@ impl CampaignOutcome {
         self.cells.iter().find(|c| c.name == name)?.evaluation()
     }
 
+    /// The evaluation of the named cell, or a typed error describing
+    /// why it is unavailable — so one bad cell can be quarantined (a
+    /// placeholder row in a report) without aborting the whole campaign.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the cell is missing, unsupported, or had a failing
+    /// job.
+    pub fn try_eval(&self, name: &str) -> Result<&Evaluation, CampaignError> {
+        match self.cells.iter().find(|c| c.name == name) {
+            Some(c) => match &c.outcome {
+                CellOutcome::Evaluated(e) => Ok(e),
+                CellOutcome::Unsupported => Err(CampaignError::Unsupported {
+                    name: name.to_owned(),
+                }),
+                CellOutcome::Failed(err) => Err(CampaignError::Failed {
+                    name: name.to_owned(),
+                    error: err.clone(),
+                }),
+            },
+            None => Err(CampaignError::NoSuchCell {
+                name: name.to_owned(),
+            }),
+        }
+    }
+
     /// The evaluation of the named cell.
     ///
     /// # Panics
     ///
-    /// Panics if the cell is missing, unsupported, or failed.
+    /// Panics if the cell is missing, unsupported, or failed. Use
+    /// [`CampaignOutcome::try_eval`] to quarantine bad cells instead.
     #[must_use]
     pub fn expect_eval(&self, name: &str) -> &Evaluation {
-        match self.cells.iter().find(|c| c.name == name) {
-            Some(c) => match &c.outcome {
-                CellOutcome::Evaluated(e) => e,
-                CellOutcome::Unsupported => panic!("cell {name} is unsupported"),
-                CellOutcome::Failed(err) => panic!("cell {name} failed: {err}"),
-            },
-            None => panic!("no cell named {name}"),
+        self.try_eval(name).unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
+/// Why a cell's evaluation could not be looked up in a
+/// [`CampaignOutcome`].
+#[derive(Debug, Clone)]
+pub enum CampaignError {
+    /// No cell with that name exists in the campaign.
+    NoSuchCell {
+        /// The requested cell name.
+        name: String,
+    },
+    /// The cell's category does not support its channel (Table III "—").
+    Unsupported {
+        /// The cell name.
+        name: String,
+    },
+    /// At least one of the cell's jobs failed permanently.
+    Failed {
+        /// The cell name.
+        name: String,
+        /// What went wrong.
+        error: CellError,
+    },
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::NoSuchCell { name } => write!(f, "no cell named {name}"),
+            CampaignError::Unsupported { name } => write!(f, "cell {name} is unsupported"),
+            CampaignError::Failed { name, error } => write!(f, "cell {name} failed: {error}"),
         }
     }
 }
+
+impl std::error::Error for CampaignError {}
 
 /// Errors setting up or resuming a campaign run.
 #[derive(Debug, Clone)]

@@ -51,8 +51,8 @@ mod pool;
 mod sink;
 
 pub use campaign::{
-    Campaign, CampaignOutcome, CampaignStats, CellError, CellOutcome, CellResult, CellSpec,
-    HarnessError,
+    Campaign, CampaignError, CampaignOutcome, CampaignStats, CellError, CellOutcome, CellResult,
+    CellSpec, HarnessError,
 };
 pub use exec::Exec;
 

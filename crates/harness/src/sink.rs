@@ -103,6 +103,7 @@ fn escape(name: &str) -> String {
 pub(crate) struct Manifest {
     writer: Mutex<BufWriter<File>>,
     completed: HashMap<(usize, usize), JobRecord>,
+    torn_lines: usize,
 }
 
 impl Manifest {
@@ -132,6 +133,7 @@ impl Manifest {
         std::fs::create_dir_all(dir).map_err(|e| HarnessError::Io(e.to_string()))?;
         let path = Manifest::path(dir, campaign);
         let mut completed = HashMap::new();
+        let mut torn_lines = 0usize;
         let exists = path.exists();
         if exists {
             let reader =
@@ -156,38 +158,71 @@ impl Manifest {
                     // fails to parse and is re-run.
                     if let Some(rec) = JobRecord::parse(&line) {
                         completed.insert((rec.cell, rec.trial), rec);
+                    } else if !line.trim().is_empty() {
+                        torn_lines += 1;
                     }
+                }
+                if torn_lines > 0 {
+                    eprintln!(
+                        "warning: manifest {} had {torn_lines} torn line(s) \
+                         (interrupted write); the affected jobs will re-run",
+                        path.display()
+                    );
                 }
             }
         }
-        // Rewrite header + surviving records: this drops any torn
-        // trailing line a kill left behind, so later appends start on a
-        // clean line boundary.
+        // Rewrite header + surviving records through a temp file and an
+        // atomic rename: a kill during the rewrite leaves the old
+        // manifest intact, never a half-written one. The drops of any
+        // torn trailing line also land atomically, so later appends
+        // start on a clean line boundary.
+        let tmp_path = path.with_extension("jsonl.tmp");
+        {
+            let tmp = OpenOptions::new()
+                .create(true)
+                .truncate(true)
+                .write(true)
+                .open(&tmp_path)
+                .map_err(|e| HarnessError::Io(e.to_string()))?;
+            let mut writer = BufWriter::new(tmp);
+            writeln!(
+                writer,
+                "{{\"v\":1,\"campaign\":\"{}\",\"fingerprint\":\"{fingerprint:016x}\",\"jobs\":{jobs_total}}}",
+                escape(campaign)
+            )
+            .map_err(|e| HarnessError::Io(e.to_string()))?;
+            let mut records: Vec<&JobRecord> = completed.values().collect();
+            records.sort_by_key(|r| (r.cell, r.trial));
+            for rec in records {
+                writeln!(writer, "{}", rec.to_line())
+                    .map_err(|e| HarnessError::Io(e.to_string()))?;
+            }
+            writer
+                .flush()
+                .map_err(|e| HarnessError::Io(e.to_string()))?;
+            writer
+                .get_ref()
+                .sync_data()
+                .map_err(|e| HarnessError::Io(e.to_string()))?;
+        }
+        std::fs::rename(&tmp_path, &path).map_err(|e| HarnessError::Io(e.to_string()))?;
+        // Reopen the renamed file in append mode for the live writer.
         let file = OpenOptions::new()
-            .create(true)
-            .truncate(true)
-            .write(true)
+            .append(true)
             .open(&path)
             .map_err(|e| HarnessError::Io(e.to_string()))?;
-        let mut writer = BufWriter::new(file);
-        writeln!(
-            writer,
-            "{{\"v\":1,\"campaign\":\"{}\",\"fingerprint\":\"{fingerprint:016x}\",\"jobs\":{jobs_total}}}",
-            escape(campaign)
-        )
-        .map_err(|e| HarnessError::Io(e.to_string()))?;
-        let mut records: Vec<&JobRecord> = completed.values().collect();
-        records.sort_by_key(|r| (r.cell, r.trial));
-        for rec in records {
-            writeln!(writer, "{}", rec.to_line()).map_err(|e| HarnessError::Io(e.to_string()))?;
-        }
-        writer
-            .flush()
-            .map_err(|e| HarnessError::Io(e.to_string()))?;
         Ok(Manifest {
-            writer: Mutex::new(writer),
+            writer: Mutex::new(BufWriter::new(file)),
             completed,
+            torn_lines,
         })
+    }
+
+    /// Unparseable lines dropped while recovering an interrupted
+    /// manifest (0 for a clean one).
+    #[allow(dead_code)]
+    pub fn torn_lines(&self) -> usize {
+        self.torn_lines
     }
 
     /// Jobs already recorded by a previous (interrupted) run.
@@ -195,12 +230,13 @@ impl Manifest {
         &self.completed
     }
 
-    /// Append one finished job, flushing so a kill loses at most the
-    /// line in flight.
+    /// Append one finished job, flushing and syncing to disk so a kill
+    /// (or power loss) loses at most the line in flight.
     pub fn record(&self, rec: JobRecord) {
         let mut w = self.writer.lock().expect("manifest writer poisoned");
         let _ = writeln!(w, "{}", rec.to_line());
         let _ = w.flush();
+        let _ = w.get_ref().sync_data();
     }
 }
 

@@ -7,8 +7,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use vpsec::attacks::AttackCategory;
+use vpsec::chaos::ChaosConfig;
 use vpsec::experiment::{Channel, Evaluation, ExperimentConfig, PredictorKind};
-use vpsim_harness::{Campaign, CellOutcome, CellSpec, Exec, HarnessError};
+use vpsim_harness::{Campaign, CampaignError, CellOutcome, CellSpec, Exec, HarnessError};
 
 fn cfg(trials: usize) -> ExperimentConfig {
     ExperimentConfig {
@@ -261,6 +262,131 @@ fn a_panicking_cell_fails_alone() {
         other => panic!("expected Failed, got {other:?}"),
     }
     assert_eq!(outcome.stats.panics, 4);
+}
+
+#[test]
+fn try_eval_quarantines_one_bad_cell() {
+    let mut campaign = Campaign::new("quarantine-typed");
+    campaign.push(CellSpec::new(
+        "healthy",
+        AttackCategory::TrainTest,
+        Channel::TimingWindow,
+        PredictorKind::Lvp,
+        cfg(4),
+    ));
+    campaign.push(CellSpec::new(
+        "dash",
+        AttackCategory::SpillOver,
+        Channel::Persistent,
+        PredictorKind::Lvp,
+        cfg(4),
+    ));
+    campaign.push(CellSpec::new(
+        "crashy",
+        AttackCategory::TrainTest,
+        Channel::TimingWindow,
+        PredictorKind::Lvp,
+        ExperimentConfig {
+            trials: 4,
+            core: vpsim_pipeline::CoreConfig {
+                max_cycles: 1,
+                ..vpsim_pipeline::CoreConfig::default()
+            },
+            ..ExperimentConfig::default()
+        },
+    ));
+    let outcome = campaign.run(&Exec::default()).unwrap();
+    assert!(outcome.try_eval("healthy").is_ok());
+    assert!(matches!(
+        outcome.try_eval("dash"),
+        Err(CampaignError::Unsupported { .. })
+    ));
+    assert!(matches!(
+        outcome.try_eval("crashy"),
+        Err(CampaignError::Failed { .. })
+    ));
+    assert!(matches!(
+        outcome.try_eval("nonexistent"),
+        Err(CampaignError::NoSuchCell { .. })
+    ));
+    // The typed errors render cleanly.
+    let msg = outcome.try_eval("crashy").unwrap_err().to_string();
+    assert!(msg.contains("crashy") && msg.contains("panicked"), "{msg}");
+}
+
+#[test]
+fn chaos_campaign_is_bit_reproducible_across_kill_and_resume() {
+    let chaos_cfg = ExperimentConfig {
+        trials: 8,
+        chaos: ChaosConfig::level(2),
+        ..ExperimentConfig::default()
+    };
+    let mut campaign = Campaign::new("chaos-resume");
+    campaign.push(CellSpec::new(
+        "train_test/tw/lvp/chaos2",
+        AttackCategory::TrainTest,
+        Channel::TimingWindow,
+        PredictorKind::Lvp,
+        chaos_cfg.clone(),
+    ));
+    campaign.push(CellSpec::new(
+        "fill_up/tw/lvp/chaos2",
+        AttackCategory::FillUp,
+        Channel::TimingWindow,
+        PredictorKind::Lvp,
+        chaos_cfg,
+    ));
+
+    // Uninterrupted parallel baseline (no manifest).
+    let baseline = campaign
+        .run(&Exec {
+            jobs: 4,
+            ..Exec::default()
+        })
+        .unwrap();
+
+    // Killed-and-resumed run: drop half the manifest plus a torn tail.
+    let dir = scratch_dir("chaos-resume");
+    let exec = Exec {
+        jobs: 4,
+        resume: Some(dir.clone()),
+        ..Exec::default()
+    };
+    campaign.run(&exec).unwrap();
+    let manifest = dir.join("chaos-resume.jsonl");
+    let text = std::fs::read_to_string(&manifest).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    let mut truncated = lines[..1 + 8].join("\n");
+    truncated.push('\n');
+    truncated.push_str(&lines[9][..lines[9].len() / 2]);
+    std::fs::write(&manifest, truncated).unwrap();
+    let resumed = campaign.run(&exec).unwrap();
+    assert_eq!(resumed.stats.jobs_resumed, 8);
+
+    for name in ["train_test/tw/lvp/chaos2", "fill_up/tw/lvp/chaos2"] {
+        assert_bitwise_eq(baseline.expect_eval(name), resumed.expect_eval(name));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn chaos_config_changes_the_fingerprint() {
+    let plain = small_campaign("fp-chaos");
+    let mut chaotic = Campaign::new("fp-chaos");
+    chaotic.push(CellSpec::new(
+        "train_test/tw/lvp",
+        AttackCategory::TrainTest,
+        Channel::TimingWindow,
+        PredictorKind::Lvp,
+        ExperimentConfig {
+            trials: 8,
+            chaos: ChaosConfig::level(1),
+            ..ExperimentConfig::default()
+        },
+    ));
+    // A manifest recorded without chaos must never be resumed into a
+    // chaotic campaign: the configs differ, so the fingerprints do.
+    assert_ne!(plain.fingerprint(), chaotic.fingerprint());
 }
 
 #[test]

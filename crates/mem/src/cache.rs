@@ -62,7 +62,9 @@ impl Cache {
     /// Panics if the geometry is invalid (see [`CacheGeometry::validate`]).
     #[must_use]
     pub fn new(geometry: CacheGeometry, seed: u64) -> Cache {
-        geometry.validate();
+        if let Err(e) = geometry.validate() {
+            panic!("invalid cache geometry: {e}");
+        }
         let policies = (0..geometry.sets)
             .map(|i| -> Box<dyn ReplacementPolicy> {
                 match geometry.replacement {
@@ -235,6 +237,29 @@ impl Cache {
         })
     }
 
+    /// Forcibly evict whatever line occupies `(set, way)`, if any —
+    /// the fault-injection plane's co-tenant/prefetcher pressure model.
+    /// Counts as an eviction (plus a writeback when dirty), not an
+    /// invalidation: the line was pushed out, not flushed.
+    ///
+    /// Out-of-range coordinates are ignored (`None`), so callers can
+    /// draw victims without consulting the geometry first.
+    pub fn evict_way(&mut self, set: usize, way: usize) -> Option<Eviction> {
+        let line = *self.sets.get(set)?.get(way)?;
+        if !line.valid {
+            return None;
+        }
+        self.sets[set][way] = Line::default();
+        self.stats.evictions += 1;
+        if line.dirty {
+            self.stats.writebacks += 1;
+        }
+        Some(Eviction {
+            line_addr: line.line_addr,
+            dirty: line.dirty,
+        })
+    }
+
     /// Invalidate everything (cold-start).
     pub fn invalidate_all(&mut self) {
         for set in &mut self.sets {
@@ -337,6 +362,23 @@ mod tests {
         c.fill(0x3000);
         assert_eq!(c.stats().hits + c.stats().misses, 0);
         assert!(c.probe(0x3000));
+    }
+
+    #[test]
+    fn evict_way_pushes_out_the_occupant() {
+        let mut c = Cache::new(small(), 0);
+        c.access(0x1000, true);
+        // 0x1000 with 64-byte lines and 4 sets lands in set 0, way 0.
+        let ev = c.evict_way(0, 0).expect("occupied way");
+        assert_eq!(ev.line_addr, 0x1000);
+        assert!(ev.dirty);
+        assert!(!c.probe(0x1000));
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stats().writebacks, 1);
+        // Empty way and out-of-range coordinates are no-ops.
+        assert!(c.evict_way(0, 0).is_none());
+        assert!(c.evict_way(99, 0).is_none());
+        assert!(c.evict_way(0, 99).is_none());
     }
 
     #[test]

@@ -2,6 +2,63 @@
 
 use crate::Cycles;
 
+/// Why a memory configuration is unusable. Returned by the `validate`
+/// methods so front ends can reject bad user input cleanly instead of
+/// panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `sets` is not a power of two.
+    SetsNotPowerOfTwo {
+        /// The offending set count.
+        sets: usize,
+    },
+    /// `ways` is zero.
+    ZeroWays,
+    /// `line_bytes` is not a power of two of at least 8.
+    BadLineSize {
+        /// The offending line size.
+        line_bytes: u64,
+    },
+    /// L1 and L2 disagree on the line size.
+    LineSizeMismatch {
+        /// L1 line size.
+        l1: u64,
+        /// L2 line size.
+        l2: u64,
+    },
+    /// `page_bytes` is not a power of two.
+    PageNotPowerOfTwo {
+        /// The offending page size.
+        page_bytes: u64,
+    },
+    /// `tlb_entries` is zero.
+    ZeroTlbEntries,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::SetsNotPowerOfTwo { sets } => {
+                write!(f, "sets must be a power of two (got {sets})")
+            }
+            ConfigError::ZeroWays => write!(f, "associativity must be at least 1"),
+            ConfigError::BadLineSize { line_bytes } => write!(
+                f,
+                "line size must be a power of two of at least 8 bytes (got {line_bytes})"
+            ),
+            ConfigError::LineSizeMismatch { l1, l2 } => {
+                write!(f, "L1 and L2 must share a line size (L1 = {l1}, L2 = {l2})")
+            }
+            ConfigError::PageNotPowerOfTwo { page_bytes } => {
+                write!(f, "page size must be a power of two (got {page_bytes})")
+            }
+            ConfigError::ZeroTlbEntries => write!(f, "TLB must have at least one entry"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Hardware prefetcher configuration.
 ///
 /// The paper contrasts value predictors with prefetchers (§I-B): a
@@ -54,20 +111,25 @@ impl CacheGeometry {
         self.sets as u64 * self.ways as u64 * self.line_bytes
     }
 
-    /// Validate the geometry, panicking with a descriptive message if it is
-    /// unusable.
+    /// Validate the geometry.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `sets` or `line_bytes` is not a power of two, when
+    /// Fails when `sets` or `line_bytes` is not a power of two, when
     /// `ways == 0`, or when `line_bytes < 8`.
-    pub fn validate(&self) {
-        assert!(self.sets.is_power_of_two(), "sets must be a power of two");
-        assert!(self.ways >= 1, "associativity must be at least 1");
-        assert!(
-            self.line_bytes.is_power_of_two() && self.line_bytes >= 8,
-            "line size must be a power of two of at least 8 bytes"
-        );
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !self.sets.is_power_of_two() {
+            return Err(ConfigError::SetsNotPowerOfTwo { sets: self.sets });
+        }
+        if self.ways < 1 {
+            return Err(ConfigError::ZeroWays);
+        }
+        if !self.line_bytes.is_power_of_two() || self.line_bytes < 8 {
+            return Err(ConfigError::BadLineSize {
+                line_bytes: self.line_bytes,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -143,22 +205,29 @@ impl MemoryConfig {
 
     /// Validate every component geometry.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any cache geometry is invalid, the two levels disagree on
-    /// line size, or `page_bytes` is not a power of two.
-    pub fn validate(&self) {
-        self.l1.validate();
-        self.l2.validate();
-        assert_eq!(
-            self.l1.line_bytes, self.l2.line_bytes,
-            "L1 and L2 must share a line size"
-        );
-        assert!(
-            self.page_bytes.is_power_of_two(),
-            "page size must be a power of two"
-        );
-        assert!(self.tlb_entries >= 1, "TLB must have at least one entry");
+    /// Fails if any cache geometry is invalid, the two levels disagree
+    /// on line size, `page_bytes` is not a power of two, or the TLB has
+    /// no entries.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.l1.validate()?;
+        self.l2.validate()?;
+        if self.l1.line_bytes != self.l2.line_bytes {
+            return Err(ConfigError::LineSizeMismatch {
+                l1: self.l1.line_bytes,
+                l2: self.l2.line_bytes,
+            });
+        }
+        if !self.page_bytes.is_power_of_two() {
+            return Err(ConfigError::PageNotPowerOfTwo {
+                page_bytes: self.page_bytes,
+            });
+        }
+        if self.tlb_entries < 1 {
+            return Err(ConfigError::ZeroTlbEntries);
+        }
+        Ok(())
     }
 
     /// The shared cache-line size in bytes.
@@ -186,7 +255,7 @@ mod tests {
 
     #[test]
     fn default_config_is_valid() {
-        MemoryConfig::default().validate();
+        MemoryConfig::default().validate().unwrap();
     }
 
     #[test]
@@ -202,7 +271,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "power of two")]
     fn non_power_of_two_sets_rejected() {
         let g = CacheGeometry {
             sets: 48,
@@ -211,15 +279,59 @@ mod tests {
             hit_latency: 4,
             replacement: ReplacementKind::Lru,
         };
-        g.validate();
+        let err = g.validate().unwrap_err();
+        assert_eq!(err, ConfigError::SetsNotPowerOfTwo { sets: 48 });
+        assert!(err.to_string().contains("power of two"));
     }
 
     #[test]
-    #[should_panic(expected = "share a line size")]
     fn mismatched_line_sizes_rejected() {
         let mut c = MemoryConfig::default();
         c.l2.line_bytes = 128;
-        c.validate();
+        let err = c.validate().unwrap_err();
+        assert_eq!(err, ConfigError::LineSizeMismatch { l1: 64, l2: 128 });
+        assert!(err.to_string().contains("share a line size"));
+    }
+
+    #[test]
+    fn every_invalid_field_reports_a_typed_error() {
+        let good = MemoryConfig::default();
+        let cases: Vec<(MemoryConfig, ConfigError)> = vec![
+            (
+                MemoryConfig {
+                    l1: CacheGeometry { ways: 0, ..good.l1 },
+                    ..good
+                },
+                ConfigError::ZeroWays,
+            ),
+            (
+                MemoryConfig {
+                    l1: CacheGeometry {
+                        line_bytes: 4,
+                        ..good.l1
+                    },
+                    ..good
+                },
+                ConfigError::BadLineSize { line_bytes: 4 },
+            ),
+            (
+                MemoryConfig {
+                    page_bytes: 3000,
+                    ..good
+                },
+                ConfigError::PageNotPowerOfTwo { page_bytes: 3000 },
+            ),
+            (
+                MemoryConfig {
+                    tlb_entries: 0,
+                    ..good
+                },
+                ConfigError::ZeroTlbEntries,
+            ),
+        ];
+        for (cfg, want) in cases {
+            assert_eq!(cfg.validate().unwrap_err(), want);
+        }
     }
 
     #[test]

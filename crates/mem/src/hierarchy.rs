@@ -1,5 +1,6 @@
 //! The two-level hierarchy façade used by the pipeline's load-store unit.
 
+use vpsim_chaos::{ChaosEvents, MemChaos};
 use vpsim_rng::SmallRng;
 
 use crate::backing::BackingStore;
@@ -65,6 +66,9 @@ pub struct MemoryHierarchy {
     backing: BackingStore,
     jitter_rng: SmallRng,
     stats: MemoryStats,
+    /// The fault-injection engine, when a noise plane is installed.
+    /// `None` (the default) is bit-identical to chaos level 0.
+    chaos: Option<MemChaos>,
 }
 
 impl MemoryHierarchy {
@@ -76,7 +80,9 @@ impl MemoryHierarchy {
     /// Panics if the configuration is invalid.
     #[must_use]
     pub fn new(config: MemoryConfig, seed: u64) -> MemoryHierarchy {
-        config.validate();
+        if let Err(e) = config.validate() {
+            panic!("invalid memory configuration: {e}");
+        }
         MemoryHierarchy {
             l1: Cache::new(config.l1, seed.wrapping_mul(0x9e37_79b9)),
             l2: Cache::new(config.l2, seed.wrapping_mul(0x85eb_ca6b)),
@@ -90,6 +96,38 @@ impl MemoryHierarchy {
             jitter_rng: SmallRng::seed_from_u64(seed),
             config,
             stats: MemoryStats::default(),
+            chaos: None,
+        }
+    }
+
+    /// Install (or remove) the memory-side fault-injection engine. With
+    /// `None`, or an engine whose config is all-off, timing and state
+    /// are bit-identical to a hierarchy that never had chaos installed.
+    pub fn set_chaos(&mut self, chaos: Option<MemChaos>) {
+        self.chaos = chaos;
+    }
+
+    /// Counters of injected chaos events (zero when no engine is
+    /// installed).
+    #[must_use]
+    pub fn chaos_events(&self) -> ChaosEvents {
+        self.chaos.as_ref().map(|c| *c.events()).unwrap_or_default()
+    }
+
+    /// Fire the per-demand-access disturbances: random-line evictions in
+    /// both levels (co-tenant/prefetcher pressure) and TLB shootdowns.
+    /// Latency-side injectors live in [`dram_latency`](Self::dram_latency)
+    /// and the L2 hit path instead.
+    fn chaos_disturb(&mut self) {
+        let Some(ch) = &mut self.chaos else { return };
+        if ch.evict_fires() {
+            let (set, way) = ch.pick_victim(self.config.l1.sets, self.config.l1.ways);
+            self.l1.evict_way(set, way);
+            let (set, way) = ch.pick_victim(self.config.l2.sets, self.config.l2.ways);
+            self.l2.evict_way(set, way);
+        }
+        if ch.tlb_shootdown_fires() {
+            self.tlb.flush();
         }
     }
 
@@ -124,7 +162,8 @@ impl MemoryHierarchy {
             self.jitter_rng.gen_range(0..=self.config.dram_jitter)
         };
         self.stats.jitter_cycles += jitter;
-        self.config.dram_latency + jitter
+        let chaos_extra = self.chaos.as_mut().map_or(0, MemChaos::dram_extra);
+        self.config.dram_latency + jitter + chaos_extra
     }
 
     fn tlb_cost(&mut self, addr: Addr) -> Cycles {
@@ -162,6 +201,7 @@ impl MemoryHierarchy {
             let a2 = self.l2.access(addr, false);
             latency += self.config.l2.hit_latency;
             if a2.hit {
+                latency += self.chaos.as_mut().map_or(0, MemChaos::l2_extra);
                 return (latency, HitLevel::L2);
             }
             latency += self.dram_latency();
@@ -190,6 +230,7 @@ impl MemoryHierarchy {
     /// hardware services them rather than faulting.
     pub fn read(&mut self, addr: Addr) -> AccessOutcome {
         let addr = addr & !7;
+        self.chaos_disturb();
         let value = self.backing.read(addr);
         let (latency, level) = self.access_inner(addr, false, true);
         if level != HitLevel::L1 && self.config.prefetch == crate::PrefetchKind::NextLine {
@@ -227,6 +268,7 @@ impl MemoryHierarchy {
     /// 8-byte word granularity like [`read`](MemoryHierarchy::read).
     pub fn write(&mut self, addr: Addr, value: u64) -> AccessOutcome {
         let addr = addr & !7;
+        self.chaos_disturb();
         self.backing.write(addr, value);
         let (latency, level) = self.access_inner(addr, true, true);
         AccessOutcome {
@@ -429,6 +471,66 @@ mod tests {
         m.read_no_fill(0x2000);
         assert!(!m.probe_l1(0x2040), "D-type accesses must not prefetch");
         assert_eq!(m.stats().prefetches, 0);
+    }
+
+    #[test]
+    fn chaos_off_engine_is_bit_identical_to_none() {
+        use vpsim_chaos::MemChaosConfig;
+        let cfg = MemoryConfig::default();
+        let mut plain = MemoryHierarchy::new(cfg, 11);
+        let mut off = MemoryHierarchy::new(cfg, 11);
+        off.set_chaos(Some(MemChaos::new(MemChaosConfig::off(), 11)));
+        for i in 0..64u64 {
+            assert_eq!(plain.read(i * 4096), off.read(i * 4096));
+            assert_eq!(plain.write(i * 64, i), off.write(i * 64, i));
+        }
+        assert_eq!(off.chaos_events(), ChaosEvents::default());
+        assert_eq!(plain.stats(), off.stats());
+    }
+
+    #[test]
+    fn chaos_is_deterministic_per_seed() {
+        use vpsim_chaos::MemChaosConfig;
+        let chaos_cfg = MemChaosConfig {
+            extra_dram_jitter: 40,
+            extra_l2_jitter: 6,
+            evict_prob: 0.2,
+            tlb_shootdown_prob: 0.05,
+        };
+        let run = |seed: u64| {
+            let mut m = MemoryHierarchy::new(MemoryConfig::default(), 3);
+            m.set_chaos(Some(MemChaos::new(chaos_cfg, seed)));
+            let lat: Vec<u64> = (0..256u64)
+                .map(|i| m.read((i % 32) * 4096).latency)
+                .collect();
+            (lat, m.chaos_events())
+        };
+        let (la, ea) = run(21);
+        let (lb, eb) = run(21);
+        assert_eq!(la, lb, "same chaos seed, same timings");
+        assert_eq!(ea, eb, "same chaos seed, same event log");
+        assert!(ea.total() > 0, "chaos must actually fire at these rates");
+        let (lc, ec) = run(22);
+        assert!(la != lc || ea != ec, "different chaos seed must differ");
+    }
+
+    #[test]
+    fn tlb_shootdown_flushes_translations() {
+        use vpsim_chaos::MemChaosConfig;
+        let mut m = MemoryHierarchy::new(MemoryConfig::deterministic(), 0);
+        m.set_chaos(Some(MemChaos::new(
+            MemChaosConfig {
+                tlb_shootdown_prob: 1.0,
+                ..MemChaosConfig::off()
+            },
+            0,
+        )));
+        m.read(0x10000);
+        m.read(0x10000);
+        let s = m.stats();
+        // Every access is preceded by a shootdown, so no TLB hit sticks.
+        assert_eq!(s.tlb_hits, 0, "shootdowns must keep the TLB cold");
+        assert_eq!(m.chaos_events().tlb_shootdowns, 2);
     }
 
     #[test]

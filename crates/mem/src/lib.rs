@@ -39,7 +39,7 @@ mod tlb;
 
 pub use backing::BackingStore;
 pub use cache::{Cache, CacheAccess, Eviction};
-pub use config::{CacheGeometry, MemoryConfig, PrefetchKind, ReplacementKind};
+pub use config::{CacheGeometry, ConfigError, MemoryConfig, PrefetchKind, ReplacementKind};
 pub use hierarchy::{AccessOutcome, HitLevel, MemoryHierarchy};
 pub use replacement::{Lru, RandomRepl, ReplacementPolicy, TreePlru};
 pub use stats::{CacheStats, MemoryStats};

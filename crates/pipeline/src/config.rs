@@ -2,6 +2,42 @@
 
 use vpsim_mem::Cycles;
 
+/// Why a core configuration is unusable. Returned by
+/// [`CoreConfig::validate`] so front ends can reject bad user input
+/// cleanly instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A pipeline width (`fetch_width`, `issue_width`, `commit_width`)
+    /// is zero.
+    ZeroWidth {
+        /// Which width field is zero.
+        field: &'static str,
+    },
+    /// The reorder buffer has fewer than 2 entries.
+    TinyRob {
+        /// The offending ROB size.
+        rob_entries: usize,
+    },
+    /// `max_cycles` is zero, so no program could ever run.
+    ZeroMaxCycles,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroWidth { field } => {
+                write!(f, "{field} must be at least 1")
+            }
+            ConfigError::TinyRob { rob_entries } => {
+                write!(f, "ROB needs at least 2 entries (got {rob_entries})")
+            }
+            ConfigError::ZeroMaxCycles => write!(f, "max_cycles must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Out-of-order core parameters.
 ///
 /// The defaults model a modest 4-wide core, comparable to the gem5 O3CPU
@@ -64,16 +100,29 @@ impl Default for CoreConfig {
 impl CoreConfig {
     /// Validate the configuration.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when any width or the ROB size is zero, or when
+    /// Fails when any width or the ROB size is too small, or when
     /// `max_cycles` is zero.
-    pub fn validate(&self) {
-        assert!(self.fetch_width >= 1, "fetch width must be at least 1");
-        assert!(self.issue_width >= 1, "issue width must be at least 1");
-        assert!(self.commit_width >= 1, "commit width must be at least 1");
-        assert!(self.rob_entries >= 2, "ROB needs at least 2 entries");
-        assert!(self.max_cycles >= 1, "max_cycles must be positive");
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for (field, value) in [
+            ("fetch width", self.fetch_width),
+            ("issue width", self.issue_width),
+            ("commit width", self.commit_width),
+        ] {
+            if value < 1 {
+                return Err(ConfigError::ZeroWidth { field });
+            }
+        }
+        if self.rob_entries < 2 {
+            return Err(ConfigError::TinyRob {
+                rob_entries: self.rob_entries,
+            });
+        }
+        if self.max_cycles < 1 {
+            return Err(ConfigError::ZeroMaxCycles);
+        }
+        Ok(())
     }
 
     /// The same configuration with the D-type defense enabled.
@@ -90,17 +139,43 @@ mod tests {
 
     #[test]
     fn default_is_valid() {
-        CoreConfig::default().validate();
+        CoreConfig::default().validate().unwrap();
     }
 
     #[test]
-    #[should_panic(expected = "ROB")]
     fn tiny_rob_rejected() {
-        CoreConfig {
+        let err = CoreConfig {
             rob_entries: 1,
             ..CoreConfig::default()
         }
-        .validate();
+        .validate()
+        .unwrap_err();
+        assert_eq!(err, ConfigError::TinyRob { rob_entries: 1 });
+        assert!(err.to_string().contains("ROB"));
+    }
+
+    #[test]
+    fn zero_widths_and_budget_rejected() {
+        let base = CoreConfig::default();
+        let err = CoreConfig {
+            issue_width: 0,
+            ..base
+        }
+        .validate()
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::ZeroWidth {
+                field: "issue width"
+            }
+        );
+        let err = CoreConfig {
+            max_cycles: 0,
+            ..base
+        }
+        .validate()
+        .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroMaxCycles);
     }
 
     #[test]

@@ -52,6 +52,7 @@
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap, HashMap, VecDeque};
 
+use vpsim_chaos::PipeChaos;
 use vpsim_isa::{Inst, Pc, Program, RegFile, NUM_REGS};
 use vpsim_mem::{Cycles, MemoryHierarchy};
 use vpsim_predictor::{LoadContext, ValuePredictor};
@@ -110,6 +111,11 @@ pub(crate) struct Executor<'a> {
     /// Loads (by seq) that missed without a prediction and still owe the
     /// VPS a training update when their data arrives.
     pending_train: HashMap<Seq, (LoadContext, u64)>,
+    /// The pipeline-side fault injector (spurious squashes), when a
+    /// noise plane is installed. Draws once per committed instruction,
+    /// a point the cycle-skipping scheduler reaches identically on
+    /// every schedule, so chaos runs stay bit-reproducible.
+    chaos: Option<&'a mut PipeChaos>,
 }
 
 impl<'a> Executor<'a> {
@@ -119,8 +125,11 @@ impl<'a> Executor<'a> {
         pid: u32,
         mem: &'a mut MemoryHierarchy,
         vp: &'a mut dyn ValuePredictor,
+        chaos: Option<&'a mut PipeChaos>,
     ) -> Executor<'a> {
-        config.validate();
+        if let Err(e) = config.validate() {
+            panic!("invalid core configuration: {e}");
+        }
         Executor {
             config,
             program,
@@ -152,6 +161,7 @@ impl<'a> Executor<'a> {
             halts_in_flight: 0,
             unresolved_branches: 0,
             pending_train: HashMap::new(),
+            chaos,
         }
     }
 
@@ -864,6 +874,20 @@ impl<'a> Executor<'a> {
                     self.rat[rd.index()] = None;
                 }
             }
+            if let Some(ch) = self.chaos.as_deref_mut() {
+                if ch.squash_fires() {
+                    // Spurious squash (context-switch model): the commit
+                    // survives — it is architectural — but every
+                    // in-flight younger instruction is discarded and the
+                    // front end stalls for the descheduled window on top
+                    // of the ordinary squash penalty.
+                    let penalty = ch.switch_penalty();
+                    self.stats.squashes += 1;
+                    self.squash_younger_than(e.seq, None);
+                    self.fetch_stall_until += penalty;
+                    return;
+                }
+            }
         }
     }
 }
@@ -888,5 +912,23 @@ pub fn run_program(
     mem: &mut MemoryHierarchy,
     vp: &mut dyn ValuePredictor,
 ) -> Result<RunResult, RunError> {
-    Executor::new(config, program, pid, mem, vp).run()
+    Executor::new(config, program, pid, mem, vp, None).run()
+}
+
+/// [`run_program`] with a pipeline-side fault injector attached. The
+/// injector's stream advances across calls, so successive programs on
+/// one machine see one continuous noise process.
+///
+/// # Errors
+///
+/// Same as [`run_program`].
+pub fn run_program_chaos(
+    config: CoreConfig,
+    program: &Program,
+    pid: u32,
+    mem: &mut MemoryHierarchy,
+    vp: &mut dyn ValuePredictor,
+    chaos: Option<&mut PipeChaos>,
+) -> Result<RunResult, RunError> {
+    Executor::new(config, program, pid, mem, vp, chaos).run()
 }

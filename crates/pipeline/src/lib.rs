@@ -52,7 +52,7 @@ mod executor;
 mod machine;
 mod result;
 
-pub use config::CoreConfig;
-pub use executor::run_program;
+pub use config::{ConfigError, CoreConfig};
+pub use executor::{run_program, run_program_chaos};
 pub use machine::Machine;
 pub use result::{CommitEvent, RunError, RunResult, RunStats, SchedStats};

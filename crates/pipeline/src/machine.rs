@@ -6,12 +6,13 @@
 //! cache state trained by one program is observable by the next — the
 //! substrate every attack in the paper builds on.
 
+use vpsim_chaos::{ChaosConfig, ChaosEvents, MemChaos, PipeChaos};
 use vpsim_isa::Program;
 use vpsim_mem::{MemoryConfig, MemoryHierarchy};
-use vpsim_predictor::ValuePredictor;
+use vpsim_predictor::{ChaoticPredictor, NoPredictor, ValuePredictor};
 
 use crate::config::CoreConfig;
-use crate::executor::run_program;
+use crate::executor::run_program_chaos;
 use crate::result::{RunError, RunResult};
 
 /// A simulated core plus its persistent memory system and VPS.
@@ -20,6 +21,10 @@ pub struct Machine {
     core: CoreConfig,
     mem: MemoryHierarchy,
     predictor: Box<dyn ValuePredictor>,
+    chaos: Option<PipeChaos>,
+    /// Whether a [`ChaoticPredictor`] wrapper has been installed (guards
+    /// against double wrapping on repeated `set_chaos` calls).
+    pred_chaos_installed: bool,
 }
 
 impl Machine {
@@ -33,12 +38,52 @@ impl Machine {
         predictor: Box<dyn ValuePredictor>,
         seed: u64,
     ) -> Machine {
-        core.validate();
+        if let Err(e) = core.validate() {
+            panic!("invalid core configuration: {e}");
+        }
         Machine {
             core,
             mem: MemoryHierarchy::new(mem_config, seed),
             predictor,
+            chaos: None,
+            pred_chaos_installed: false,
         }
+    }
+
+    /// Install the fault/noise-injection plane on this machine: memory,
+    /// pipeline and predictor injectors, each on its own domain-tagged
+    /// stream derived from `seed`. With [`ChaosConfig::off`] (or any
+    /// all-off config) nothing is installed and the machine stays
+    /// bit-identical to one that never saw this call.
+    ///
+    /// Install once, right after construction, before the first run —
+    /// the predictor injector wraps the current predictor stack.
+    pub fn set_chaos(&mut self, cfg: &ChaosConfig, seed: u64) {
+        if !cfg.mem.is_off() {
+            self.mem.set_chaos(Some(MemChaos::new(cfg.mem, seed)));
+        }
+        if !cfg.pipeline.is_off() {
+            self.chaos = Some(PipeChaos::new(cfg.pipeline, seed));
+        }
+        if !cfg.predictor.is_off() && !self.pred_chaos_installed {
+            let inner = std::mem::replace(&mut self.predictor, Box::new(NoPredictor::new()));
+            self.predictor = Box::new(ChaoticPredictor::new(inner, cfg.predictor, seed));
+            self.pred_chaos_installed = true;
+        }
+    }
+
+    /// The chaos event log: injected events across all three domains
+    /// since the plane was installed (all-zero when it never was).
+    #[must_use]
+    pub fn chaos_events(&self) -> ChaosEvents {
+        let mut events = self.mem.chaos_events();
+        if let Some(ch) = &self.chaos {
+            events.merge(ch.events());
+        }
+        if let Some(pred_events) = self.predictor.chaos_events() {
+            events.merge(&pred_events);
+        }
+        events
     }
 
     /// Run `program` as process `pid` to completion. Cache, TLB, memory
@@ -49,12 +94,13 @@ impl Machine {
     /// Propagates [`RunError`] when the program exceeds the cycle budget
     /// or control flow escapes the instruction stream.
     pub fn run(&mut self, pid: u32, program: &Program) -> Result<RunResult, RunError> {
-        run_program(
+        run_program_chaos(
             self.core,
             program,
             pid,
             &mut self.mem,
             self.predictor.as_mut(),
+            self.chaos.as_mut(),
         )
     }
 
@@ -116,6 +162,48 @@ mod tests {
         // Second run hits in cache: faster.
         let second = m.run(0, &p).unwrap();
         assert!(second.cycles < first.cycles, "warm run must be faster");
+    }
+
+    #[test]
+    fn chaos_level_zero_machine_is_bit_identical() {
+        let program = {
+            let mut b = ProgramBuilder::new();
+            b.li(Reg::R1, 0x1000).load(Reg::R2, Reg::R1, 0).halt();
+            b.build().unwrap()
+        };
+        let mut plain = machine(Box::new(Lvp::new(LvpConfig::default())));
+        let mut zeroed = machine(Box::new(Lvp::new(LvpConfig::default())));
+        zeroed.set_chaos(&ChaosConfig::level(0), 99);
+        for _ in 0..4 {
+            let a = plain.run(1, &program).unwrap();
+            let b = zeroed.run(1, &program).unwrap();
+            assert_eq!(a, b, "level 0 must not perturb anything");
+        }
+        assert_eq!(zeroed.chaos_events(), ChaosEvents::default());
+    }
+
+    #[test]
+    fn chaos_runs_are_seed_deterministic() {
+        let program = {
+            let mut b = ProgramBuilder::new();
+            b.li(Reg::R1, 0x1000);
+            for i in 0..16 {
+                b.load(Reg::R2, Reg::R1, i * 64);
+            }
+            b.halt();
+            b.build().unwrap()
+        };
+        let run = |seed: u64| {
+            let mut m = machine(Box::new(Lvp::new(LvpConfig::default())));
+            m.set_chaos(&ChaosConfig::level(3), seed);
+            let mut out = Vec::new();
+            for _ in 0..4 {
+                out.push(m.run(1, &program).unwrap());
+            }
+            (out, m.chaos_events())
+        };
+        assert_eq!(run(11), run(11), "same chaos seed, same behaviour");
+        assert_ne!(run(11), run(12), "chaos seed must matter at level 3");
     }
 
     #[test]

@@ -90,7 +90,7 @@ impl SchedStats {
 }
 
 /// The outcome of running a program to its `halt`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunResult {
     /// Cycle at which `halt` committed.
     pub cycles: Cycles,

@@ -43,6 +43,7 @@
 //! assert_eq!(vp.lookup(&ctx).unwrap().value, 7);
 //! ```
 
+mod chaos;
 mod defense;
 mod fcm;
 mod index;
@@ -52,6 +53,7 @@ mod stats;
 mod stride;
 mod vtage;
 
+pub use chaos::ChaoticPredictor;
 pub use defense::{AlwaysMode, AlwaysPredict, DefenseSpec, RandomWindow};
 pub use fcm::{Fcm, FcmConfig};
 pub use index::{IndexConfig, IndexKind};
@@ -114,6 +116,13 @@ pub trait ValuePredictor: std::fmt::Debug + Send {
 
     /// A short human-readable name for reports ("lvp", "vtage", ...).
     fn name(&self) -> &'static str;
+
+    /// Counters of injected predictor-chaos events, when this predictor
+    /// stack contains a fault-injection wrapper ([`ChaoticPredictor`]).
+    /// Plain predictors report `None`.
+    fn chaos_events(&self) -> Option<vpsim_chaos::ChaosEvents> {
+        None
+    }
 }
 
 /// A no-op predictor: never predicts. This is the paper's "no VP"
