@@ -26,7 +26,15 @@ cargo run --release -p vpsim-bench --bin bench_pipeline -- \
 cargo run --release -p vpsim-bench --bin bench_chaos -- \
     --quick --check BENCH_chaos.quick.json
 
-# Fuzz: malformed configs/programs must return typed errors, not panic.
+# Fuzz: malformed configs/programs must return typed errors, not panic,
+# and manifest record lines must round-trip bit-exactly while torn or
+# adversarial lines are rejected.
 cargo test --release -q -p vpsim-bench --test fuzz_validation
+
+# Torture (quick): kill/resume the reference campaign at >=20 seeded
+# interruption points, sweep seeded hostile sink-I/O fault plans
+# (including a simulated crash), and cancel a deliberately hung cell
+# within its hard deadline. Every path must converge bit-identically.
+cargo test --release -q -p vpsim-harness --test torture
 
 echo "ci: all checks passed"

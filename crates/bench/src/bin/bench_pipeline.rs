@@ -9,15 +9,24 @@
 //! bench_pipeline --check FILE            # compare against FILE: fail on
 //!                                        #   cycle drift or a >2x slowdown
 //! bench_pipeline --check FILE --max-slowdown 3
+//! bench_pipeline --deadline 300          # budget the whole matrix
+//! bench_pipeline --strict                # escalate warnings to failures
 //! ```
 //!
 //! Simulated cycle counts are bit-deterministic; `--check` therefore
 //! treats *any* cycle drift as an error (the scheduler must stay
 //! cycle-exact) and only tolerates wall-clock noise up to the slowdown
 //! factor.
+//!
+//! Unlike `repro`, this bin drives the executor directly rather than
+//! through the campaign engine, so `--deadline` is a *whole-matrix*
+//! wall budget checked after the sweep (an overrun warns, or fails the
+//! run under `--strict`) — it cannot cancel a workload mid-simulation.
+//! For cooperative per-job cancellation use `repro --deadline`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 use vpsim_bench::pipeline_bench::{check_against, parse_cells, render, run_matrix, to_json};
 
@@ -28,6 +37,8 @@ struct Args {
     baseline: Option<PathBuf>,
     check: Option<PathBuf>,
     max_slowdown: f64,
+    deadline: Option<Duration>,
+    strict: bool,
 }
 
 fn parse_from<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
@@ -54,6 +65,17 @@ fn parse_from<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
                     return Err("--max-slowdown must be >= 1".to_owned());
                 }
             }
+            "--deadline" => {
+                let v = value("--deadline", &mut it)?;
+                let secs: u64 = v
+                    .parse()
+                    .map_err(|_| format!("--deadline expects whole seconds, got `{v}`"))?;
+                if secs == 0 {
+                    return Err("--deadline must be positive".to_owned());
+                }
+                args.deadline = Some(Duration::from_secs(secs));
+            }
+            "--strict" => args.strict = true,
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -67,13 +89,43 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: bench_pipeline [--quick] [--out FILE] [--baseline FILE] \
-                 [--check FILE] [--max-slowdown X]"
+                 [--check FILE] [--max-slowdown X] [--deadline SECS] [--strict]"
             );
             return ExitCode::FAILURE;
         }
     };
+    let started = Instant::now();
     let report = run_matrix(args.quick);
     print!("{}", render(&report));
+
+    if let Some(budget) = args.deadline {
+        let elapsed = started.elapsed();
+        if elapsed > budget {
+            eprintln!(
+                "deadline: matrix took {elapsed:?}, over the {budget:?} budget{}",
+                if args.strict { "" } else { " (warning)" }
+            );
+            if args.strict {
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if args.strict {
+        let degenerate: Vec<&str> = report
+            .cells
+            .iter()
+            .filter(|c| c.cycles == 0 || c.wall_ns == 0)
+            .map(|c| c.workload.as_str())
+            .collect();
+        if !degenerate.is_empty() {
+            eprintln!(
+                "strict: {} cell(s) produced degenerate measurements: {}",
+                degenerate.len(),
+                degenerate.join(", ")
+            );
+            return ExitCode::FAILURE;
+        }
+    }
 
     if let Some(path) = &args.check {
         let baseline = match std::fs::read_to_string(path) {
@@ -135,4 +187,29 @@ fn main() -> ExitCode {
     }
     println!("wrote {}", out.display());
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        parse_from(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn parses_supervision_flags() {
+        let a = parse(&["--quick", "--deadline", "300", "--strict"]).unwrap();
+        assert!(a.quick);
+        assert!(a.strict);
+        assert_eq!(a.deadline, Some(Duration::from_secs(300)));
+        assert!(!parse(&["--quick"]).unwrap().strict);
+    }
+
+    #[test]
+    fn rejects_bad_deadlines() {
+        assert!(parse(&["--deadline", "0"]).is_err());
+        assert!(parse(&["--deadline", "soon"]).is_err());
+        assert!(parse(&["--deadline"]).is_err());
+    }
 }

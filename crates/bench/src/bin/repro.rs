@@ -12,6 +12,8 @@
 //! repro --table 3 --resume out/    # record/skip finished jobs in out/
 //! repro --bench                    # quick executor-throughput matrix
 //! repro --chaos 2                  # robustness sweep at noise level 2
+//! repro --table 3 --deadline 120   # hard-cancel any job past 120 s
+//! repro --all --strict             # exit nonzero on any degraded cell
 //! ```
 //!
 //! Evaluations run through the `vpsim-harness` campaign engine: results
@@ -20,9 +22,10 @@
 //! already recorded there.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use vpsim_bench::reports;
-use vpsim_harness::Exec;
+use vpsim_harness::{Exec, RunHealth};
 
 #[derive(Debug)]
 struct Args {
@@ -30,6 +33,10 @@ struct Args {
     items: Vec<Item>,
     csv_dir: Option<std::path::PathBuf>,
     exec: Exec,
+    /// Exit nonzero when any campaign ran degraded (quarantined or
+    /// panicked cells, deadline failures, torn manifest lines, injected
+    /// or real I/O faults).
+    strict: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +70,7 @@ const VALID_FIGURES: [u32; 6] = [2, 3, 4, 5, 7, 8];
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro [--trials N] [--jobs N] [--resume DIR] [--progress] [--csv DIR] \
+         [--deadline SECS] [--strict] \
          (--all | --table {{1|2|3}} | --figure {{2|3|4|5|7|8}} | --defenses | --ablations | \
          --performance | --bench | --chaos {{0..4}})..."
     );
@@ -78,6 +86,7 @@ fn parse_from<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
         items: Vec::new(),
         csv_dir: None,
         exec: Exec::default(),
+        strict: false,
     };
     let mut jobs_explicit = false;
     let mut it = argv.into_iter();
@@ -113,6 +122,19 @@ fn parse_from<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
                 args.exec.resume = Some(std::path::PathBuf::from(value("--resume", &mut it)?));
             }
             "--progress" => args.exec.progress = true,
+            "--deadline" => {
+                let v = value("--deadline", &mut it)?;
+                let secs: u64 = v
+                    .parse()
+                    .map_err(|_| format!("--deadline expects whole seconds, got `{v}`"))?;
+                if secs == 0 {
+                    return Err("--deadline 0 would cancel every job at its first \
+                                scheduler checkpoint"
+                        .to_owned());
+                }
+                args.exec.job_deadline = Some(std::time::Duration::from_secs(secs));
+            }
+            "--strict" => args.strict = true,
             "--csv" => {
                 args.csv_dir = Some(std::path::PathBuf::from(value("--csv", &mut it)?));
             }
@@ -236,13 +258,18 @@ fn trap<T>(f: impl FnOnce() -> T) -> Result<T, String> {
 }
 
 fn main() -> ExitCode {
-    let args = match parse_from(std::env::args().skip(1)) {
+    let mut args = match parse_from(std::env::args().skip(1)) {
         Ok(args) => args,
         Err(e) => {
             eprintln!("error: {e}");
             return usage();
         }
     };
+    let health = Arc::new(RunHealth::default());
+    if args.strict {
+        args.exec.health = Some(Arc::clone(&health));
+    }
+    let args = args;
     if let Some(dir) = &args.csv_dir {
         match trap(|| write_csvs(dir, args.trials, &args.exec)) {
             Ok(Ok(())) => {}
@@ -293,6 +320,10 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if args.strict && !health.is_clean() {
+        eprintln!("strict: run degraded ({})", health.summary());
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }
@@ -400,5 +431,25 @@ mod tests {
     fn progress_flag_sets_exec() {
         let a = parse(&["--all", "--progress"]).unwrap();
         assert!(a.exec.progress);
+    }
+
+    #[test]
+    fn deadline_flag_sets_hard_budget() {
+        let a = parse(&["--table", "3", "--deadline", "120"]).unwrap();
+        assert_eq!(
+            a.exec.job_deadline,
+            Some(std::time::Duration::from_secs(120))
+        );
+        let e = parse(&["--table", "3", "--deadline", "0"]).unwrap_err();
+        assert!(e.contains("--deadline 0"), "{e}");
+        let e = parse(&["--table", "3", "--deadline", "soon"]).unwrap_err();
+        assert!(e.contains("--deadline"), "{e}");
+    }
+
+    #[test]
+    fn strict_flag_parses() {
+        let a = parse(&["--all", "--strict"]).unwrap();
+        assert!(a.strict);
+        assert!(!parse(&["--all"]).unwrap().strict);
     }
 }

@@ -11,10 +11,26 @@ use std::fmt::Write as _;
 use vpsec::attacks::AttackCategory;
 use vpsec::experiment::{Channel, Evaluation, ExperimentConfig, PredictorKind};
 use vpsim_crypto::{leak_exponent, LeakConfig, Mpi};
-use vpsim_harness::{Campaign, CellSpec, Exec};
+use vpsim_harness::{Campaign, CampaignOutcome, CellSpec, Exec};
 use vpsim_predictor::DefenseSpec;
 
 use crate::reports;
+
+/// Append a `#`-comment footer when the campaign ran degraded (torn
+/// manifest lines recovered, I/O faults degraded around, timeouts), so
+/// a CSV produced by a damaged run carries its own provenance note.
+/// Clean runs append nothing and the CSV stays byte-identical.
+fn degradation_footer(outcome: &CampaignOutcome, out: &mut String) {
+    let s = &outcome.stats;
+    if s.torn_lines + s.io_faults + s.deadline_failed + s.panics > 0 {
+        let _ = writeln!(
+            out,
+            "# degraded run: {} torn line(s) recovered, {} I/O fault(s), \
+             {} deadline failure(s), {} panic(s)",
+            s.torn_lines, s.io_faults, s.deadline_failed, s.panics
+        );
+    }
+}
 
 /// Raw mapped/unmapped observations of one evaluation: one row per
 /// trial, `trial,case,cycles`.
@@ -72,6 +88,7 @@ pub fn figure_distributions_csv(
             }
         }
     }
+    degradation_footer(&outcome, &mut out);
     out
 }
 
@@ -102,6 +119,7 @@ pub fn table_iii_csv(cfg: &ExperimentConfig, exec: &Exec) -> String {
             );
         }
     }
+    degradation_footer(&outcome, &mut out);
     out
 }
 
@@ -149,6 +167,7 @@ pub fn window_sweep_csv(cfg: &ExperimentConfig, exec: &Exec) -> String {
             }
         }
     }
+    degradation_footer(&outcome, &mut out);
     out
 }
 

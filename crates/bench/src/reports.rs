@@ -47,6 +47,17 @@ fn verdict(p: f64) -> &'static str {
     }
 }
 
+/// Append a one-line supervision note when the campaign ran degraded:
+/// cancellations, deadline failures, torn manifest lines recovered on
+/// resume, or sink I/O faults degraded around. Clean runs add nothing,
+/// so golden report texts are unchanged.
+fn supervision_note(outcome: &CampaignOutcome, out: &mut String) {
+    let s = &outcome.stats;
+    if s.cancelled + s.deadline_failed + s.torn_lines + s.io_faults + s.panics > 0 {
+        let _ = writeln!(out, "  [supervision] {s}");
+    }
+}
+
 /// Fetch a cell's evaluation, or append a one-line quarantine note to the
 /// report and return `None` — one failed cell degrades its own row, not
 /// the whole report.
@@ -210,6 +221,7 @@ pub fn table_iii(trials: usize, exec: &Exec) -> String {
         out,
         "\n  (* = attack effective, p < 0.05; — = channel unsupported)"
     );
+    supervision_note(&outcome, &mut out);
     out
 }
 
@@ -452,6 +464,7 @@ fn distribution_figure(
             }
         }
     }
+    supervision_note(&outcome, &mut out);
     out
 }
 
@@ -662,6 +675,7 @@ pub fn defense_report(trials: usize, exec: &Exec) -> String {
             }
         }
     }
+    supervision_note(&outcome, &mut out);
     out
 }
 
@@ -980,6 +994,7 @@ pub fn ablation_report(trials: usize, exec: &Exec) -> String {
             verdict(tt.ttest.p_value),
         );
     }
+    supervision_note(&outcome, &mut out);
     out
 }
 

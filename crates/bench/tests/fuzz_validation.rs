@@ -6,6 +6,8 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
+use vpsec::experiment::{PairOutcome, TrialOutcome};
+use vpsim_harness::JobRecord;
 use vpsim_isa::{AluOp, BranchCond, ProgramBuilder, Reg};
 use vpsim_mem::{CacheGeometry, MemoryConfig, ReplacementKind};
 use vpsim_pipeline::CoreConfig;
@@ -174,6 +176,128 @@ fn malformed_programs_error_never_panic() {
         rejected > ITERATIONS / 4,
         "the generator should hit undefined labels / missing halts often (rejected {rejected})"
     );
+}
+
+/// A manifest record with fully random contents — including `f64` bit
+/// patterns that decode to NaN, infinities and subnormals, which the
+/// hex encoding must carry bit-exactly.
+fn fuzz_record(rng: &mut SmallRng) -> JobRecord {
+    let observed = |rng: &mut SmallRng| match rng.gen_range(0..4u32) {
+        0 => f64::from_bits(rng.next_u64()),
+        1 => f64::NAN,
+        2 => f64::INFINITY,
+        _ => rng.gen_f64() * 1e6,
+    };
+    JobRecord {
+        cell: rng.gen_range(0..1_000_000usize),
+        trial: rng.gen_range(0..1_000_000usize),
+        pair: PairOutcome {
+            mapped: TrialOutcome {
+                observed: observed(rng),
+                total_cycles: rng.next_u64(),
+            },
+            unmapped: TrialOutcome {
+                observed: observed(rng),
+                total_cycles: rng.next_u64(),
+            },
+        },
+        wall_nanos: rng.next_u64(),
+        attempts: rng.gen_range(1..100u64) as u32,
+    }
+}
+
+#[test]
+fn job_record_lines_round_trip_bit_exactly() {
+    let mut rng = SmallRng::seed_from_u64(0xf022_0004);
+    for i in 0..ITERATIONS {
+        let rec = fuzz_record(&mut rng);
+        let line = rec.to_line();
+        let case = format!("record #{i} ({line})");
+        let back = must_not_panic(&case, || JobRecord::parse(&line))
+            .unwrap_or_else(|| panic!("{case}: writer output must always parse"));
+        // Compare re-serialized lines: string equality is bit-exact for
+        // the f64 payloads (NaN != NaN under float comparison).
+        assert_eq!(back.to_line(), line, "{case}: lossy round-trip");
+    }
+}
+
+#[test]
+fn truncated_job_record_lines_are_rejected_never_panic() {
+    let mut rng = SmallRng::seed_from_u64(0xf022_0005);
+    for i in 0..ITERATIONS {
+        let line = fuzz_record(&mut rng).to_line();
+        // Every strict prefix models a torn tail from a killed writer;
+        // all of them must be cleanly rejected (the line is ASCII, so
+        // any byte offset is a char boundary).
+        let cut = rng.gen_range(0..line.len());
+        let torn = &line[..cut];
+        let case = format!("torn line #{i} (cut at {cut}: {torn:?})");
+        let parsed = must_not_panic(&case, || JobRecord::parse(torn));
+        assert!(
+            parsed.is_none(),
+            "{case}: a torn line must never be accepted"
+        );
+    }
+}
+
+#[test]
+fn adversarial_job_record_lines_never_panic_or_false_accept() {
+    let mut rng = SmallRng::seed_from_u64(0xf022_0006);
+    let keys = [
+        "cell", "trial", "m_obs", "m_cyc", "u_obs", "u_cyc", "wall_ns", "attempts",
+    ];
+    for i in 0..ITERATIONS {
+        let line = fuzz_record(&mut rng).to_line();
+        let (mutated, must_reject) = match rng.gen_range(0..5u32) {
+            // Bad hex in an observation field.
+            0 => (line.replacen("\"m_obs\":\"", "\"m_obs\":\"zz", 1), true),
+            // A numeric field replaced by garbage.
+            1 => {
+                let key = *rng.choose(&keys[..2]);
+                (
+                    line.replacen(&format!("\"{key}\":"), &format!("\"{key}\":x"), 1),
+                    true,
+                )
+            }
+            // A field removed entirely.
+            2 => {
+                let key = *rng.choose(&keys);
+                (line.replacen(&format!("\"{key}\""), "\"gone\"", 1), true)
+            }
+            // Duplicate key prepended: the parser must stay
+            // deterministic (first occurrence wins), not crash.
+            3 => (
+                format!("{{\"cell\":7,{}", line.trim_start_matches('{')),
+                false,
+            ),
+            // Random bytes spliced into the middle.
+            _ => {
+                let at = rng.gen_range(1..line.len());
+                let mut m = String::new();
+                m.push_str(&line[..at]);
+                m.push_str("\u{1}\"\\");
+                m.push_str(&line[at..]);
+                (m, false)
+            }
+        };
+        let case = format!("adversarial line #{i} ({mutated:?})");
+        let parsed = must_not_panic(&case, || JobRecord::parse(&mutated));
+        if must_reject {
+            assert!(
+                parsed.is_none(),
+                "{case}: malformed line must be rejected, got {parsed:?}"
+            );
+        } else {
+            // Accept or reject, but deterministically: parsing twice
+            // must agree (compare via the bit-exact line form).
+            let again = JobRecord::parse(&mutated);
+            assert_eq!(
+                parsed.map(JobRecord::to_line),
+                again.map(JobRecord::to_line),
+                "{case}: parse must be deterministic"
+            );
+        }
+    }
 }
 
 #[test]

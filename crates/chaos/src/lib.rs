@@ -30,6 +30,8 @@
 //!    instruction commit, predictor lookup/train) that occur identically
 //!    under the event-driven scheduler's cycle skipping.
 
+#![forbid(unsafe_code)]
+
 use vpsim_rng::{splitmix64, SmallRng};
 
 /// Domain-separation tags mixed into the master seed so the three

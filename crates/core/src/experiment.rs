@@ -11,7 +11,7 @@
 
 use vpsim_chaos::ChaosConfig;
 use vpsim_mem::MemoryConfig;
-use vpsim_pipeline::{CoreConfig, Machine};
+use vpsim_pipeline::{CancelToken, CoreConfig, Machine, RunError};
 use vpsim_predictor::{
     DefenseSpec, Fcm, FcmConfig, IndexConfig, Lvp, LvpConfig, NoPredictor, Oracle, Stride,
     StrideConfig, ValuePredictor, Vtage, VtageConfig,
@@ -131,6 +131,21 @@ impl Default for ExperimentConfig {
 /// shares the same machine seed.
 const CHAOS_SEED_SALT: u64 = 0xc4a0_5eed_0bad_f00d;
 
+/// A trial was abandoned because its [`CancelToken`] was tripped
+/// mid-run (watchdog deadline, campaign budget). Interruption is a
+/// supervision event, not a result: the trial produced no observation
+/// and may be retried on a fresh machine with identical seeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interrupted;
+
+impl std::fmt::Display for Interrupted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trial interrupted by cooperative cancellation")
+    }
+}
+
+impl std::error::Error for Interrupted {}
+
 /// The observation extracted from one trial.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrialOutcome {
@@ -227,6 +242,37 @@ pub fn run_trial_with_defense_seed(
     seed: u64,
     defense_seed: u64,
 ) -> TrialOutcome {
+    match run_trial_supervised(trial, predictor, cfg, seed, defense_seed, None) {
+        Ok(outcome) => outcome,
+        Err(Interrupted) => unreachable!("no cancel token was installed"),
+    }
+}
+
+/// [`run_trial_with_defense_seed`] under an optional [`CancelToken`].
+///
+/// The token is polled inside every step run at scheduler loop
+/// boundaries, so even a single hung program run is abandoned with
+/// bounded latency. An untripped token is result-neutral: the outcome
+/// is bit-identical to the unsupervised call.
+///
+/// # Errors
+///
+/// Returns [`Interrupted`] when `cancel` is tripped before the trial
+/// completes.
+///
+/// # Panics
+///
+/// Panics if a step program fails to run for any non-cancellation
+/// reason (cycle-limit or fetch errors indicate a malformed generator,
+/// which is a bug).
+pub fn run_trial_supervised(
+    trial: &Trial,
+    predictor: PredictorKind,
+    cfg: &ExperimentConfig,
+    seed: u64,
+    defense_seed: u64,
+    cancel: Option<&CancelToken>,
+) -> Result<TrialOutcome, Interrupted> {
     let mut core = cfg.core;
     core.delay_side_effects = core.delay_side_effects || cfg.defense.d_type;
     let vp = build_predictor(predictor, &cfg.setup, &cfg.defense, cfg.index, defense_seed);
@@ -234,6 +280,15 @@ pub fn run_trial_with_defense_seed(
     if !cfg.chaos.is_off() {
         machine.set_chaos(&cfg.chaos, seed ^ CHAOS_SEED_SALT);
     }
+    if let Some(token) = cancel {
+        machine.set_cancel(token.clone());
+    }
+    let run =
+        |machine: &mut Machine, pid: u32, program, label: &str| match machine.run(pid, program) {
+            Ok(result) => Ok(result),
+            Err(RunError::Cancelled { .. }) => Err(Interrupted),
+            Err(e) => panic!("step `{label}` failed: {e}"),
+        };
     for (addr, value) in &trial.memory_init {
         machine.mem_mut().store_value(*addr, *value);
     }
@@ -243,9 +298,7 @@ pub fn run_trial_with_defense_seed(
     for (i, step) in trial.steps.iter().enumerate() {
         let mut last_window = None;
         for _ in 0..step.repeat {
-            let result = machine
-                .run(step.party.pid(), &step.program)
-                .unwrap_or_else(|e| panic!("step `{}` failed: {e}", step.label));
+            let result = run(&mut machine, step.party.pid(), &step.program, step.label)?;
             total_cycles += result.cycles;
             last_window = result.timing_windows().first().copied();
         }
@@ -255,15 +308,15 @@ pub fn run_trial_with_defense_seed(
         // A third process gets scheduled between the attack's steps.
         if let Some(noise) = &noise {
             if i + 1 < trial.steps.len() {
-                let r = machine.run(3, noise).expect("noise program runs");
+                let r = run(&mut machine, 3, noise, "background noise")?;
                 total_cycles += r.cycles;
             }
         }
     }
-    TrialOutcome {
+    Ok(TrialOutcome {
         observed,
         total_cycles,
-    }
+    })
 }
 
 /// The background process: sweeps its own working set with flushed
@@ -448,22 +501,48 @@ impl CellPlan {
     /// bug).
     #[must_use]
     pub fn run_pair(&self, t: usize) -> PairOutcome {
+        match self.run_pair_supervised(t, None) {
+            Ok(pair) => pair,
+            Err(Interrupted) => unreachable!("no cancel token was installed"),
+        }
+    }
+
+    /// [`CellPlan::run_pair`] under an optional [`CancelToken`]: the
+    /// worker pool's watchdog can abandon a hung pair mid-simulation.
+    /// Seeds are unchanged, so a retried pair reproduces the original
+    /// bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Interrupted`] when `cancel` is tripped before both
+    /// arms complete.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a step program fails for any non-cancellation reason.
+    pub fn run_pair_supervised(
+        &self,
+        t: usize,
+        cancel: Option<&CancelToken>,
+    ) -> Result<PairOutcome, Interrupted> {
         let base = self.trial_seed(t);
-        let mapped = run_trial_with_defense_seed(
+        let mapped = run_trial_supervised(
             &self.mapped_trial,
             self.predictor,
             &self.cfg,
             base,
             base ^ 0x5ee3,
-        );
-        let unmapped = run_trial_with_defense_seed(
+            cancel,
+        )?;
+        let unmapped = run_trial_supervised(
             &self.unmapped_trial,
             self.predictor,
             &self.cfg,
             base,
             base ^ 0x0def_5eed,
-        );
-        PairOutcome { mapped, unmapped }
+            cancel,
+        )?;
+        Ok(PairOutcome { mapped, unmapped })
     }
 
     /// Reduce the pairs — in trial order — into the cell's
@@ -654,6 +733,31 @@ mod tests {
             serial.ttest.p_value.to_bits()
         );
         assert_eq!(parallel.rate_kbps.to_bits(), serial.rate_kbps.to_bits());
+    }
+
+    #[test]
+    fn supervised_pair_matches_unsupervised_and_interrupts_cleanly() {
+        let cfg = quick_cfg();
+        let plan = CellPlan::new(
+            AttackCategory::TrainTest,
+            Channel::TimingWindow,
+            PredictorKind::Lvp,
+            &cfg,
+        )
+        .unwrap();
+        let plain = plan.run_pair(3);
+        let token = CancelToken::new();
+        let supervised = plan.run_pair_supervised(3, Some(&token)).unwrap();
+        assert_eq!(
+            plain, supervised,
+            "an untripped token must be result-neutral"
+        );
+        token.cancel();
+        assert_eq!(
+            plan.run_pair_supervised(3, Some(&token)),
+            Err(Interrupted),
+            "a tripped token must abandon the pair"
+        );
     }
 
     #[test]

@@ -2,6 +2,8 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use vpsec::attacks::AttackCategory;
@@ -10,6 +12,7 @@ use vpsec::experiment::{
 };
 
 use crate::exec::Exec;
+use crate::io::{RealIo, SinkIo};
 use crate::pool::{self, JobFailure, PoolStats};
 use crate::sink::{JobRecord, Manifest};
 
@@ -59,6 +62,15 @@ pub enum CellError {
         /// The panic message.
         message: String,
     },
+    /// A job of the cell was cancelled by the watchdog on its final
+    /// attempt (hard [`Exec::job_deadline`](crate::Exec) or campaign
+    /// deadline budget exhausted).
+    JobTimedOut {
+        /// Trial index of the cancelled job.
+        trial: usize,
+        /// Attempts consumed before giving up.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for CellError {
@@ -66,6 +78,13 @@ impl fmt::Display for CellError {
         match self {
             CellError::JobPanicked { trial, message } => {
                 write!(f, "trial {trial} panicked: {message}")
+            }
+            CellError::JobTimedOut { trial, attempts } => {
+                write!(
+                    f,
+                    "trial {trial} exceeded its deadline and was cancelled \
+                     after {attempts} attempt(s)"
+                )
             }
         }
     }
@@ -119,6 +138,20 @@ pub struct CampaignStats {
     pub quarantined_cycles: usize,
     /// Jobs that panicked.
     pub panics: usize,
+    /// Watchdog cancellations delivered (hard-deadline or campaign
+    /// budget trips observed by a running attempt).
+    pub cancelled: usize,
+    /// Cancelled attempts re-queued with exponential backoff.
+    pub backoff_retries: usize,
+    /// Jobs that permanently failed as timed out (cancelled on their
+    /// final attempt or drained after the campaign deadline).
+    pub deadline_failed: usize,
+    /// Torn manifest lines dropped while resuming (interrupted writes;
+    /// the affected jobs re-ran).
+    pub torn_lines: usize,
+    /// Sink I/O failures observed and degraded around (spilled or
+    /// append-only fallback) instead of aborting.
+    pub io_faults: usize,
     /// Wall time of this run.
     pub wall_time: Duration,
     /// Simulated cycles over all completed jobs (resumed included).
@@ -143,7 +176,84 @@ impl fmt::Display for CampaignStats {
                 self.quarantined_wall, self.retries, self.quarantined_cycles, self.panics
             )?;
         }
+        if self.cancelled + self.backoff_retries + self.deadline_failed > 0 {
+            write!(
+                f,
+                "; {} cancelled ({} backoff-retried, {} deadline-failed)",
+                self.cancelled, self.backoff_retries, self.deadline_failed
+            )?;
+        }
+        if self.torn_lines + self.io_faults > 0 {
+            write!(
+                f,
+                "; {} torn line(s) recovered, {} I/O fault(s) degraded",
+                self.torn_lines, self.io_faults
+            )?;
+        }
         Ok(())
+    }
+}
+
+/// A shared, cross-campaign health ledger for `--strict` runs: every
+/// campaign executed with [`Exec::health`](crate::Exec) set folds its
+/// anomaly counters in here, and the report bins exit nonzero when the
+/// ledger is dirty.
+///
+/// "Dirty" means the run's *scientific output* is degraded or partial:
+/// a failed (quarantined) cell, a panic, a timeout, or manifest state
+/// recovered from torn lines / spilled past I/O faults. Soft wall
+/// quarantines that still produced a result are not counted — they are
+/// an operational detail, not a result defect.
+#[derive(Debug, Default)]
+pub struct RunHealth {
+    /// Cells that failed permanently (panicked or timed out).
+    pub failed_cells: AtomicU64,
+    /// Jobs that panicked.
+    pub panics: AtomicU64,
+    /// Jobs that permanently timed out.
+    pub deadline_failed: AtomicU64,
+    /// Torn manifest lines recovered on resume.
+    pub torn_lines: AtomicU64,
+    /// Sink I/O faults degraded around.
+    pub io_faults: AtomicU64,
+}
+
+impl RunHealth {
+    /// Fold one campaign's outcome into the ledger.
+    pub fn absorb(&self, stats: &CampaignStats, failed_cells: u64) {
+        self.failed_cells.fetch_add(failed_cells, Ordering::Relaxed);
+        self.panics
+            .fetch_add(stats.panics as u64, Ordering::Relaxed);
+        self.deadline_failed
+            .fetch_add(stats.deadline_failed as u64, Ordering::Relaxed);
+        self.torn_lines
+            .fetch_add(stats.torn_lines as u64, Ordering::Relaxed);
+        self.io_faults
+            .fetch_add(stats.io_faults as u64, Ordering::Relaxed);
+    }
+
+    /// Whether every absorbed campaign ran with a clean bill of health.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.failed_cells.load(Ordering::Relaxed) == 0
+            && self.panics.load(Ordering::Relaxed) == 0
+            && self.deadline_failed.load(Ordering::Relaxed) == 0
+            && self.torn_lines.load(Ordering::Relaxed) == 0
+            && self.io_faults.load(Ordering::Relaxed) == 0
+    }
+
+    /// A one-line human summary of the ledger.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{} failed cell(s), {} panic(s), {} deadline failure(s), \
+             {} torn line(s), {} I/O fault(s)",
+            self.failed_cells.load(Ordering::Relaxed),
+            self.panics.load(Ordering::Relaxed),
+            self.deadline_failed.load(Ordering::Relaxed),
+            self.torn_lines.load(Ordering::Relaxed),
+            self.io_faults.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -376,7 +486,19 @@ impl Campaign {
         let fingerprint = self.fingerprint();
         let jobs_total = self.num_jobs();
         let manifest = match &exec.resume {
-            Some(dir) => Some(Manifest::open(dir, &self.name, fingerprint, jobs_total)?),
+            Some(dir) => {
+                let io: Arc<dyn SinkIo> = exec
+                    .sink_io
+                    .clone()
+                    .unwrap_or_else(|| Arc::new(RealIo) as Arc<dyn SinkIo>);
+                Some(Manifest::open(
+                    dir,
+                    &self.name,
+                    fingerprint,
+                    jobs_total,
+                    io,
+                )?)
+            }
             None => None,
         };
         let resumed: HashMap<(usize, usize), JobRecord> = manifest
@@ -453,6 +575,13 @@ impl Campaign {
                         });
                         break;
                     }
+                    Some(Err(JobFailure::Deadline { attempts })) => {
+                        error = Some(CellError::JobTimedOut {
+                            trial,
+                            attempts: *attempts,
+                        });
+                        break;
+                    }
                     None => unreachable!("pending job {index} has no result"),
                 }
             }
@@ -469,22 +598,29 @@ impl Campaign {
             });
         }
 
+        let failed_cells = cells_out
+            .iter()
+            .filter(|c| matches!(c.outcome, CellOutcome::Failed(_)))
+            .count() as u64;
         let stats = CampaignStats {
             jobs_total,
-            jobs_run: stats.jobs_run.load(std::sync::atomic::Ordering::Relaxed) as usize,
+            jobs_run: stats.jobs_run.load(Ordering::Relaxed) as usize,
             jobs_resumed: resumed.len(),
-            retries: stats.retries.load(std::sync::atomic::Ordering::Relaxed) as usize,
-            quarantined_wall: stats
-                .quarantined_wall
-                .load(std::sync::atomic::Ordering::Relaxed) as usize,
-            quarantined_cycles: stats
-                .quarantined_cycles
-                .load(std::sync::atomic::Ordering::Relaxed)
-                as usize,
-            panics: stats.panics.load(std::sync::atomic::Ordering::Relaxed) as usize,
+            retries: stats.retries.load(Ordering::Relaxed) as usize,
+            quarantined_wall: stats.quarantined_wall.load(Ordering::Relaxed) as usize,
+            quarantined_cycles: stats.quarantined_cycles.load(Ordering::Relaxed) as usize,
+            panics: stats.panics.load(Ordering::Relaxed) as usize,
+            cancelled: stats.cancelled.load(Ordering::Relaxed) as usize,
+            backoff_retries: stats.backoff_retries.load(Ordering::Relaxed) as usize,
+            deadline_failed: stats.deadline_failed.load(Ordering::Relaxed) as usize,
+            torn_lines: manifest.as_ref().map_or(0, Manifest::torn_lines),
+            io_faults: manifest.as_ref().map_or(0, Manifest::io_faults),
             wall_time: started.elapsed(),
             sim_cycles,
         };
+        if let Some(health) = &exec.health {
+            health.absorb(&stats, failed_cells);
+        }
         if exec.progress {
             eprintln!("[{}] done: {stats}", self.name);
         }

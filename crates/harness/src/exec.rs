@@ -1,14 +1,30 @@
 //! Execution policy for a campaign run.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
+use crate::campaign::RunHealth;
+use crate::io::SinkIo;
+
 /// How a [`Campaign`](crate::Campaign) executes: worker count, resume
-/// directory, observability, and the watchdog budgets.
+/// directory, observability, the watchdog budgets, and the supervision
+/// plane (hard deadlines, backoff, sink I/O).
 ///
 /// The execution policy never changes *what* a campaign computes — only
 /// how fast, how observably, and how fault-tolerantly. Results are
 /// bitwise-identical for every `jobs` value.
+///
+/// Two distinct overrun planes coexist:
+///
+/// * **soft** ([`Exec::job_wall_budget`]): the job is left to finish,
+///   its result is discarded, and it is retried — the legacy
+///   quarantine path, right when overruns are mild host contention;
+/// * **hard** ([`Exec::job_deadline`]): the watchdog trips the job's
+///   [`CancelToken`](vpsim_pipeline::CancelToken) mid-simulation, so a
+///   genuinely hung job is abandoned with bounded latency. Retried
+///   attempts get a doubled deadline ([`Exec::retry_backoff`] spacing);
+///   a cancelled final attempt fails the cell as timed out.
 #[derive(Debug, Clone)]
 pub struct Exec {
     /// Worker threads. `1` runs jobs inline on the calling thread;
@@ -21,18 +37,42 @@ pub struct Exec {
     pub resume: Option<PathBuf>,
     /// Print live progress/throughput lines to stderr.
     pub progress: bool,
-    /// Wall-clock budget per job. A job still running past the budget is
-    /// quarantined: its eventual result is discarded and the job is
-    /// retried (the overrun may be host contention), up to
+    /// Wall-clock budget per job (soft). A job still running past the
+    /// budget is quarantined: its eventual result is discarded and the
+    /// job is retried (the overrun may be host contention), up to
     /// [`Exec::max_retries`] times; the final attempt's result is used
     /// regardless, since job outputs are deterministic.
     pub job_wall_budget: Duration,
-    /// Retries granted to wall-budget-quarantined jobs.
+    /// Retries granted to wall-budget-quarantined and
+    /// deadline-cancelled jobs.
     pub max_retries: u32,
     /// Simulated-cycle budget per job. A job whose pair consumes more
     /// simulated cycles is flagged as a runaway in the campaign stats
     /// (cycle counts are deterministic, so it is never retried).
     pub cycle_budget: u64,
+    /// Hard per-job deadline. When set, the watchdog trips the running
+    /// attempt's cancel token once it exceeds `deadline << attempt`
+    /// (doubling per retry), aborting the simulation mid-run instead of
+    /// waiting for it. `None` (the default) keeps the legacy
+    /// quarantine-on-completion behaviour only.
+    pub job_deadline: Option<Duration>,
+    /// Per-campaign wall-clock budget. When exceeded, the watchdog
+    /// cancels every in-flight job and the remaining queue drains as
+    /// timed-out failures — the campaign still returns a complete
+    /// (partially failed) outcome rather than hanging.
+    pub campaign_deadline: Option<Duration>,
+    /// Base spacing for deadline-retry backoff: attempt `k` is held
+    /// back `retry_backoff * 2^k` before re-entering the queue.
+    pub retry_backoff: Duration,
+    /// The sink I/O plane the manifest writes through. `None` uses the
+    /// real filesystem; the torture suite injects a
+    /// [`FaultyIo`](crate::FaultyIo) here.
+    pub sink_io: Option<Arc<dyn SinkIo>>,
+    /// When set, the campaign folds its end-of-run health counters
+    /// (quarantines, panics, timeouts, torn lines, I/O faults) into
+    /// this shared ledger — the `--strict` flag of the report bins
+    /// checks it after running every table.
+    pub health: Option<Arc<RunHealth>>,
 }
 
 impl Default for Exec {
@@ -44,6 +84,11 @@ impl Default for Exec {
             job_wall_budget: Duration::from_secs(60),
             max_retries: 1,
             cycle_budget: u64::MAX,
+            job_deadline: None,
+            campaign_deadline: None,
+            retry_backoff: Duration::from_millis(25),
+            sink_io: None,
+            health: None,
         }
     }
 }
@@ -67,6 +112,22 @@ impl Exec {
             self.jobs
         }
     }
+
+    /// The hard deadline granted to attempt `attempt` (zero-based):
+    /// [`Exec::job_deadline`] doubled per retry, saturating. `None`
+    /// when no hard deadline is configured.
+    #[must_use]
+    pub fn deadline_for_attempt(&self, attempt: u32) -> Option<Duration> {
+        let base = self.job_deadline?;
+        Some(base.saturating_mul(1u32 << attempt.min(16)))
+    }
+
+    /// The backoff delay before re-queueing attempt `attempt`
+    /// (zero-based attempt number of the attempt *about to run*).
+    #[must_use]
+    pub fn backoff_for_attempt(&self, attempt: u32) -> Duration {
+        self.retry_backoff.saturating_mul(1u32 << attempt.min(16))
+    }
 }
 
 #[cfg(test)]
@@ -79,10 +140,38 @@ mod tests {
         assert_eq!(e.jobs, 1);
         assert_eq!(e.effective_jobs(), 1);
         assert!(e.resume.is_none());
+        assert!(e.job_deadline.is_none());
+        assert!(e.campaign_deadline.is_none());
+        assert!(e.sink_io.is_none());
+        assert!(e.health.is_none());
     }
 
     #[test]
     fn zero_jobs_resolves_to_at_least_one() {
         assert!(Exec::parallel().effective_jobs() >= 1);
+    }
+
+    #[test]
+    fn deadlines_double_per_attempt_and_saturate() {
+        let e = Exec {
+            job_deadline: Some(Duration::from_millis(100)),
+            ..Exec::default()
+        };
+        assert_eq!(e.deadline_for_attempt(0), Some(Duration::from_millis(100)));
+        assert_eq!(e.deadline_for_attempt(1), Some(Duration::from_millis(200)));
+        assert_eq!(e.deadline_for_attempt(2), Some(Duration::from_millis(400)));
+        // Huge attempt numbers must not overflow.
+        assert!(e.deadline_for_attempt(u32::MAX).is_some());
+        assert_eq!(Exec::default().deadline_for_attempt(0), None);
+    }
+
+    #[test]
+    fn backoff_doubles_per_attempt() {
+        let e = Exec {
+            retry_backoff: Duration::from_millis(10),
+            ..Exec::default()
+        };
+        assert_eq!(e.backoff_for_attempt(0), Duration::from_millis(10));
+        assert_eq!(e.backoff_for_attempt(3), Duration::from_millis(80));
     }
 }

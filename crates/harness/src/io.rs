@@ -1,0 +1,416 @@
+//! The sink I/O plane: a narrow filesystem trait behind the manifest,
+//! with a real implementation and a seeded fault-injecting one.
+//!
+//! Every byte the campaign engine persists flows through [`SinkIo`].
+//! That makes the crash-safety claims in `sink.rs` *testable*: the
+//! torture suite swaps in a [`FaultyIo`] whose short writes, ENOSPC
+//! returns, silent fsync failures, torn renames and delayed flushes are
+//! all drawn from a seeded [`SmallRng`] stream — the same hostile disk
+//! can be replayed bit-for-bit, and a `crash()` reverts the in-memory
+//! filesystem to exactly what a kill at that point would have left
+//! durable.
+//!
+//! The fault model mirrors POSIX reality:
+//!
+//! * `write(2)` may persist a **prefix** of the buffer and then fail
+//!   (short write → torn JSONL line on the next read);
+//! * the filesystem may return **ENOSPC** with nothing persisted;
+//! * `fsync(2)` may fail after the page cache accepted the data — the
+//!   live file looks fine but a crash loses the tail;
+//! * a **rename** may be visible in the live namespace yet not durable
+//!   until the directory itself is synced (torn rename: a crash brings
+//!   the old file back);
+//! * a flush may simply be **delayed**: successful write, durable only
+//!   after some later successful sync.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::OpenOptions;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use vpsim_rng::SmallRng;
+
+/// The filesystem operations the JSONL sink and manifest writer need —
+/// deliberately narrow so a fault injector can cover all of them.
+///
+/// Implementations must be thread-safe: the worker pool appends from
+/// many threads through one shared handle.
+pub trait SinkIo: Send + Sync + fmt::Debug {
+    /// Create `dir` and its parents.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying (or injected) I/O failure.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+
+    /// Whether `path` exists in the live namespace.
+    fn exists(&self, path: &Path) -> bool;
+
+    /// Read the full contents of `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying (or injected) I/O failure.
+    fn read(&self, path: &Path) -> io::Result<String>;
+
+    /// Atomically replace `path` with `contents`: write a temp file,
+    /// sync it, rename it over `path`. A crash during the replace must
+    /// leave either the old or the new contents, never a mix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying (or injected) I/O failure.
+    fn replace(&self, path: &Path, contents: &str) -> io::Result<()>;
+
+    /// Append `data` to `path` (creating it if needed), flush, and sync.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying (or injected) I/O failure; a failed
+    /// append may still have persisted a prefix of `data` (short write).
+    fn append(&self, path: &Path, data: &str) -> io::Result<()>;
+
+    /// Remove `path`, succeeding if it does not exist.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying (or injected) I/O failure.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+}
+
+/// The real filesystem.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealIo;
+
+impl SinkIo for RealIo {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn read(&self, path: &Path) -> io::Result<String> {
+        std::fs::read_to_string(path)
+    }
+
+    fn replace(&self, path: &Path, contents: &str) -> io::Result<()> {
+        let tmp_path = path.with_extension("jsonl.tmp");
+        {
+            let tmp = OpenOptions::new()
+                .create(true)
+                .truncate(true)
+                .write(true)
+                .open(&tmp_path)?;
+            let mut writer = io::BufWriter::new(tmp);
+            writer.write_all(contents.as_bytes())?;
+            writer.flush()?;
+            writer.get_ref().sync_data()?;
+        }
+        std::fs::rename(&tmp_path, path)
+    }
+
+    fn append(&self, path: &Path, data: &str) -> io::Result<()> {
+        let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+        file.write_all(data.as_bytes())?;
+        file.sync_data()
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        match std::fs::remove_file(path) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            other => other,
+        }
+    }
+}
+
+/// Per-operation fault probabilities for [`FaultyIo`], each in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the fault stream; same plan + same seed → same faults.
+    pub seed: u64,
+    /// An append persists only a prefix of the data, then errors.
+    pub short_write: f64,
+    /// An append or replace fails with ENOSPC, persisting nothing.
+    pub enospc: f64,
+    /// An append lands in the live file but the sync *reports failure*
+    /// and durability is not achieved until a later successful append.
+    pub fsync_fail: f64,
+    /// A replace is visible live but not durable: a crash reverts it.
+    pub torn_replace: f64,
+    /// An append succeeds but its durability is silently delayed until
+    /// a later successful append syncs the file.
+    pub delayed_flush: f64,
+}
+
+impl FaultPlan {
+    /// No faults at all — [`FaultyIo`] degenerates to an in-memory
+    /// filesystem (useful as a control arm).
+    #[must_use]
+    pub fn quiet(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            short_write: 0.0,
+            enospc: 0.0,
+            fsync_fail: 0.0,
+            torn_replace: 0.0,
+            delayed_flush: 0.0,
+        }
+    }
+
+    /// A hostile-but-survivable disk: every fault class enabled at
+    /// rates high enough that a campaign of a few hundred appends is
+    /// guaranteed to see several of each.
+    #[must_use]
+    pub fn hostile(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            short_write: 0.05,
+            enospc: 0.05,
+            fsync_fail: 0.05,
+            torn_replace: 0.25,
+            delayed_flush: 0.10,
+        }
+    }
+}
+
+/// One file in the injected filesystem: what a reader sees now, and
+/// what a crash would leave behind.
+#[derive(Debug, Default, Clone)]
+struct FaultyFile {
+    live: String,
+    durable: String,
+}
+
+#[derive(Debug)]
+struct FaultyState {
+    rng: SmallRng,
+    files: HashMap<PathBuf, FaultyFile>,
+}
+
+/// A deterministic fault-injecting in-memory filesystem.
+///
+/// All faults are drawn from one seeded stream, so a given
+/// [`FaultPlan`] replays identically. [`FaultyIo::crash`] models a
+/// kill: the live namespace reverts to the durable snapshot, exactly
+/// as a machine losing power would observe after remount.
+#[derive(Debug)]
+pub struct FaultyIo {
+    plan: FaultPlan,
+    state: Mutex<FaultyState>,
+    faults: AtomicU64,
+}
+
+impl FaultyIo {
+    /// An empty injected filesystem driven by `plan`.
+    #[must_use]
+    pub fn new(plan: FaultPlan) -> FaultyIo {
+        FaultyIo {
+            plan,
+            state: Mutex::new(FaultyState {
+                rng: SmallRng::seed_from_u64(plan.seed),
+                files: HashMap::new(),
+            }),
+            faults: AtomicU64::new(0),
+        }
+    }
+
+    /// Simulate a kill/power-loss: every file reverts to its durable
+    /// contents; non-durable appends and torn renames are rolled back.
+    pub fn crash(&self) {
+        let mut state = self.state.lock().expect("faulty io poisoned");
+        for file in state.files.values_mut() {
+            file.live = file.durable.clone();
+        }
+        state.files.retain(|_, f| !f.live.is_empty());
+    }
+
+    /// Faults injected so far, across all operations.
+    #[must_use]
+    pub fn faults_injected(&self) -> u64 {
+        self.faults.load(Ordering::Relaxed)
+    }
+
+    /// The live contents of `path` (empty if absent) — test inspection.
+    #[must_use]
+    pub fn live_contents(&self, path: &Path) -> String {
+        let state = self.state.lock().expect("faulty io poisoned");
+        state
+            .files
+            .get(path)
+            .map(|f| f.live.clone())
+            .unwrap_or_default()
+    }
+
+    fn inject(&self) -> u64 {
+        self.faults.fetch_add(1, Ordering::Relaxed) + 1
+    }
+}
+
+fn injected(what: &str) -> io::Error {
+    io::Error::other(format!("injected fault: {what}"))
+}
+
+impl SinkIo for FaultyIo {
+    fn create_dir_all(&self, _dir: &Path) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        let state = self.state.lock().expect("faulty io poisoned");
+        state.files.contains_key(path)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<String> {
+        let state = self.state.lock().expect("faulty io poisoned");
+        state
+            .files
+            .get(path)
+            .map(|f| f.live.clone())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("{}", path.display())))
+    }
+
+    fn replace(&self, path: &Path, contents: &str) -> io::Result<()> {
+        let mut state = self.state.lock().expect("faulty io poisoned");
+        if state.rng.gen_bool(self.plan.enospc) {
+            self.inject();
+            return Err(injected("ENOSPC during replace"));
+        }
+        let torn = state.rng.gen_bool(self.plan.torn_replace);
+        let file = state.files.entry(path.to_path_buf()).or_default();
+        file.live = contents.to_owned();
+        if torn {
+            // Rename visible but directory not synced: a crash reverts
+            // to the old contents. The rename itself "succeeded".
+            self.inject();
+        } else {
+            file.durable = contents.to_owned();
+        }
+        Ok(())
+    }
+
+    fn append(&self, path: &Path, data: &str) -> io::Result<()> {
+        let mut state = self.state.lock().expect("faulty io poisoned");
+        if state.rng.gen_bool(self.plan.enospc) {
+            self.inject();
+            return Err(injected("ENOSPC during append"));
+        }
+        if state.rng.gen_bool(self.plan.short_write) {
+            // A prefix lands in the live file (and survives a crash —
+            // the partial page made it out) before the error surfaces.
+            let cut = state.rng.gen_range(0..data.len().max(1) as u64) as usize;
+            let file = state.files.entry(path.to_path_buf()).or_default();
+            file.live.push_str(&data[..cut]);
+            file.durable.clone_from(&file.live);
+            self.inject();
+            return Err(injected("short write during append"));
+        }
+        let fsync_fail = state.rng.gen_bool(self.plan.fsync_fail);
+        let delayed = state.rng.gen_bool(self.plan.delayed_flush);
+        let file = state.files.entry(path.to_path_buf()).or_default();
+        file.live.push_str(data);
+        if fsync_fail {
+            // Data accepted, sync reported failure: live is ahead of
+            // durable and the caller is told.
+            self.inject();
+            return Err(injected("fsync failure after append"));
+        }
+        if delayed {
+            // Silent: success returned, durability deferred to the next
+            // synced append.
+            self.inject();
+            return Ok(());
+        }
+        // A successful sync makes everything buffered so far durable.
+        file.durable.clone_from(&file.live);
+        Ok(())
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        let mut state = self.state.lock().expect("faulty io poisoned");
+        state.files.remove(path);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(name: &str) -> PathBuf {
+        PathBuf::from(name)
+    }
+
+    #[test]
+    fn quiet_plan_is_a_plain_filesystem() {
+        let fio = FaultyIo::new(FaultPlan::quiet(1));
+        fio.append(&p("a"), "one\n").unwrap();
+        fio.append(&p("a"), "two\n").unwrap();
+        assert_eq!(fio.read(&p("a")).unwrap(), "one\ntwo\n");
+        fio.crash();
+        assert_eq!(fio.read(&p("a")).unwrap(), "one\ntwo\n");
+        assert_eq!(fio.faults_injected(), 0);
+    }
+
+    #[test]
+    fn replace_is_atomic_under_crash() {
+        let fio = FaultyIo::new(FaultPlan {
+            torn_replace: 1.0,
+            ..FaultPlan::quiet(2)
+        });
+        fio.replace(&p("m"), "old\n").unwrap();
+        // Every replace is torn: live sees the new file, a crash
+        // reverts it — but never to a mix.
+        fio.replace(&p("m"), "new\n").unwrap();
+        assert_eq!(fio.read(&p("m")).unwrap(), "new\n");
+        fio.crash();
+        let after = fio.read(&p("m")).unwrap_or_else(|_| "old\n".to_owned());
+        assert!(
+            after == "old\n" || after == "new\n",
+            "mixed contents: {after:?}"
+        );
+    }
+
+    #[test]
+    fn short_write_leaves_a_prefix() {
+        let fio = FaultyIo::new(FaultPlan {
+            short_write: 1.0,
+            ..FaultPlan::quiet(3)
+        });
+        let err = fio.append(&p("a"), "0123456789\n").unwrap_err();
+        assert!(err.to_string().contains("short write"));
+        let live = fio.live_contents(&p("a"));
+        assert!("0123456789\n".starts_with(&live));
+        assert!(live.len() < 11);
+    }
+
+    #[test]
+    fn fault_stream_is_seed_deterministic() {
+        let run = |seed| {
+            let fio = FaultyIo::new(FaultPlan::hostile(seed));
+            let mut log = Vec::new();
+            for i in 0..200 {
+                log.push(fio.append(&p("a"), &format!("line {i}\n")).is_ok());
+            }
+            (log, fio.live_contents(&p("a")), fio.faults_injected())
+        };
+        assert_eq!(run(7), run(7), "same seed, same faults");
+        assert_ne!(run(7), run(8), "seed must matter");
+    }
+
+    #[test]
+    fn delayed_flush_loses_tail_on_crash() {
+        let fio = FaultyIo::new(FaultPlan {
+            delayed_flush: 1.0,
+            ..FaultPlan::quiet(4)
+        });
+        fio.append(&p("a"), "tail\n").unwrap();
+        assert_eq!(fio.read(&p("a")).unwrap(), "tail\n");
+        fio.crash();
+        assert!(!fio.exists(&p("a")), "nothing was ever durable");
+    }
+}

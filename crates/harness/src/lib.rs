@@ -19,9 +19,22 @@
 //!   simulated-cycle budget, with a retry policy for wall-time
 //!   overruns (panics and cycle overruns are deterministic, so they are
 //!   never retried);
+//! * a **supervised execution plane**: with [`Exec::job_deadline`] set,
+//!   the watchdog trips a cooperative
+//!   [`CancelToken`](vpsim_pipeline::CancelToken) threaded down into
+//!   the pipeline executor, aborting a hung attempt mid-simulation with
+//!   bounded latency; cancelled attempts retry with exponential
+//!   backoff, and [`Exec::campaign_deadline`] bounds the whole run;
+//! * a pluggable sink I/O plane ([`SinkIo`]): the manifest writes
+//!   through [`RealIo`] in production and a seeded [`FaultyIo`] in the
+//!   torture suite, degrading gracefully (spill files, append-only
+//!   fallback, surfaced `io_faults`/`torn_lines` counters) instead of
+//!   aborting on short writes, `ENOSPC`, fsync failures, or torn
+//!   renames;
 //! * structured observability — a JSONL result sink, live progress
-//!   reporting, and per-job wall/cycle counters aggregated into a
-//!   [`CampaignStats`] summary;
+//!   reporting, per-job wall/cycle counters aggregated into a
+//!   [`CampaignStats`] summary, and an optional shared [`RunHealth`]
+//!   ledger backing the report bins' `--strict` mode;
 //! * a resumable manifest ([`Exec::resume`]): an interrupted campaign
 //!   restarted with the same resume directory skips every job already
 //!   recorded there.
@@ -45,16 +58,21 @@
 //! println!("p = {}", e.ttest.p_value);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod campaign;
 mod exec;
+mod io;
 mod pool;
 mod sink;
 
 pub use campaign::{
     Campaign, CampaignError, CampaignOutcome, CampaignStats, CellError, CellOutcome, CellResult,
-    CellSpec, HarnessError,
+    CellSpec, HarnessError, RunHealth,
 };
 pub use exec::Exec;
+pub use io::{FaultPlan, FaultyIo, RealIo, SinkIo};
+pub use sink::JobRecord;
 
 use vpsec::attacks::AttackCategory;
 use vpsec::experiment::{Channel, Evaluation, ExperimentConfig, PredictorKind};

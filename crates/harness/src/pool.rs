@@ -1,6 +1,6 @@
 //! The std-only worker pool: a shared injector queue, per-job panic
-//! isolation, a watchdog/progress thread, and a retry policy for
-//! quarantined jobs.
+//! isolation, a supervising watchdog/progress thread, and retry
+//! policies for quarantined and cancelled jobs.
 //!
 //! Scheduling never affects results — each job is a pure function of
 //! its `(cell, trial)` coordinates — so the pool is free to run jobs in
@@ -10,6 +10,18 @@
 //! so those jobs are quarantined and retried up to
 //! [`Exec::max_retries`] times; a simulated-cycle overrun is
 //! deterministic and is flagged, not retried.
+//!
+//! On top of the soft quarantine sits the **hard supervision plane**:
+//! when [`Exec::job_deadline`] is set, every attempt runs under its own
+//! [`CancelToken`], and the watchdog trips the token once the attempt
+//! exceeds its (per-retry doubled) deadline — the simulation unwinds at
+//! its next scheduler checkpoint instead of running to completion.
+//! Cancelled attempts re-enter the queue after an exponential backoff
+//! ([`Exec::retry_backoff`]); a cancelled final attempt permanently
+//! fails the job as [`JobFailure::Deadline`]. A tripped
+//! [`Exec::campaign_deadline`] cancels every in-flight attempt and
+//! drains the remaining queue as deadline failures, so `run_jobs`
+//! always resolves every pending job and returns.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -18,6 +30,7 @@ use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use vpsec::experiment::{CellPlan, PairOutcome};
+use vpsim_pipeline::CancelToken;
 
 use crate::exec::Exec;
 
@@ -28,8 +41,12 @@ struct JobRef {
     index: usize,
     cell: usize,
     trial: usize,
-    /// Zero-based attempt counter (incremented on quarantine retry).
+    /// Zero-based attempt counter (incremented on quarantine or
+    /// cancellation retry).
     attempt: u32,
+    /// Backoff gate: the job is not eligible to run before this
+    /// instant (set on cancellation retries).
+    not_before: Option<Instant>,
 }
 
 /// A successfully finished job.
@@ -45,6 +62,9 @@ pub(crate) struct JobDone {
 pub(crate) enum JobFailure {
     /// The job panicked; deterministic, so never retried.
     Panic(String),
+    /// The job was cancelled on its final attempt (hard deadline) or
+    /// drained after the campaign deadline expired.
+    Deadline { attempts: u32 },
 }
 
 /// Counters shared by workers and the watchdog.
@@ -56,6 +76,20 @@ pub(crate) struct PoolStats {
     pub quarantined_cycles: AtomicU64,
     pub panics: AtomicU64,
     pub sim_cycles: AtomicU64,
+    /// Watchdog cancellations observed by running attempts.
+    pub cancelled: AtomicU64,
+    /// Cancelled attempts re-queued with backoff.
+    pub backoff_retries: AtomicU64,
+    /// Jobs permanently failed as timed out.
+    pub deadline_failed: AtomicU64,
+}
+
+/// What the watchdog knows about a worker's in-flight attempt.
+struct Slot {
+    index: usize,
+    start: Instant,
+    attempt: u32,
+    token: CancelToken,
 }
 
 struct Shared<'a> {
@@ -66,25 +100,48 @@ struct Shared<'a> {
     /// Jobs not yet permanently resolved (done or failed).
     outstanding: AtomicU64,
     done: AtomicBool,
+    /// The campaign deadline expired: cancel everything, drain the rest.
+    expired: AtomicBool,
     results: Mutex<Vec<Option<Result<JobDone, JobFailure>>>>,
-    /// Per-worker `(job index, start)` of the job in flight, for the
-    /// watchdog's stall detection.
-    slots: Mutex<Vec<Option<(usize, Instant)>>>,
+    /// Per-worker in-flight attempt, for the watchdog's stall
+    /// detection and cancellation delivery.
+    slots: Mutex<Vec<Option<Slot>>>,
     stats: &'a PoolStats,
     on_done: &'a (dyn Fn(usize, usize, &JobDone) + Sync),
 }
 
 impl Shared<'_> {
+    /// Pop the next eligible job: any job whose backoff gate has
+    /// passed, or — once the campaign deadline expired — any job at all
+    /// (the worker drains it as a failure without running it). Sleeps
+    /// on the condvar (bounded by the earliest backoff gate) when the
+    /// queue holds only gated jobs.
     fn pop(&self) -> Option<JobRef> {
         let mut q = self.queue.lock().expect("queue poisoned");
         loop {
-            if let Some(job) = q.pop_front() {
-                return Some(job);
+            let now = Instant::now();
+            let drain = self.expired.load(Ordering::Acquire);
+            if let Some(pos) = q
+                .iter()
+                .position(|j| drain || j.not_before.is_none_or(|t| t <= now))
+            {
+                return q.remove(pos);
             }
             if self.done.load(Ordering::Acquire) {
                 return None;
             }
-            q = self.cond.wait(q).expect("queue poisoned");
+            let next_gate = q.iter().filter_map(|j| j.not_before).min();
+            match next_gate {
+                Some(gate) => {
+                    let wait = gate.saturating_duration_since(now);
+                    let (guard, _) = self
+                        .cond
+                        .wait_timeout(q, wait.max(Duration::from_millis(1)))
+                        .expect("queue poisoned");
+                    q = guard;
+                }
+                None => q = self.cond.wait(q).expect("queue poisoned"),
+            }
         }
     }
 
@@ -93,7 +150,8 @@ impl Shared<'_> {
         self.cond.notify_one();
     }
 
-    fn resolve_one(&self) {
+    fn resolve(&self, index: usize, result: Result<JobDone, JobFailure>) {
+        self.results.lock().expect("results poisoned")[index] = Some(result);
         if self.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
             self.done.store(true, Ordering::Release);
             self.cond.notify_all();
@@ -111,16 +169,37 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 fn worker(shared: &Shared<'_>, slot: usize) {
     while let Some(job) = shared.pop() {
+        // Campaign deadline expired: resolve without running. Every
+        // queued job still gets a result, so the campaign reduction
+        // never sees a hole.
+        if shared.expired.load(Ordering::Acquire) {
+            shared.stats.deadline_failed.fetch_add(1, Ordering::Relaxed);
+            shared.resolve(
+                job.index,
+                Err(JobFailure::Deadline {
+                    attempts: job.attempt,
+                }),
+            );
+            continue;
+        }
         let plan = shared.plans[job.cell]
             .as_ref()
             .expect("queued jobs only reference planned cells");
+        let token = CancelToken::new();
         let start = Instant::now();
-        shared.slots.lock().expect("slots poisoned")[slot] = Some((job.index, start));
-        let result = catch_unwind(AssertUnwindSafe(|| plan.run_pair(job.trial)));
+        shared.slots.lock().expect("slots poisoned")[slot] = Some(Slot {
+            index: job.index,
+            start,
+            attempt: job.attempt,
+            token: token.clone(),
+        });
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            plan.run_pair_supervised(job.trial, Some(&token))
+        }));
         let elapsed = start.elapsed();
         shared.slots.lock().expect("slots poisoned")[slot] = None;
         match result {
-            Ok(pair) => {
+            Ok(Ok(pair)) => {
                 let over_wall = elapsed > shared.exec.job_wall_budget;
                 if over_wall {
                     shared
@@ -131,6 +210,7 @@ fn worker(shared: &Shared<'_>, slot: usize) {
                         shared.stats.retries.fetch_add(1, Ordering::Relaxed);
                         shared.requeue(JobRef {
                             attempt: job.attempt + 1,
+                            not_before: None,
                             ..job
                         });
                         continue;
@@ -153,41 +233,96 @@ fn worker(shared: &Shared<'_>, slot: usize) {
                     attempts: job.attempt + 1,
                 };
                 (shared.on_done)(job.cell, job.trial, &done);
-                shared.results.lock().expect("results poisoned")[job.index] = Some(Ok(done));
-                shared.resolve_one();
+                shared.resolve(job.index, Ok(done));
+            }
+            Ok(Err(_interrupted)) => {
+                shared.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+                let expired = shared.expired.load(Ordering::Acquire);
+                if expired || job.attempt >= shared.exec.max_retries {
+                    shared.stats.deadline_failed.fetch_add(1, Ordering::Relaxed);
+                    shared.resolve(
+                        job.index,
+                        Err(JobFailure::Deadline {
+                            attempts: job.attempt + 1,
+                        }),
+                    );
+                } else {
+                    shared.stats.backoff_retries.fetch_add(1, Ordering::Relaxed);
+                    let backoff = shared.exec.backoff_for_attempt(job.attempt);
+                    shared.requeue(JobRef {
+                        attempt: job.attempt + 1,
+                        not_before: Some(Instant::now() + backoff),
+                        ..job
+                    });
+                }
             }
             Err(payload) => {
                 shared.stats.panics.fetch_add(1, Ordering::Relaxed);
-                shared.results.lock().expect("results poisoned")[job.index] =
-                    Some(Err(JobFailure::Panic(panic_message(payload.as_ref()))));
-                shared.resolve_one();
+                shared.resolve(
+                    job.index,
+                    Err(JobFailure::Panic(panic_message(payload.as_ref()))),
+                );
             }
         }
     }
 }
 
-/// The watchdog doubles as the progress reporter: it periodically logs
-/// throughput (when enabled) and warns about jobs running past the wall
-/// budget. The quarantine decision itself is taken by the worker at job
-/// completion, where the elapsed time is exact.
+/// The watchdog doubles as the progress reporter and the cancellation
+/// authority: it periodically logs throughput (when enabled), warns
+/// about jobs running past the soft wall budget, **trips the cancel
+/// token** of attempts exceeding their hard deadline, and enforces the
+/// campaign deadline budget. The soft-quarantine decision itself is
+/// still taken by the worker at job completion, where the elapsed time
+/// is exact.
 fn watchdog(shared: &Shared<'_>, campaign: &str, total: usize, resumed: usize) {
     let started = Instant::now();
     let mut warned: Vec<usize> = Vec::new();
     let mut last_report = Instant::now();
     while !shared.done.load(Ordering::Acquire) {
         std::thread::sleep(Duration::from_millis(50));
-        for (job_index, job_start) in shared
+        let campaign_over = shared
+            .exec
+            .campaign_deadline
+            .is_some_and(|budget| started.elapsed() > budget);
+        if campaign_over && !shared.expired.swap(true, Ordering::AcqRel) {
+            eprintln!(
+                "[{campaign}] watchdog: campaign deadline {:?} exhausted; \
+                 cancelling in-flight jobs and draining the queue",
+                shared.exec.campaign_deadline.unwrap_or_default()
+            );
+            // Wake gated sleepers so the queue drains immediately.
+            shared.cond.notify_all();
+        }
+        for slot in shared
             .slots
             .lock()
             .expect("slots poisoned")
             .iter()
             .flatten()
         {
-            if job_start.elapsed() > shared.exec.job_wall_budget && !warned.contains(job_index) {
-                warned.push(*job_index);
+            let elapsed = slot.start.elapsed();
+            if campaign_over && !slot.token.is_cancelled() {
+                slot.token.cancel();
+                continue;
+            }
+            if let Some(deadline) = shared.exec.deadline_for_attempt(slot.attempt) {
+                if elapsed > deadline && !slot.token.is_cancelled() {
+                    slot.token.cancel();
+                    eprintln!(
+                        "[{campaign}] watchdog: job {} exceeded its hard deadline \
+                         ({deadline:?}, attempt {}); cancelling mid-simulation",
+                        slot.index,
+                        slot.attempt + 1
+                    );
+                    continue;
+                }
+            }
+            if elapsed > shared.exec.job_wall_budget && !warned.contains(&slot.index) {
+                warned.push(slot.index);
                 eprintln!(
-                    "[{campaign}] watchdog: job {job_index} over wall budget ({:?}), will quarantine",
-                    shared.exec.job_wall_budget
+                    "[{campaign}] watchdog: job {} over wall budget ({:?}), \
+                     will quarantine on completion",
+                    slot.index, shared.exec.job_wall_budget
                 );
             }
         }
@@ -195,12 +330,22 @@ fn watchdog(shared: &Shared<'_>, campaign: &str, total: usize, resumed: usize) {
             last_report = Instant::now();
             let run = shared.stats.jobs_run.load(Ordering::Relaxed) as usize;
             let secs = started.elapsed().as_secs_f64().max(1e-9);
-            eprintln!(
+            let mut line = format!(
                 "[{campaign}] {}/{total} jobs ({resumed} resumed), {:.1} jobs/s, {:.1} Mcycles simulated",
                 resumed + run,
                 run as f64 / secs,
                 shared.stats.sim_cycles.load(Ordering::Relaxed) as f64 / 1e6
             );
+            let cancelled = shared.stats.cancelled.load(Ordering::Relaxed);
+            let backoff = shared.stats.backoff_retries.load(Ordering::Relaxed);
+            let wall_q = shared.stats.quarantined_wall.load(Ordering::Relaxed);
+            if cancelled + backoff + wall_q > 0 {
+                line.push_str(&format!(
+                    "; {cancelled} cancelled ({backoff} backoff-retried), \
+                     {wall_q} wall-quarantined"
+                ));
+            }
+            eprintln!("{line}");
         }
     }
 }
@@ -239,14 +384,16 @@ pub(crate) fn run_jobs(
                     cell,
                     trial,
                     attempt: 0,
+                    not_before: None,
                 })
                 .collect(),
         ),
         cond: Condvar::new(),
         outstanding: AtomicU64::new(batch.pending.len() as u64),
         done: AtomicBool::new(false),
+        expired: AtomicBool::new(false),
         results: Mutex::new(vec![None; batch.total_jobs]),
-        slots: Mutex::new(vec![None; exec.effective_jobs()]),
+        slots: Mutex::new((0..exec.effective_jobs()).map(|_| None).collect()),
         stats,
         on_done,
     };

@@ -14,29 +14,45 @@
 //! and resumed runs stay bitwise-identical. Lines are flushed as jobs
 //! complete; a truncated final line (killed campaign) is ignored on
 //! resume. Everything is hand-rolled `std` — no serde in the image.
+//!
+//! All persistence goes through the [`SinkIo`](crate::SinkIo) plane and
+//! **degrades gracefully**: a failed append falls back to a spill file
+//! (`<name>.spill.jsonl`, merged back on the next open), a failed
+//! rewrite leaves the manifest in append-only mode, and every observed
+//! failure is counted into
+//! [`CampaignStats::io_faults`](crate::CampaignStats). A campaign never
+//! aborts because its disk misbehaved mid-run — at worst some results
+//! are re-run on resume.
 
 use std::collections::HashMap;
-use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use vpsec::experiment::{PairOutcome, TrialOutcome};
 
 use crate::campaign::HarnessError;
+use crate::io::SinkIo;
 
 /// A completed job as recorded in the manifest.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub(crate) struct JobRecord {
+pub struct JobRecord {
+    /// Cell index within the campaign.
     pub cell: usize,
+    /// Trial index within the cell.
     pub trial: usize,
+    /// The paired-trial outcome (both arms, bit-exact).
     pub pair: PairOutcome,
+    /// Wall-clock nanoseconds of the recording attempt.
     pub wall_nanos: u64,
+    /// Attempts consumed (1 for a first-try success).
     pub attempts: u32,
 }
 
 impl JobRecord {
-    fn to_line(self) -> String {
+    /// The single-line JSON form written to the manifest.
+    #[must_use]
+    pub fn to_line(self) -> String {
         format!(
             "{{\"cell\":{},\"trial\":{},\"m_obs\":\"{:016x}\",\"m_cyc\":{},\"u_obs\":\"{:016x}\",\"u_cyc\":{},\"wall_ns\":{},\"attempts\":{}}}",
             self.cell,
@@ -50,7 +66,11 @@ impl JobRecord {
         )
     }
 
-    fn parse(line: &str) -> Option<JobRecord> {
+    /// Parse one manifest line; `None` for torn or malformed lines
+    /// (the caller re-runs the affected job — a parse failure is never
+    /// an abort).
+    #[must_use]
+    pub fn parse(line: &str) -> Option<JobRecord> {
         Some(JobRecord {
             cell: field_u64(line, "cell")? as usize,
             trial: field_u64(line, "trial")? as usize,
@@ -98,12 +118,86 @@ fn escape(name: &str) -> String {
         .collect()
 }
 
+/// State of the degradable append path.
+#[derive(Debug)]
+struct AppendState {
+    /// A failed append may have left a partial line at the primary's
+    /// tail; the next primary append must open a fresh line.
+    primary_needs_newline: bool,
+    /// Same, for the spill file.
+    spill_needs_newline: bool,
+    /// Whether the spill file already carries its fingerprint header.
+    spill_has_header: bool,
+}
+
 /// The append-only manifest: completed jobs loaded at open, new jobs
 /// flushed line-by-line as they finish.
 pub(crate) struct Manifest {
-    writer: Mutex<BufWriter<File>>,
+    io: Arc<dyn SinkIo>,
+    path: PathBuf,
+    spill_path: PathBuf,
+    /// The fingerprint header line, including its trailing newline.
+    header: String,
     completed: HashMap<(usize, usize), JobRecord>,
     torn_lines: usize,
+    io_faults: AtomicUsize,
+    append: Mutex<AppendState>,
+}
+
+/// Parse one manifest file's contents into `completed`.
+///
+/// The first line must be a fingerprint header; a *valid but different*
+/// header is a hard mismatch, while a torn/unparseable one (killed
+/// during the very first write) discards the whole file — provenance
+/// cannot be verified, so the affected jobs simply re-run. Torn record
+/// lines are counted and skipped.
+fn load_into(
+    contents: &str,
+    path: &Path,
+    fingerprint: u64,
+    jobs_total: usize,
+    completed: &mut HashMap<(usize, usize), JobRecord>,
+    torn_lines: &mut usize,
+) -> Result<(), HarnessError> {
+    let mut lines = contents.lines();
+    let Some(header) = lines.next() else {
+        return Ok(());
+    };
+    let fp = field_str(header, "fingerprint");
+    match fp {
+        Some(fp) => {
+            let jobs = field_u64(header, "jobs").unwrap_or(0);
+            if fp != format!("{fingerprint:016x}") || jobs as usize != jobs_total {
+                return Err(HarnessError::ManifestMismatch {
+                    path: path.display().to_string(),
+                    expected: format!("{fingerprint:016x}"),
+                    found: fp.to_owned(),
+                });
+            }
+        }
+        None => {
+            if header.trim().is_empty() && lines.clone().all(|l| l.trim().is_empty()) {
+                return Ok(());
+            }
+            *torn_lines += 1;
+            eprintln!(
+                "warning: manifest {} has an unreadable header (interrupted \
+                 first write); discarding it, the jobs will re-run",
+                path.display()
+            );
+            return Ok(());
+        }
+    }
+    for line in lines {
+        // A truncated trailing line (killed mid-write) simply fails to
+        // parse and is re-run.
+        if let Some(rec) = JobRecord::parse(line) {
+            completed.insert((rec.cell, rec.trial), rec);
+        } else if !line.trim().is_empty() {
+            *torn_lines += 1;
+        }
+    }
+    Ok(())
 }
 
 impl Manifest {
@@ -122,107 +216,123 @@ impl Manifest {
         dir.join(format!("{safe}.jsonl"))
     }
 
+    /// Path of the spill fallback next to the primary manifest.
+    pub fn spill_path(dir: &Path, campaign: &str) -> PathBuf {
+        Manifest::path(dir, campaign).with_extension("spill.jsonl")
+    }
+
     /// Open (or create) the manifest, validating any existing header
-    /// against this campaign's fingerprint and job count.
+    /// against this campaign's fingerprint and job count, merging any
+    /// spill file left by a degraded previous run, and compacting
+    /// everything back into the primary through an atomic rewrite.
     pub fn open(
         dir: &Path,
         campaign: &str,
         fingerprint: u64,
         jobs_total: usize,
+        io: Arc<dyn SinkIo>,
     ) -> Result<Manifest, HarnessError> {
-        std::fs::create_dir_all(dir).map_err(|e| HarnessError::Io(e.to_string()))?;
+        io.create_dir_all(dir)
+            .map_err(|e| HarnessError::Io(e.to_string()))?;
         let path = Manifest::path(dir, campaign);
+        let spill_path = Manifest::spill_path(dir, campaign);
+        let header = format!(
+            "{{\"v\":1,\"campaign\":\"{}\",\"fingerprint\":\"{fingerprint:016x}\",\"jobs\":{jobs_total}}}\n",
+            escape(campaign)
+        );
         let mut completed = HashMap::new();
         let mut torn_lines = 0usize;
-        let exists = path.exists();
-        if exists {
-            let reader =
-                BufReader::new(File::open(&path).map_err(|e| HarnessError::Io(e.to_string()))?);
-            let mut lines = reader.lines();
-            let header = match lines.next() {
-                Some(Ok(h)) => h,
-                _ => String::new(),
-            };
-            if !header.is_empty() {
-                let fp = field_str(&header, "fingerprint").unwrap_or("");
-                let jobs = field_u64(&header, "jobs").unwrap_or(0);
-                if fp != format!("{fingerprint:016x}") || jobs as usize != jobs_total {
-                    return Err(HarnessError::ManifestMismatch {
-                        path: path.display().to_string(),
-                        expected: format!("{fingerprint:016x}"),
-                        found: fp.to_owned(),
-                    });
+        let mut io_faults = 0usize;
+        for file in [&path, &spill_path] {
+            if io.exists(file) {
+                let contents = io.read(file).map_err(|e| HarnessError::Io(e.to_string()))?;
+                load_into(
+                    &contents,
+                    file,
+                    fingerprint,
+                    jobs_total,
+                    &mut completed,
+                    &mut torn_lines,
+                )?;
+            }
+        }
+        if torn_lines > 0 {
+            eprintln!(
+                "warning: manifest {} had {torn_lines} torn line(s) \
+                 (interrupted write); the affected jobs will re-run",
+                path.display()
+            );
+        }
+        // Compact header + surviving records through an atomic replace:
+        // a kill during the rewrite leaves the old manifest intact,
+        // never a half-written one. The drops of any torn trailing line
+        // also land atomically, so later appends start on a clean line
+        // boundary. On failure (full disk, injected fault) the run
+        // degrades to append-only against whatever is there.
+        let mut contents = header.clone();
+        let mut records: Vec<&JobRecord> = completed.values().collect();
+        records.sort_by_key(|r| (r.cell, r.trial));
+        for rec in records {
+            contents.push_str(&rec.to_line());
+            contents.push('\n');
+        }
+        let mut primary_needs_newline = false;
+        match io.replace(&path, &contents) {
+            Ok(()) => {
+                // The spill's records now live in the primary; a failed
+                // remove is harmless (re-merged, idempotently, next open).
+                if io.remove(&spill_path).is_err() {
+                    io_faults += 1;
                 }
-                for line in lines.map_while(Result::ok) {
-                    // A truncated trailing line (killed mid-write) simply
-                    // fails to parse and is re-run.
-                    if let Some(rec) = JobRecord::parse(&line) {
-                        completed.insert((rec.cell, rec.trial), rec);
-                    } else if !line.trim().is_empty() {
-                        torn_lines += 1;
+            }
+            Err(e) => {
+                io_faults += 1;
+                eprintln!(
+                    "warning: manifest {} rewrite failed ({e}); \
+                     continuing in append-only mode",
+                    path.display()
+                );
+                match io.read(&path) {
+                    Ok(existing) => {
+                        primary_needs_newline = !existing.is_empty() && !existing.ends_with('\n');
+                    }
+                    Err(_) => {
+                        // Fresh directory and the rewrite failed: try to
+                        // at least seed the header so appends are
+                        // resumable. A failure here just costs a re-run.
+                        if io.append(&path, &header).is_err() {
+                            io_faults += 1;
+                        }
                     }
                 }
-                if torn_lines > 0 {
-                    eprintln!(
-                        "warning: manifest {} had {torn_lines} torn line(s) \
-                         (interrupted write); the affected jobs will re-run",
-                        path.display()
-                    );
-                }
             }
         }
-        // Rewrite header + surviving records through a temp file and an
-        // atomic rename: a kill during the rewrite leaves the old
-        // manifest intact, never a half-written one. The drops of any
-        // torn trailing line also land atomically, so later appends
-        // start on a clean line boundary.
-        let tmp_path = path.with_extension("jsonl.tmp");
-        {
-            let tmp = OpenOptions::new()
-                .create(true)
-                .truncate(true)
-                .write(true)
-                .open(&tmp_path)
-                .map_err(|e| HarnessError::Io(e.to_string()))?;
-            let mut writer = BufWriter::new(tmp);
-            writeln!(
-                writer,
-                "{{\"v\":1,\"campaign\":\"{}\",\"fingerprint\":\"{fingerprint:016x}\",\"jobs\":{jobs_total}}}",
-                escape(campaign)
-            )
-            .map_err(|e| HarnessError::Io(e.to_string()))?;
-            let mut records: Vec<&JobRecord> = completed.values().collect();
-            records.sort_by_key(|r| (r.cell, r.trial));
-            for rec in records {
-                writeln!(writer, "{}", rec.to_line())
-                    .map_err(|e| HarnessError::Io(e.to_string()))?;
-            }
-            writer
-                .flush()
-                .map_err(|e| HarnessError::Io(e.to_string()))?;
-            writer
-                .get_ref()
-                .sync_data()
-                .map_err(|e| HarnessError::Io(e.to_string()))?;
-        }
-        std::fs::rename(&tmp_path, &path).map_err(|e| HarnessError::Io(e.to_string()))?;
-        // Reopen the renamed file in append mode for the live writer.
-        let file = OpenOptions::new()
-            .append(true)
-            .open(&path)
-            .map_err(|e| HarnessError::Io(e.to_string()))?;
+        let spill_has_header = io.exists(&spill_path);
         Ok(Manifest {
-            writer: Mutex::new(BufWriter::new(file)),
+            io,
+            path,
+            spill_path,
+            header,
             completed,
             torn_lines,
+            io_faults: AtomicUsize::new(io_faults),
+            append: Mutex::new(AppendState {
+                primary_needs_newline,
+                spill_needs_newline: false,
+                spill_has_header,
+            }),
         })
     }
 
     /// Unparseable lines dropped while recovering an interrupted
     /// manifest (0 for a clean one).
-    #[allow(dead_code)]
     pub fn torn_lines(&self) -> usize {
         self.torn_lines
+    }
+
+    /// Sink I/O failures observed and degraded around so far.
+    pub fn io_faults(&self) -> usize {
+        self.io_faults.load(Ordering::Relaxed)
     }
 
     /// Jobs already recorded by a previous (interrupted) run.
@@ -230,19 +340,56 @@ impl Manifest {
         &self.completed
     }
 
-    /// Append one finished job, flushing and syncing to disk so a kill
-    /// (or power loss) loses at most the line in flight.
+    /// Append one finished job, flushing and syncing so a kill (or
+    /// power loss) loses at most the line in flight. A failed primary
+    /// append falls back to the spill file; a failed spill append
+    /// drops the line (the job merely re-runs on resume). Every
+    /// observed failure is counted.
     pub fn record(&self, rec: JobRecord) {
-        let mut w = self.writer.lock().expect("manifest writer poisoned");
-        let _ = writeln!(w, "{}", rec.to_line());
-        let _ = w.flush();
-        let _ = w.get_ref().sync_data();
+        let line = rec.to_line();
+        let mut st = self.append.lock().expect("manifest append state poisoned");
+        let mut data = String::new();
+        if st.primary_needs_newline {
+            data.push('\n');
+        }
+        data.push_str(&line);
+        data.push('\n');
+        if self.io.append(&self.path, &data).is_ok() {
+            st.primary_needs_newline = false;
+            return;
+        }
+        self.io_faults.fetch_add(1, Ordering::Relaxed);
+        // The failed append may have persisted a partial line.
+        st.primary_needs_newline = true;
+        // Degrade: spill the record next to the primary. The spill
+        // carries the same fingerprint header so the next open can
+        // verify provenance before merging it back.
+        if !st.spill_has_header {
+            if self.io.append(&self.spill_path, &self.header).is_ok() {
+                st.spill_has_header = true;
+            } else {
+                self.io_faults.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let mut data = String::new();
+        if st.spill_needs_newline {
+            data.push('\n');
+        }
+        data.push_str(&line);
+        data.push('\n');
+        if self.io.append(&self.spill_path, &data).is_ok() {
+            st.spill_needs_newline = false;
+        } else {
+            self.io_faults.fetch_add(1, Ordering::Relaxed);
+            st.spill_needs_newline = true;
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::io::{FaultPlan, FaultyIo, RealIo};
 
     fn rec(cell: usize, trial: usize, obs: f64) -> JobRecord {
         JobRecord {
@@ -287,5 +434,57 @@ mod tests {
         assert_eq!(field_u64(line, "cell"), Some(7));
         assert_eq!(field_u64(line, "attempts"), Some(2));
         assert_eq!(field_u64(line, "missing"), None);
+    }
+
+    #[test]
+    fn spilled_records_merge_back_on_reopen() {
+        let dir = Path::new("campaigns");
+        let fio = Arc::new(FaultyIo::new(FaultPlan {
+            enospc: 0.45,
+            ..FaultPlan::quiet(6)
+        }));
+        let m = Manifest::open(dir, "t", 0xfeed, 64, fio.clone()).unwrap();
+        for t in 0..64 {
+            m.record(rec(0, t, t as f64));
+        }
+        assert!(m.io_faults() > 0, "the hostile plan must have fired");
+        drop(m);
+        // Reopen over the same in-memory files: every record that made
+        // it to *either* the primary or the spill merges back, intact.
+        let recovered = Manifest::open(dir, "t", 0xfeed, 64, fio).unwrap();
+        assert!(
+            !recovered.completed().is_empty(),
+            "some records must have survived"
+        );
+        for (&(c, t), r) in recovered.completed() {
+            assert_eq!(c, 0);
+            assert_eq!(r.pair.mapped.observed, t as f64);
+        }
+    }
+
+    #[test]
+    fn torn_header_discards_file_instead_of_mismatching() {
+        let fio = Arc::new(FaultyIo::new(FaultPlan::quiet(7)));
+        let dir = Path::new("campaigns");
+        let path = Manifest::path(dir, "torn");
+        fio.append(&path, "{\"v\":1,\"campai").unwrap();
+        let m = Manifest::open(dir, "torn", 0xabcd, 2, fio).unwrap();
+        assert_eq!(m.torn_lines(), 1);
+        assert!(m.completed().is_empty());
+    }
+
+    #[test]
+    fn real_io_round_trip() {
+        let dir = std::env::temp_dir().join(format!("vpsim-sink-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let io: Arc<dyn SinkIo> = Arc::new(RealIo);
+        let m = Manifest::open(&dir, "rt", 0x1234, 3, io.clone()).unwrap();
+        m.record(rec(1, 2, 9.5));
+        drop(m);
+        let m = Manifest::open(&dir, "rt", 0x1234, 3, io).unwrap();
+        assert_eq!(m.completed().len(), 1);
+        assert_eq!(m.torn_lines(), 0);
+        assert_eq!(m.io_faults(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,422 @@
+//! Crash-recovery and supervision torture suite.
+//!
+//! Three planes of abuse, all seeded and reproducible:
+//!
+//! 1. **Kill/resume torture**: a reference campaign's manifest is
+//!    truncated at many seeded byte offsets — mid-header, mid-record,
+//!    post-quarantine — and resumed; every interruption point must
+//!    converge to a final manifest and evaluations bit-identical to an
+//!    uninterrupted run.
+//! 2. **I/O-fault torture**: the same campaign runs with a seeded
+//!    [`FaultyIo`] injecting short writes, `ENOSPC`, fsync failures and
+//!    torn renames; the campaign must degrade gracefully (spill files,
+//!    surfaced `io_faults` counters) and still produce bit-identical
+//!    evaluations, including across a simulated crash.
+//! 3. **Cancellation torture**: a deliberately hung cell (absurd
+//!    training-repeat count) must be *cancelled* within its hard
+//!    deadline — not merely logged — and a campaign deadline must bound
+//!    the whole run while still resolving every queued job.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use vpsec::attacks::{AttackCategory, AttackSetup};
+use vpsec::experiment::{Channel, Evaluation, ExperimentConfig, PredictorKind};
+use vpsim_harness::{
+    Campaign, CellOutcome, CellSpec, Exec, FaultPlan, FaultyIo, JobRecord, SinkIo,
+};
+use vpsim_rng::SmallRng;
+
+fn cfg(trials: usize) -> ExperimentConfig {
+    ExperimentConfig {
+        trials,
+        ..ExperimentConfig::default()
+    }
+}
+
+/// The reference campaign: two supported cells, 12 jobs total.
+fn reference_campaign(name: &str) -> Campaign {
+    let mut c = Campaign::new(name);
+    c.push(CellSpec::new(
+        "train_test/tw/lvp",
+        AttackCategory::TrainTest,
+        Channel::TimingWindow,
+        PredictorKind::Lvp,
+        cfg(6),
+    ));
+    c.push(CellSpec::new(
+        "fill_up/tw/none",
+        AttackCategory::FillUp,
+        Channel::TimingWindow,
+        PredictorKind::None,
+        cfg(6),
+    ));
+    c
+}
+
+const CELLS: [&str; 2] = ["train_test/tw/lvp", "fill_up/tw/none"];
+
+fn assert_bitwise_eq(a: &Evaluation, b: &Evaluation, context: &str) {
+    assert_eq!(a.mapped, b.mapped, "{context}: mapped observations drifted");
+    assert_eq!(a.unmapped, b.unmapped, "{context}: unmapped drifted");
+    assert_eq!(
+        a.ttest.p_value.to_bits(),
+        b.ttest.p_value.to_bits(),
+        "{context}: p-value bits drifted"
+    );
+    assert_eq!(
+        a.rate_kbps.to_bits(),
+        b.rate_kbps.to_bits(),
+        "{context}: rate bits drifted"
+    );
+}
+
+/// A unique scratch directory per call; no tempdir crate in the image.
+fn scratch_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "vpsim-torture-{tag}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The deterministic payload of a manifest: every parseable record's
+/// `(cell, trial)` coordinates and bit-exact simulation results,
+/// sorted. Run-local observability (`wall_ns`, `attempts`) is excluded
+/// — it legitimately differs between runs of identical science.
+fn payload(manifest_text: &str) -> Vec<(usize, usize, u64, u64, u64, u64)> {
+    let mut rows: Vec<_> = manifest_text
+        .lines()
+        .filter_map(JobRecord::parse)
+        .map(|r| {
+            (
+                r.cell,
+                r.trial,
+                r.pair.mapped.observed.to_bits(),
+                r.pair.mapped.total_cycles,
+                r.pair.unmapped.observed.to_bits(),
+                r.pair.unmapped.total_cycles,
+            )
+        })
+        .collect();
+    rows.sort_unstable();
+    rows
+}
+
+/// Torture plane 1: ≥20 seeded interruption points, each truncating
+/// the manifest to a strict byte prefix (modelling a campaign killed
+/// mid-write), must all converge — bit-identical evaluations AND a
+/// bit-identical final manifest payload.
+#[test]
+fn seeded_interruption_points_converge_to_the_uninterrupted_run() {
+    let campaign = reference_campaign("torture");
+    let exec_for = |dir: &PathBuf| Exec {
+        jobs: 4,
+        resume: Some(dir.clone()),
+        ..Exec::default()
+    };
+
+    // Uninterrupted reference run.
+    let base_dir = scratch_dir("base");
+    let baseline = campaign.run(&exec_for(&base_dir)).unwrap();
+    let base_text = std::fs::read_to_string(base_dir.join("torture.jsonl")).unwrap();
+    let base_payload = payload(&base_text);
+    assert_eq!(base_payload.len(), 12, "reference run must record all jobs");
+    let header_len = base_text.lines().next().unwrap().len();
+
+    // Interruption points: deterministic specials covering the
+    // interesting structural positions, then seeded random offsets.
+    let mut rng = SmallRng::seed_from_u64(0x70e7_0001);
+    let mut points: Vec<usize> = vec![
+        0,                   // file exists but is empty
+        header_len / 2,      // torn mid-header
+        header_len + 1,      // header survives, first record torn at byte one
+        base_text.len() - 1, // last byte of the final record lost
+    ];
+    while points.len() < 20 {
+        points.push(rng.gen_range(0..base_text.len()));
+    }
+
+    for (k, &cut) in points.iter().enumerate() {
+        let dir = scratch_dir(&format!("cut{k}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("torture.jsonl"), &base_text[..cut]).unwrap();
+
+        let context = format!("interruption #{k} (cut at byte {cut}/{})", base_text.len());
+        let resumed = campaign
+            .run(&exec_for(&dir))
+            .unwrap_or_else(|e| panic!("{context}: resume refused: {e}"));
+        assert_eq!(
+            resumed.stats.jobs_resumed + resumed.stats.jobs_run,
+            12,
+            "{context}: every job must resolve"
+        );
+        for name in CELLS {
+            assert_bitwise_eq(
+                baseline.expect_eval(name),
+                resumed.expect_eval(name),
+                &format!("{context}, cell {name}"),
+            );
+        }
+        let final_text = std::fs::read_to_string(dir.join("torture.jsonl")).unwrap();
+        assert_eq!(
+            payload(&final_text),
+            base_payload,
+            "{context}: final manifest payload must be bit-identical"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&base_dir);
+}
+
+/// Post-quarantine interruption: jobs quarantined by a zero wall budget
+/// (every job overruns, retries, and its final attempt is used) still
+/// produce the same manifest payload after a kill/resume.
+#[test]
+fn interruption_after_quarantine_still_converges() {
+    let campaign = reference_campaign("torture-q");
+    let dir = scratch_dir("quarantine");
+    let strained = Exec {
+        jobs: 4,
+        resume: Some(dir.clone()),
+        job_wall_budget: Duration::ZERO,
+        max_retries: 1,
+        ..Exec::default()
+    };
+    let baseline = campaign.run(&strained).unwrap();
+    assert!(baseline.stats.quarantined_wall >= 12, "budget must trip");
+    let text = std::fs::read_to_string(dir.join("torture-q.jsonl")).unwrap();
+    let base_payload = payload(&text);
+
+    // Kill after the quarantine-heavy run: drop the second half.
+    std::fs::write(dir.join("torture-q.jsonl"), &text[..text.len() / 2]).unwrap();
+    let resumed = campaign.run(&strained).unwrap();
+    for name in CELLS {
+        assert_bitwise_eq(
+            baseline.expect_eval(name),
+            resumed.expect_eval(name),
+            &format!("post-quarantine resume, cell {name}"),
+        );
+    }
+    let final_text = std::fs::read_to_string(dir.join("torture-q.jsonl")).unwrap();
+    assert_eq!(payload(&final_text), base_payload);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Torture plane 2: hostile seeded I/O. The campaign must never abort
+/// on injected sink failures, must surface the fault counters, and its
+/// evaluations must stay bit-identical to the clean run — including
+/// across a simulated crash (live state reverted to durable).
+#[test]
+fn faulty_io_sweep_degrades_gracefully_and_stays_bit_identical() {
+    let campaign = reference_campaign("torture-io");
+    let clean = campaign.run(&Exec::default()).unwrap();
+    let vdir = PathBuf::from("/vfs/torture-io");
+
+    let mut any_faults = false;
+    let mut any_surfaced = false;
+    for seed in 1..=6u64 {
+        let fio = Arc::new(FaultyIo::new(FaultPlan::hostile(seed)));
+        let exec = Exec {
+            jobs: 2,
+            resume: Some(vdir.clone()),
+            sink_io: Some(Arc::clone(&fio) as Arc<dyn SinkIo>),
+            ..Exec::default()
+        };
+        let context = format!("hostile I/O seed {seed}");
+        let first = campaign
+            .run(&exec)
+            .unwrap_or_else(|e| panic!("{context}: campaign aborted on injected faults: {e}"));
+        for name in CELLS {
+            assert_bitwise_eq(
+                clean.expect_eval(name),
+                first.expect_eval(name),
+                &format!("{context}, first run, cell {name}"),
+            );
+        }
+        // Some injected faults are *silent* by design (torn rename,
+        // delayed flush): they only become visible after a crash. The
+        // campaign can only surface the faults that returned errors.
+        any_faults |= fio.faults_injected() > 0;
+        any_surfaced |= first.stats.io_faults > 0 || first.stats.torn_lines > 0;
+
+        // Crash: lose everything not yet durable, then resume on the
+        // same (faulty) disk. Science must not change.
+        fio.crash();
+        let second = campaign
+            .run(&exec)
+            .unwrap_or_else(|e| panic!("{context}: post-crash resume aborted: {e}"));
+        for name in CELLS {
+            assert_bitwise_eq(
+                clean.expect_eval(name),
+                second.expect_eval(name),
+                &format!("{context}, post-crash run, cell {name}"),
+            );
+        }
+        any_surfaced |= second.stats.io_faults > 0 || second.stats.torn_lines > 0;
+    }
+    assert!(
+        any_faults,
+        "six hostile plans must inject at least one fault between them"
+    );
+    assert!(
+        any_surfaced,
+        "at least one run must surface io_faults/torn_lines in its stats"
+    );
+}
+
+/// A quiet `FaultyIo` behaves exactly like a real filesystem: no
+/// faults, full resume after a crash (everything synced is durable).
+#[test]
+fn quiet_faulty_io_crash_resumes_everything() {
+    let campaign = reference_campaign("torture-quiet");
+    let fio = Arc::new(FaultyIo::new(FaultPlan::quiet(7)));
+    let vdir = PathBuf::from("/vfs/torture-quiet");
+    let exec = Exec {
+        jobs: 2,
+        resume: Some(vdir.clone()),
+        sink_io: Some(Arc::clone(&fio) as Arc<dyn SinkIo>),
+        ..Exec::default()
+    };
+    let first = campaign.run(&exec).unwrap();
+    assert_eq!(first.stats.jobs_run, 12);
+    assert_eq!(first.stats.io_faults, 0);
+    fio.crash();
+    let second = campaign.run(&exec).unwrap();
+    assert_eq!(
+        second.stats.jobs_resumed, 12,
+        "a quiet disk loses nothing on crash: every job must resume"
+    );
+    assert_eq!(second.stats.jobs_run, 0);
+}
+
+/// A hung-cell campaign: absurd training-repeat counts make each trial
+/// run for minutes of wall time, unless cancelled.
+fn hung_campaign(name: &str, trials: usize) -> Campaign {
+    let mut c = Campaign::new(name);
+    c.push(CellSpec::new(
+        "healthy",
+        AttackCategory::TrainTest,
+        Channel::TimingWindow,
+        PredictorKind::Lvp,
+        cfg(4),
+    ));
+    c.push(CellSpec::new(
+        "hung",
+        AttackCategory::TrainTest,
+        Channel::TimingWindow,
+        PredictorKind::Lvp,
+        ExperimentConfig {
+            trials,
+            setup: AttackSetup {
+                // ~2×10^8 training repeats per trial: minutes of wall
+                // time if left alone, cancelled within the deadline.
+                extra_training: 200_000_000,
+                ..AttackSetup::default()
+            },
+            ..ExperimentConfig::default()
+        },
+    ));
+    c
+}
+
+/// Torture plane 3a: the watchdog cancels a hung job mid-simulation
+/// within its hard deadline; the campaign finishes promptly with the
+/// hung cell failed as timed out and the healthy cell intact.
+#[test]
+fn a_hung_cell_is_cancelled_within_its_deadline() {
+    let campaign = hung_campaign("torture-hang", 2);
+    let started = Instant::now();
+    let outcome = campaign
+        .run(&Exec {
+            jobs: 2,
+            job_deadline: Some(Duration::from_millis(150)),
+            max_retries: 1,
+            retry_backoff: Duration::from_millis(5),
+            ..Exec::default()
+        })
+        .unwrap();
+    let elapsed = started.elapsed();
+    // 2 hung jobs × (150 ms + backoff + 300 ms retry) plus slack; far
+    // below the minutes an uncancelled run would take.
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "hung cell was not cancelled promptly (took {elapsed:?})"
+    );
+    assert!(
+        outcome.get("healthy").is_some(),
+        "healthy cell must evaluate"
+    );
+    match &outcome.cells()[1].outcome {
+        CellOutcome::Failed(err) => {
+            let msg = err.to_string();
+            assert!(
+                msg.contains("deadline") && msg.contains("cancelled"),
+                "expected a deadline-cancellation failure, got: {msg}"
+            );
+        }
+        other => panic!("hung cell must fail as timed out, got {other:?}"),
+    }
+    assert!(outcome.stats.cancelled >= 2, "{:?}", outcome.stats);
+    assert!(outcome.stats.backoff_retries >= 1, "{:?}", outcome.stats);
+    assert_eq!(outcome.stats.deadline_failed, 2, "{:?}", outcome.stats);
+}
+
+/// Torture plane 3b: the campaign deadline bounds the whole run. Every
+/// queued job still resolves (as a timed-out failure), so the campaign
+/// returns a complete outcome instead of hanging.
+#[test]
+fn campaign_deadline_bounds_the_run_and_resolves_every_job() {
+    let campaign = hung_campaign("torture-budget", 6);
+    let started = Instant::now();
+    let outcome = campaign
+        .run(&Exec {
+            jobs: 2,
+            campaign_deadline: Some(Duration::from_millis(400)),
+            ..Exec::default()
+        })
+        .unwrap();
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "campaign deadline did not bound the run (took {elapsed:?})"
+    );
+    // The outcome is complete: both cells resolved, one way or another.
+    assert_eq!(outcome.cells().len(), 2);
+    match &outcome.cells()[1].outcome {
+        CellOutcome::Failed(_) => {}
+        other => panic!("hung cell must fail under the campaign deadline, got {other:?}"),
+    }
+    assert!(outcome.stats.deadline_failed >= 1, "{:?}", outcome.stats);
+}
+
+/// An untripped supervision plane is result-neutral: the same campaign
+/// with and without a generous hard deadline produces bit-identical
+/// evaluations (the cancellation check is a pure read when untripped).
+#[test]
+fn untripped_deadlines_are_result_neutral() {
+    let campaign = reference_campaign("torture-neutral");
+    let plain = campaign.run(&Exec::default()).unwrap();
+    let supervised = campaign
+        .run(&Exec {
+            jobs: 4,
+            job_deadline: Some(Duration::from_secs(600)),
+            campaign_deadline: Some(Duration::from_secs(3600)),
+            ..Exec::default()
+        })
+        .unwrap();
+    for name in CELLS {
+        assert_bitwise_eq(
+            plain.expect_eval(name),
+            supervised.expect_eval(name),
+            &format!("untripped supervision, cell {name}"),
+        );
+    }
+    assert_eq!(supervised.stats.cancelled, 0);
+    assert_eq!(supervised.stats.deadline_failed, 0);
+}

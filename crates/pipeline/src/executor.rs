@@ -57,9 +57,16 @@ use vpsim_isa::{Inst, Pc, Program, RegFile, NUM_REGS};
 use vpsim_mem::{Cycles, MemoryHierarchy};
 use vpsim_predictor::{LoadContext, ValuePredictor};
 
+use crate::cancel::CancelToken;
 use crate::config::CoreConfig;
 use crate::dyninst::{DynInst, LoadOrigin, Seq, Status};
 use crate::result::{CommitEvent, RunError, RunResult, RunStats, SchedStats};
+
+/// Scheduler ticks between cancellation-point checks, minus one. The
+/// check is a pure atomic read — it cannot change any simulation state
+/// — so the mask only amortises its cost; any value keeps supervised
+/// untripped runs bit-identical to unsupervised ones.
+const CANCEL_CHECK_MASK: u64 = 1024 - 1;
 
 pub(crate) struct Executor<'a> {
     config: CoreConfig,
@@ -116,6 +123,9 @@ pub(crate) struct Executor<'a> {
     /// a point the cycle-skipping scheduler reaches identically on
     /// every schedule, so chaos runs stay bit-reproducible.
     chaos: Option<&'a mut PipeChaos>,
+    /// Cooperative kill flag, polled every `CANCEL_CHECK_MASK + 1`
+    /// scheduler ticks at the loop boundary (never mid-phase).
+    cancel: Option<&'a CancelToken>,
 }
 
 impl<'a> Executor<'a> {
@@ -126,6 +136,7 @@ impl<'a> Executor<'a> {
         mem: &'a mut MemoryHierarchy,
         vp: &'a mut dyn ValuePredictor,
         chaos: Option<&'a mut PipeChaos>,
+        cancel: Option<&'a CancelToken>,
     ) -> Executor<'a> {
         if let Err(e) = config.validate() {
             panic!("invalid core configuration: {e}");
@@ -162,11 +173,21 @@ impl<'a> Executor<'a> {
             unresolved_branches: 0,
             pending_train: HashMap::new(),
             chaos,
+            cancel,
         }
     }
 
     pub(crate) fn run(mut self) -> Result<RunResult, RunError> {
         while !self.halted {
+            if self.sched.ticks & CANCEL_CHECK_MASK == 0 {
+                if let Some(token) = self.cancel {
+                    if token.is_cancelled() {
+                        return Err(RunError::Cancelled {
+                            at_cycle: self.cycle,
+                        });
+                    }
+                }
+            }
             if self.cycle >= self.config.max_cycles {
                 return Err(RunError::CycleLimitExceeded {
                     limit: self.config.max_cycles,
@@ -912,7 +933,7 @@ pub fn run_program(
     mem: &mut MemoryHierarchy,
     vp: &mut dyn ValuePredictor,
 ) -> Result<RunResult, RunError> {
-    Executor::new(config, program, pid, mem, vp, None).run()
+    Executor::new(config, program, pid, mem, vp, None, None).run()
 }
 
 /// [`run_program`] with a pipeline-side fault injector attached. The
@@ -930,5 +951,27 @@ pub fn run_program_chaos(
     vp: &mut dyn ValuePredictor,
     chaos: Option<&mut PipeChaos>,
 ) -> Result<RunResult, RunError> {
-    Executor::new(config, program, pid, mem, vp, chaos).run()
+    Executor::new(config, program, pid, mem, vp, chaos, None).run()
+}
+
+/// [`run_program_chaos`] under a [`CancelToken`]: the executor polls the
+/// token at scheduler loop boundaries (amortised, never mid-phase) and
+/// returns [`RunError::Cancelled`] promptly after a trip. An untripped
+/// token changes nothing — the poll is a pure read — so supervised runs
+/// are bit-identical to unsupervised ones.
+///
+/// # Errors
+///
+/// Same as [`run_program`], plus [`RunError::Cancelled`] when `cancel`
+/// is tripped before the program halts.
+pub fn run_program_supervised(
+    config: CoreConfig,
+    program: &Program,
+    pid: u32,
+    mem: &mut MemoryHierarchy,
+    vp: &mut dyn ValuePredictor,
+    chaos: Option<&mut PipeChaos>,
+    cancel: Option<&CancelToken>,
+) -> Result<RunResult, RunError> {
+    Executor::new(config, program, pid, mem, vp, chaos, cancel).run()
 }

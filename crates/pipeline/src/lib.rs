@@ -46,13 +46,15 @@
 //! # }
 //! ```
 
+mod cancel;
 mod config;
 mod dyninst;
 mod executor;
 mod machine;
 mod result;
 
+pub use cancel::CancelToken;
 pub use config::{ConfigError, CoreConfig};
-pub use executor::{run_program, run_program_chaos};
+pub use executor::{run_program, run_program_chaos, run_program_supervised};
 pub use machine::Machine;
 pub use result::{CommitEvent, RunError, RunResult, RunStats, SchedStats};

@@ -11,8 +11,9 @@ use vpsim_isa::Program;
 use vpsim_mem::{MemoryConfig, MemoryHierarchy};
 use vpsim_predictor::{ChaoticPredictor, NoPredictor, ValuePredictor};
 
+use crate::cancel::CancelToken;
 use crate::config::CoreConfig;
-use crate::executor::run_program_chaos;
+use crate::executor::run_program_supervised;
 use crate::result::{RunError, RunResult};
 
 /// A simulated core plus its persistent memory system and VPS.
@@ -25,6 +26,9 @@ pub struct Machine {
     /// Whether a [`ChaoticPredictor`] wrapper has been installed (guards
     /// against double wrapping on repeated `set_chaos` calls).
     pred_chaos_installed: bool,
+    /// Cooperative kill flag threaded into every run (see
+    /// [`Machine::set_cancel`]).
+    cancel: Option<CancelToken>,
 }
 
 impl Machine {
@@ -47,7 +51,17 @@ impl Machine {
             predictor,
             chaos: None,
             pred_chaos_installed: false,
+            cancel: None,
         }
+    }
+
+    /// Install a cooperative [`CancelToken`]: every subsequent
+    /// [`Machine::run`] polls it at scheduler loop boundaries and
+    /// returns [`RunError::Cancelled`] promptly once it is tripped. An
+    /// untripped token never perturbs a run — supervised results stay
+    /// bit-identical to unsupervised ones.
+    pub fn set_cancel(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
     }
 
     /// Install the fault/noise-injection plane on this machine: memory,
@@ -91,16 +105,18 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// Propagates [`RunError`] when the program exceeds the cycle budget
-    /// or control flow escapes the instruction stream.
+    /// Propagates [`RunError`] when the program exceeds the cycle
+    /// budget, control flow escapes the instruction stream, or an
+    /// installed [`CancelToken`] is tripped mid-run.
     pub fn run(&mut self, pid: u32, program: &Program) -> Result<RunResult, RunError> {
-        run_program_chaos(
+        run_program_supervised(
             self.core,
             program,
             pid,
             &mut self.mem,
             self.predictor.as_mut(),
             self.chaos.as_mut(),
+            self.cancel.as_ref(),
         )
     }
 
@@ -204,6 +220,76 @@ mod tests {
         };
         assert_eq!(run(11), run(11), "same chaos seed, same behaviour");
         assert_ne!(run(11), run(12), "chaos seed must matter at level 3");
+    }
+
+    /// A long spin loop: counts to `n` with a backward branch.
+    fn spin_program(n: u64) -> vpsim_isa::Program {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 0).li(Reg::R2, n);
+        b.label("spin").unwrap();
+        b.addi(Reg::R1, Reg::R1, 1)
+            .blt(Reg::R1, Reg::R2, "spin")
+            .halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn untripped_token_is_result_neutral() {
+        let program = spin_program(500);
+        let mut plain = machine(Box::new(Lvp::new(LvpConfig::default())));
+        let mut supervised = machine(Box::new(Lvp::new(LvpConfig::default())));
+        supervised.set_cancel(CancelToken::new());
+        for _ in 0..3 {
+            let a = plain.run(1, &program).unwrap();
+            let b = supervised.run(1, &program).unwrap();
+            assert_eq!(a, b, "an untripped token must not perturb the run");
+        }
+    }
+
+    #[test]
+    fn tripped_token_cancels_a_hung_run_promptly() {
+        use std::time::{Duration, Instant};
+        // A run that would spin for a very long time without help.
+        let program = spin_program(u64::MAX / 2);
+        let core = CoreConfig {
+            max_cycles: vpsim_mem::Cycles::MAX,
+            ..CoreConfig::default()
+        };
+        let mut m = Machine::new(
+            core,
+            MemoryConfig::deterministic(),
+            Box::new(NoPredictor::new()),
+            7,
+        );
+        let token = CancelToken::new();
+        m.set_cancel(token.clone());
+        let killer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            token.cancel();
+        });
+        let started = Instant::now();
+        let err = m.run(0, &program).unwrap_err();
+        killer.join().expect("killer thread");
+        assert!(
+            matches!(err, RunError::Cancelled { .. }),
+            "expected Cancelled, got {err:?}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "cancellation must have bounded latency"
+        );
+    }
+
+    #[test]
+    fn pre_tripped_token_cancels_at_cycle_zero() {
+        let mut m = machine(Box::new(NoPredictor::new()));
+        let token = CancelToken::new();
+        token.cancel();
+        m.set_cancel(token);
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 1).halt();
+        let err = m.run(0, &b.build().unwrap()).unwrap_err();
+        assert_eq!(err, RunError::Cancelled { at_cycle: 0 });
     }
 
     #[test]

@@ -136,6 +136,12 @@ pub enum RunError {
         /// The out-of-range program counter.
         pc: u32,
     },
+    /// A [`CancelToken`](crate::CancelToken) was tripped and the
+    /// executor unwound at its next cancellation point.
+    Cancelled {
+        /// The simulated cycle at which the trip was observed.
+        at_cycle: Cycles,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -146,6 +152,9 @@ impl std::fmt::Display for RunError {
             }
             RunError::FetchPastEnd { pc } => {
                 write!(f, "fetch ran past the end of the program at pc{pc}")
+            }
+            RunError::Cancelled { at_cycle } => {
+                write!(f, "run cancelled cooperatively at cycle {at_cycle}")
             }
         }
     }
@@ -189,5 +198,8 @@ mod tests {
             .to_string()
             .contains('5'));
         assert!(RunError::FetchPastEnd { pc: 3 }.to_string().contains("pc3"));
+        assert!(RunError::Cancelled { at_cycle: 77 }
+            .to_string()
+            .contains("cycle 77"));
     }
 }
