@@ -37,4 +37,35 @@ cargo test --release -q -p vpsim-bench --test fuzz_validation
 # within its hard deadline. Every path must converge bit-identically.
 cargo test --release -q -p vpsim-harness --test torture
 
+# Serve smoke: boot a real daemon on an ephemeral port, submit two
+# campaigns, stream one to completion, check progress and metrics,
+# cancel the other mid-flight, and shut down cleanly.
+SERVE_STATE="$(mktemp -d)"
+SERVE_LOG="$SERVE_STATE/daemon.out"
+./target/release/repro serve --port 0 --state "$SERVE_STATE/state" \
+    --runners 2 --jobs 2 > "$SERVE_LOG" &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$SERVE_STATE"' EXIT
+for _ in $(seq 1 100); do
+    grep -q 'listening on' "$SERVE_LOG" && break
+    sleep 0.1
+done
+SERVE_ADDR="$(sed -n 's/.*listening on //p' "$SERVE_LOG" | head -1)"
+printf '%s' '{"name":"ci-smoke","trials":20,"seed":7,"cells":[{"category":"train_test","channel":"timing_window","predictor":"lvp"}]}' \
+    > "$SERVE_STATE/smoke.json"
+./target/release/repro submit --addr "$SERVE_ADDR" --spec "$SERVE_STATE/smoke.json"
+printf '%s' '{"name":"ci-doomed","trials":50000,"seed":7,"cells":[{"category":"train_test","channel":"timing_window","predictor":"lvp"}]}' \
+    > "$SERVE_STATE/doomed.json"
+./target/release/repro submit --addr "$SERVE_ADDR" --spec "$SERVE_STATE/doomed.json"
+./target/release/repro watch --addr "$SERVE_ADDR" --id 1 | grep -q '"state":"done"'
+./target/release/repro query --addr "$SERVE_ADDR" --id 1 | grep -q '"state":"done"'
+./target/release/repro query --addr "$SERVE_ADDR" | grep -q 'ci-doomed'
+./target/release/repro cancel --addr "$SERVE_ADDR" --id 2
+./target/release/repro query --addr "$SERVE_ADDR" --id 2 | grep -q '"state":"cancelled"'
+./target/release/repro metrics --addr "$SERVE_ADDR" | grep -q 'vpsim_jobs_done_total'
+./target/release/repro shutdown --addr "$SERVE_ADDR"
+wait "$SERVE_PID"
+trap - EXIT
+rm -rf "$SERVE_STATE"
+
 echo "ci: all checks passed"

@@ -16,6 +16,17 @@
 //! repro --all --strict             # exit nonzero on any degraded cell
 //! ```
 //!
+//! Serve-plane subcommands (campaign-as-a-service):
+//!
+//! ```text
+//! repro serve --port 0 --state dir   # run the vpsim-serve daemon
+//! repro submit --addr H:P --spec f   # POST a campaign spec
+//! repro watch --addr H:P --id 1      # stream results as JSONL
+//! repro query --addr H:P [--id 1]    # progress / campaign list
+//! repro cancel --addr H:P --id 1     # cooperative cancellation
+//! repro shutdown --addr H:P          # graceful daemon stop
+//! ```
+//!
 //! Evaluations run through the `vpsim-harness` campaign engine: results
 //! are bitwise-identical for every `--jobs` value, and a campaign killed
 //! half-way can be rerun with the same `--resume DIR` to skip every job
@@ -258,7 +269,25 @@ fn trap<T>(f: impl FnOnce() -> T) -> Result<T, String> {
 }
 
 fn main() -> ExitCode {
-    let mut args = match parse_from(std::env::args().skip(1)) {
+    // Serve-plane subcommands (`repro serve ...`) dispatch before the
+    // legacy flag parser; a first argument starting with `--` keeps the
+    // original report-generation CLI unchanged.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv
+        .first()
+        .is_some_and(|a| vpsim_bench::serve_cli::is_subcommand(a))
+    {
+        let run = vpsim_bench::serve_cli::parse_from(argv.clone())
+            .and_then(|cmd| vpsim_bench::serve_cli::run(&cmd));
+        return match run {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let mut args = match parse_from(argv) {
         Ok(args) => args,
         Err(e) => {
             eprintln!("error: {e}");

@@ -10,11 +10,14 @@
 //! *shape* is what reproduces: which configurations leak (red p-values),
 //! which don't, and where the defense thresholds fall.
 
+#![forbid(unsafe_code)]
+
 pub mod chaos_bench;
 pub mod export;
 pub mod microbench;
 pub mod pipeline_bench;
 pub mod reports;
+pub mod serve_cli;
 pub mod workloads;
 
 pub use reports::*;

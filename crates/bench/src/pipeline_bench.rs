@@ -354,14 +354,7 @@ pub fn to_json(report: &BenchReport, before: Option<&BenchReport>) -> String {
     out
 }
 
-/// Extract one `"name": value` field from a single-line JSON cell.
-fn field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
-    let pat = format!("\"{name}\": ");
-    let start = line.find(&pat)? + pat.len();
-    let rest = &line[start..];
-    let end = rest.find([',', '}']).unwrap_or(rest.len());
-    Some(rest[..end].trim().trim_matches('"'))
-}
+use vpsim_json::field_str as field;
 
 /// Re-hydrate a `BENCH_pipeline.json` document produced by [`to_json`]
 /// into a [`BenchReport`]. A minimal line-oriented parser — each cell is

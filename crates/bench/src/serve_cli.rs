@@ -1,0 +1,305 @@
+//! The `repro` serve-plane subcommands: `serve`, `submit`, `watch`,
+//! `query`, `cancel`, `shutdown`.
+//!
+//! ```text
+//! repro serve --port 0 --state serve-state --runners 2 --jobs 4
+//! repro submit --addr 127.0.0.1:7070 --spec campaign.json
+//! repro watch  --addr 127.0.0.1:7070 --id 1
+//! repro query  --addr 127.0.0.1:7070 [--id 1]
+//! repro cancel --addr 127.0.0.1:7070 --id 1
+//! repro metrics --addr 127.0.0.1:7070
+//! repro shutdown --addr 127.0.0.1:7070
+//! ```
+//!
+//! `serve` prints exactly one line to stdout — `vpsim-serve listening
+//! on <addr>` — before blocking, so scripts (and the e2e suite) can
+//! discover an ephemeral port by reading it.
+
+use std::io::{Read, Write};
+
+use vpsim_serve::{client, ServeConfig, Server};
+
+/// Parsed serve-plane invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeCmd {
+    /// Run the daemon until shut down.
+    Serve(ServeArgs),
+    /// Submit a spec file (or stdin) and print the acknowledgement.
+    Submit { addr: String, spec: Option<String> },
+    /// Stream one campaign's results to stdout.
+    Watch { addr: String, id: u64 },
+    /// Print one campaign's progress, or the full list.
+    Query { addr: String, id: Option<u64> },
+    /// Cancel a campaign.
+    Cancel { addr: String, id: u64 },
+    /// Print the daemon's metrics snapshot.
+    Metrics { addr: String },
+    /// Gracefully stop the daemon.
+    Shutdown { addr: String },
+}
+
+/// Arguments of `repro serve`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeArgs {
+    /// TCP port (`0` = ephemeral).
+    pub port: u16,
+    /// State directory for specs and manifests.
+    pub state: String,
+    /// Concurrent campaign runners.
+    pub runners: usize,
+    /// Worker threads per campaign.
+    pub jobs: usize,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        ServeArgs {
+            port: 7070,
+            state: "serve-state".to_owned(),
+            runners: 2,
+            jobs: 1,
+        }
+    }
+}
+
+fn value(flag: &str, it: &mut dyn Iterator<Item = String>) -> Result<String, String> {
+    it.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, String> {
+    v.parse()
+        .map_err(|_| format!("{flag} expects a number, got `{v}`"))
+}
+
+/// Parse a serve-plane invocation; `argv` excludes the program name
+/// but includes the subcommand word.
+///
+/// # Errors
+///
+/// Returns a one-line message naming the offending argument.
+pub fn parse_from<I: IntoIterator<Item = String>>(argv: I) -> Result<ServeCmd, String> {
+    let mut it = argv.into_iter();
+    let cmd = it.next().ok_or("missing subcommand")?;
+    let mut addr: Option<String> = None;
+    let mut id: Option<u64> = None;
+    let mut spec: Option<String> = None;
+    let mut serve = ServeArgs::default();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = Some(value("--addr", &mut it)?),
+            "--id" => id = Some(parse_num("--id", &value("--id", &mut it)?)?),
+            "--spec" => spec = Some(value("--spec", &mut it)?),
+            "--port" => serve.port = parse_num("--port", &value("--port", &mut it)?)?,
+            "--state" => serve.state = value("--state", &mut it)?,
+            "--runners" => {
+                serve.runners = parse_num("--runners", &value("--runners", &mut it)?)?;
+                if serve.runners == 0 {
+                    return Err("--runners must be at least 1".to_owned());
+                }
+            }
+            "--jobs" => serve.jobs = parse_num("--jobs", &value("--jobs", &mut it)?)?,
+            other => return Err(format!("unknown argument `{other}` for `{cmd}`")),
+        }
+    }
+    let addr = |what: &str| addr.clone().ok_or(format!("{what} needs --addr HOST:PORT"));
+    let id_for = |what: &str| id.ok_or(format!("{what} needs --id N"));
+    match cmd.as_str() {
+        "serve" => Ok(ServeCmd::Serve(serve)),
+        "submit" => Ok(ServeCmd::Submit {
+            addr: addr("submit")?,
+            spec,
+        }),
+        "watch" => Ok(ServeCmd::Watch {
+            addr: addr("watch")?,
+            id: id_for("watch")?,
+        }),
+        "query" => Ok(ServeCmd::Query {
+            addr: addr("query")?,
+            id,
+        }),
+        "cancel" => Ok(ServeCmd::Cancel {
+            addr: addr("cancel")?,
+            id: id_for("cancel")?,
+        }),
+        "metrics" => Ok(ServeCmd::Metrics {
+            addr: addr("metrics")?,
+        }),
+        "shutdown" => Ok(ServeCmd::Shutdown {
+            addr: addr("shutdown")?,
+        }),
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+/// Whether `word` names a serve-plane subcommand.
+#[must_use]
+pub fn is_subcommand(word: &str) -> bool {
+    matches!(
+        word,
+        "serve" | "submit" | "watch" | "query" | "cancel" | "metrics" | "shutdown"
+    )
+}
+
+fn print_response(r: &client::Response) -> Result<(), String> {
+    print!("{}", r.body);
+    if !r.body.ends_with('\n') {
+        println!();
+    }
+    if r.status >= 400 {
+        return Err(format!("server answered {}", r.status));
+    }
+    Ok(())
+}
+
+/// Execute a parsed serve-plane command.
+///
+/// # Errors
+///
+/// Returns a one-line message on connection failures, non-2xx
+/// responses, or unreadable spec files.
+pub fn run(cmd: &ServeCmd) -> Result<(), String> {
+    match cmd {
+        ServeCmd::Serve(args) => {
+            let server = Server::start(ServeConfig {
+                addr: format!("127.0.0.1:{}", args.port),
+                state_dir: std::path::PathBuf::from(&args.state),
+                runners: args.runners,
+                jobs: args.jobs,
+            })
+            .map_err(|e| format!("cannot start daemon: {e}"))?;
+            println!("vpsim-serve listening on {}", server.addr());
+            std::io::stdout().flush().map_err(|e| e.to_string())?;
+            server.join();
+            Ok(())
+        }
+        ServeCmd::Submit { addr, spec } => {
+            let body = match spec {
+                Some(path) => std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read spec {path}: {e}"))?,
+                None => {
+                    let mut text = String::new();
+                    std::io::stdin()
+                        .read_to_string(&mut text)
+                        .map_err(|e| format!("cannot read spec from stdin: {e}"))?;
+                    text
+                }
+            };
+            let r = client::request(addr, "POST", "/campaigns", Some(&body))
+                .map_err(|e| format!("submit failed: {e}"))?;
+            print_response(&r)
+        }
+        ServeCmd::Watch { addr, id } => {
+            let status = client::stream(addr, &format!("/campaigns/{id}/results"), |line| {
+                println!("{line}");
+            })
+            .map_err(|e| format!("watch failed: {e}"))?;
+            if status != 200 {
+                return Err(format!("server answered {status}"));
+            }
+            Ok(())
+        }
+        ServeCmd::Query { addr, id } => {
+            let path = match id {
+                Some(id) => format!("/campaigns/{id}"),
+                None => "/campaigns".to_owned(),
+            };
+            let r = client::request(addr, "GET", &path, None)
+                .map_err(|e| format!("query failed: {e}"))?;
+            print_response(&r)
+        }
+        ServeCmd::Cancel { addr, id } => {
+            let r = client::request(addr, "POST", &format!("/campaigns/{id}/cancel"), None)
+                .map_err(|e| format!("cancel failed: {e}"))?;
+            print_response(&r)
+        }
+        ServeCmd::Metrics { addr } => {
+            let r = client::request(addr, "GET", "/metrics", None)
+                .map_err(|e| format!("metrics failed: {e}"))?;
+            print_response(&r)
+        }
+        ServeCmd::Shutdown { addr } => {
+            let r = client::request(addr, "POST", "/shutdown", None)
+                .map_err(|e| format!("shutdown failed: {e}"))?;
+            print_response(&r)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<ServeCmd, String> {
+        parse_from(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn serve_defaults_and_overrides() {
+        assert_eq!(
+            parse(&["serve"]).unwrap(),
+            ServeCmd::Serve(ServeArgs::default())
+        );
+        let ServeCmd::Serve(a) = parse(&[
+            "serve",
+            "--port",
+            "0",
+            "--state",
+            "x",
+            "--runners",
+            "3",
+            "--jobs",
+            "4",
+        ])
+        .unwrap() else {
+            panic!("not a serve command");
+        };
+        assert_eq!(
+            (a.port, a.state.as_str(), a.runners, a.jobs),
+            (0, "x", 3, 4)
+        );
+    }
+
+    #[test]
+    fn client_commands_require_addr_and_id() {
+        assert!(parse(&["watch"]).unwrap_err().contains("--addr"));
+        assert!(parse(&["watch", "--addr", "h:1"])
+            .unwrap_err()
+            .contains("--id"));
+        assert_eq!(
+            parse(&["watch", "--addr", "h:1", "--id", "7"]).unwrap(),
+            ServeCmd::Watch {
+                addr: "h:1".to_owned(),
+                id: 7
+            }
+        );
+        assert_eq!(
+            parse(&["query", "--addr", "h:1"]).unwrap(),
+            ServeCmd::Query {
+                addr: "h:1".to_owned(),
+                id: None
+            }
+        );
+    }
+
+    #[test]
+    fn garbage_rejected_with_one_line_errors() {
+        for case in [
+            vec!["serve", "--port", "many"],
+            vec!["serve", "--runners", "0"],
+            vec!["cancel", "--addr", "h:1", "--id", "x"],
+            vec!["frobnicate"],
+            vec!["submit", "--addr", "h:1", "--wat"],
+        ] {
+            let err = parse(&case).unwrap_err();
+            assert!(!err.contains('\n'), "{case:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn subcommand_detection() {
+        assert!(is_subcommand("serve"));
+        assert!(is_subcommand("shutdown"));
+        assert!(!is_subcommand("--all"));
+        assert!(!is_subcommand("status"));
+    }
+}

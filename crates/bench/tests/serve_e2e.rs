@@ -1,0 +1,167 @@
+//! End-to-end crash-recovery test for the `repro serve` daemon: a real
+//! child process is killed with SIGKILL mid-campaign and restarted on
+//! the same state directory. The resumed stream must be byte-identical
+//! to an uninterrupted reference run of the same spec, with no result
+//! coordinate duplicated or lost.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use vpsim_serve::client;
+
+const TRIALS: usize = 3_000;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vpsim-serve-e2e-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Daemon child that is SIGKILLed on drop so a failing assertion never
+/// leaks a live process.
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn_daemon(state: &Path) -> Daemon {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "serve",
+            "--port",
+            "0",
+            "--state",
+            state.to_str().unwrap(),
+            "--runners",
+            "1",
+            "--jobs",
+            "2",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn repro serve");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read listen line");
+    let addr = line
+        .trim()
+        .rsplit(' ')
+        .next()
+        .expect("addr on listen line")
+        .to_owned();
+    assert!(
+        line.contains("vpsim-serve listening on"),
+        "unexpected banner: {line:?}"
+    );
+    Daemon { child, addr }
+}
+
+fn spec_json() -> String {
+    format!(
+        r#"{{"name":"lazarus","trials":{TRIALS},"seed":901,
+            "cells":[{{"category":"train_test","channel":"timing_window","predictor":"lvp"}},
+                     {{"category":"test_hit","channel":"persistent","predictor":"lvp"}}]}}"#
+    )
+}
+
+fn submit(addr: &str) -> u64 {
+    let r = client::request(addr, "POST", "/campaigns", Some(&spec_json())).expect("submit");
+    assert_eq!(r.status, 201, "submit answered: {}", r.body);
+    vpsim_json::field_u64(&r.body, "id").expect("id in acknowledgement")
+}
+
+fn collect_stream(addr: &str, id: u64) -> Vec<String> {
+    let mut lines = Vec::new();
+    let status = client::stream(addr, &format!("/campaigns/{id}/results"), |line| {
+        lines.push(line.to_owned());
+    })
+    .expect("stream");
+    assert_eq!(status, 200);
+    lines
+}
+
+fn shutdown(addr: &str) {
+    let _ = client::request(addr, "POST", "/shutdown", None);
+}
+
+#[test]
+fn sigkill_mid_campaign_then_restart_streams_identical_payloads() {
+    // Reference: the same spec, run to completion without interruption.
+    let ref_state = temp_dir("ref");
+    let reference = {
+        let daemon = spawn_daemon(&ref_state);
+        let id = submit(&daemon.addr);
+        let lines = collect_stream(&daemon.addr, id);
+        shutdown(&daemon.addr);
+        lines
+    };
+    assert!(
+        reference
+            .last()
+            .is_some_and(|l| l.contains("\"state\":\"done\"")),
+        "reference run must finish"
+    );
+
+    // Victim: kill -9 the daemon while the campaign is provably
+    // mid-flight (some results durable, some still to come).
+    let state = temp_dir("victim");
+    let mut daemon = spawn_daemon(&state);
+    let id = submit(&daemon.addr);
+    let jobs_total = 2 * TRIALS as u64;
+    let started = Instant::now();
+    loop {
+        let r = client::request(&daemon.addr, "GET", &format!("/campaigns/{id}"), None)
+            .expect("progress query");
+        let done = vpsim_json::field_u64(&r.body, "jobs_done").expect("jobs_done");
+        if done >= 1 && done < jobs_total {
+            break;
+        }
+        assert!(
+            done < jobs_total,
+            "campaign finished before the kill window; raise TRIALS"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(60),
+            "campaign never started making progress"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    daemon.child.kill().expect("SIGKILL daemon");
+    daemon.child.wait().expect("reap daemon");
+
+    // Restart on the same state directory: the daemon must rehydrate
+    // the campaign, replay the durable prefix, run the remainder, and
+    // stream exactly what the uninterrupted run streamed.
+    let daemon = spawn_daemon(&state);
+    let resumed = collect_stream(&daemon.addr, id);
+    assert_eq!(
+        resumed, reference,
+        "resumed stream must be byte-identical to the uninterrupted run"
+    );
+
+    // No duplicated and no lost result coordinates.
+    let mut seen = std::collections::HashSet::new();
+    for line in resumed.iter().filter(|l| l.contains("\"type\":\"result\"")) {
+        let cell = vpsim_json::field_u64(line, "cell").unwrap();
+        let trial = vpsim_json::field_u64(line, "trial").unwrap();
+        assert!(seen.insert((cell, trial)), "duplicate result {line:?}");
+    }
+    assert_eq!(seen.len(), 2 * TRIALS, "every (cell, trial) exactly once");
+
+    shutdown(&daemon.addr);
+    let _ = std::fs::remove_dir_all(&state);
+    let _ = std::fs::remove_dir_all(&ref_state);
+}

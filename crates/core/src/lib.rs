@@ -54,6 +54,8 @@
 //! assert!(eval.ttest.significant(), "LVP leaks via Train+Test");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod attacks;
 pub mod covert;
 pub mod defense;

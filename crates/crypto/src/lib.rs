@@ -33,6 +33,8 @@
 //! assert_eq!(pt, msg);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod mpi;
 pub mod victim;
 

@@ -521,17 +521,32 @@ impl Campaign {
             }
         }
 
+        // Replay resumed records to the observer first, in canonical
+        // (cell, trial) order, so a streaming consumer sees an
+        // identical prefix whether the campaign resumed or not.
+        if let Some(observer) = &exec.observer {
+            let mut replay: Vec<&JobRecord> = resumed.values().collect();
+            replay.sort_by_key(|r| (r.cell, r.trial));
+            for rec in replay {
+                observer.job_done(rec, true);
+            }
+        }
+
         let plans: Vec<Option<CellPlan>> = self.cells.iter().map(|(_, p)| p.clone()).collect();
         let stats = PoolStats::default();
         let on_done = |cell: usize, trial: usize, done: &pool::JobDone| {
+            let rec = JobRecord {
+                cell,
+                trial,
+                pair: done.pair,
+                wall_nanos: done.wall_nanos,
+                attempts: done.attempts,
+            };
             if let Some(m) = &manifest {
-                m.record(JobRecord {
-                    cell,
-                    trial,
-                    pair: done.pair,
-                    wall_nanos: done.wall_nanos,
-                    attempts: done.attempts,
-                });
+                m.record(rec);
+            }
+            if let Some(observer) = &exec.observer {
+                observer.job_done(&rec, false);
             }
         };
         let results = pool::run_jobs(

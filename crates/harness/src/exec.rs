@@ -4,8 +4,24 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
+use vpsim_pipeline::CancelToken;
+
 use crate::campaign::RunHealth;
 use crate::io::SinkIo;
+use crate::sink::JobRecord;
+
+/// Observer of per-job completions, for live result streaming.
+///
+/// The campaign engine calls [`JobObserver::job_done`] once per job, in
+/// an arbitrary thread and order: records replayed from a resume
+/// manifest arrive first (in canonical cell/trial order, with `resumed
+/// = true`), then live completions as workers finish them. The record
+/// payload is deterministic — identical across schedules and restarts —
+/// except for the `wall_nanos`/`attempts` telemetry fields.
+pub trait JobObserver: Send + Sync + std::fmt::Debug {
+    /// One job finished (or was replayed from the manifest).
+    fn job_done(&self, rec: &JobRecord, resumed: bool);
+}
 
 /// How a [`Campaign`](crate::Campaign) executes: worker count, resume
 /// directory, observability, the watchdog budgets, and the supervision
@@ -73,6 +89,15 @@ pub struct Exec {
     /// this shared ledger — the `--strict` flag of the report bins
     /// checks it after running every table.
     pub health: Option<Arc<RunHealth>>,
+    /// External cancellation: when the token trips, the watchdog
+    /// cancels every in-flight job and drains the remaining queue as
+    /// timed-out failures — the same graceful teardown as
+    /// [`Exec::campaign_deadline`], but on demand (serving-plane
+    /// `cancel` requests, daemon shutdown).
+    pub cancel: Option<CancelToken>,
+    /// When set, every job completion is reported to this observer as
+    /// it happens — the serving plane streams results from here.
+    pub observer: Option<Arc<dyn JobObserver>>,
 }
 
 impl Default for Exec {
@@ -89,6 +114,8 @@ impl Default for Exec {
             retry_backoff: Duration::from_millis(25),
             sink_io: None,
             health: None,
+            cancel: None,
+            observer: None,
         }
     }
 }
@@ -144,6 +171,8 @@ mod tests {
         assert!(e.campaign_deadline.is_none());
         assert!(e.sink_io.is_none());
         assert!(e.health.is_none());
+        assert!(e.cancel.is_none());
+        assert!(e.observer.is_none());
     }
 
     #[test]

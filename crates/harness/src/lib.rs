@@ -65,14 +65,16 @@ mod exec;
 mod io;
 mod pool;
 mod sink;
+mod spec;
 
 pub use campaign::{
     Campaign, CampaignError, CampaignOutcome, CampaignStats, CellError, CellOutcome, CellResult,
     CellSpec, HarnessError, RunHealth,
 };
-pub use exec::Exec;
+pub use exec::{Exec, JobObserver};
 pub use io::{FaultPlan, FaultyIo, RealIo, SinkIo};
 pub use sink::JobRecord;
+pub use spec::{CampaignSpec, CellCoord, SpecError};
 
 use vpsec::attacks::AttackCategory;
 use vpsec::experiment::{Channel, Evaluation, ExperimentConfig, PredictorKind};

@@ -280,16 +280,29 @@ fn watchdog(shared: &Shared<'_>, campaign: &str, total: usize, resumed: usize) {
     let mut last_report = Instant::now();
     while !shared.done.load(Ordering::Acquire) {
         std::thread::sleep(Duration::from_millis(50));
-        let campaign_over = shared
+        let externally_cancelled = shared
             .exec
-            .campaign_deadline
-            .is_some_and(|budget| started.elapsed() > budget);
+            .cancel
+            .as_ref()
+            .is_some_and(vpsim_pipeline::CancelToken::is_cancelled);
+        let campaign_over = externally_cancelled
+            || shared
+                .exec
+                .campaign_deadline
+                .is_some_and(|budget| started.elapsed() > budget);
         if campaign_over && !shared.expired.swap(true, Ordering::AcqRel) {
-            eprintln!(
-                "[{campaign}] watchdog: campaign deadline {:?} exhausted; \
-                 cancelling in-flight jobs and draining the queue",
-                shared.exec.campaign_deadline.unwrap_or_default()
-            );
+            if externally_cancelled {
+                eprintln!(
+                    "[{campaign}] watchdog: external cancellation requested; \
+                     cancelling in-flight jobs and draining the queue"
+                );
+            } else {
+                eprintln!(
+                    "[{campaign}] watchdog: campaign deadline {:?} exhausted; \
+                     cancelling in-flight jobs and draining the queue",
+                    shared.exec.campaign_deadline.unwrap_or_default()
+                );
+            }
             // Wake gated sleepers so the queue drains immediately.
             shared.cond.notify_all();
         }
@@ -391,7 +404,14 @@ pub(crate) fn run_jobs(
         cond: Condvar::new(),
         outstanding: AtomicU64::new(batch.pending.len() as u64),
         done: AtomicBool::new(false),
-        expired: AtomicBool::new(false),
+        // A pre-tripped external cancel token (e.g. resuming a campaign
+        // that was cancelled before the restart) drains the whole queue
+        // without running a single job.
+        expired: AtomicBool::new(
+            exec.cancel
+                .as_ref()
+                .is_some_and(vpsim_pipeline::CancelToken::is_cancelled),
+        ),
         results: Mutex::new(vec![None; batch.total_jobs]),
         slots: Mutex::new((0..exec.effective_jobs()).map(|_| None).collect()),
         stats,

@@ -30,6 +30,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use vpsec::experiment::{PairOutcome, TrialOutcome};
+use vpsim_json::{field_hex, field_str, field_u64};
 
 use crate::campaign::HarnessError;
 use crate::io::SinkIo;
@@ -88,28 +89,6 @@ impl JobRecord {
             attempts: field_u64(line, "attempts")? as u32,
         })
     }
-}
-
-/// Extract the raw text of `"key":<value>` from a single-line JSON
-/// object (no nesting, no escaped quotes — the writer never emits any).
-fn field_raw<'a>(line: &'a str, key: &str) -> Option<&'a str> {
-    let needle = format!("\"{key}\":");
-    let start = line.find(&needle)? + needle.len();
-    let rest = &line[start..];
-    let end = rest.find([',', '}'])?;
-    Some(rest[..end].trim())
-}
-
-fn field_u64(line: &str, key: &str) -> Option<u64> {
-    field_raw(line, key)?.parse().ok()
-}
-
-fn field_hex(line: &str, key: &str) -> Option<u64> {
-    u64::from_str_radix(field_raw(line, key)?.trim_matches('"'), 16).ok()
-}
-
-fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
-    Some(field_raw(line, key)?.trim_matches('"'))
 }
 
 fn escape(name: &str) -> String {

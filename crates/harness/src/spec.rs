@@ -1,0 +1,595 @@
+//! Wire-format campaign specifications for the serving plane.
+//!
+//! A [`CampaignSpec`] is the JSON document a client POSTs to
+//! `vpsim-serve`: a campaign name, experiment-wide knobs (trials, seed,
+//! chaos level, defenses) and a list of evaluation cells. Parsing is
+//! **hardened** — the input comes from untrusted network clients, so
+//! every field is validated with bounds and unknown fields are
+//! rejected, returning a one-line typed [`SpecError`], never a panic.
+//!
+//! ## Seed namespacing
+//!
+//! Job seeds stay a pure function of the *spec*: the effective master
+//! seed is [`CampaignSpec::namespaced_seed`], a mix of the declared
+//! `seed` and a hash of the campaign *name*. Two campaigns with
+//! different names draw decorrelated jitter/chaos streams even when
+//! they declare the same numeric seed, while resubmitting a
+//! byte-identical spec — under any server-assigned id, at any
+//! concurrency, on any restart — reproduces every observation bit for
+//! bit. Server-assigned ids namespace *storage* (manifest directories),
+//! never seeds, because ids depend on arrival order and would break
+//! reproducibility.
+
+use std::fmt;
+
+use vpsec::attacks::AttackCategory;
+use vpsec::chaos::ChaosConfig;
+use vpsec::experiment::{CellPlan, Channel, ExperimentConfig, PredictorKind};
+use vpsim_json::{escaped, Json};
+use vpsim_predictor::{AlwaysMode, DefenseSpec};
+
+use crate::campaign::{Campaign, CellSpec};
+
+/// Hard caps on spec shape, so a hostile submission cannot balloon the
+/// daemon's memory or queue years of work.
+pub const MAX_TRIALS: usize = 100_000;
+/// Maximum cells per campaign.
+pub const MAX_CELLS: usize = 4_096;
+/// Maximum campaign-name length in bytes.
+pub const MAX_NAME_LEN: usize = 100;
+
+/// One evaluation-cell coordinate of a spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellCoord {
+    /// Attack category (`train_hit`, `train_test`, `spill_over`,
+    /// `test_hit`, `fill_up`, `modify_test`).
+    pub category: AttackCategory,
+    /// Covert channel (`timing_window`, `persistent`, `volatile`).
+    pub channel: Channel,
+    /// Predictor (`none`, `lvp`, `vtage`, `oracle_lvp`, `oracle_vtage`,
+    /// `stride`, `fcm`).
+    pub predictor: PredictorKind,
+}
+
+impl CellCoord {
+    /// The canonical cell name used in results and manifests.
+    #[must_use]
+    pub fn name(&self) -> String {
+        format!(
+            "{}/{}/{}",
+            category_token(self.category),
+            channel_token(self.channel),
+            predictor_token(self.predictor)
+        )
+    }
+}
+
+/// A validated campaign submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Campaign name (also the seed-namespace key).
+    pub name: String,
+    /// Paired trials per cell.
+    pub trials: usize,
+    /// Declared master seed (namespaced before use; see module docs).
+    pub seed: u64,
+    /// Chaos noise level `0..=4`.
+    pub chaos_level: u8,
+    /// Run the background-noise stressor between attack steps.
+    pub background_noise: bool,
+    /// Defenses applied to every cell.
+    pub defense: DefenseSpec,
+    /// The evaluation cells.
+    pub cells: Vec<CellCoord>,
+}
+
+/// Why a spec was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// One-line description naming the offending field.
+    pub message: String,
+}
+
+impl SpecError {
+    fn new(message: impl Into<String>) -> SpecError {
+        SpecError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid campaign spec: {}", self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn category_token(c: AttackCategory) -> &'static str {
+    match c {
+        AttackCategory::TrainHit => "train_hit",
+        AttackCategory::TrainTest => "train_test",
+        AttackCategory::SpillOver => "spill_over",
+        AttackCategory::TestHit => "test_hit",
+        AttackCategory::FillUp => "fill_up",
+        AttackCategory::ModifyTest => "modify_test",
+    }
+}
+
+fn channel_token(c: Channel) -> &'static str {
+    match c {
+        Channel::TimingWindow => "timing_window",
+        Channel::Persistent => "persistent",
+        Channel::Volatile => "volatile",
+    }
+}
+
+fn predictor_token(p: PredictorKind) -> &'static str {
+    match p {
+        PredictorKind::None => "none",
+        PredictorKind::Lvp => "lvp",
+        PredictorKind::Vtage => "vtage",
+        PredictorKind::OracleLvp => "oracle_lvp",
+        PredictorKind::OracleVtage => "oracle_vtage",
+        PredictorKind::Stride => "stride",
+        PredictorKind::Fcm => "fcm",
+    }
+}
+
+fn parse_category(s: &str) -> Option<AttackCategory> {
+    AttackCategory::ALL
+        .into_iter()
+        .find(|c| category_token(*c) == s)
+}
+
+fn parse_channel(s: &str) -> Option<Channel> {
+    [
+        Channel::TimingWindow,
+        Channel::Persistent,
+        Channel::Volatile,
+    ]
+    .into_iter()
+    .find(|c| channel_token(*c) == s)
+}
+
+fn parse_predictor(s: &str) -> Option<PredictorKind> {
+    [
+        PredictorKind::None,
+        PredictorKind::Lvp,
+        PredictorKind::Vtage,
+        PredictorKind::OracleLvp,
+        PredictorKind::OracleVtage,
+        PredictorKind::Stride,
+        PredictorKind::Fcm,
+    ]
+    .into_iter()
+    .find(|p| predictor_token(*p) == s)
+}
+
+fn req_str<'a>(obj: &'a Json, key: &str) -> Result<&'a str, SpecError> {
+    obj.get(key)
+        .ok_or_else(|| SpecError::new(format!("missing field `{key}`")))?
+        .as_str()
+        .ok_or_else(|| SpecError::new(format!("field `{key}` must be a string")))
+}
+
+fn opt_u64(obj: &Json, key: &str, default: u64) -> Result<u64, SpecError> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| SpecError::new(format!("field `{key}` must be a non-negative integer"))),
+    }
+}
+
+fn opt_bool(obj: &Json, key: &str, default: bool) -> Result<bool, SpecError> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| SpecError::new(format!("field `{key}` must be a boolean"))),
+    }
+}
+
+fn parse_defense(v: &Json) -> Result<DefenseSpec, SpecError> {
+    let fields = v
+        .as_obj()
+        .ok_or_else(|| SpecError::new("field `defense` must be an object"))?;
+    let mut d = DefenseSpec::none();
+    for (key, value) in fields {
+        match key.as_str() {
+            "a_type" => {
+                d.a_type = Some(match value {
+                    Json::Str(s) if s == "history" => AlwaysMode::History,
+                    other => AlwaysMode::Fixed(other.as_u64().ok_or_else(|| {
+                        SpecError::new("defense `a_type` must be \"history\" or a fixed constant")
+                    })?),
+                });
+            }
+            "r_type" => {
+                let w = value
+                    .as_u64()
+                    .ok_or_else(|| SpecError::new("defense `r_type` must be a window size >= 2"))?;
+                if !(2..=1_024).contains(&w) {
+                    return Err(SpecError::new(format!(
+                        "defense `r_type` window {w} out of range 2..=1024"
+                    )));
+                }
+                d.r_type = Some(w);
+            }
+            "d_type" => {
+                d.d_type = value
+                    .as_bool()
+                    .ok_or_else(|| SpecError::new("defense `d_type` must be a boolean"))?;
+            }
+            other => {
+                return Err(SpecError::new(format!("unknown defense field `{other}`")));
+            }
+        }
+    }
+    Ok(d)
+}
+
+fn parse_cell(v: &Json, index: usize) -> Result<CellCoord, SpecError> {
+    let fields = v
+        .as_obj()
+        .ok_or_else(|| SpecError::new(format!("cell #{index} must be an object")))?;
+    for (key, _) in fields {
+        if !matches!(key.as_str(), "category" | "channel" | "predictor") {
+            return Err(SpecError::new(format!(
+                "cell #{index}: unknown field `{key}`"
+            )));
+        }
+    }
+    let category = req_str(v, "category")
+        .map_err(|e| SpecError::new(format!("cell #{index}: {}", e.message)))?;
+    let channel = req_str(v, "channel")
+        .map_err(|e| SpecError::new(format!("cell #{index}: {}", e.message)))?;
+    let predictor = req_str(v, "predictor")
+        .map_err(|e| SpecError::new(format!("cell #{index}: {}", e.message)))?;
+    Ok(CellCoord {
+        category: parse_category(category).ok_or_else(|| {
+            SpecError::new(format!("cell #{index}: unknown category `{category}`"))
+        })?,
+        channel: parse_channel(channel)
+            .ok_or_else(|| SpecError::new(format!("cell #{index}: unknown channel `{channel}`")))?,
+        predictor: parse_predictor(predictor).ok_or_else(|| {
+            SpecError::new(format!("cell #{index}: unknown predictor `{predictor}`"))
+        })?,
+    })
+}
+
+impl CampaignSpec {
+    /// Parse and validate a spec document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line [`SpecError`] for malformed JSON, missing or
+    /// mistyped fields, out-of-range values, unknown coordinates, or
+    /// unknown fields. Never panics on any input.
+    pub fn parse(input: &str) -> Result<CampaignSpec, SpecError> {
+        let doc = vpsim_json::parse(input).map_err(|e| SpecError::new(e.to_string()))?;
+        let fields = doc
+            .as_obj()
+            .ok_or_else(|| SpecError::new("spec must be a JSON object"))?;
+        for (key, _) in fields {
+            if !matches!(
+                key.as_str(),
+                "name"
+                    | "trials"
+                    | "seed"
+                    | "chaos_level"
+                    | "background_noise"
+                    | "defense"
+                    | "cells"
+            ) {
+                return Err(SpecError::new(format!("unknown field `{key}`")));
+            }
+        }
+        let name = req_str(&doc, "name")?;
+        if name.is_empty() || name.len() > MAX_NAME_LEN {
+            return Err(SpecError::new(format!(
+                "`name` must be 1..={MAX_NAME_LEN} bytes, got {}",
+                name.len()
+            )));
+        }
+        // The name keys the resume-manifest *file name*, so path
+        // separators and parent references must never appear in it.
+        if !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+            || name.chars().all(|c| c == '.')
+        {
+            return Err(SpecError::new(
+                "`name` may only contain ASCII alphanumerics, `-`, `_`, `.` \
+                 (and not be all dots)",
+            ));
+        }
+        let trials = opt_u64(&doc, "trials", 100)?;
+        if trials == 0 || trials > MAX_TRIALS as u64 {
+            return Err(SpecError::new(format!(
+                "`trials` must be 1..={MAX_TRIALS}, got {trials}"
+            )));
+        }
+        let seed = opt_u64(&doc, "seed", 0xDAC_2021)?;
+        let chaos_level = opt_u64(&doc, "chaos_level", 0)?;
+        if chaos_level >= u64::from(ChaosConfig::NUM_LEVELS) {
+            return Err(SpecError::new(format!(
+                "`chaos_level` must be 0..={}, got {chaos_level}",
+                ChaosConfig::NUM_LEVELS - 1
+            )));
+        }
+        let background_noise = opt_bool(&doc, "background_noise", false)?;
+        let defense = match doc.get("defense") {
+            None => DefenseSpec::none(),
+            Some(v) => parse_defense(v)?,
+        };
+        let cells_json = doc
+            .get("cells")
+            .ok_or_else(|| SpecError::new("missing field `cells`"))?
+            .as_arr()
+            .ok_or_else(|| SpecError::new("field `cells` must be an array"))?;
+        if cells_json.is_empty() || cells_json.len() > MAX_CELLS {
+            return Err(SpecError::new(format!(
+                "`cells` must hold 1..={MAX_CELLS} cells, got {}",
+                cells_json.len()
+            )));
+        }
+        let cells = cells_json
+            .iter()
+            .enumerate()
+            .map(|(i, c)| parse_cell(c, i))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CampaignSpec {
+            name: name.to_owned(),
+            trials: trials as usize,
+            seed,
+            chaos_level: chaos_level as u8,
+            background_noise,
+            defense,
+            cells,
+        })
+    }
+
+    /// The canonical JSON form ([`CampaignSpec::parse`] round-trips it).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"trials\":{},\"seed\":{},\"chaos_level\":{},\
+             \"background_noise\":{}",
+            escaped(&self.name),
+            self.trials,
+            self.seed,
+            self.chaos_level,
+            self.background_noise,
+        );
+        if self.defense.is_defended() {
+            out.push_str(",\"defense\":{");
+            let mut parts = Vec::new();
+            match self.defense.a_type {
+                Some(AlwaysMode::History) => parts.push("\"a_type\":\"history\"".to_owned()),
+                Some(AlwaysMode::Fixed(v)) => parts.push(format!("\"a_type\":{v}")),
+                None => {}
+            }
+            if let Some(w) = self.defense.r_type {
+                parts.push(format!("\"r_type\":{w}"));
+            }
+            if self.defense.d_type {
+                parts.push("\"d_type\":true".to_owned());
+            }
+            out.push_str(&parts.join(","));
+            out.push('}');
+        }
+        out.push_str(",\"cells\":[");
+        for (i, cell) in self.cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"category\":\"{}\",\"channel\":\"{}\",\"predictor\":\"{}\"}}",
+                category_token(cell.category),
+                channel_token(cell.channel),
+                predictor_token(cell.predictor),
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// The effective master seed: the declared seed mixed with a hash
+    /// of the campaign name (see the module docs on namespacing). A
+    /// pure function of the spec — never of server ids or timing.
+    #[must_use]
+    pub fn namespaced_seed(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in self.name.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        // One splitmix64 round decorrelates nearby (seed, name) pairs.
+        let mut z = self.seed ^ h;
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Trials per cell in declaration order: `trials` for supported
+    /// cells, `0` for unsupported (Table III "—") combinations — the
+    /// canonical job layout a result stream follows.
+    #[must_use]
+    pub fn trials_per_cell(&self) -> Vec<usize> {
+        let cfg = self.experiment_config();
+        self.cells
+            .iter()
+            .map(|c| {
+                CellPlan::new(c.category, c.channel, c.predictor, &cfg).map_or(0, |_| self.trials)
+            })
+            .collect()
+    }
+
+    /// Total jobs (paired trials) the spec expands into.
+    #[must_use]
+    pub fn num_jobs(&self) -> usize {
+        self.trials_per_cell().iter().sum()
+    }
+
+    /// The [`ExperimentConfig`] every cell of this spec runs under.
+    #[must_use]
+    pub fn experiment_config(&self) -> ExperimentConfig {
+        ExperimentConfig {
+            trials: self.trials,
+            seed: self.namespaced_seed(),
+            defense: self.defense,
+            background_noise: self.background_noise,
+            chaos: ChaosConfig::level(self.chaos_level),
+            ..ExperimentConfig::default()
+        }
+    }
+
+    /// Materialize the spec into a runnable [`Campaign`].
+    #[must_use]
+    pub fn to_campaign(&self) -> Campaign {
+        let cfg = self.experiment_config();
+        let mut campaign = Campaign::new(&self.name);
+        for cell in &self.cells {
+            campaign.push(CellSpec::new(
+                cell.name(),
+                cell.category,
+                cell.channel,
+                cell.predictor,
+                cfg.clone(),
+            ));
+        }
+        campaign
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal() -> &'static str {
+        r#"{"name":"quick","trials":4,"seed":7,
+            "cells":[{"category":"train_test","channel":"timing_window","predictor":"lvp"}]}"#
+    }
+
+    #[test]
+    fn minimal_spec_parses_and_round_trips() {
+        let spec = CampaignSpec::parse(minimal()).unwrap();
+        assert_eq!(spec.name, "quick");
+        assert_eq!(spec.trials, 4);
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.cells.len(), 1);
+        assert_eq!(spec.cells[0].name(), "train_test/timing_window/lvp");
+        let round = CampaignSpec::parse(&spec.to_json()).unwrap();
+        assert_eq!(round, spec);
+    }
+
+    #[test]
+    fn defense_and_chaos_round_trip() {
+        let doc = r#"{"name":"def","trials":2,"seed":1,"chaos_level":3,
+            "background_noise":true,
+            "defense":{"a_type":"history","r_type":3,"d_type":true},
+            "cells":[{"category":"test_hit","channel":"persistent","predictor":"vtage"}]}"#;
+        let spec = CampaignSpec::parse(doc).unwrap();
+        assert_eq!(spec.defense, DefenseSpec::full(3));
+        assert_eq!(spec.chaos_level, 3);
+        assert!(spec.background_noise);
+        let round = CampaignSpec::parse(&spec.to_json()).unwrap();
+        assert_eq!(round, spec);
+        let fixed = r#"{"name":"f","trials":1,"defense":{"a_type":42},
+            "cells":[{"category":"fill_up","channel":"timing_window","predictor":"lvp"}]}"#;
+        let spec = CampaignSpec::parse(fixed).unwrap();
+        assert_eq!(spec.defense.a_type, Some(AlwaysMode::Fixed(42)));
+        assert_eq!(CampaignSpec::parse(&spec.to_json()).unwrap(), spec);
+    }
+
+    #[test]
+    fn rejects_malformed_specs_with_one_line_errors() {
+        for (doc, needle) in [
+            ("", "invalid JSON"),
+            ("[]", "must be a JSON object"),
+            ("{\"trials\":1}", "missing field `name`"),
+            (r#"{"name":"x","cells":[]}"#, "1..="),
+            (r#"{"name":"x","trials":0,"cells":[{}]}"#, "`trials`"),
+            (r#"{"name":"x","trials":1000000,"cells":[{}]}"#, "`trials`"),
+            (
+                r#"{"name":"x","chaos_level":9,"cells":[{}]}"#,
+                "`chaos_level`",
+            ),
+            (r#"{"name":"x","seed":-4,"cells":[{}]}"#, "`seed`"),
+            (
+                r#"{"name":"x","wat":1,"cells":[{}]}"#,
+                "unknown field `wat`",
+            ),
+            (r#"{"name":"", "cells":[{}]}"#, "`name`"),
+            (r#"{"name":"a b","cells":[{}]}"#, "`name`"),
+            (
+                r#"{"name":"x","cells":[{"category":"nope","channel":"timing_window","predictor":"lvp"}]}"#,
+                "unknown category",
+            ),
+            (
+                r#"{"name":"x","cells":[{"category":"train_test","channel":"slack","predictor":"lvp"}]}"#,
+                "unknown channel",
+            ),
+            (
+                r#"{"name":"x","cells":[{"category":"train_test","channel":"timing_window","predictor":"crystal_ball"}]}"#,
+                "unknown predictor",
+            ),
+            (
+                r#"{"name":"x","cells":[{"category":"train_test","channel":"timing_window","predictor":"lvp","extra":1}]}"#,
+                "unknown field `extra`",
+            ),
+            (
+                r#"{"name":"x","defense":{"r_type":1},"cells":[{}]}"#,
+                "r_type",
+            ),
+            (
+                r#"{"name":"x","defense":{"z":1},"cells":[{}]}"#,
+                "unknown defense field",
+            ),
+        ] {
+            let err = CampaignSpec::parse(doc).unwrap_err().to_string();
+            assert!(
+                err.contains(needle),
+                "doc {doc:?}: error {err:?} lacks {needle:?}"
+            );
+            assert!(!err.contains('\n'), "multi-line error: {err:?}");
+        }
+    }
+
+    #[test]
+    fn namespaced_seed_is_a_pure_function_of_the_spec() {
+        let a = CampaignSpec::parse(minimal()).unwrap();
+        let b = CampaignSpec::parse(minimal()).unwrap();
+        assert_eq!(a.namespaced_seed(), b.namespaced_seed());
+        let mut renamed = a.clone();
+        renamed.name = "quick2".to_owned();
+        assert_ne!(
+            a.namespaced_seed(),
+            renamed.namespaced_seed(),
+            "different names must draw decorrelated seed streams"
+        );
+        let mut reseeded = a.clone();
+        reseeded.seed = 8;
+        assert_ne!(a.namespaced_seed(), reseeded.namespaced_seed());
+    }
+
+    #[test]
+    fn to_campaign_expands_cells_and_jobs() {
+        let doc = r#"{"name":"two","trials":5,
+            "cells":[{"category":"train_test","channel":"timing_window","predictor":"lvp"},
+                     {"category":"test_hit","channel":"persistent","predictor":"lvp"}]}"#;
+        let spec = CampaignSpec::parse(doc).unwrap();
+        let campaign = spec.to_campaign();
+        assert_eq!(campaign.len(), 2);
+        assert_eq!(campaign.num_jobs(), 10);
+        assert_eq!(spec.num_jobs(), 10);
+    }
+}

@@ -29,6 +29,8 @@
 //! assert_eq!(warm.value, 7);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod backing;
 mod cache;
 mod config;

@@ -46,6 +46,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod cancel;
 mod config;
 mod dyninst;

@@ -43,6 +43,8 @@
 //! assert_eq!(vp.lookup(&ctx).unwrap().value, 7);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod chaos;
 mod defense;
 mod fcm;

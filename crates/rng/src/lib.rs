@@ -11,6 +11,8 @@
 //! a pure function of its `u64` seed, so results are reproducible across
 //! runs, platforms and thread counts.
 
+#![forbid(unsafe_code)]
+
 /// The splitmix64 step: expands a 64-bit seed into a stream of
 /// well-mixed words (used to initialise xoshiro state).
 #[inline]

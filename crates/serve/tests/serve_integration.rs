@@ -1,0 +1,294 @@
+//! In-process integration tests for the serving plane: wire-level
+//! determinism, backpressure isolation, cancellation, graceful-restart
+//! resume, and HTTP robustness.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use vpsim_serve::client;
+use vpsim_serve::{ServeConfig, Server};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vpsim-serve-it-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn start(state: &std::path::Path, runners: usize, jobs: usize) -> Server {
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        state_dir: state.to_path_buf(),
+        runners,
+        jobs,
+    })
+    .expect("daemon starts")
+}
+
+fn spec_json(name: &str, trials: usize) -> String {
+    format!(
+        r#"{{"name":"{name}","trials":{trials},"seed":77,
+            "cells":[{{"category":"train_test","channel":"timing_window","predictor":"lvp"}},
+                     {{"category":"test_hit","channel":"persistent","predictor":"lvp"}}]}}"#
+    )
+}
+
+fn submit(addr: &str, body: &str) -> u64 {
+    let r = client::request(addr, "POST", "/campaigns", Some(body)).expect("submit");
+    assert_eq!(r.status, 201, "submit answered: {}", r.body);
+    vpsim_json::field_u64(&r.body, "id").expect("id in acknowledgement")
+}
+
+fn collect_stream(addr: &str, id: u64) -> Vec<String> {
+    let mut lines = Vec::new();
+    let status = client::stream(addr, &format!("/campaigns/{id}/results"), |line| {
+        lines.push(line.to_owned());
+    })
+    .expect("stream");
+    assert_eq!(status, 200);
+    lines
+}
+
+fn wait_for_state(addr: &str, id: u64, wanted: &[&str], budget: Duration) -> String {
+    let started = Instant::now();
+    loop {
+        let r = client::request(addr, "GET", &format!("/campaigns/{id}"), None).expect("query");
+        let state = vpsim_json::field_str(&r.body, "state")
+            .expect("state")
+            .to_owned();
+        if wanted.contains(&state.as_str()) {
+            return state;
+        }
+        assert!(
+            started.elapsed() < budget,
+            "campaign {id} stuck in state {state:?} (wanted one of {wanted:?})"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[test]
+fn identical_specs_under_different_ids_stream_identical_payloads() {
+    let state = temp_dir("identical");
+    let server = start(&state, 2, 2);
+    let addr = server.addr().to_string();
+
+    // Same spec twice -> two server-assigned ids, run concurrently by
+    // two runners with different worker schedules.
+    let body = spec_json("twins", 6);
+    let id_a = submit(&addr, &body);
+    let id_b = submit(&addr, &body);
+    assert_ne!(id_a, id_b);
+
+    let (lines_a, lines_b) = (collect_stream(&addr, id_a), collect_stream(&addr, id_b));
+    assert!(
+        lines_a.len() > 12,
+        "expected result + cell + status lines, got {lines_a:?}"
+    );
+    assert_eq!(
+        lines_a, lines_b,
+        "the result stream must be a pure function of the spec"
+    );
+    assert!(lines_a.last().unwrap().contains("\"state\":\"done\""));
+
+    server.shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+#[test]
+fn slow_consumer_stalls_only_its_own_stream() {
+    let state = temp_dir("backpressure");
+    let server = start(&state, 1, 2);
+    let addr = server.addr().to_string();
+
+    let id = submit(&addr, &spec_json("bp", 8));
+
+    // A deliberately stalled consumer: opens the stream, reads the
+    // response head, then never drains the socket again.
+    let stalled = std::net::TcpStream::connect(&addr).expect("connect");
+    {
+        use std::io::Write;
+        let mut s = &stalled;
+        write!(s, "GET /campaigns/{id}/results HTTP/1.1\r\nhost: t\r\n\r\n").unwrap();
+        s.flush().unwrap();
+    }
+
+    // Meanwhile a healthy consumer must still receive the whole stream
+    // and the campaign must complete.
+    let lines = collect_stream(&addr, id);
+    assert!(lines.last().unwrap().contains("\"type\":\"status\""));
+    let state_now = wait_for_state(&addr, id, &["done"], Duration::from_secs(30));
+    assert_eq!(state_now, "done");
+    drop(stalled);
+
+    server.shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+#[test]
+fn cancel_mid_flight_terminates_the_stream() {
+    let state = temp_dir("cancel");
+    let server = start(&state, 1, 1);
+    let addr = server.addr().to_string();
+
+    // Large enough to still be running when the cancel lands.
+    let id = submit(&addr, &spec_json("doomed", 20_000));
+    wait_for_state(&addr, id, &["running"], Duration::from_secs(30));
+
+    let r =
+        client::request(&addr, "POST", &format!("/campaigns/{id}/cancel"), None).expect("cancel");
+    assert_eq!(r.status, 200);
+    assert!(r.body.contains("\"state\":\"cancelled\""), "{}", r.body);
+    assert!(
+        state.join(id.to_string()).join("cancelled").exists(),
+        "cancellation must be persisted for restarts"
+    );
+
+    let lines = collect_stream(&addr, id);
+    let last = lines.last().expect("stream terminates");
+    assert!(
+        last.contains("\"state\":\"cancelled\""),
+        "stream must end with a cancelled status, got {last:?}"
+    );
+    wait_for_state(&addr, id, &["cancelled"], Duration::from_secs(30));
+
+    server.shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+#[test]
+fn graceful_restart_resumes_and_streams_identical_payloads() {
+    let state = temp_dir("restart");
+
+    // Reference: the same spec run to completion without interruption
+    // in a separate daemon with its own state directory.
+    let ref_state = temp_dir("restart-ref");
+    let reference = {
+        let server = start(&ref_state, 1, 2);
+        let addr = server.addr().to_string();
+        let id = submit(&addr, &spec_json("phoenix", 40));
+        let lines = collect_stream(&addr, id);
+        server.shutdown();
+        server.join();
+        lines
+    };
+
+    // Interrupted run: shut the daemon down while the campaign is
+    // mid-flight, then restart on the same state directory.
+    let server = start(&state, 1, 2);
+    let addr = server.addr().to_string();
+    let id = submit(&addr, &spec_json("phoenix", 40));
+    wait_for_state(&addr, id, &["running", "done"], Duration::from_secs(30));
+    server.shutdown();
+    server.join();
+
+    let server = start(&state, 1, 2);
+    let addr = server.addr().to_string();
+    let resumed = collect_stream(&addr, id);
+    assert_eq!(
+        resumed, reference,
+        "a resumed campaign must stream byte-identical results"
+    );
+
+    // No duplicated result coordinates either.
+    let mut seen = std::collections::HashSet::new();
+    for line in resumed.iter().filter(|l| l.contains("\"type\":\"result\"")) {
+        let cell = vpsim_json::field_u64(line, "cell").unwrap();
+        let trial = vpsim_json::field_u64(line, "trial").unwrap();
+        assert!(seen.insert((cell, trial)), "duplicate result {line:?}");
+    }
+    assert_eq!(seen.len(), 80, "40 trials x 2 cells, no lost cells");
+
+    server.shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&state);
+    let _ = std::fs::remove_dir_all(&ref_state);
+}
+
+#[test]
+fn http_surface_is_robust() {
+    let state = temp_dir("http");
+    let server = start(&state, 1, 1);
+    let addr = server.addr().to_string();
+
+    // Liveness and metrics.
+    let r = client::request(&addr, "GET", "/healthz", None).unwrap();
+    assert_eq!((r.status, r.body.as_str()), (200, "ok\n"));
+    let r = client::request(&addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(r.status, 200);
+    for needle in [
+        "vpsim_campaigns_active",
+        "vpsim_jobs_done_total",
+        "vpsim_sim_cycles_per_second",
+        "vpsim_io_faults_total",
+        "vpsim_torn_lines_total",
+    ] {
+        assert!(r.body.contains(needle), "metrics lack {needle}: {}", r.body);
+    }
+
+    // Bad spec -> 400 with a one-line error.
+    let r = client::request(&addr, "POST", "/campaigns", Some("{\"nope\"")).unwrap();
+    assert_eq!(r.status, 400);
+    assert!(r.body.contains("error"), "{}", r.body);
+
+    // Unknown id -> 404; bad id -> 404; wrong method -> 405.
+    assert_eq!(
+        client::request(&addr, "GET", "/campaigns/999", None)
+            .unwrap()
+            .status,
+        404
+    );
+    assert_eq!(
+        client::request(&addr, "GET", "/campaigns/bogus", None)
+            .unwrap()
+            .status,
+        404
+    );
+    assert_eq!(
+        client::request(&addr, "POST", "/healthz", None)
+            .unwrap()
+            .status,
+        405
+    );
+    assert_eq!(
+        client::request(&addr, "GET", "/teapot", None)
+            .unwrap()
+            .status,
+        404
+    );
+
+    // Raw hostile bytes must yield a 400, not a hang or crash.
+    {
+        use std::io::{Read, Write};
+        let mut s = std::net::TcpStream::connect(&addr).unwrap();
+        s.write_all(b"BLARGH \x00\xff\r\n\r\n").unwrap();
+        let mut out = String::new();
+        let _ = s.read_to_string(&mut out);
+        assert!(out.starts_with("HTTP/1.1 400"), "{out:?}");
+    }
+
+    // Oversized declared body -> 413 before any bytes are read.
+    {
+        use std::io::{Read, Write};
+        let mut s = std::net::TcpStream::connect(&addr).unwrap();
+        write!(
+            s,
+            "POST /campaigns HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n"
+        )
+        .unwrap();
+        let mut out = String::new();
+        let _ = s.read_to_string(&mut out);
+        assert!(out.starts_with("HTTP/1.1 413"), "{out:?}");
+    }
+
+    // An empty campaign list is a valid JSON array.
+    let r = client::request(&addr, "GET", "/campaigns", None).unwrap();
+    assert_eq!((r.status, r.body.as_str()), (200, "[]\n"));
+
+    server.shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&state);
+}

@@ -16,6 +16,8 @@
 //! assert!(t.p_value < 0.05, "clearly different distributions");
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod describe;
 mod histogram;
 mod rate;
