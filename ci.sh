@@ -20,6 +20,22 @@ cargo test --workspace --quiet
 cargo run --release -p vpsim-bench --bin bench_pipeline -- \
     --quick --check BENCH_pipeline.quick.json
 
+# Tracing-overhead smoke: the same quick matrix with event tracing
+# enabled must stay cycle-exact against the *untraced* baseline (trace
+# neutrality: recording events may not perturb simulation) and inside
+# the same wall-clock slowdown gate (tracing stays cheap).
+cargo run --release -p vpsim-bench --bin bench_pipeline -- \
+    --quick --traced --check BENCH_pipeline.quick.json
+
+# Trace-determinism smoke: `repro --trace` is a pure function of
+# (traced zoo, trials, seeds) — invocations at different worker counts
+# must dump byte-identical JSONL.
+TRACE_TMP="$(mktemp -d)"
+./target/release/repro --trace "$TRACE_TMP/a.jsonl" --trials 2 --jobs 1 > /dev/null
+./target/release/repro --trace "$TRACE_TMP/b.jsonl" --trials 2 --jobs 4 > /dev/null
+cmp "$TRACE_TMP/a.jsonl" "$TRACE_TMP/b.jsonl"
+rm -rf "$TRACE_TMP"
+
 # Robustness smoke: the quick chaos sweep (12 attack variants + RSA x
 # noise levels 0-4 x both receivers) is fully seeded, so every cell
 # must match the committed baseline bit for bit.

@@ -11,6 +11,9 @@
 //! bench_pipeline --check FILE --max-slowdown 3
 //! bench_pipeline --deadline 300          # budget the whole matrix
 //! bench_pipeline --strict                # escalate warnings to failures
+//! bench_pipeline --traced                # run with event tracing on; the
+//!                                        #   --check gate then bounds the
+//!                                        #   tracing overhead
 //! ```
 //!
 //! Simulated cycle counts are bit-deterministic; `--check` therefore
@@ -28,11 +31,14 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-use vpsim_bench::pipeline_bench::{check_against, parse_cells, render, run_matrix, to_json};
+use vpsim_bench::pipeline_bench::{
+    check_against, parse_cells, render, run_matrix, run_matrix_traced, to_json,
+};
 
 #[derive(Debug, Default)]
 struct Args {
     quick: bool,
+    traced: bool,
     out: Option<PathBuf>,
     baseline: Option<PathBuf>,
     check: Option<PathBuf>,
@@ -53,6 +59,7 @@ fn parse_from<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => args.quick = true,
+            "--traced" => args.traced = true,
             "--out" => args.out = Some(PathBuf::from(value("--out", &mut it)?)),
             "--baseline" => args.baseline = Some(PathBuf::from(value("--baseline", &mut it)?)),
             "--check" => args.check = Some(PathBuf::from(value("--check", &mut it)?)),
@@ -88,14 +95,18 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: bench_pipeline [--quick] [--out FILE] [--baseline FILE] \
+                "usage: bench_pipeline [--quick] [--traced] [--out FILE] [--baseline FILE] \
                  [--check FILE] [--max-slowdown X] [--deadline SECS] [--strict]"
             );
             return ExitCode::FAILURE;
         }
     };
     let started = Instant::now();
-    let report = run_matrix(args.quick);
+    let report = if args.traced {
+        run_matrix_traced(args.quick)
+    } else {
+        run_matrix(args.quick)
+    };
     print!("{}", render(&report));
 
     if let Some(budget) = args.deadline {
@@ -204,6 +215,12 @@ mod tests {
         assert!(a.strict);
         assert_eq!(a.deadline, Some(Duration::from_secs(300)));
         assert!(!parse(&["--quick"]).unwrap().strict);
+    }
+
+    #[test]
+    fn parses_traced_flag() {
+        assert!(parse(&["--quick", "--traced"]).unwrap().traced);
+        assert!(!parse(&["--quick"]).unwrap().traced);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! repro --chaos 2                  # robustness sweep at noise level 2
 //! repro --table 3 --deadline 120   # hard-cancel any job past 120 s
 //! repro --all --strict             # exit nonzero on any degraded cell
+//! repro --trace out.jsonl          # deterministic event-trace dump
 //! ```
 //!
 //! Serve-plane subcommands (campaign-as-a-service):
@@ -43,6 +44,9 @@ struct Args {
     trials: usize,
     items: Vec<Item>,
     csv_dir: Option<std::path::PathBuf>,
+    /// Dump deterministic per-trial event traces (JSONL) here and print
+    /// the leakage-attribution summary.
+    trace: Option<std::path::PathBuf>,
     exec: Exec,
     /// Exit nonzero when any campaign ran degraded (quarantined or
     /// panicked cells, deadline failures, torn manifest lines, injected
@@ -81,7 +85,7 @@ const VALID_FIGURES: [u32; 6] = [2, 3, 4, 5, 7, 8];
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro [--trials N] [--jobs N] [--resume DIR] [--progress] [--csv DIR] \
-         [--deadline SECS] [--strict] \
+         [--trace FILE] [--deadline SECS] [--strict] \
          (--all | --table {{1|2|3}} | --figure {{2|3|4|5|7|8}} | --defenses | --ablations | \
          --performance | --bench | --chaos {{0..4}})..."
     );
@@ -96,6 +100,7 @@ fn parse_from<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
         trials: 100,
         items: Vec::new(),
         csv_dir: None,
+        trace: None,
         exec: Exec::default(),
         strict: false,
     };
@@ -148,6 +153,9 @@ fn parse_from<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
             "--strict" => args.strict = true,
             "--csv" => {
                 args.csv_dir = Some(std::path::PathBuf::from(value("--csv", &mut it)?));
+            }
+            "--trace" => {
+                args.trace = Some(std::path::PathBuf::from(value("--trace", &mut it)?));
             }
             "--table" => {
                 let v = value("--table", &mut it)?;
@@ -209,8 +217,10 @@ fn parse_from<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    if args.items.is_empty() && args.csv_dir.is_none() {
-        return Err("nothing to do: pass --all, an item flag, or --csv DIR".to_owned());
+    if args.items.is_empty() && args.csv_dir.is_none() && args.trace.is_none() {
+        return Err(
+            "nothing to do: pass --all, an item flag, --csv DIR, or --trace FILE".to_owned(),
+        );
     }
     if args.exec.resume.is_some() && !jobs_explicit {
         // A resumable run is usually a long one; default to all cores.
@@ -305,6 +315,25 @@ fn main() -> ExitCode {
             Ok(Err(e)) => {
                 eprintln!("csv export failed: {e}");
                 return ExitCode::FAILURE;
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = &args.trace {
+        // Trace dumps run the traced zoo sequentially regardless of
+        // --jobs, so the file is byte-identical for every worker count.
+        match trap(|| vpsim_bench::trace_dump::run(args.trials)) {
+            Ok(dump) => {
+                if let Err(e) = std::fs::write(path, &dump.jsonl) {
+                    eprintln!("trace export failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote {}", path.display());
+                println!("{}", "=".repeat(78));
+                println!("{}", vpsim_bench::trace_dump::attribution_report(&dump));
             }
             Err(msg) => {
                 eprintln!("error: {msg}");
@@ -473,6 +502,17 @@ mod tests {
         assert!(e.contains("--deadline 0"), "{e}");
         let e = parse(&["--table", "3", "--deadline", "soon"]).unwrap_err();
         assert!(e.contains("--deadline"), "{e}");
+    }
+
+    #[test]
+    fn trace_flag_is_a_standalone_action() {
+        let a = parse(&["--trace", "out.jsonl"]).unwrap();
+        assert!(a.items.is_empty());
+        assert_eq!(a.trace.as_deref(), Some(std::path::Path::new("out.jsonl")));
+        let a = parse(&["--table", "3", "--trace", "t.jsonl"]).unwrap();
+        assert_eq!(a.items, vec![Item::Table(3)]);
+        assert!(a.trace.is_some());
+        assert!(parse(&["--trace"]).unwrap_err().contains("needs a value"));
     }
 
     #[test]

@@ -18,6 +18,7 @@ pub mod microbench;
 pub mod pipeline_bench;
 pub mod reports;
 pub mod serve_cli;
+pub mod trace_dump;
 pub mod workloads;
 
 pub use reports::*;

@@ -20,6 +20,7 @@ use vpsec::attacks::{build_trial, AttackCategory, AttackSetup};
 use vpsec::experiment::Channel;
 use vpsim_isa::{AluOp, ProgramBuilder, Reg};
 use vpsim_mem::MemoryConfig;
+use vpsim_obs::RingRecorder;
 use vpsim_pipeline::{CoreConfig, Machine, SchedStats};
 use vpsim_predictor::{Lvp, LvpConfig, NoPredictor, ValuePredictor, Vtage, VtageConfig};
 use vpsim_rng::SmallRng;
@@ -141,11 +142,16 @@ struct TrialWorkload {
     iterations: usize,
 }
 
+/// Per-run ring capacity for the traced matrix. Small on purpose — the
+/// overhead gate measures the *recording* cost, not allocation churn.
+const BENCH_TRACE_CAPACITY: usize = 256;
+
 fn run_trial_cell(
     t: &TrialWorkload,
     kind: &str,
     mem_label: &str,
     seed: u64,
+    traced: bool,
 ) -> (u64, u128, SchedStats) {
     let setup = AttackSetup::default();
     let trial =
@@ -159,15 +165,19 @@ fn run_trial_cell(
     for (addr, value) in &trial.memory_init {
         machine.mem_mut().store_value(*addr, *value);
     }
+    let mut ring = RingRecorder::new(BENCH_TRACE_CAPACITY);
     let mut cycles = 0u64;
     let mut sched = SchedStats::default();
     let start = Instant::now();
     for _ in 0..t.iterations {
         for step in &trial.steps {
             for _ in 0..step.repeat {
-                let r = machine
-                    .run(step.party.pid(), &step.program)
-                    .unwrap_or_else(|e| panic!("bench step `{}` failed: {e}", step.label));
+                let r = if traced {
+                    machine.run_traced(step.party.pid(), &step.program, &mut ring)
+                } else {
+                    machine.run(step.party.pid(), &step.program)
+                }
+                .unwrap_or_else(|e| panic!("bench step `{}` failed: {e}", step.label));
                 cycles += r.cycles;
                 sched.merge(&r.sched);
             }
@@ -181,6 +191,7 @@ fn run_kernel_cell(
     kind: &str,
     mem_label: &str,
     seed: u64,
+    traced: bool,
 ) -> (u64, u128, SchedStats) {
     let mut m = Machine::new(
         CoreConfig::default(),
@@ -191,8 +202,14 @@ fn run_kernel_cell(
     for (a, v) in &w.memory {
         m.mem_mut().store_value(*a, *v);
     }
+    let mut ring = RingRecorder::new(BENCH_TRACE_CAPACITY);
     let start = Instant::now();
-    let r = m.run(0, &w.program).expect("bench kernel halts");
+    let r = if traced {
+        m.run_traced(0, &w.program, &mut ring)
+    } else {
+        m.run(0, &w.program)
+    }
+    .expect("bench kernel halts");
     (r.cycles, start.elapsed().as_nanos(), r.sched)
 }
 
@@ -216,6 +233,21 @@ fn best_of<F: FnMut() -> (u64, u128, SchedStats)>(
 /// matrix finishes in a few seconds (the CI smoke configuration).
 #[must_use]
 pub fn run_matrix(quick: bool) -> BenchReport {
+    run_matrix_with(quick, false)
+}
+
+/// [`run_matrix`] with event tracing enabled on every run, recording
+/// into a bounded ring. Trace neutrality means simulated cycle counts
+/// are identical to the untraced matrix, so the traced report carries
+/// the same `mode` and can be checked against the committed baseline:
+/// the cycle-exactness check then *proves* neutrality and the slowdown
+/// gate bounds tracing overhead.
+#[must_use]
+pub fn run_matrix_traced(quick: bool) -> BenchReport {
+    run_matrix_with(quick, true)
+}
+
+fn run_matrix_with(quick: bool, traced: bool) -> BenchReport {
     let scale = if quick { 1u64 } else { 4 };
     let reps = if quick { 2 } else { 3 };
     let kernels = [
@@ -247,7 +279,7 @@ pub fn run_matrix(quick: bool) -> BenchReport {
             for w in &kernels {
                 let seed = rng.next_u64();
                 let (cycles, wall_ns, sched) =
-                    best_of(reps, || run_kernel_cell(w, kind, mem_label, seed));
+                    best_of(reps, || run_kernel_cell(w, kind, mem_label, seed, traced));
                 cells.push(BenchCell {
                     workload: w.name.to_owned(),
                     predictor: kind.to_owned(),
@@ -260,7 +292,7 @@ pub fn run_matrix(quick: bool) -> BenchReport {
             for t in &trials {
                 let seed = rng.next_u64();
                 let (cycles, wall_ns, sched) =
-                    best_of(reps, || run_trial_cell(t, kind, mem_label, seed));
+                    best_of(reps, || run_trial_cell(t, kind, mem_label, seed, traced));
                 cells.push(BenchCell {
                     workload: t.name.to_owned(),
                     predictor: kind.to_owned(),
@@ -532,6 +564,16 @@ mod tests {
         let ka: Vec<(String, u64)> = a.cells.iter().map(|c| (c.key(), c.cycles)).collect();
         let kb: Vec<(String, u64)> = b.cells.iter().map(|c| (c.key(), c.cycles)).collect();
         assert_eq!(ka, kb, "simulated cycles must not depend on wall time");
+    }
+
+    #[test]
+    fn traced_matrix_is_cycle_identical_to_untraced() {
+        let plain = run_matrix(true);
+        let traced = run_matrix_traced(true);
+        assert_eq!(plain.mode, traced.mode, "same mode so baselines match");
+        let ka: Vec<(String, u64)> = plain.cells.iter().map(|c| (c.key(), c.cycles)).collect();
+        let kb: Vec<(String, u64)> = traced.cells.iter().map(|c| (c.key(), c.cycles)).collect();
+        assert_eq!(ka, kb, "tracing must not perturb simulated cycles");
     }
 
     #[test]

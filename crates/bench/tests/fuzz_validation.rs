@@ -188,6 +188,15 @@ fn fuzz_record(rng: &mut SmallRng) -> JobRecord {
         2 => f64::INFINITY,
         _ => rng.gen_f64() * 1e6,
     };
+    let sched = |rng: &mut SmallRng| vpsim_pipeline::SchedStats {
+        ticks: rng.next_u64(),
+        skipped_cycles: rng.next_u64(),
+        completion_events: rng.next_u64(),
+        wakeup_broadcasts: rng.next_u64(),
+        verify_events: rng.next_u64(),
+        issue_slots: rng.next_u64(),
+        dispatched: rng.next_u64(),
+    };
     JobRecord {
         cell: rng.gen_range(0..1_000_000usize),
         trial: rng.gen_range(0..1_000_000usize),
@@ -195,10 +204,12 @@ fn fuzz_record(rng: &mut SmallRng) -> JobRecord {
             mapped: TrialOutcome {
                 observed: observed(rng),
                 total_cycles: rng.next_u64(),
+                sched: sched(rng),
             },
             unmapped: TrialOutcome {
                 observed: observed(rng),
                 total_cycles: rng.next_u64(),
+                sched: sched(rng),
             },
         },
         wall_nanos: rng.next_u64(),

@@ -446,3 +446,25 @@ fn full_trace_fixture_matches() {
     );
     check_or_record("full_pointer_chase.txt", &dump);
 }
+
+/// The level-0 *event trace* of one attack-zoo cell, pinned byte for
+/// byte: the Train+Test/timing-window/LVP mapped arm of trial 0 as
+/// emitted by `repro --trace`. Any change to event ordering, cycle
+/// stamps, or the JSONL shape shows up here as a readable diff.
+#[test]
+fn trace_dump_level0_matches_golden_fixture() {
+    let dump = vpsim_bench::trace_dump::run(1);
+    let lines: Vec<&str> = dump.jsonl.lines().collect();
+    let is_header = |l: &&str| l.starts_with("{\"type\":\"trace_header\"");
+    let first = lines.iter().position(is_header).expect("has a header");
+    assert_eq!(first, 0, "dump starts with a header line");
+    let second = lines[1..]
+        .iter()
+        .position(is_header)
+        .map_or(lines.len(), |i| i + 1);
+    let mut arm = lines[..second].join("\n");
+    arm.push('\n');
+    assert!(arm.contains("\"cell\":\"train_test/timing_window/lvp\""));
+    assert!(arm.contains("\"arm\":\"mapped\""));
+    check_or_record("trace_train_test_lvp.jsonl", &arm);
+}

@@ -1,0 +1,56 @@
+//! End-to-end determinism of `repro --trace`: the dumped JSONL must be
+//! byte-identical across invocations and across `--jobs` settings. The
+//! dump runs the traced zoo sequentially by construction, so any
+//! divergence here means a seed, an event-emission site, or the JSONL
+//! renderer picked up nondeterministic state.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vpsim_trace_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn dump_trace(out: &Path, jobs: &str) -> Vec<u8> {
+    let status = repro()
+        .args([
+            "--trace",
+            out.to_str().unwrap(),
+            "--trials",
+            "2",
+            "--jobs",
+            jobs,
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()
+        .expect("spawn repro");
+    assert!(status.success(), "repro --trace failed (jobs={jobs})");
+    std::fs::read(out).expect("trace file written")
+}
+
+#[test]
+fn trace_dump_is_byte_identical_across_runs_and_worker_counts() {
+    let dir = tmp_dir("det");
+    let a = dump_trace(&dir.join("a.jsonl"), "1");
+    let b = dump_trace(&dir.join("b.jsonl"), "1");
+    let c = dump_trace(&dir.join("c.jsonl"), "4");
+    assert!(!a.is_empty(), "trace dump produced no bytes");
+    assert_eq!(a, b, "same invocation twice must dump identical bytes");
+    assert_eq!(a, c, "--jobs must not influence the trace dump");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trace_flag_requires_a_value() {
+    let output = repro().arg("--trace").output().expect("spawn repro");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("--trace needs a value"), "{stderr}");
+}

@@ -11,7 +11,8 @@
 
 use vpsim_chaos::ChaosConfig;
 use vpsim_mem::MemoryConfig;
-use vpsim_pipeline::{CancelToken, CoreConfig, Machine, RunError};
+use vpsim_obs::TraceSink;
+use vpsim_pipeline::{CancelToken, CoreConfig, Machine, RunError, SchedStats};
 use vpsim_predictor::{
     DefenseSpec, Fcm, FcmConfig, IndexConfig, Lvp, LvpConfig, NoPredictor, Oracle, Stride,
     StrideConfig, ValuePredictor, Vtage, VtageConfig,
@@ -153,6 +154,10 @@ pub struct TrialOutcome {
     pub observed: f64,
     /// Total cycles consumed by all steps (for the transmission rate).
     pub total_cycles: u64,
+    /// Scheduler work counters merged across every step run (including
+    /// background noise). Diagnostic only — excluded from golden-trace
+    /// digests, surfaced through campaign rows and `/metrics`.
+    pub sched: SchedStats,
 }
 
 fn build_predictor(
@@ -273,6 +278,53 @@ pub fn run_trial_supervised(
     defense_seed: u64,
     cancel: Option<&CancelToken>,
 ) -> Result<TrialOutcome, Interrupted> {
+    run_trial_inner(trial, predictor, cfg, seed, defense_seed, cancel, None)
+}
+
+/// [`run_trial_supervised`] with a [`TraceSink`] attached: every
+/// pipeline, memory-hierarchy and predictor event of every step run
+/// (background noise included) is cycle-stamped into `sink`.
+///
+/// Tracing is purely observational — the returned [`TrialOutcome`] is
+/// bit-identical to the untraced call with the same arguments.
+///
+/// # Errors
+///
+/// Returns [`Interrupted`] when `cancel` is tripped before the trial
+/// completes.
+///
+/// # Panics
+///
+/// Panics if a step program fails for any non-cancellation reason.
+pub fn run_trial_traced(
+    trial: &Trial,
+    predictor: PredictorKind,
+    cfg: &ExperimentConfig,
+    seed: u64,
+    defense_seed: u64,
+    cancel: Option<&CancelToken>,
+    sink: &mut dyn TraceSink,
+) -> Result<TrialOutcome, Interrupted> {
+    run_trial_inner(
+        trial,
+        predictor,
+        cfg,
+        seed,
+        defense_seed,
+        cancel,
+        Some(sink),
+    )
+}
+
+fn run_trial_inner(
+    trial: &Trial,
+    predictor: PredictorKind,
+    cfg: &ExperimentConfig,
+    seed: u64,
+    defense_seed: u64,
+    cancel: Option<&CancelToken>,
+    mut tracer: Option<&mut dyn TraceSink>,
+) -> Result<TrialOutcome, Interrupted> {
     let mut core = cfg.core;
     core.delay_side_effects = core.delay_side_effects || cfg.defense.d_type;
     let vp = build_predictor(predictor, &cfg.setup, &cfg.defense, cfg.index, defense_seed);
@@ -283,23 +335,40 @@ pub fn run_trial_supervised(
     if let Some(token) = cancel {
         machine.set_cancel(token.clone());
     }
-    let run =
-        |machine: &mut Machine, pid: u32, program, label: &str| match machine.run(pid, program) {
-            Ok(result) => Ok(result),
-            Err(RunError::Cancelled { .. }) => Err(Interrupted),
-            Err(e) => panic!("step `{label}` failed: {e}"),
-        };
     for (addr, value) in &trial.memory_init {
         machine.mem_mut().store_value(*addr, *value);
     }
     let noise = cfg.background_noise.then(noise_program);
     let mut total_cycles = 0u64;
     let mut observed = 0.0f64;
+    let mut sched = SchedStats::default();
+    let run = |machine: &mut Machine,
+               pid: u32,
+               program: &vpsim_isa::Program,
+               label: &str,
+               tracer: &mut Option<&mut dyn TraceSink>| {
+        let result = match tracer.as_deref_mut() {
+            Some(sink) => machine.run_traced(pid, program, sink),
+            None => machine.run(pid, program),
+        };
+        match result {
+            Ok(result) => Ok(result),
+            Err(RunError::Cancelled { .. }) => Err(Interrupted),
+            Err(e) => panic!("step `{label}` failed: {e}"),
+        }
+    };
     for (i, step) in trial.steps.iter().enumerate() {
         let mut last_window = None;
         for _ in 0..step.repeat {
-            let result = run(&mut machine, step.party.pid(), &step.program, step.label)?;
+            let result = run(
+                &mut machine,
+                step.party.pid(),
+                &step.program,
+                step.label,
+                &mut tracer,
+            )?;
             total_cycles += result.cycles;
+            sched.merge(&result.sched);
             last_window = result.timing_windows().first().copied();
         }
         if i == trial.observe_step {
@@ -308,14 +377,16 @@ pub fn run_trial_supervised(
         // A third process gets scheduled between the attack's steps.
         if let Some(noise) = &noise {
             if i + 1 < trial.steps.len() {
-                let r = run(&mut machine, 3, noise, "background noise")?;
+                let r = run(&mut machine, 3, noise, "background noise", &mut tracer)?;
                 total_cycles += r.cycles;
+                sched.merge(&r.sched);
             }
         }
     }
     Ok(TrialOutcome {
         observed,
         total_cycles,
+        sched,
     })
 }
 
@@ -403,6 +474,14 @@ impl PairOutcome {
     #[must_use]
     pub fn total_cycles(&self) -> u64 {
         self.mapped.total_cycles + self.unmapped.total_cycles
+    }
+
+    /// Scheduler work counters merged over both arms.
+    #[must_use]
+    pub fn sched(&self) -> SchedStats {
+        let mut s = self.mapped.sched;
+        s.merge(&self.unmapped.sched);
+        s
     }
 }
 
@@ -543,6 +622,41 @@ impl CellPlan {
             cancel,
         )?;
         Ok(PairOutcome { mapped, unmapped })
+    }
+
+    /// [`CellPlan::run_pair`] with per-arm trace sinks: the mapped arm
+    /// streams into `mapped_sink`, the unmapped arm into
+    /// `unmapped_sink`. Seeds are identical to the untraced path, and
+    /// tracing is observational, so the returned [`PairOutcome`] is
+    /// bit-identical to [`CellPlan::run_pair`] for the same `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a step program fails to run (a malformed generator is
+    /// a bug).
+    #[must_use]
+    pub fn run_pair_traced(
+        &self,
+        t: usize,
+        mapped_sink: &mut dyn TraceSink,
+        unmapped_sink: &mut dyn TraceSink,
+    ) -> PairOutcome {
+        let base = self.trial_seed(t);
+        let run = |trial, defense_seed, sink: &mut dyn TraceSink| match run_trial_traced(
+            trial,
+            self.predictor,
+            &self.cfg,
+            base,
+            defense_seed,
+            None,
+            sink,
+        ) {
+            Ok(outcome) => outcome,
+            Err(Interrupted) => unreachable!("no cancel token was installed"),
+        };
+        let mapped = run(&self.mapped_trial, base ^ 0x5ee3, mapped_sink);
+        let unmapped = run(&self.unmapped_trial, base ^ 0x0def_5eed, unmapped_sink);
+        PairOutcome { mapped, unmapped }
     }
 
     /// Reduce the pairs — in trial order — into the cell's

@@ -10,6 +10,7 @@ use vpsec::attacks::AttackCategory;
 use vpsec::experiment::{
     CellPlan, Channel, Evaluation, ExperimentConfig, PairOutcome, PredictorKind,
 };
+use vpsim_pipeline::SchedStats;
 
 use crate::exec::Exec;
 use crate::io::{RealIo, SinkIo};
@@ -156,6 +157,9 @@ pub struct CampaignStats {
     pub wall_time: Duration,
     /// Simulated cycles over all completed jobs (resumed included).
     pub sim_cycles: u64,
+    /// Scheduler work counters summed over all completed jobs (resumed
+    /// included — the manifest rows carry them).
+    pub sched: SchedStats,
 }
 
 impl fmt::Display for CampaignStats {
@@ -169,6 +173,14 @@ impl fmt::Display for CampaignStats {
             self.wall_time,
             self.sim_cycles as f64 / 1e6
         )?;
+        let total = self.sched.ticks + self.sched.skipped_cycles;
+        if total > 0 {
+            write!(
+                f,
+                " ({:.1}% cycles skipped)",
+                self.sched.skipped_cycles as f64 / total as f64 * 100.0
+            )?;
+        }
         if self.retries + self.quarantined_wall + self.quarantined_cycles + self.panics > 0 {
             write!(
                 f,
@@ -564,6 +576,7 @@ impl Campaign {
 
         // Reduce each cell in trial order; execution order is irrelevant.
         let mut sim_cycles = 0u64;
+        let mut sched = SchedStats::default();
         let mut cells_out = Vec::with_capacity(self.cells.len());
         for (cell, (spec, plan)) in self.cells.iter().enumerate() {
             let Some(plan) = plan else {
@@ -604,6 +617,9 @@ impl Campaign {
                 Some(e) => CellOutcome::Failed(e),
                 None => {
                     sim_cycles += pairs.iter().map(PairOutcome::total_cycles).sum::<u64>();
+                    for pair in &pairs {
+                        sched.merge(&pair.sched());
+                    }
                     CellOutcome::Evaluated(plan.finish(&pairs))
                 }
             };
@@ -632,6 +648,7 @@ impl Campaign {
             io_faults: manifest.as_ref().map_or(0, Manifest::io_faults),
             wall_time: started.elapsed(),
             sim_cycles,
+            sched,
         };
         if let Some(health) = &exec.health {
             health.absorb(&stats, failed_cells);

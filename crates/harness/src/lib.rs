@@ -71,7 +71,7 @@ pub use campaign::{
     Campaign, CampaignError, CampaignOutcome, CampaignStats, CellError, CellOutcome, CellResult,
     CellSpec, HarnessError, RunHealth,
 };
-pub use exec::{Exec, JobObserver};
+pub use exec::{CampaignMetrics, Exec, JobObserver};
 pub use io::{FaultPlan, FaultyIo, RealIo, SinkIo};
 pub use sink::JobRecord;
 pub use spec::{CampaignSpec, CellCoord, SpecError};

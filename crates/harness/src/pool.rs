@@ -82,6 +82,10 @@ pub(crate) struct PoolStats {
     pub backoff_retries: AtomicU64,
     /// Jobs permanently failed as timed out.
     pub deadline_failed: AtomicU64,
+    /// Scheduler cycles actually ticked across completed jobs.
+    pub sched_ticks: AtomicU64,
+    /// Quiescent cycles skipped by the next-event clock.
+    pub sched_skipped: AtomicU64,
 }
 
 /// What the watchdog knows about a worker's in-flight attempt.
@@ -168,12 +172,21 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 fn worker(shared: &Shared<'_>, slot: usize) {
-    while let Some(job) = shared.pop() {
+    loop {
+        let wait_start = Instant::now();
+        let Some(job) = shared.pop() else { break };
+        if let Some(m) = &shared.exec.metrics {
+            m.queue_wait_seconds
+                .observe(wait_start.elapsed().as_secs_f64());
+        }
         // Campaign deadline expired: resolve without running. Every
         // queued job still gets a result, so the campaign reduction
         // never sees a hole.
         if shared.expired.load(Ordering::Acquire) {
             shared.stats.deadline_failed.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = &shared.exec.metrics {
+                m.jobs_failed.inc();
+            }
             shared.resolve(
                 job.index,
                 Err(JobFailure::Deadline {
@@ -198,6 +211,9 @@ fn worker(shared: &Shared<'_>, slot: usize) {
         }));
         let elapsed = start.elapsed();
         shared.slots.lock().expect("slots poisoned")[slot] = None;
+        if let Some(m) = &shared.exec.metrics {
+            m.run_seconds.observe(elapsed.as_secs_f64());
+        }
         match result {
             Ok(Ok(pair)) => {
                 let over_wall = elapsed > shared.exec.job_wall_budget;
@@ -208,6 +224,9 @@ fn worker(shared: &Shared<'_>, slot: usize) {
                         .fetch_add(1, Ordering::Relaxed);
                     if job.attempt < shared.exec.max_retries {
                         shared.stats.retries.fetch_add(1, Ordering::Relaxed);
+                        if let Some(m) = &shared.exec.metrics {
+                            m.retries.inc();
+                        }
                         shared.requeue(JobRef {
                             attempt: job.attempt + 1,
                             not_before: None,
@@ -227,12 +246,31 @@ fn worker(shared: &Shared<'_>, slot: usize) {
                     .stats
                     .sim_cycles
                     .fetch_add(pair.total_cycles(), Ordering::Relaxed);
+                let sched = pair.sched();
+                shared
+                    .stats
+                    .sched_ticks
+                    .fetch_add(sched.ticks, Ordering::Relaxed);
+                shared
+                    .stats
+                    .sched_skipped
+                    .fetch_add(sched.skipped_cycles, Ordering::Relaxed);
+                if let Some(m) = &shared.exec.metrics {
+                    m.jobs_done.inc();
+                    m.sim_cycles.add(pair.total_cycles());
+                    m.sched_ticks.add(sched.ticks);
+                    m.sched_skipped.add(sched.skipped_cycles);
+                }
                 let done = JobDone {
                     pair,
                     wall_nanos: u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
                     attempts: job.attempt + 1,
                 };
+                let sink_start = Instant::now();
                 (shared.on_done)(job.cell, job.trial, &done);
+                if let Some(m) = &shared.exec.metrics {
+                    m.sink_seconds.observe(sink_start.elapsed().as_secs_f64());
+                }
                 shared.resolve(job.index, Ok(done));
             }
             Ok(Err(_interrupted)) => {
@@ -240,6 +278,9 @@ fn worker(shared: &Shared<'_>, slot: usize) {
                 let expired = shared.expired.load(Ordering::Acquire);
                 if expired || job.attempt >= shared.exec.max_retries {
                     shared.stats.deadline_failed.fetch_add(1, Ordering::Relaxed);
+                    if let Some(m) = &shared.exec.metrics {
+                        m.jobs_failed.inc();
+                    }
                     shared.resolve(
                         job.index,
                         Err(JobFailure::Deadline {
@@ -249,6 +290,10 @@ fn worker(shared: &Shared<'_>, slot: usize) {
                 } else {
                     shared.stats.backoff_retries.fetch_add(1, Ordering::Relaxed);
                     let backoff = shared.exec.backoff_for_attempt(job.attempt);
+                    if let Some(m) = &shared.exec.metrics {
+                        m.retries.inc();
+                        m.backoff_seconds.observe(backoff.as_secs_f64());
+                    }
                     shared.requeue(JobRef {
                         attempt: job.attempt + 1,
                         not_before: Some(Instant::now() + backoff),
@@ -258,6 +303,9 @@ fn worker(shared: &Shared<'_>, slot: usize) {
             }
             Err(payload) => {
                 shared.stats.panics.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = &shared.exec.metrics {
+                    m.jobs_failed.inc();
+                }
                 shared.resolve(
                     job.index,
                     Err(JobFailure::Panic(panic_message(payload.as_ref()))),
@@ -349,6 +397,14 @@ fn watchdog(shared: &Shared<'_>, campaign: &str, total: usize, resumed: usize) {
                 run as f64 / secs,
                 shared.stats.sim_cycles.load(Ordering::Relaxed) as f64 / 1e6
             );
+            let ticks = shared.stats.sched_ticks.load(Ordering::Relaxed);
+            let skipped = shared.stats.sched_skipped.load(Ordering::Relaxed);
+            if ticks + skipped > 0 {
+                line.push_str(&format!(
+                    " ({:.1}% cycles skipped)",
+                    skipped as f64 / (ticks + skipped) as f64 * 100.0
+                ));
+            }
             let cancelled = shared.stats.cancelled.load(Ordering::Relaxed);
             let backoff = shared.stats.backoff_retries.load(Ordering::Relaxed);
             let wall_q = shared.stats.quarantined_wall.load(Ordering::Relaxed);

@@ -31,6 +31,7 @@ use std::sync::{Arc, Mutex};
 
 use vpsec::experiment::{PairOutcome, TrialOutcome};
 use vpsim_json::{field_hex, field_str, field_u64};
+use vpsim_pipeline::SchedStats;
 
 use crate::campaign::HarnessError;
 use crate::io::SinkIo;
@@ -50,21 +51,61 @@ pub struct JobRecord {
     pub attempts: u32,
 }
 
+/// Append one arm's scheduler counters to a manifest line under
+/// construction, keyed with the given prefix (`m` or `u`).
+fn push_sched_fields(out: &mut String, prefix: &str, s: &SchedStats) {
+    use std::fmt::Write as _;
+    let _ = write!(
+        out,
+        ",\"{prefix}_ticks\":{},\"{prefix}_skip\":{},\"{prefix}_comp\":{},\"{prefix}_wake\":{},\"{prefix}_verify\":{},\"{prefix}_issue\":{},\"{prefix}_disp\":{}",
+        s.ticks,
+        s.skipped_cycles,
+        s.completion_events,
+        s.wakeup_broadcasts,
+        s.verify_events,
+        s.issue_slots,
+        s.dispatched,
+    );
+}
+
+/// Parse one arm's scheduler counters. Lines written before these
+/// fields existed parse as all-zero (the affected diagnostics are
+/// simply absent — never a torn line).
+fn parse_sched_fields(line: &str, prefix: &str) -> SchedStats {
+    let f = |name: &str| field_u64(line, &format!("{prefix}_{name}")).unwrap_or(0);
+    SchedStats {
+        ticks: f("ticks"),
+        skipped_cycles: f("skip"),
+        completion_events: f("comp"),
+        wakeup_broadcasts: f("wake"),
+        verify_events: f("verify"),
+        issue_slots: f("issue"),
+        dispatched: f("disp"),
+    }
+}
+
 impl JobRecord {
     /// The single-line JSON form written to the manifest.
     #[must_use]
     pub fn to_line(self) -> String {
-        format!(
-            "{{\"cell\":{},\"trial\":{},\"m_obs\":\"{:016x}\",\"m_cyc\":{},\"u_obs\":\"{:016x}\",\"u_cyc\":{},\"wall_ns\":{},\"attempts\":{}}}",
+        let mut line = format!(
+            "{{\"cell\":{},\"trial\":{},\"m_obs\":\"{:016x}\",\"m_cyc\":{},\"u_obs\":\"{:016x}\",\"u_cyc\":{}",
             self.cell,
             self.trial,
             self.pair.mapped.observed.to_bits(),
             self.pair.mapped.total_cycles,
             self.pair.unmapped.observed.to_bits(),
             self.pair.unmapped.total_cycles,
-            self.wall_nanos,
-            self.attempts,
-        )
+        );
+        push_sched_fields(&mut line, "m", &self.pair.mapped.sched);
+        push_sched_fields(&mut line, "u", &self.pair.unmapped.sched);
+        use std::fmt::Write as _;
+        let _ = write!(
+            line,
+            ",\"wall_ns\":{},\"attempts\":{}}}",
+            self.wall_nanos, self.attempts,
+        );
+        line
     }
 
     /// Parse one manifest line; `None` for torn or malformed lines
@@ -79,10 +120,12 @@ impl JobRecord {
                 mapped: TrialOutcome {
                     observed: f64::from_bits(field_hex(line, "m_obs")?),
                     total_cycles: field_u64(line, "m_cyc")?,
+                    sched: parse_sched_fields(line, "m"),
                 },
                 unmapped: TrialOutcome {
                     observed: f64::from_bits(field_hex(line, "u_obs")?),
                     total_cycles: field_u64(line, "u_cyc")?,
+                    sched: parse_sched_fields(line, "u"),
                 },
             },
             wall_nanos: field_u64(line, "wall_ns")?,
@@ -378,10 +421,28 @@ mod tests {
                 mapped: TrialOutcome {
                     observed: obs,
                     total_cycles: 101,
+                    sched: SchedStats {
+                        ticks: 90,
+                        skipped_cycles: 11,
+                        completion_events: 40,
+                        wakeup_broadcasts: 12,
+                        verify_events: 8,
+                        issue_slots: 33,
+                        dispatched: 50,
+                    },
                 },
                 unmapped: TrialOutcome {
                     observed: obs + 0.5,
                     total_cycles: 202,
+                    sched: SchedStats {
+                        ticks: 180,
+                        skipped_cycles: 22,
+                        completion_events: 80,
+                        wakeup_broadcasts: 24,
+                        verify_events: 16,
+                        issue_slots: 66,
+                        dispatched: 100,
+                    },
                 },
             },
             wall_nanos: 42_000,

@@ -1,6 +1,7 @@
 //! The two-level hierarchy façade used by the pipeline's load-store unit.
 
 use vpsim_chaos::{ChaosEvents, MemChaos};
+use vpsim_obs::{Level, TraceEvent, TraceSink};
 use vpsim_rng::SmallRng;
 
 use crate::backing::BackingStore;
@@ -19,6 +20,15 @@ pub enum HitLevel {
     L2,
     /// Served by DRAM.
     Dram,
+}
+
+/// Map a served-by level onto the trace-event vocabulary.
+fn trace_level(level: HitLevel) -> Level {
+    match level {
+        HitLevel::L1 => Level::L1,
+        HitLevel::L2 => Level::L2,
+        HitLevel::Dram => Level::Mem,
+    }
 }
 
 impl std::fmt::Display for HitLevel {
@@ -69,6 +79,13 @@ pub struct MemoryHierarchy {
     /// The fault-injection engine, when a noise plane is installed.
     /// `None` (the default) is bit-identical to chaos level 0.
     chaos: Option<MemChaos>,
+    /// Event tracing. The hierarchy has no notion of the simulated
+    /// clock, so events are buffered unstamped and drained (and
+    /// cycle-stamped) by the pipeline at the end of each scheduler
+    /// tick. With tracing disabled (the default) nothing is buffered —
+    /// every push site is guarded by one branch on this flag.
+    trace_enabled: bool,
+    trace_buf: Vec<TraceEvent>,
 }
 
 impl MemoryHierarchy {
@@ -97,6 +114,27 @@ impl MemoryHierarchy {
             config,
             stats: MemoryStats::default(),
             chaos: None,
+            trace_enabled: false,
+            trace_buf: Vec::new(),
+        }
+    }
+
+    /// Enable or disable event tracing. Disabling drops any buffered
+    /// events. Tracing is purely observational: it never changes
+    /// timing, state or statistics.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.trace_enabled = on;
+        if !on {
+            self.trace_buf = Vec::new();
+        }
+    }
+
+    /// Drain buffered trace events into `sink`, stamping each with
+    /// `cycle` (the simulated cycle of the scheduler tick that caused
+    /// them). A no-op unless tracing is enabled and events are pending.
+    pub fn drain_trace(&mut self, cycle: u64, sink: &mut dyn TraceSink) {
+        for ev in self.trace_buf.drain(..) {
+            sink.record(cycle, ev);
         }
     }
 
@@ -122,12 +160,26 @@ impl MemoryHierarchy {
         let Some(ch) = &mut self.chaos else { return };
         if ch.evict_fires() {
             let (set, way) = ch.pick_victim(self.config.l1.sets, self.config.l1.ways);
-            self.l1.evict_way(set, way);
+            let e1 = self.l1.evict_way(set, way);
             let (set, way) = ch.pick_victim(self.config.l2.sets, self.config.l2.ways);
-            self.l2.evict_way(set, way);
+            let e2 = self.l2.evict_way(set, way);
+            if self.trace_enabled {
+                for (level, e) in [(Level::L1, e1), (Level::L2, e2)] {
+                    if let Some(e) = e {
+                        self.trace_buf.push(TraceEvent::CacheEvict {
+                            level,
+                            line_addr: e.line_addr,
+                            dirty: e.dirty,
+                        });
+                    }
+                }
+            }
         }
         if ch.tlb_shootdown_fires() {
             self.tlb.flush();
+            if self.trace_enabled {
+                self.trace_buf.push(TraceEvent::TlbShootdown);
+            }
         }
     }
 
@@ -194,15 +246,43 @@ impl MemoryHierarchy {
         if fill {
             let a1 = self.l1.access(addr, is_write);
             latency += self.config.l1.hit_latency;
+            if self.trace_enabled {
+                if let Some(e) = a1.eviction {
+                    self.trace_buf.push(TraceEvent::CacheEvict {
+                        level: Level::L1,
+                        line_addr: e.line_addr,
+                        dirty: e.dirty,
+                    });
+                }
+            }
             if a1.hit {
                 return (latency, HitLevel::L1);
             }
             // L2.
             let a2 = self.l2.access(addr, false);
             latency += self.config.l2.hit_latency;
+            if self.trace_enabled {
+                self.trace_buf.push(TraceEvent::CacheFill {
+                    level: Level::L1,
+                    line_addr: self.l1.line_addr(addr),
+                });
+                if let Some(e) = a2.eviction {
+                    self.trace_buf.push(TraceEvent::CacheEvict {
+                        level: Level::L2,
+                        line_addr: e.line_addr,
+                        dirty: e.dirty,
+                    });
+                }
+            }
             if a2.hit {
                 latency += self.chaos.as_mut().map_or(0, MemChaos::l2_extra);
                 return (latency, HitLevel::L2);
+            }
+            if self.trace_enabled {
+                self.trace_buf.push(TraceEvent::CacheFill {
+                    level: Level::L2,
+                    line_addr: self.l2.line_addr(addr),
+                });
             }
             latency += self.dram_latency();
             (latency, HitLevel::Dram)
@@ -233,12 +313,38 @@ impl MemoryHierarchy {
         self.chaos_disturb();
         let value = self.backing.read(addr);
         let (latency, level) = self.access_inner(addr, false, true);
+        if self.trace_enabled {
+            self.trace_buf.push(TraceEvent::MemAccess {
+                addr,
+                write: false,
+                level: trace_level(level),
+                latency,
+            });
+        }
         if level != HitLevel::L1 && self.config.prefetch == crate::PrefetchKind::NextLine {
             // Fill the next sequential line off the demand path.
             let next = self.l1.line_addr(addr) + self.config.line_bytes();
-            self.l2.fill(next);
-            self.l1.fill(next);
+            let e2 = self.l2.fill(next);
+            let e1 = self.l1.fill(next);
             self.stats.prefetches += 1;
+            if self.trace_enabled {
+                for (level, fill, evict) in [
+                    (Level::L2, self.l2.line_addr(next), e2),
+                    (Level::L1, next, e1),
+                ] {
+                    self.trace_buf.push(TraceEvent::CacheFill {
+                        level,
+                        line_addr: fill,
+                    });
+                    if let Some(e) = evict {
+                        self.trace_buf.push(TraceEvent::CacheEvict {
+                            level,
+                            line_addr: e.line_addr,
+                            dirty: e.dirty,
+                        });
+                    }
+                }
+            }
         }
         AccessOutcome {
             value,
@@ -257,6 +363,14 @@ impl MemoryHierarchy {
         let addr = addr & !7;
         let value = self.backing.read(addr);
         let (latency, level) = self.access_inner(addr, false, false);
+        if self.trace_enabled {
+            self.trace_buf.push(TraceEvent::MemAccess {
+                addr,
+                write: false,
+                level: trace_level(level),
+                latency,
+            });
+        }
         AccessOutcome {
             value,
             latency,
@@ -271,6 +385,14 @@ impl MemoryHierarchy {
         self.chaos_disturb();
         self.backing.write(addr, value);
         let (latency, level) = self.access_inner(addr, true, true);
+        if self.trace_enabled {
+            self.trace_buf.push(TraceEvent::MemAccess {
+                addr,
+                write: true,
+                level: trace_level(level),
+                latency,
+            });
+        }
         AccessOutcome {
             value,
             latency,
@@ -283,8 +405,24 @@ impl MemoryHierarchy {
     /// the load that performed it became non-speculative (committed).
     pub fn install(&mut self, addr: Addr) {
         self.tlb.insert(addr);
-        self.l2.fill(addr);
-        self.l1.fill(addr);
+        let e2 = self.l2.fill(addr);
+        let e1 = self.l1.fill(addr);
+        if self.trace_enabled {
+            for (level, line_addr, evict) in [
+                (Level::L2, self.l2.line_addr(addr), e2),
+                (Level::L1, self.l1.line_addr(addr), e1),
+            ] {
+                self.trace_buf
+                    .push(TraceEvent::CacheFill { level, line_addr });
+                if let Some(e) = evict {
+                    self.trace_buf.push(TraceEvent::CacheEvict {
+                        level,
+                        line_addr: e.line_addr,
+                        dirty: e.dirty,
+                    });
+                }
+            }
+        }
     }
 
     /// Evict the line containing `addr` from L1 and L2 (`clflush`), and
@@ -293,6 +431,12 @@ impl MemoryHierarchy {
         let mut cost = self.config.l1.hit_latency;
         let d1 = self.l1.invalidate(addr).is_some_and(|e| e.dirty);
         let d2 = self.l2.invalidate(addr).is_some_and(|e| e.dirty);
+        if self.trace_enabled {
+            self.trace_buf.push(TraceEvent::LineFlush {
+                line_addr: self.l1.line_addr(addr),
+                dirty: d1 || d2,
+            });
+        }
         if d1 || d2 {
             // Write-back of the dirty line to DRAM.
             cost += self.config.dram_latency / 4;
@@ -531,6 +675,43 @@ mod tests {
         // Every access is preceded by a shootdown, so no TLB hit sticks.
         assert_eq!(s.tlb_hits, 0, "shootdowns must keep the TLB cold");
         assert_eq!(m.chaos_events().tlb_shootdowns, 2);
+    }
+
+    #[test]
+    fn tracing_captures_events_and_never_changes_timing() {
+        let mut plain = mem();
+        let mut traced = mem();
+        traced.set_tracing(true);
+        let mut sink = vpsim_obs::RingRecorder::new(64);
+        for addr in [0x1000u64, 0x1000, 0x2000] {
+            assert_eq!(plain.read(addr), traced.read(addr));
+        }
+        traced.flush_line(0x1000);
+        plain.flush_line(0x1000);
+        traced.drain_trace(7, &mut sink);
+        assert_eq!(plain.stats(), traced.stats());
+        let kinds: Vec<&str> = sink.events().map(|(_, e)| e.kind()).collect();
+        assert!(kinds.contains(&"mem_access"));
+        assert!(kinds.contains(&"cache_fill"));
+        assert!(kinds.contains(&"line_flush"));
+        assert!(sink.events().all(|(cycle, _)| *cycle == 7));
+    }
+
+    #[test]
+    fn tracing_disabled_buffers_nothing() {
+        let mut m = mem();
+        m.read(0x1000);
+        m.write(0x2000, 1);
+        m.flush_line(0x1000);
+        let mut sink = vpsim_obs::RingRecorder::new(8);
+        m.drain_trace(0, &mut sink);
+        assert!(sink.is_empty());
+        // Disabling drops anything pending.
+        m.set_tracing(true);
+        m.read(0x3000);
+        m.set_tracing(false);
+        m.drain_trace(0, &mut sink);
+        assert!(sink.is_empty());
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Leakage attribution over an event trace: which microarchitectural
+//! events happened inside a *transient window* — between a value
+//! prediction and its resolution (correct train, misprediction or
+//! squash). The paper's attacks leak exactly through state mutated in
+//! that window, so the counts here summarise *why* a trial leaked.
+
+use crate::trace::TraceEvent;
+
+/// Transient-window attribution counters for one trace.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Attribution {
+    /// Total events in the trace.
+    pub events: u64,
+    /// Speculative windows opened (predictions forwarded).
+    pub windows: u64,
+    /// Windows that ended in a misprediction or squash.
+    pub squashed_windows: u64,
+    /// Events of any kind observed while at least one window was open.
+    pub transient_events: u64,
+    /// Memory-hierarchy events (accesses, fills, evictions, flushes,
+    /// shootdowns) inside an open window — the covert-channel transmit
+    /// surface.
+    pub transient_mem_events: u64,
+    /// Cache fills inside an open window (persistent-channel traffic).
+    pub transient_fills: u64,
+}
+
+/// Attribute a cycle-stamped event stream.
+///
+/// The window model is intentionally simple and deterministic: a
+/// [`TraceEvent::Predict`] opens a window; a [`TraceEvent::Train`]
+/// closes the most recent one (verified correct); a
+/// [`TraceEvent::Mispredict`] or [`TraceEvent::Squash`] closes *all*
+/// open windows (the pipeline squashes every younger instruction).
+/// Events observed while any window is open count as transient.
+pub fn attribute<'a, I>(events: I) -> Attribution
+where
+    I: IntoIterator<Item = &'a (u64, TraceEvent)>,
+{
+    let mut a = Attribution::default();
+    let mut open = 0u64;
+    for (_cycle, ev) in events {
+        a.events += 1;
+        if open > 0 {
+            a.transient_events += 1;
+            if ev.is_mem() {
+                a.transient_mem_events += 1;
+            }
+            if matches!(ev, TraceEvent::CacheFill { .. }) {
+                a.transient_fills += 1;
+            }
+        }
+        match ev {
+            TraceEvent::Predict { .. } => {
+                open += 1;
+                a.windows += 1;
+            }
+            TraceEvent::Train { .. } => {
+                open = open.saturating_sub(1);
+            }
+            TraceEvent::Mispredict { .. } | TraceEvent::Squash { .. } if open > 0 => {
+                a.squashed_windows += open;
+                open = 0;
+            }
+            _ => {}
+        }
+    }
+    a
+}
+
+impl Attribution {
+    /// Merge another trace's attribution (for per-trial aggregation).
+    pub fn merge(&mut self, other: &Attribution) {
+        self.events += other.events;
+        self.windows += other.windows;
+        self.squashed_windows += other.squashed_windows;
+        self.transient_events += other.transient_events;
+        self.transient_mem_events += other.transient_mem_events;
+        self.transient_fills += other.transient_fills;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Level;
+
+    fn fill() -> TraceEvent {
+        TraceEvent::CacheFill {
+            level: Level::L1,
+            line_addr: 0x40,
+        }
+    }
+
+    #[test]
+    fn events_between_predict_and_resolution_are_transient() {
+        let trace = vec![
+            (1, fill()), // outside any window
+            (
+                2,
+                TraceEvent::Predict {
+                    seq: 1,
+                    pc: 0x40,
+                    value: 7,
+                    confidence: 3,
+                },
+            ),
+            (3, fill()), // transient
+            (
+                4,
+                TraceEvent::Mispredict {
+                    seq: 1,
+                    pc: 0x40,
+                    predicted: 7,
+                    actual: 9,
+                },
+            ),
+            (5, fill()), // window closed again
+        ];
+        let a = attribute(&trace);
+        assert_eq!(a.events, 5);
+        assert_eq!(a.windows, 1);
+        assert_eq!(a.squashed_windows, 1);
+        assert_eq!(a.transient_events, 2); // the fill + the mispredict itself
+        assert_eq!(a.transient_mem_events, 1);
+        assert_eq!(a.transient_fills, 1);
+    }
+
+    #[test]
+    fn train_closes_one_window_squash_closes_all() {
+        let predict = |seq| TraceEvent::Predict {
+            seq,
+            pc: 0,
+            value: 0,
+            confidence: 3,
+        };
+        let trace = vec![
+            (1, predict(1)),
+            (2, predict(2)),
+            (3, TraceEvent::Train { pc: 0, value: 0 }),
+            (4, fill()), // one window still open
+            (
+                5,
+                TraceEvent::Squash {
+                    after_seq: 0,
+                    discarded: 3,
+                },
+            ),
+            (6, fill()), // closed
+        ];
+        let a = attribute(&trace);
+        assert_eq!(a.windows, 2);
+        assert_eq!(a.squashed_windows, 1);
+        assert_eq!(a.transient_fills, 1);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Attribution {
+            events: 1,
+            windows: 1,
+            ..Attribution::default()
+        };
+        a.merge(&Attribution {
+            events: 2,
+            transient_fills: 3,
+            ..Attribution::default()
+        });
+        assert_eq!(a.events, 3);
+        assert_eq!(a.windows, 1);
+        assert_eq!(a.transient_fills, 3);
+    }
+}

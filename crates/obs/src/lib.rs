@@ -1,0 +1,44 @@
+//! # vpsim-obs
+//!
+//! The unified observability plane for the value-predictor security
+//! simulator: a **deterministic microarchitectural event-tracing layer**
+//! and a **workspace-wide metrics registry** with Prometheus-style and
+//! JSON exposition.
+//!
+//! ## Tracing invariants
+//!
+//! * **Determinism.** A trace is a pure function of `(program, config,
+//!   seed)`: every [`TraceEvent`] is stamped with the simulated cycle at
+//!   which it occurred, never with wall-clock time, thread identity or
+//!   allocation addresses. Re-running the same trial — at any worker
+//!   count, on any host — reproduces the byte-identical event stream.
+//! * **Disabled is free.** Components buffer events only while tracing
+//!   is explicitly enabled, and the pipeline forwards them through an
+//!   `Option<&mut dyn TraceSink>` fast path. With the option `None`,
+//!   simulation results are bit-identical to a build that never heard of
+//!   tracing (the golden-trace suite proves it) and the overhead is one
+//!   branch per emission site.
+//! * **Bounded recording.** The stock [`RingRecorder`] keeps the most
+//!   recent `capacity` events and counts what it dropped — a trace can
+//!   never balloon a long campaign's memory.
+//!
+//! ## Metrics naming scheme
+//!
+//! Registry families follow `vpsim_<subsystem>_<quantity>[_<unit>]`,
+//! with monotonic counters carrying a `_total` suffix (Prometheus
+//! convention): `vpsim_jobs_done_total`, `vpsim_job_run_seconds`.
+//! Per-campaign series are labelled `campaign="<id>"`. Family names are
+//! validated at registration; exposition order is lexicographic and
+//! stable.
+
+#![forbid(unsafe_code)]
+
+mod attrib;
+mod metrics;
+mod trace;
+
+pub use attrib::{attribute, Attribution};
+pub use metrics::{
+    Counter, FamilySnap, Gauge, Histo, MetricKind, Registry, SeriesSnap, SeriesValue, Snapshot,
+};
+pub use trace::{stamped_json, Level, RingRecorder, TraceEvent, TraceSink};

@@ -55,6 +55,7 @@ use std::collections::{BTreeSet, BinaryHeap, HashMap, VecDeque};
 use vpsim_chaos::PipeChaos;
 use vpsim_isa::{Inst, Pc, Program, RegFile, NUM_REGS};
 use vpsim_mem::{Cycles, MemoryHierarchy};
+use vpsim_obs::{TraceEvent, TraceSink};
 use vpsim_predictor::{LoadContext, ValuePredictor};
 
 use crate::cancel::CancelToken;
@@ -126,9 +127,14 @@ pub(crate) struct Executor<'a> {
     /// Cooperative kill flag, polled every `CANCEL_CHECK_MASK + 1`
     /// scheduler ticks at the loop boundary (never mid-phase).
     cancel: Option<&'a CancelToken>,
+    /// Event-trace sink. `None` (the default) keeps every emission site
+    /// down to a single branch, so untraced runs stay bit-identical to
+    /// (and as fast as) a build without tracing.
+    tracer: Option<&'a mut dyn TraceSink>,
 }
 
 impl<'a> Executor<'a> {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         config: CoreConfig,
         program: &'a Program,
@@ -137,6 +143,7 @@ impl<'a> Executor<'a> {
         vp: &'a mut dyn ValuePredictor,
         chaos: Option<&'a mut PipeChaos>,
         cancel: Option<&'a CancelToken>,
+        tracer: Option<&'a mut dyn TraceSink>,
     ) -> Executor<'a> {
         if let Err(e) = config.validate() {
             panic!("invalid core configuration: {e}");
@@ -174,7 +181,27 @@ impl<'a> Executor<'a> {
             pending_train: HashMap::new(),
             chaos,
             cancel,
+            tracer,
         }
+    }
+
+    /// Record one event at the current cycle, when a tracer is attached.
+    #[inline]
+    fn emit(&mut self, event: TraceEvent) {
+        if let Some(sink) = self.tracer.as_deref_mut() {
+            sink.record(self.cycle, event);
+        }
+    }
+
+    /// Stamp-and-forward the events the memory hierarchy and predictor
+    /// buffered during this tick. Only called when a tracer is attached.
+    fn drain_component_traces(&mut self) {
+        let Some(sink) = self.tracer.as_deref_mut() else {
+            return;
+        };
+        self.mem.drain_trace(self.cycle, sink);
+        let cycle = self.cycle;
+        self.vp.drain_trace(&mut |ev| sink.record(cycle, ev));
     }
 
     pub(crate) fn run(mut self) -> Result<RunResult, RunError> {
@@ -200,6 +227,9 @@ impl<'a> Executor<'a> {
             self.issue();
             self.dispatch()?;
             self.commit();
+            if self.tracer.is_some() {
+                self.drain_component_traces();
+            }
             self.sched.ticks += 1;
             if self.work_this_cycle > 0 || self.halted {
                 self.cycle += 1;
@@ -360,6 +390,12 @@ impl<'a> Executor<'a> {
             };
             let ctx = self.ctx_for(pc, addr);
             self.vp.train(&ctx, actual, Some(predicted));
+            if self.tracer.is_some() {
+                self.emit(TraceEvent::Train {
+                    pc: ctx.pc,
+                    value: actual,
+                });
+            }
             self.rob[pos].verified = true;
             self.unverified.remove(&seq);
             if predicted == actual {
@@ -369,6 +405,14 @@ impl<'a> Executor<'a> {
             // Misprediction: fix the value, squash everything younger,
             // refetch after the squash penalty (Figure 1: "incorrect →
             // squash the pipeline").
+            if self.tracer.is_some() {
+                self.emit(TraceEvent::Mispredict {
+                    seq,
+                    pc: ctx.pc,
+                    predicted,
+                    actual,
+                });
+            }
             self.stats.mispredictions += 1;
             self.stats.squashes += 1;
             self.rob[pos].result = Some(actual);
@@ -391,6 +435,12 @@ impl<'a> Executor<'a> {
             .count() as u64;
         self.rob.retain(|e| e.seq <= seq);
         let squashed = (before - self.rob.len()) as u64;
+        if self.tracer.is_some() {
+            self.emit(TraceEvent::Squash {
+                after_seq: seq,
+                discarded: squashed,
+            });
+        }
         self.stats.squashed_insts += squashed;
         self.stats.deferred_fills_discarded += discarded_fills;
         // Purge squashed seqs from the phase indices. Heap events decay
@@ -476,6 +526,12 @@ impl<'a> Executor<'a> {
         }
         for (ctx, actual) in trains {
             self.vp.train(&ctx, actual, None);
+            if self.tracer.is_some() {
+                self.emit(TraceEvent::Train {
+                    pc: ctx.pc,
+                    value: actual,
+                });
+            }
         }
     }
 
@@ -550,8 +606,12 @@ impl<'a> Executor<'a> {
                 self.sched.issue_slots += 1;
                 let e = &self.rob[self.rob_pos(seq).expect("just issued")];
                 debug_assert_eq!(e.status, Status::Executing);
+                let pc = e.pc;
                 self.completions
                     .push(Reverse((e.done_at.expect("issued with a latency"), seq)));
+                if self.tracer.is_some() {
+                    self.emit(TraceEvent::Issue { seq, pc: pc.0 });
+                }
             }
         }
     }
@@ -716,6 +776,14 @@ impl<'a> Executor<'a> {
                 self.stats.predicted_loads += 1;
                 self.verifications.push(Reverse((verify_at, seq)));
                 self.unverified.insert(seq);
+                if self.tracer.is_some() {
+                    self.emit(TraceEvent::Predict {
+                        seq,
+                        pc: ctx.pc,
+                        value: p.value,
+                        confidence: p.confidence,
+                    });
+                }
             }
             None => {
                 e.result = Some(outcome.value);
@@ -827,6 +895,12 @@ impl<'a> Executor<'a> {
             }
             self.work_this_cycle += 1;
             self.sched.dispatched += 1;
+            if self.tracer.is_some() {
+                self.emit(TraceEvent::Fetch {
+                    seq: e.seq,
+                    pc: e.pc.0,
+                });
+            }
             self.rob.push_back(e);
         }
         Ok(())
@@ -848,6 +922,12 @@ impl<'a> Executor<'a> {
             let e = self.rob.pop_front().expect("head exists");
             self.work_this_cycle += 1;
             self.stats.committed += 1;
+            if self.tracer.is_some() {
+                self.emit(TraceEvent::Commit {
+                    seq: e.seq,
+                    pc: e.pc.0,
+                });
+            }
             if self.config.record_commit_trace {
                 self.trace.push(CommitEvent {
                     cycle: self.cycle,
@@ -933,7 +1013,7 @@ pub fn run_program(
     mem: &mut MemoryHierarchy,
     vp: &mut dyn ValuePredictor,
 ) -> Result<RunResult, RunError> {
-    Executor::new(config, program, pid, mem, vp, None, None).run()
+    Executor::new(config, program, pid, mem, vp, None, None, None).run()
 }
 
 /// [`run_program`] with a pipeline-side fault injector attached. The
@@ -951,7 +1031,7 @@ pub fn run_program_chaos(
     vp: &mut dyn ValuePredictor,
     chaos: Option<&mut PipeChaos>,
 ) -> Result<RunResult, RunError> {
-    Executor::new(config, program, pid, mem, vp, chaos, None).run()
+    Executor::new(config, program, pid, mem, vp, chaos, None, None).run()
 }
 
 /// [`run_program_chaos`] under a [`CancelToken`]: the executor polls the
@@ -973,5 +1053,37 @@ pub fn run_program_supervised(
     chaos: Option<&mut PipeChaos>,
     cancel: Option<&CancelToken>,
 ) -> Result<RunResult, RunError> {
-    Executor::new(config, program, pid, mem, vp, chaos, cancel).run()
+    Executor::new(config, program, pid, mem, vp, chaos, cancel, None).run()
+}
+
+/// [`run_program_supervised`] with a [`TraceSink`] attached: pipeline,
+/// memory-hierarchy and predictor events are cycle-stamped into `sink`
+/// as the run executes. Component-side tracing is enabled for the
+/// duration of the call and always disabled again (dropping any
+/// partial buffers) before returning, including on error paths.
+///
+/// Tracing is purely observational — the returned [`RunResult`] is
+/// bit-identical to an untraced run of the same `(program, config,
+/// seed)`.
+///
+/// # Errors
+///
+/// Same as [`run_program_supervised`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_program_traced(
+    config: CoreConfig,
+    program: &Program,
+    pid: u32,
+    mem: &mut MemoryHierarchy,
+    vp: &mut dyn ValuePredictor,
+    chaos: Option<&mut PipeChaos>,
+    cancel: Option<&CancelToken>,
+    sink: &mut dyn TraceSink,
+) -> Result<RunResult, RunError> {
+    mem.set_tracing(true);
+    vp.set_tracing(true);
+    let result = Executor::new(config, program, pid, mem, vp, chaos, cancel, Some(sink)).run();
+    mem.set_tracing(false);
+    vp.set_tracing(false);
+    result
 }

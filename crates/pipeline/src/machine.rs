@@ -13,7 +13,7 @@ use vpsim_predictor::{ChaoticPredictor, NoPredictor, ValuePredictor};
 
 use crate::cancel::CancelToken;
 use crate::config::CoreConfig;
-use crate::executor::run_program_supervised;
+use crate::executor::{run_program_supervised, run_program_traced};
 use crate::result::{RunError, RunResult};
 
 /// A simulated core plus its persistent memory system and VPS.
@@ -117,6 +117,32 @@ impl Machine {
             self.predictor.as_mut(),
             self.chaos.as_mut(),
             self.cancel.as_ref(),
+        )
+    }
+
+    /// [`Machine::run`] with a trace sink attached: every pipeline,
+    /// memory-hierarchy and predictor event is cycle-stamped into
+    /// `sink`. The returned result is bit-identical to an untraced
+    /// [`Machine::run`] of the same program on the same machine state.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::run`].
+    pub fn run_traced(
+        &mut self,
+        pid: u32,
+        program: &Program,
+        sink: &mut dyn vpsim_obs::TraceSink,
+    ) -> Result<RunResult, RunError> {
+        run_program_traced(
+            self.core,
+            program,
+            pid,
+            &mut self.mem,
+            self.predictor.as_mut(),
+            self.chaos.as_mut(),
+            self.cancel.as_ref(),
+            sink,
         )
     }
 
@@ -290,6 +316,51 @@ mod tests {
         b.li(Reg::R1, 1).halt();
         let err = m.run(0, &b.build().unwrap()).unwrap_err();
         assert_eq!(err, RunError::Cancelled { at_cycle: 0 });
+    }
+
+    #[test]
+    fn traced_run_is_bit_identical_and_captures_pipeline_events() {
+        let program = {
+            let mut b = ProgramBuilder::new();
+            b.li(Reg::R1, 0x1000);
+            for i in 0..8 {
+                b.load(Reg::R2, Reg::R1, i * 64);
+            }
+            // Re-run the same loads so the LVP trains and predicts.
+            for i in 0..8 {
+                b.flush(Reg::R1, i * 64);
+            }
+            for i in 0..8 {
+                b.load(Reg::R2, Reg::R1, i * 64);
+            }
+            b.halt();
+            b.build().unwrap()
+        };
+        let mut plain = machine(Box::new(Lvp::new(LvpConfig::default())));
+        let mut traced = machine(Box::new(Lvp::new(LvpConfig::default())));
+        let mut kinds = std::collections::HashSet::new();
+        for _ in 0..3 {
+            let mut sink = vpsim_obs::RingRecorder::new(1 << 14);
+            let a = plain.run(1, &program).unwrap();
+            let b = traced.run_traced(1, &program, &mut sink).unwrap();
+            assert_eq!(a, b, "tracing must never perturb a run");
+            assert_eq!(sink.dropped(), 0, "ring sized for the whole trace");
+            // Cycle stamps are monotone within a run (events stream in
+            // schedule order; each run restarts the clock).
+            let cycles: Vec<u64> = sink.events().map(|(c, _)| *c).collect();
+            assert!(cycles.windows(2).all(|w| w[0] <= w[1]));
+            kinds.extend(sink.events().map(|(_, e)| e.kind()));
+        }
+        for kind in [
+            "fetch",
+            "issue",
+            "commit",
+            "mem_access",
+            "line_flush",
+            "train",
+        ] {
+            assert!(kinds.contains(kind), "expected {kind} events in trace");
+        }
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! plane: entry decay, value bit-flips and dropped training updates.
 
 use vpsim_chaos::{ChaosEvents, PredChaos, PredChaosConfig};
+use vpsim_obs::TraceEvent;
 
 use crate::{LoadContext, Predicted, PredictorStats, ValuePredictor};
 
@@ -23,6 +24,11 @@ use crate::{LoadContext, Predicted, PredictorStats, ValuePredictor};
 pub struct ChaoticPredictor {
     inner: Box<dyn ValuePredictor>,
     chaos: PredChaos,
+    /// Event tracing: injected faults are buffered unstamped and
+    /// drained (and cycle-stamped) by the pipeline. Disabled (the
+    /// default) buffers nothing.
+    trace_enabled: bool,
+    trace_buf: Vec<TraceEvent>,
 }
 
 impl ChaoticPredictor {
@@ -36,6 +42,8 @@ impl ChaoticPredictor {
         ChaoticPredictor {
             inner,
             chaos: PredChaos::new(cfg, seed),
+            trace_enabled: false,
+            trace_buf: Vec::new(),
         }
     }
 
@@ -58,16 +66,31 @@ impl ValuePredictor for ChaoticPredictor {
         // stats) evolves independently of the injected noise.
         let predicted = self.inner.lookup(ctx)?;
         if self.chaos.decay_fires() {
+            if self.trace_enabled {
+                self.trace_buf.push(TraceEvent::PredDecay { pc: ctx.pc });
+            }
             return None;
         }
+        let value = self.chaos.perturb_value(predicted.value);
+        if self.trace_enabled && value != predicted.value {
+            self.trace_buf.push(TraceEvent::PredFlip {
+                pc: ctx.pc,
+                original: predicted.value,
+                perturbed: value,
+            });
+        }
         Some(Predicted {
-            value: self.chaos.perturb_value(predicted.value),
+            value,
             confidence: predicted.confidence,
         })
     }
 
     fn train(&mut self, ctx: &LoadContext, actual: u64, prediction: Option<u64>) {
         if self.chaos.drop_train_fires() {
+            if self.trace_enabled {
+                self.trace_buf
+                    .push(TraceEvent::PredDropTrain { pc: ctx.pc });
+            }
             return;
         }
         self.inner.train(ctx, actual, prediction);
@@ -87,6 +110,21 @@ impl ValuePredictor for ChaoticPredictor {
 
     fn chaos_events(&self) -> Option<ChaosEvents> {
         Some(*self.chaos.events())
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.trace_enabled = on;
+        if !on {
+            self.trace_buf = Vec::new();
+        }
+        self.inner.set_tracing(on);
+    }
+
+    fn drain_trace(&mut self, f: &mut dyn FnMut(TraceEvent)) {
+        for ev in self.trace_buf.drain(..) {
+            f(ev);
+        }
+        self.inner.drain_trace(f);
     }
 }
 
@@ -178,6 +216,35 @@ mod tests {
         // confidence.
         assert!(wrapped.lookup(&ctx()).is_none());
         assert_eq!(wrapped.chaos_events().trainings_dropped, 10);
+    }
+
+    #[test]
+    fn tracing_records_injected_faults_without_changing_behaviour() {
+        let cfg = PredChaosConfig {
+            decay_prob: 0.3,
+            flip_prob: 0.3,
+            drop_train_prob: 0.3,
+        };
+        let run = |traced: bool| {
+            let mut w = ChaoticPredictor::new(trained_lvp(), cfg, 9);
+            w.set_tracing(traced);
+            let mut out = Vec::new();
+            let mut events = Vec::new();
+            for _ in 0..50 {
+                out.push(w.lookup(&ctx()));
+                w.train(&ctx(), 7, Some(7));
+            }
+            w.drain_trace(&mut |e| events.push(e));
+            (out, events)
+        };
+        let (traced_out, events) = run(true);
+        let (plain_out, no_events) = run(false);
+        assert_eq!(traced_out, plain_out, "tracing must not perturb chaos");
+        assert!(no_events.is_empty(), "disabled tracing buffers nothing");
+        let kinds: Vec<&str> = events.iter().map(TraceEvent::kind).collect();
+        assert!(kinds.contains(&"pred_decay"));
+        assert!(kinds.contains(&"pred_flip"));
+        assert!(kinds.contains(&"pred_drop_train"));
     }
 
     #[test]

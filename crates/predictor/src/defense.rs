@@ -114,6 +114,18 @@ impl<P: ValuePredictor> ValuePredictor for AlwaysPredict<P> {
     fn name(&self) -> &'static str {
         "always+inner"
     }
+
+    fn chaos_events(&self) -> Option<vpsim_chaos::ChaosEvents> {
+        self.inner.chaos_events()
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.inner.set_tracing(on);
+    }
+
+    fn drain_trace(&mut self, f: &mut dyn FnMut(vpsim_obs::TraceEvent)) {
+        self.inner.drain_trace(f);
+    }
 }
 
 /// R-type defense: *randomly predict a value* out of a window of size `S`
@@ -195,6 +207,18 @@ impl<P: ValuePredictor> ValuePredictor for RandomWindow<P> {
 
     fn name(&self) -> &'static str {
         "random-window+inner"
+    }
+
+    fn chaos_events(&self) -> Option<vpsim_chaos::ChaosEvents> {
+        self.inner.chaos_events()
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.inner.set_tracing(on);
+    }
+
+    fn drain_trace(&mut self, f: &mut dyn FnMut(vpsim_obs::TraceEvent)) {
+        self.inner.drain_trace(f);
     }
 }
 

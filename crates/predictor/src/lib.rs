@@ -125,6 +125,18 @@ pub trait ValuePredictor: std::fmt::Debug + Send {
     fn chaos_events(&self) -> Option<vpsim_chaos::ChaosEvents> {
         None
     }
+
+    /// Enable or disable event tracing in this predictor stack. Only
+    /// fault-injection wrappers emit events today; plain predictors
+    /// ignore the call. Tracing is purely observational — it never
+    /// changes predictions, state or statistics.
+    fn set_tracing(&mut self, _on: bool) {}
+
+    /// Drain buffered trace events (unstamped — the pipeline stamps
+    /// them with the simulated cycle). A no-op for plain predictors.
+    /// Wrappers must forward to their inner predictor so a chaotic
+    /// layer anywhere in the stack stays reachable.
+    fn drain_trace(&mut self, _f: &mut dyn FnMut(vpsim_obs::TraceEvent)) {}
 }
 
 /// A no-op predictor: never predicts. This is the paper's "no VP"

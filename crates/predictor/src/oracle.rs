@@ -72,6 +72,18 @@ impl<P: ValuePredictor> ValuePredictor for Oracle<P> {
     fn name(&self) -> &'static str {
         "oracle"
     }
+
+    fn chaos_events(&self) -> Option<vpsim_chaos::ChaosEvents> {
+        self.inner.chaos_events()
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.inner.set_tracing(on);
+    }
+
+    fn drain_trace(&mut self, f: &mut dyn FnMut(vpsim_obs::TraceEvent)) {
+        self.inner.drain_trace(f);
+    }
 }
 
 #[cfg(test)]

@@ -23,8 +23,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
-use vpsim_harness::{CampaignSpec, CellOutcome, Exec, JobObserver, RunHealth, SpecError};
+use vpsim_harness::{
+    CampaignMetrics, CampaignSpec, CellOutcome, Exec, JobObserver, RunHealth, SpecError,
+};
 use vpsim_json::escaped;
+use vpsim_obs::{Counter, Gauge, Registry};
 
 use crate::http::{self, ChunkedWriter, HttpError, Request};
 use crate::registry::{CampaignState, Entry, StreamObserver};
@@ -53,6 +56,82 @@ impl Default for ServeConfig {
     }
 }
 
+/// Daemon-level metric handles, all living in the shared registry as
+/// unlabelled series. Their source of truth is the entry table and the
+/// health ledger; [`metrics_text`] refreshes them at scrape time (with
+/// no lock held while rendering) so the exposition is always current
+/// without a background sampler thread.
+#[derive(Debug)]
+struct DaemonMetrics {
+    uptime_seconds: Gauge,
+    campaigns_active: Gauge,
+    campaigns_queued: Gauge,
+    campaigns_done: Gauge,
+    jobs_queued: Gauge,
+    jobs_done: Counter,
+    sim_cycles: Counter,
+    sim_cycles_per_second: Gauge,
+    io_faults: Counter,
+    torn_lines: Counter,
+    health_failed_cells: Gauge,
+    health_panics: Gauge,
+}
+
+impl DaemonMetrics {
+    fn register(r: &Registry) -> DaemonMetrics {
+        DaemonMetrics {
+            uptime_seconds: r.gauge("vpsim_uptime_seconds", "daemon uptime", &[]),
+            campaigns_active: r.gauge("vpsim_campaigns_active", "campaigns currently running", &[]),
+            campaigns_queued: r.gauge(
+                "vpsim_campaigns_queued",
+                "campaigns waiting for a runner",
+                &[],
+            ),
+            campaigns_done: r.gauge(
+                "vpsim_campaigns_done",
+                "campaigns completed since start",
+                &[],
+            ),
+            jobs_queued: r.gauge(
+                "vpsim_jobs_queued",
+                "jobs not yet completed across active and queued campaigns",
+                &[],
+            ),
+            jobs_done: r.counter(
+                "vpsim_jobs_done_total",
+                "jobs completed (resumed replays included)",
+                &[],
+            ),
+            sim_cycles: r.counter(
+                "vpsim_sim_cycles_total",
+                "simulated cycles over completed jobs",
+                &[],
+            ),
+            sim_cycles_per_second: r.gauge(
+                "vpsim_sim_cycles_per_second",
+                "simulation throughput since daemon start",
+                &[],
+            ),
+            io_faults: r.counter(
+                "vpsim_io_faults_total",
+                "sink I/O faults degraded around",
+                &[],
+            ),
+            torn_lines: r.counter(
+                "vpsim_torn_lines_total",
+                "torn manifest lines recovered on resume",
+                &[],
+            ),
+            health_failed_cells: r.gauge(
+                "vpsim_health_failed_cells",
+                "cells that failed permanently",
+                &[],
+            ),
+            health_panics: r.gauge("vpsim_health_panics", "jobs that panicked", &[]),
+        }
+    }
+}
+
 /// Shared daemon state.
 #[derive(Debug)]
 struct Inner {
@@ -67,6 +146,11 @@ struct Inner {
     health: Arc<RunHealth>,
     sim_cycles: AtomicU64,
     campaigns_done: AtomicU64,
+    /// The workspace metrics registry backing `/metrics` and
+    /// `/campaigns/<id>/metrics`: daemon-level series plus one
+    /// `campaign="<id>"`-labelled series set per campaign run.
+    registry: Arc<Registry>,
+    metrics: DaemonMetrics,
 }
 
 /// A running daemon. Dropping the handle does **not** stop it; call
@@ -89,6 +173,8 @@ impl Server {
         std::fs::create_dir_all(&cfg.state_dir)?;
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
+        let registry = Arc::new(Registry::new());
+        let metrics = DaemonMetrics::register(&registry);
         let inner = Arc::new(Inner {
             addr,
             entries: Mutex::new(HashMap::new()),
@@ -100,6 +186,8 @@ impl Server {
             health: Arc::new(RunHealth::default()),
             sim_cycles: AtomicU64::new(0),
             campaigns_done: AtomicU64::new(0),
+            registry,
+            metrics,
             cfg,
         });
         rehydrate(&inner);
@@ -277,6 +365,10 @@ fn run_campaign(inner: &Arc<Inner>, entry: &Arc<Entry>) {
         cancel: Some(entry.cancel.clone()),
         observer: Some(observer),
         health: Some(Arc::clone(&inner.health)),
+        metrics: Some(CampaignMetrics::register(
+            &inner.registry,
+            &entry.id.to_string(),
+        )),
         ..Exec::default()
     };
     let outcome = entry.spec.to_campaign().run(&exec);
@@ -439,6 +531,12 @@ fn route(inner: &Arc<Inner>, request: &Request, mut stream: TcpStream) -> std::i
             let body = progress_body(entry);
             http::respond(stream, 200, "application/json", &body)
         }),
+        ("GET", ["campaigns", id, "metrics"]) => {
+            with_entry(inner, id, &mut stream, |entry, stream| {
+                let body = campaign_metrics_body(inner, entry);
+                http::respond(stream, 200, "application/json", &body)
+            })
+        }
         ("GET", ["campaigns", id, "results"]) => {
             with_entry(inner, id, &mut stream, |entry, stream| {
                 stream_results(entry, stream)
@@ -628,8 +726,11 @@ fn stream_results(entry: &Arc<Entry>, stream: &mut TcpStream) -> std::io::Result
     writer.finish()
 }
 
-/// `GET /metrics`: plain-text exposition of the daemon's counters.
-fn metrics_text(inner: &Arc<Inner>) -> String {
+/// Refresh the daemon-level (unlabelled) series from the entry table
+/// and health ledger. Aggregates are computed under the entries lock
+/// into locals; the lock is released before any handle is touched or
+/// anything is rendered.
+fn refresh_daemon_metrics(inner: &Arc<Inner>) {
     let entries = inner.entries.lock().expect("entries poisoned");
     let mut active = 0usize;
     let mut queued = 0usize;
@@ -653,24 +754,50 @@ fn metrics_text(inner: &Arc<Inner>) -> String {
     drop(entries);
     let uptime = inner.started.elapsed().as_secs_f64().max(1e-9);
     let cycles = inner.sim_cycles.load(Ordering::Relaxed);
+    let m = &inner.metrics;
+    m.uptime_seconds.set(uptime);
+    m.campaigns_active.set(active as f64);
+    m.campaigns_queued.set(queued as f64);
+    m.campaigns_done
+        .set(inner.campaigns_done.load(Ordering::Relaxed) as f64);
+    m.jobs_queued.set(jobs_queued as f64);
+    m.jobs_done.store(jobs_done as u64);
+    m.sim_cycles.store(cycles);
+    m.sim_cycles_per_second.set(cycles as f64 / uptime);
+    m.io_faults
+        .store(inner.health.io_faults.load(Ordering::Relaxed));
+    m.torn_lines
+        .store(inner.health.torn_lines.load(Ordering::Relaxed));
+    m.health_failed_cells
+        .set(inner.health.failed_cells.load(Ordering::Relaxed) as f64);
+    m.health_panics
+        .set(inner.health.panics.load(Ordering::Relaxed) as f64);
+}
+
+/// `GET /metrics`: Prometheus text exposition of the whole registry —
+/// the refreshed daemon-level series plus every per-campaign series
+/// (`campaign="<id>"` labels) updated live by the worker pools.
+fn metrics_text(inner: &Arc<Inner>) -> String {
+    refresh_daemon_metrics(inner);
+    inner.registry.snapshot().to_prometheus()
+}
+
+/// `GET /campaigns/<id>/metrics`: the campaign's progress document plus
+/// its slice of the registry (every series labelled with its id), as
+/// one JSON document.
+fn campaign_metrics_body(inner: &Arc<Inner>, entry: &Arc<Entry>) -> String {
+    let snap = inner
+        .registry
+        .snapshot()
+        .filter_label("campaign", &entry.id.to_string());
     format!(
-        "vpsim_uptime_seconds {uptime:.1}\n\
-         vpsim_campaigns_active {active}\n\
-         vpsim_campaigns_queued {queued}\n\
-         vpsim_campaigns_done {}\n\
-         vpsim_jobs_queued {jobs_queued}\n\
-         vpsim_jobs_done_total {jobs_done}\n\
-         vpsim_sim_cycles_total {cycles}\n\
-         vpsim_sim_cycles_per_second {:.1}\n\
-         vpsim_io_faults_total {}\n\
-         vpsim_torn_lines_total {}\n\
-         vpsim_health_failed_cells {}\n\
-         vpsim_health_panics {}\n",
-        inner.campaigns_done.load(Ordering::Relaxed),
-        cycles as f64 / uptime,
-        inner.health.io_faults.load(Ordering::Relaxed),
-        inner.health.torn_lines.load(Ordering::Relaxed),
-        inner.health.failed_cells.load(Ordering::Relaxed),
-        inner.health.panics.load(Ordering::Relaxed),
+        "{{\"id\":{},\"name\":\"{}\",\"state\":\"{}\",\"jobs_total\":{},\"jobs_done\":{},\
+         \"metrics\":{}}}\n",
+        entry.id,
+        escaped(&entry.spec.name),
+        entry.state().token(),
+        entry.jobs_total,
+        entry.jobs_done.load(Ordering::Relaxed),
+        snap.to_json(),
     )
 }

@@ -208,6 +208,129 @@ fn graceful_restart_resumes_and_streams_identical_payloads() {
     let _ = std::fs::remove_dir_all(&ref_state);
 }
 
+/// Minimal Prometheus-exposition checker: every sample line must belong
+/// to a family announced by exactly one `# TYPE` line, families must
+/// appear in stable (sorted) order, and no series may repeat.
+fn check_exposition(body: &str) -> Vec<String> {
+    let mut families: Vec<(String, String)> = Vec::new();
+    let mut series_seen = std::collections::HashSet::new();
+    for line in body.lines().filter(|l| !l.is_empty()) {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().expect("family name").to_owned();
+            let kind = it.next().expect("family kind").to_owned();
+            assert!(
+                matches!(kind.as_str(), "counter" | "gauge" | "histogram"),
+                "unknown kind in {line:?}"
+            );
+            assert!(
+                !families.iter().any(|(n, _)| *n == name),
+                "duplicate # TYPE for {name}"
+            );
+            families.push((name, kind));
+        } else if line.starts_with('#') {
+            assert!(line.starts_with("# HELP "), "unknown comment {line:?}");
+        } else {
+            let id = line
+                .split_once(' ')
+                .unwrap_or_else(|| panic!("sample without value: {line:?}"))
+                .0;
+            assert!(series_seen.insert(id.to_owned()), "duplicate series {id}");
+            let name = id.split('{').next().unwrap();
+            let declared = families.iter().any(|(n, kind)| {
+                name == n
+                    || (kind == "histogram"
+                        && [
+                            format!("{n}_bucket"),
+                            format!("{n}_sum"),
+                            format!("{n}_count"),
+                        ]
+                        .contains(&name.to_owned()))
+            });
+            assert!(declared, "sample {name} has no # TYPE line");
+        }
+    }
+    let names: Vec<String> = families.iter().map(|(n, _)| n.clone()).collect();
+    let mut sorted = names.clone();
+    sorted.sort();
+    assert_eq!(names, sorted, "families must appear in stable sorted order");
+    names
+}
+
+#[test]
+fn metrics_exposition_round_trips_and_campaign_slice_is_served() {
+    let state = temp_dir("metrics");
+    let server = start(&state, 1, 2);
+    let addr = server.addr().to_string();
+
+    let id = submit(&addr, &spec_json("observed", 5));
+    let _ = collect_stream(&addr, id); // drain to completion
+    wait_for_state(&addr, id, &["done"], Duration::from_secs(30));
+
+    // The global exposition parses cleanly and carries both the daemon
+    // families and this campaign's labelled series.
+    let r = client::request(&addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(r.status, 200);
+    let families = check_exposition(&r.body);
+    for needle in [
+        "vpsim_campaigns_active",
+        "vpsim_jobs_done_total",
+        "vpsim_sched_ticks_total",
+        "vpsim_phase_run_seconds",
+    ] {
+        assert!(
+            families.iter().any(|f| f == needle),
+            "metrics lack family {needle}: {families:?}"
+        );
+    }
+    assert!(
+        r.body
+            .contains(&format!("vpsim_jobs_done_total{{campaign=\"{id}\"}} 10")),
+        "per-campaign jobs counter missing (5 trials x 2 cells): {}",
+        r.body
+    );
+    // A second scrape keeps the family ordering (stable exposition).
+    let r2 = client::request(&addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(check_exposition(&r2.body), families);
+
+    // The per-campaign JSON endpoint serves only this campaign's slice.
+    let r = client::request(&addr, "GET", &format!("/campaigns/{id}/metrics"), None).unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+    let doc = vpsim_json::parse(&r.body).expect("valid JSON");
+    assert_eq!(doc.get("id").and_then(vpsim_json::Json::as_u64), Some(id));
+    assert_eq!(
+        doc.get("jobs_done").and_then(vpsim_json::Json::as_u64),
+        Some(10)
+    );
+    let fams = doc
+        .get("metrics")
+        .and_then(|m| m.get("families"))
+        .and_then(vpsim_json::Json::as_arr)
+        .expect("metrics.families");
+    assert!(!fams.is_empty(), "campaign slice must not be empty");
+    for fam in fams {
+        for series in fam
+            .get("series")
+            .and_then(vpsim_json::Json::as_arr)
+            .unwrap()
+        {
+            let label = series
+                .get("labels")
+                .and_then(|l| l.get("campaign"))
+                .and_then(vpsim_json::Json::as_str)
+                .expect("campaign label");
+            assert_eq!(label, id.to_string(), "foreign series leaked into slice");
+        }
+    }
+    // Unknown id -> 404.
+    let r = client::request(&addr, "GET", "/campaigns/999/metrics", None).unwrap();
+    assert_eq!(r.status, 404);
+
+    server.shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&state);
+}
+
 #[test]
 fn http_surface_is_robust() {
     let state = temp_dir("http");
