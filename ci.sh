@@ -49,9 +49,16 @@ cargo test --release -q -p vpsim-bench --test fuzz_validation
 
 # Torture (quick): kill/resume the reference campaign at >=20 seeded
 # interruption points, sweep seeded hostile sink-I/O fault plans
-# (including a simulated crash), and cancel a deliberately hung cell
-# within its hard deadline. Every path must converge bit-identically.
+# (including a simulated crash), cancel a deliberately hung cell within
+# its hard deadline, and abuse the process-isolated fleet (SIGKILL,
+# poisoned cells, muted heartbeats, zombie sweep). Every path must
+# converge bit-identically.
 cargo test --release -q -p vpsim-harness --test torture
+
+# Overload smoke: a slowloris peer trickling half a request must not
+# block a parallel /healthz and must be evicted by the read timeout;
+# connections and submissions past the caps are shed with 503.
+cargo test --release -q -p vpsim-serve --test serve_integration -- slowloris shed
 
 # Serve smoke: boot a real daemon on an ephemeral port, submit two
 # campaigns, stream one to completion, check progress and metrics,
@@ -83,5 +90,29 @@ printf '%s' '{"name":"ci-doomed","trials":50000,"seed":7,"cells":[{"category":"t
 wait "$SERVE_PID"
 trap - EXIT
 rm -rf "$SERVE_STATE"
+
+# Fleet smoke: a campaign on the process-isolated backend must survive
+# one of its workers being SIGKILLed mid-run — exit 0 with result lines
+# byte-identical to the thread backend.
+FLEET_TMP="$(mktemp -d)"
+trap 'rm -rf "$FLEET_TMP"' EXIT
+printf '%s' '{"name":"ci-fleet","trials":40,"seed":7,"cells":[{"category":"train_test","channel":"timing_window","predictor":"lvp"}]}' \
+    > "$FLEET_TMP/spec.json"
+./target/release/repro run --spec "$FLEET_TMP/spec.json" --isolate thread \
+    > "$FLEET_TMP/thread.out"
+./target/release/repro run --spec "$FLEET_TMP/spec.json" --isolate process --workers 2 \
+    > "$FLEET_TMP/fleet.out" &
+FLEET_PID=$!
+WORKER_PID=""
+for _ in $(seq 1 100); do
+    WORKER_PID="$(pgrep -o -f 'release/repro --worker-loop' 2>/dev/null || true)"
+    [ -n "$WORKER_PID" ] && break
+    sleep 0.05
+done
+[ -n "$WORKER_PID" ] && kill -9 "$WORKER_PID" 2>/dev/null || true
+wait "$FLEET_PID"
+cmp "$FLEET_TMP/thread.out" "$FLEET_TMP/fleet.out"
+trap - EXIT
+rm -rf "$FLEET_TMP"
 
 echo "ci: all checks passed"

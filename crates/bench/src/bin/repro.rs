@@ -21,12 +21,19 @@
 //!
 //! ```text
 //! repro serve --port 0 --state dir   # run the vpsim-serve daemon
+//! repro run --spec f --isolate process --workers 4
+//!                                    # run one spec locally, printing
+//!                                    # canonical result lines; process
+//!                                    # isolation contains worker crashes
 //! repro submit --addr H:P --spec f   # POST a campaign spec
 //! repro watch --addr H:P --id 1      # stream results as JSONL
 //! repro query --addr H:P [--id 1]    # progress / campaign list
 //! repro cancel --addr H:P --id 1     # cooperative cancellation
 //! repro shutdown --addr H:P          # graceful daemon stop
 //! ```
+//!
+//! `repro --worker-loop` (dispatched before all other parsing) turns
+//! the process into a fleet worker for the process-isolated backend.
 //!
 //! Evaluations run through the `vpsim-harness` campaign engine: results
 //! are bitwise-identical for every `--jobs` value, and a campaign killed
@@ -279,10 +286,19 @@ fn trap<T>(f: impl FnOnce() -> T) -> Result<T, String> {
 }
 
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    // Worker-loop mode: the process backend re-execs this binary with
+    // `--worker-loop` as a fleet worker. Dispatch before any other
+    // parsing — the worker speaks frames on stdin/stdout, nothing else.
+    if argv.first().is_some_and(|a| a == "--worker-loop") {
+        return match vpsim_harness::worker_loop() {
+            0 => ExitCode::SUCCESS,
+            code => ExitCode::from(u8::try_from(code).unwrap_or(1)),
+        };
+    }
     // Serve-plane subcommands (`repro serve ...`) dispatch before the
     // legacy flag parser; a first argument starting with `--` keeps the
     // original report-generation CLI unchanged.
-    let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv
         .first()
         .is_some_and(|a| vpsim_bench::serve_cli::is_subcommand(a))

@@ -49,11 +49,21 @@ fn verdict(p: f64) -> &'static str {
 
 /// Append a one-line supervision note when the campaign ran degraded:
 /// cancellations, deadline failures, torn manifest lines recovered on
-/// resume, or sink I/O faults degraded around. Clean runs add nothing,
-/// so golden report texts are unchanged.
+/// resume, sink I/O faults degraded around, worker-process crashes
+/// contained by the fleet supervisor, or requests shed under daemon
+/// overload. Clean runs add nothing, so golden report texts are
+/// unchanged.
 fn supervision_note(outcome: &CampaignOutcome, out: &mut String) {
     let s = &outcome.stats;
-    if s.cancelled + s.deadline_failed + s.torn_lines + s.io_faults + s.panics > 0 {
+    let degraded = s.cancelled
+        + s.deadline_failed
+        + s.torn_lines
+        + s.io_faults
+        + s.panics
+        + s.worker_crashes
+        + s.worker_respawns
+        + s.shed_requests;
+    if degraded > 0 {
         let _ = writeln!(out, "  [supervision] {s}");
     }
 }

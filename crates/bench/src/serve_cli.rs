@@ -1,8 +1,10 @@
-//! The `repro` serve-plane subcommands: `serve`, `submit`, `watch`,
-//! `query`, `cancel`, `shutdown`.
+//! The `repro` serve-plane subcommands: `serve`, `run`, `submit`,
+//! `watch`, `query`, `cancel`, `shutdown`.
 //!
 //! ```text
 //! repro serve --port 0 --state serve-state --runners 2 --jobs 4
+//! repro serve --port 0 --isolate process      # default substrate
+//! repro run   --spec campaign.json --isolate process --workers 4
 //! repro submit --addr 127.0.0.1:7070 --spec campaign.json
 //! repro watch  --addr 127.0.0.1:7070 --id 1
 //! repro query  --addr 127.0.0.1:7070 [--id 1]
@@ -14,16 +16,32 @@
 //! `serve` prints exactly one line to stdout — `vpsim-serve listening
 //! on <addr>` — before blocking, so scripts (and the e2e suite) can
 //! discover an ephemeral port by reading it.
+//!
+//! `run` executes one campaign spec locally (no daemon) and prints the
+//! canonical result lines to stdout — the same bytes `watch` would
+//! stream — so backends can be byte-compared: `--isolate process`
+//! must produce output identical to `--isolate thread`, even when a
+//! worker process is killed mid-run.
 
 use std::io::{Read, Write};
+use std::sync::atomic::AtomicUsize;
+use std::sync::Arc;
 
-use vpsim_serve::{client, ServeConfig, Server};
+use vpsim_harness::{CampaignSpec, Exec, FleetConfig, Isolate, WorkerBackend};
+use vpsim_serve::{client, ServeConfig, Server, StreamLog, StreamObserver};
 
 /// Parsed serve-plane invocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeCmd {
     /// Run the daemon until shut down.
     Serve(ServeArgs),
+    /// Execute one spec locally and print canonical result lines.
+    Run {
+        spec: String,
+        isolate: Option<Isolate>,
+        workers: usize,
+        resume: Option<String>,
+    },
     /// Submit a spec file (or stdin) and print the acknowledgement.
     Submit { addr: String, spec: Option<String> },
     /// Stream one campaign's results to stdout.
@@ -49,6 +67,8 @@ pub struct ServeArgs {
     pub runners: usize,
     /// Worker threads per campaign.
     pub jobs: usize,
+    /// Default execution substrate (specs can override per campaign).
+    pub isolate: Isolate,
 }
 
 impl Default for ServeArgs {
@@ -58,6 +78,7 @@ impl Default for ServeArgs {
             state: "serve-state".to_owned(),
             runners: 2,
             jobs: 1,
+            isolate: Isolate::Thread,
         }
     }
 }
@@ -83,12 +104,24 @@ pub fn parse_from<I: IntoIterator<Item = String>>(argv: I) -> Result<ServeCmd, S
     let mut addr: Option<String> = None;
     let mut id: Option<u64> = None;
     let mut spec: Option<String> = None;
+    let mut isolate: Option<Isolate> = None;
+    let mut workers = 1usize;
+    let mut resume: Option<String> = None;
     let mut serve = ServeArgs::default();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--addr" => addr = Some(value("--addr", &mut it)?),
             "--id" => id = Some(parse_num("--id", &value("--id", &mut it)?)?),
             "--spec" => spec = Some(value("--spec", &mut it)?),
+            "--isolate" => {
+                let v = value("--isolate", &mut it)?;
+                let iso = Isolate::parse(&v)
+                    .ok_or_else(|| format!("--isolate expects thread|process, got `{v}`"))?;
+                isolate = Some(iso);
+                serve.isolate = iso;
+            }
+            "--workers" => workers = parse_num("--workers", &value("--workers", &mut it)?)?,
+            "--resume" => resume = Some(value("--resume", &mut it)?),
             "--port" => serve.port = parse_num("--port", &value("--port", &mut it)?)?,
             "--state" => serve.state = value("--state", &mut it)?,
             "--runners" => {
@@ -105,6 +138,12 @@ pub fn parse_from<I: IntoIterator<Item = String>>(argv: I) -> Result<ServeCmd, S
     let id_for = |what: &str| id.ok_or(format!("{what} needs --id N"));
     match cmd.as_str() {
         "serve" => Ok(ServeCmd::Serve(serve)),
+        "run" => Ok(ServeCmd::Run {
+            spec: spec.ok_or("run needs --spec FILE")?,
+            isolate,
+            workers,
+            resume,
+        }),
         "submit" => Ok(ServeCmd::Submit {
             addr: addr("submit")?,
             spec,
@@ -136,8 +175,64 @@ pub fn parse_from<I: IntoIterator<Item = String>>(argv: I) -> Result<ServeCmd, S
 pub fn is_subcommand(word: &str) -> bool {
     matches!(
         word,
-        "serve" | "submit" | "watch" | "query" | "cancel" | "metrics" | "shutdown"
+        "serve" | "run" | "submit" | "watch" | "query" | "cancel" | "metrics" | "shutdown"
     )
+}
+
+/// `repro run`: execute one spec in this process (thread backend) or a
+/// supervised worker fleet (`--isolate process`), streaming the
+/// canonical result lines to stdout. The bytes on stdout are a pure
+/// function of the spec — backends and worker counts never change them.
+fn run_local(
+    spec_path: &str,
+    isolate: Option<Isolate>,
+    workers: usize,
+    resume: Option<&str>,
+) -> Result<(), String> {
+    let text = std::fs::read_to_string(spec_path)
+        .map_err(|e| format!("cannot read spec {spec_path}: {e}"))?;
+    let spec = CampaignSpec::parse(&text).map_err(|e| e.to_string())?;
+    let backend = match isolate.or(spec.isolate).unwrap_or_default() {
+        Isolate::Thread => WorkerBackend::Thread,
+        Isolate::Process => WorkerBackend::Process(FleetConfig {
+            workers,
+            ..FleetConfig::default()
+        }),
+    };
+    let log = Arc::new(StreamLog::default());
+    let observer = Arc::new(StreamObserver::new(
+        Arc::clone(&log),
+        Arc::new(AtomicUsize::new(0)),
+        &spec.trials_per_cell(),
+    ));
+    let exec = Exec {
+        jobs: workers,
+        backend,
+        resume: resume.map(std::path::PathBuf::from),
+        observer: Some(observer),
+        ..Exec::default()
+    };
+    let outcome = spec.to_campaign().run(&exec).map_err(|e| e.to_string())?;
+    log.close();
+    let mut out = std::io::stdout().lock();
+    let mut cursor = 0usize;
+    while let Some(batch) = log.next_batch(cursor) {
+        cursor += batch.len();
+        for line in batch {
+            writeln!(out, "{line}").map_err(|e| e.to_string())?;
+        }
+    }
+    out.flush().map_err(|e| e.to_string())?;
+    eprintln!("[{}] {}", spec.name, outcome.stats);
+    let failed = outcome
+        .cells()
+        .iter()
+        .filter(|c| matches!(c.outcome, vpsim_harness::CellOutcome::Failed(_)))
+        .count();
+    if failed > 0 {
+        return Err(format!("{failed} cell(s) failed"));
+    }
+    Ok(())
 }
 
 fn print_response(r: &client::Response) -> Result<(), String> {
@@ -165,6 +260,8 @@ pub fn run(cmd: &ServeCmd) -> Result<(), String> {
                 state_dir: std::path::PathBuf::from(&args.state),
                 runners: args.runners,
                 jobs: args.jobs,
+                isolate: args.isolate,
+                ..ServeConfig::default()
             })
             .map_err(|e| format!("cannot start daemon: {e}"))?;
             println!("vpsim-serve listening on {}", server.addr());
@@ -172,6 +269,12 @@ pub fn run(cmd: &ServeCmd) -> Result<(), String> {
             server.join();
             Ok(())
         }
+        ServeCmd::Run {
+            spec,
+            isolate,
+            workers,
+            resume,
+        } => run_local(spec, *isolate, *workers, resume.as_deref()),
         ServeCmd::Submit { addr, spec } => {
             let body = match spec {
                 Some(path) => std::fs::read_to_string(path)

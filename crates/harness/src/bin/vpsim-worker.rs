@@ -1,0 +1,8 @@
+//! Standalone worker-loop binary for the process-isolated backend's
+//! test suites. Production supervisors re-exec their own binary with
+//! `--worker-loop`; tests use this one via `CARGO_BIN_EXE_vpsim-worker`
+//! so a fleet can be driven without building the full CLI.
+
+fn main() {
+    std::process::exit(vpsim_harness::worker_loop());
+}

@@ -12,7 +12,8 @@ use vpsec::experiment::{
 };
 use vpsim_pipeline::SchedStats;
 
-use crate::exec::Exec;
+use crate::exec::{Exec, WorkerBackend};
+use crate::fleet;
 use crate::io::{RealIo, SinkIo};
 use crate::pool::{self, JobFailure, PoolStats};
 use crate::sink::{JobRecord, Manifest};
@@ -72,6 +73,15 @@ pub enum CellError {
         /// Attempts consumed before giving up.
         attempts: u32,
     },
+    /// A job of the cell took down every worker process it was
+    /// dispatched to; the fleet supervisor quarantined it after K
+    /// crashes instead of crash-looping (process backend only).
+    Poisoned {
+        /// Trial index of the poisoned job.
+        trial: usize,
+        /// Worker processes it crashed before quarantine.
+        crashes: u32,
+    },
 }
 
 impl fmt::Display for CellError {
@@ -85,6 +95,13 @@ impl fmt::Display for CellError {
                     f,
                     "trial {trial} exceeded its deadline and was cancelled \
                      after {attempts} attempt(s)"
+                )
+            }
+            CellError::Poisoned { trial, crashes } => {
+                write!(
+                    f,
+                    "trial {trial} crashed {crashes} worker process(es); \
+                     cell quarantined as poisoned"
                 )
             }
         }
@@ -153,6 +170,15 @@ pub struct CampaignStats {
     /// Sink I/O failures observed and degraded around (spilled or
     /// append-only fallback) instead of aborting.
     pub io_faults: usize,
+    /// Worker processes that died unexpectedly (crash, abort, kill,
+    /// missed heartbeats). Always zero on the thread backend.
+    pub worker_crashes: usize,
+    /// Worker processes respawned after a death.
+    pub worker_respawns: usize,
+    /// Requests the serving plane shed with `503` during this
+    /// campaign's run window (filled in by the daemon; zero for CLI
+    /// runs).
+    pub shed_requests: usize,
     /// Wall time of this run.
     pub wall_time: Duration,
     /// Simulated cycles over all completed jobs (resumed included).
@@ -202,6 +228,16 @@ impl fmt::Display for CampaignStats {
                 self.torn_lines, self.io_faults
             )?;
         }
+        if self.worker_crashes + self.worker_respawns > 0 {
+            write!(
+                f,
+                "; {} worker crash(es) contained, {} respawn(s)",
+                self.worker_crashes, self.worker_respawns
+            )?;
+        }
+        if self.shed_requests > 0 {
+            write!(f, "; {} request(s) shed under overload", self.shed_requests)?;
+        }
         Ok(())
     }
 }
@@ -228,6 +264,14 @@ pub struct RunHealth {
     pub torn_lines: AtomicU64,
     /// Sink I/O faults degraded around.
     pub io_faults: AtomicU64,
+    /// Worker processes that died and were contained by the fleet
+    /// supervisor. **Not** part of [`RunHealth::is_clean`]: a relocated
+    /// job recomputes the identical result, so a contained crash is an
+    /// operational event, not a scientific defect — a cell actually
+    /// lost to crashes shows up in `failed_cells` (poisoned).
+    pub worker_crashes: AtomicU64,
+    /// Worker processes respawned (same operational-only status).
+    pub worker_respawns: AtomicU64,
 }
 
 impl RunHealth {
@@ -242,6 +286,10 @@ impl RunHealth {
             .fetch_add(stats.torn_lines as u64, Ordering::Relaxed);
         self.io_faults
             .fetch_add(stats.io_faults as u64, Ordering::Relaxed);
+        self.worker_crashes
+            .fetch_add(stats.worker_crashes as u64, Ordering::Relaxed);
+        self.worker_respawns
+            .fetch_add(stats.worker_respawns as u64, Ordering::Relaxed);
     }
 
     /// Whether every absorbed campaign ran with a clean bill of health.
@@ -259,12 +307,15 @@ impl RunHealth {
     pub fn summary(&self) -> String {
         format!(
             "{} failed cell(s), {} panic(s), {} deadline failure(s), \
-             {} torn line(s), {} I/O fault(s)",
+             {} torn line(s), {} I/O fault(s), {} worker crash(es) contained \
+             ({} respawn(s))",
             self.failed_cells.load(Ordering::Relaxed),
             self.panics.load(Ordering::Relaxed),
             self.deadline_failed.load(Ordering::Relaxed),
             self.torn_lines.load(Ordering::Relaxed),
             self.io_faults.load(Ordering::Relaxed),
+            self.worker_crashes.load(Ordering::Relaxed),
+            self.worker_respawns.load(Ordering::Relaxed),
         )
     }
 }
@@ -383,6 +434,12 @@ pub enum HarnessError {
         /// Fingerprint recorded in the manifest.
         found: String,
     },
+    /// The process backend was requested for a campaign that does not
+    /// carry its spec document. Worker processes rebuild their cell
+    /// plans from the spec's canonical JSON, so only campaigns built
+    /// via [`CampaignSpec::to_campaign`](crate::CampaignSpec) (or a
+    /// hand-written spec) can relocate jobs across processes.
+    ProcessBackendNeedsSpec,
 }
 
 impl fmt::Display for HarnessError {
@@ -398,6 +455,13 @@ impl fmt::Display for HarnessError {
                 "manifest {path} was written by a different campaign \
                  (fingerprint {found}, this campaign is {expected}); \
                  delete it or pick another resume directory"
+            ),
+            HarnessError::ProcessBackendNeedsSpec => write!(
+                f,
+                "the process-isolated backend needs the campaign's spec \
+                 document to relocate jobs into worker processes; build the \
+                 campaign from a CampaignSpec (to_campaign) or use the \
+                 thread backend"
             ),
         }
     }
@@ -418,6 +482,10 @@ fn fnv1a(hash: &mut u64, bytes: &[u8]) {
 pub struct Campaign {
     name: String,
     cells: Vec<(CellSpec, Option<CellPlan>)>,
+    /// Canonical spec JSON, when the campaign came from a
+    /// [`CampaignSpec`](crate::CampaignSpec). The process backend ships
+    /// this to worker processes so they can rebuild identical plans.
+    spec_json: Option<String>,
 }
 
 impl Campaign {
@@ -426,7 +494,21 @@ impl Campaign {
         Campaign {
             name: name.into(),
             cells: Vec::new(),
+            spec_json: None,
         }
+    }
+
+    /// Attach the canonical spec JSON this campaign was built from
+    /// (required by the process backend; see
+    /// [`HarnessError::ProcessBackendNeedsSpec`]).
+    pub(crate) fn set_spec_json(&mut self, json: String) {
+        self.spec_json = Some(json);
+    }
+
+    /// The cell plans in declaration order (`None` for unsupported
+    /// cells). Worker processes use this to execute dispatched jobs.
+    pub(crate) fn plans(&self) -> Vec<Option<CellPlan>> {
+        self.cells.iter().map(|(_, p)| p.clone()).collect()
     }
 
     /// The campaign's name.
@@ -495,6 +577,9 @@ impl Campaign {
     /// written by a different campaign.
     pub fn run(&self, exec: &Exec) -> Result<CampaignOutcome, HarnessError> {
         let started = Instant::now();
+        if matches!(exec.backend, WorkerBackend::Process(_)) && self.spec_json.is_none() {
+            return Err(HarnessError::ProcessBackendNeedsSpec);
+        }
         let fingerprint = self.fingerprint();
         let jobs_total = self.num_jobs();
         let manifest = match &exec.resume {
@@ -561,18 +646,24 @@ impl Campaign {
                 observer.job_done(&rec, false);
             }
         };
-        let results = pool::run_jobs(
-            &pool::Batch {
-                campaign: &self.name,
-                plans: &plans,
-                pending: &pending,
-                total_jobs: jobs_total,
-                resumed: resumed.len(),
-            },
-            exec,
-            &stats,
-            &on_done,
-        );
+        let batch = pool::Batch {
+            campaign: &self.name,
+            plans: &plans,
+            pending: &pending,
+            total_jobs: jobs_total,
+            resumed: resumed.len(),
+        };
+        let results = match &exec.backend {
+            WorkerBackend::Thread => pool::run_jobs(&batch, exec, &stats, &on_done),
+            WorkerBackend::Process(cfg) => fleet::run_jobs(
+                &batch,
+                exec,
+                cfg,
+                self.spec_json.as_deref().expect("checked above"),
+                &stats,
+                &on_done,
+            ),
+        };
 
         // Reduce each cell in trial order; execution order is irrelevant.
         let mut sim_cycles = 0u64;
@@ -607,6 +698,13 @@ impl Campaign {
                         error = Some(CellError::JobTimedOut {
                             trial,
                             attempts: *attempts,
+                        });
+                        break;
+                    }
+                    Some(Err(JobFailure::Poisoned { crashes })) => {
+                        error = Some(CellError::Poisoned {
+                            trial,
+                            crashes: *crashes,
                         });
                         break;
                     }
@@ -646,6 +744,9 @@ impl Campaign {
             deadline_failed: stats.deadline_failed.load(Ordering::Relaxed) as usize,
             torn_lines: manifest.as_ref().map_or(0, Manifest::torn_lines),
             io_faults: manifest.as_ref().map_or(0, Manifest::io_faults),
+            worker_crashes: stats.worker_crashes.load(Ordering::Relaxed) as usize,
+            worker_respawns: stats.worker_respawns.load(Ordering::Relaxed) as usize,
+            shed_requests: 0,
             wall_time: started.elapsed(),
             sim_cycles,
             sched,

@@ -8,8 +8,36 @@ use vpsim_obs::{Counter, Histo, Registry};
 use vpsim_pipeline::CancelToken;
 
 use crate::campaign::RunHealth;
+use crate::fleet::FleetConfig;
 use crate::io::SinkIo;
 use crate::sink::JobRecord;
+
+/// Which execution substrate runs a campaign's jobs.
+///
+/// Both backends produce bitwise-identical results — every job's seed
+/// is a pure function of its `(cell, trial)` coordinates, so *where* it
+/// runs never changes *what* it computes. They differ only in failure
+/// containment:
+///
+/// * [`WorkerBackend::Thread`]: the in-process pool. Panics are caught
+///   per job, but an abort, OOM kill, or stack overflow takes the whole
+///   process (and, in the daemon, every other campaign) with it.
+/// * [`WorkerBackend::Process`]: a supervised subprocess fleet
+///   ([`FleetConfig`]). Any worker death is contained: the job is
+///   re-dispatched, the worker respawned with backoff, and a job that
+///   keeps killing workers is quarantined as a poisoned cell.
+///
+/// The process backend requires a campaign built from a
+/// [`CampaignSpec`](crate::CampaignSpec) (workers rebuild their plans
+/// from the spec's canonical JSON).
+#[derive(Debug, Clone, Default)]
+pub enum WorkerBackend {
+    /// In-process worker threads (the default).
+    #[default]
+    Thread,
+    /// A supervised fleet of worker subprocesses.
+    Process(FleetConfig),
+}
 
 /// Live metric handles for one campaign run, registered in a shared
 /// [`Registry`] under a `campaign="<name>"` label so one daemon can
@@ -43,6 +71,10 @@ pub struct CampaignMetrics {
     pub sink_seconds: Histo,
     /// Backoff delay applied before re-queueing a cancelled attempt.
     pub backoff_seconds: Histo,
+    /// Worker processes that died unexpectedly (process backend).
+    pub worker_crashes: Counter,
+    /// Worker processes respawned after a death (process backend).
+    pub worker_respawns: Counter,
 }
 
 impl CampaignMetrics {
@@ -110,6 +142,16 @@ impl CampaignMetrics {
                 0.0,
                 5.0,
                 20,
+            ),
+            worker_crashes: registry.counter(
+                "vpsim_worker_crashes_total",
+                "worker processes that died unexpectedly",
+                l,
+            ),
+            worker_respawns: registry.counter(
+                "vpsim_worker_respawns_total",
+                "worker processes respawned after a death",
+                l,
             ),
         }
     }
@@ -208,6 +250,9 @@ pub struct Exec {
     /// histograms) as jobs finish — the daemon's `/metrics` endpoint
     /// scrapes the registry they live in.
     pub metrics: Option<CampaignMetrics>,
+    /// The execution substrate: the in-process thread pool (default) or
+    /// a supervised, crash-contained subprocess fleet.
+    pub backend: WorkerBackend,
 }
 
 impl Default for Exec {
@@ -227,6 +272,7 @@ impl Default for Exec {
             cancel: None,
             observer: None,
             metrics: None,
+            backend: WorkerBackend::default(),
         }
     }
 }
@@ -285,6 +331,7 @@ mod tests {
         assert!(e.cancel.is_none());
         assert!(e.observer.is_none());
         assert!(e.metrics.is_none());
+        assert!(matches!(e.backend, WorkerBackend::Thread));
     }
 
     #[test]

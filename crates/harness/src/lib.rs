@@ -37,7 +37,17 @@
 //!   ledger backing the report bins' `--strict` mode;
 //! * a resumable manifest ([`Exec::resume`]): an interrupted campaign
 //!   restarted with the same resume directory skips every job already
-//!   recorded there.
+//!   recorded there;
+//! * a **process-isolated backend** ([`WorkerBackend::Process`]): jobs
+//!   run in a fleet of supervised worker subprocesses (the binary
+//!   re-execed with `--worker-loop`, served by [`worker_loop`]) speaking
+//!   a length-prefixed protocol over stdin/stdout. `catch_unwind`
+//!   cannot contain aborts, stack overflows, or OOM kills — a process
+//!   boundary can. The supervisor heartbeat-checks workers, respawns
+//!   crashed ones with exponential backoff, relocates in-flight jobs
+//!   (coordinate-derived seeds make results bit-identical to the thread
+//!   backend), and deterministically quarantines *poisoned cells* whose
+//!   job crashes [`FleetConfig::poison_threshold`] distinct workers.
 //!
 //! ```no_run
 //! use vpsec::attacks::AttackCategory;
@@ -62,19 +72,24 @@
 
 mod campaign;
 mod exec;
+mod fleet;
 mod io;
 mod pool;
+mod proto;
 mod sink;
 mod spec;
+mod worker;
 
 pub use campaign::{
     Campaign, CampaignError, CampaignOutcome, CampaignStats, CellError, CellOutcome, CellResult,
     CellSpec, HarnessError, RunHealth,
 };
-pub use exec::{CampaignMetrics, Exec, JobObserver};
+pub use exec::{CampaignMetrics, Exec, JobObserver, WorkerBackend};
+pub use fleet::FleetConfig;
 pub use io::{FaultPlan, FaultyIo, RealIo, SinkIo};
 pub use sink::JobRecord;
-pub use spec::{CampaignSpec, CellCoord, SpecError};
+pub use spec::{CampaignSpec, CellCoord, Isolate, SpecError};
+pub use worker::worker_loop;
 
 use vpsec::attacks::AttackCategory;
 use vpsec::experiment::{Channel, Evaluation, ExperimentConfig, PredictorKind};

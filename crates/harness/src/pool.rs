@@ -65,6 +65,11 @@ pub(crate) enum JobFailure {
     /// The job was cancelled on its final attempt (hard deadline) or
     /// drained after the campaign deadline expired.
     Deadline { attempts: u32 },
+    /// The job took down `crashes` distinct worker processes (abort,
+    /// OOM kill, ...) and was quarantined by the fleet supervisor
+    /// instead of crash-looping. Only the process backend produces
+    /// this.
+    Poisoned { crashes: u32 },
 }
 
 /// Counters shared by workers and the watchdog.
@@ -86,6 +91,11 @@ pub(crate) struct PoolStats {
     pub sched_ticks: AtomicU64,
     /// Quiescent cycles skipped by the next-event clock.
     pub sched_skipped: AtomicU64,
+    /// Worker processes that died unexpectedly (process backend only;
+    /// the thread backend leaves this at zero).
+    pub worker_crashes: AtomicU64,
+    /// Worker processes respawned after a death (process backend only).
+    pub worker_respawns: AtomicU64,
 }
 
 /// What the watchdog knows about a worker's in-flight attempt.
@@ -163,7 +173,7 @@ impl Shared<'_> {
     }
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     payload
         .downcast_ref::<&str>()
         .map(|s| (*s).to_owned())

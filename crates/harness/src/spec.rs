@@ -64,6 +64,39 @@ impl CellCoord {
     }
 }
 
+/// Which execution substrate a spec asks for. Purely operational: it
+/// never feeds [`CampaignSpec::namespaced_seed`] or the experiment
+/// config, so the same cells produce bit-identical results either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Isolate {
+    /// In-process worker threads (`catch_unwind` panic isolation).
+    #[default]
+    Thread,
+    /// Supervised worker subprocesses (crash/abort/kill containment).
+    Process,
+}
+
+impl Isolate {
+    /// The wire token (`"thread"` / `"process"`).
+    #[must_use]
+    pub fn token(self) -> &'static str {
+        match self {
+            Isolate::Thread => "thread",
+            Isolate::Process => "process",
+        }
+    }
+
+    /// Parse a wire token.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Isolate> {
+        match s {
+            "thread" => Some(Isolate::Thread),
+            "process" => Some(Isolate::Process),
+            _ => None,
+        }
+    }
+}
+
 /// A validated campaign submission.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignSpec {
@@ -79,6 +112,10 @@ pub struct CampaignSpec {
     pub background_noise: bool,
     /// Defenses applied to every cell.
     pub defense: DefenseSpec,
+    /// Requested execution substrate, if the client expressed one
+    /// (`None` lets the runner pick its configured default). Does not
+    /// affect seeds or results.
+    pub isolate: Option<Isolate>,
     /// The evaluation cells.
     pub cells: Vec<CellCoord>,
 }
@@ -282,6 +319,7 @@ impl CampaignSpec {
                     | "chaos_level"
                     | "background_noise"
                     | "defense"
+                    | "isolate"
                     | "cells"
             ) {
                 return Err(SpecError::new(format!("unknown field `{key}`")));
@@ -325,6 +363,19 @@ impl CampaignSpec {
             None => DefenseSpec::none(),
             Some(v) => parse_defense(v)?,
         };
+        let isolate = match doc.get("isolate") {
+            None => None,
+            Some(v) => {
+                let s = v
+                    .as_str()
+                    .ok_or_else(|| SpecError::new("field `isolate` must be a string"))?;
+                Some(Isolate::parse(s).ok_or_else(|| {
+                    SpecError::new(format!(
+                        "`isolate` must be \"thread\" or \"process\", got `{s}`"
+                    ))
+                })?)
+            }
+        };
         let cells_json = doc
             .get("cells")
             .ok_or_else(|| SpecError::new("missing field `cells`"))?
@@ -348,6 +399,7 @@ impl CampaignSpec {
             chaos_level: chaos_level as u8,
             background_noise,
             defense,
+            isolate,
             cells,
         })
     }
@@ -383,6 +435,9 @@ impl CampaignSpec {
             }
             out.push_str(&parts.join(","));
             out.push('}');
+        }
+        if let Some(iso) = self.isolate {
+            let _ = write!(out, ",\"isolate\":\"{}\"", iso.token());
         }
         out.push_str(",\"cells\":[");
         for (i, cell) in self.cells.iter().enumerate() {
@@ -452,7 +507,9 @@ impl CampaignSpec {
         }
     }
 
-    /// Materialize the spec into a runnable [`Campaign`].
+    /// Materialize the spec into a runnable [`Campaign`]. The campaign
+    /// carries the spec's canonical JSON so the process backend can
+    /// relocate jobs into fresh worker processes.
     #[must_use]
     pub fn to_campaign(&self) -> Campaign {
         let cfg = self.experiment_config();
@@ -466,6 +523,7 @@ impl CampaignSpec {
                 cfg.clone(),
             ));
         }
+        campaign.set_spec_json(self.to_json());
         campaign
     }
 }
@@ -562,6 +620,28 @@ mod tests {
             );
             assert!(!err.contains('\n'), "multi-line error: {err:?}");
         }
+    }
+
+    #[test]
+    fn isolate_round_trips_and_never_perturbs_seeds() {
+        let base = CampaignSpec::parse(minimal()).unwrap();
+        assert_eq!(base.isolate, None);
+        let doc = r#"{"name":"quick","trials":4,"seed":7,"isolate":"process",
+            "cells":[{"category":"train_test","channel":"timing_window","predictor":"lvp"}]}"#;
+        let spec = CampaignSpec::parse(doc).unwrap();
+        assert_eq!(spec.isolate, Some(Isolate::Process));
+        let round = CampaignSpec::parse(&spec.to_json()).unwrap();
+        assert_eq!(round, spec);
+        // Operational knob only: identical seeds and experiment config.
+        assert_eq!(spec.namespaced_seed(), base.namespaced_seed());
+        assert_eq!(
+            format!("{:?}", spec.experiment_config()),
+            format!("{:?}", base.experiment_config())
+        );
+        let err = CampaignSpec::parse(r#"{"name":"x","isolate":"container","cells":[{}]}"#)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("isolate"), "{err}");
     }
 
     #[test]

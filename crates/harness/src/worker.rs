@@ -1,0 +1,283 @@
+//! The worker half of the process-isolated backend: a long-lived
+//! subprocess that builds the campaign's cell plans once from the spec
+//! frame, then executes jobs one at a time as the supervisor dispatches
+//! them.
+//!
+//! The loop is started by re-execing the current binary with
+//! `--worker-loop` (both `repro` and the serve daemon dispatch that
+//! flag straight here, before any other argument parsing). Three
+//! threads cooperate:
+//!
+//! * the **heartbeat thread** writes an `hb` frame every
+//!   [`HEARTBEAT_INTERVAL`], started *before* the spec is even read so
+//!   the supervisor can distinguish "building plans" from "dead" at
+//!   every point of the worker's life. A write failure means the
+//!   supervisor is gone — the worker exits rather than orphan itself.
+//! * the **reader thread** owns stdin. `job` frames flow to the main
+//!   thread over a channel; `cancel` frames trip the matching in-flight
+//!   job's [`CancelToken`] directly — or are parked in a pending list
+//!   when they arrive before the job frame has been picked up, closing
+//!   the race where a cancel would otherwise be dropped on the floor.
+//! * the **main thread** runs one job at a time under `catch_unwind`,
+//!   exactly like an in-process pool worker, and reports `done` /
+//!   `cancelled` / `panic`. Anything `catch_unwind` cannot contain
+//!   (abort, OOM kill, SIGKILL) takes down only this process — that is
+//!   the whole point of the backend.
+//!
+//! ## Deterministic fault hooks
+//!
+//! Torture tests and CI smokes need workers that die in specific ways
+//! at specific points. Three env vars (read once at startup; harmless
+//! in production where they are unset) provide that:
+//!
+//! * `VPSIM_TEST_WORKER_ABORT="cell:trial"` — `abort()` when that job
+//!   is dispatched, before any work: a deterministic poisoned cell.
+//! * `VPSIM_TEST_WORKER_HANG="cell:trial"` — mute heartbeats and sleep
+//!   forever: a wedged worker only liveness checks can detect.
+//! * `VPSIM_TEST_WORKER_EXIT_AFTER=n` — `abort()` instead of reporting
+//!   the n-th completed job: sudden death with a computed-but-lost
+//!   result, indistinguishable from a SIGKILL between compute and
+//!   flush.
+
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use vpsim_pipeline::CancelToken;
+
+use crate::pool::panic_message;
+use crate::proto::{read_frame, write_frame, FromWorker, ToWorker};
+use crate::sink::JobRecord;
+use crate::spec::CampaignSpec;
+
+/// Cadence of the worker's liveness beacon. The supervisor's default
+/// [`FleetConfig::heartbeat_timeout`](crate::FleetConfig) is 20× this,
+/// so a worker must miss many beats before it is declared dead.
+pub(crate) const HEARTBEAT_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Everything the reader thread hands to the main thread.
+enum Input {
+    Spec(String),
+    Job {
+        cell: usize,
+        trial: usize,
+        attempt: u32,
+    },
+    /// `exit` frame, EOF, or a read error: drain and leave.
+    Shutdown,
+}
+
+/// Cancellation state shared between the reader and main threads.
+struct CancelState {
+    /// The in-flight job's coordinates and its cancel token.
+    current: Option<((usize, usize), CancelToken)>,
+    /// Cancels that arrived before their job frame was picked up; the
+    /// main thread pre-trips the token when it starts such a job.
+    pending: Vec<(usize, usize)>,
+}
+
+/// Write one frame under the shared stdout lock (frames from the
+/// heartbeat and main threads must never interleave).
+fn send(out: &Mutex<io::Stdout>, msg: &FromWorker) -> bool {
+    let mut w = out.lock().expect("worker stdout poisoned");
+    write_frame(&mut *w, &msg.encode()).is_ok()
+}
+
+fn coord_env(name: &str) -> Option<(usize, usize)> {
+    let v = std::env::var(name).ok()?;
+    let (c, t) = v.split_once(':')?;
+    Some((c.trim().parse().ok()?, t.trim().parse().ok()?))
+}
+
+/// Serve jobs over stdin/stdout until the supervisor says `exit` or
+/// hangs up. Returns the process exit code: `0` for a clean drain,
+/// nonzero when the worker could not serve (unparseable spec, lost
+/// supervisor mid-job).
+pub fn worker_loop() -> i32 {
+    let out = Arc::new(Mutex::new(io::stdout()));
+    let heartbeats_muted = Arc::new(AtomicBool::new(false));
+    {
+        let out = Arc::clone(&out);
+        let muted = Arc::clone(&heartbeats_muted);
+        std::thread::spawn(move || loop {
+            std::thread::sleep(HEARTBEAT_INTERVAL);
+            if muted.load(Ordering::Relaxed) {
+                continue;
+            }
+            if !send(&out, &FromWorker::Heartbeat) {
+                // Supervisor gone; a worker must never outlive it.
+                std::process::exit(0);
+            }
+        });
+    }
+
+    let cancel = Arc::new(Mutex::new(CancelState {
+        current: None,
+        pending: Vec::new(),
+    }));
+    let (tx, rx) = mpsc::channel::<Input>();
+    {
+        let cancel = Arc::clone(&cancel);
+        std::thread::spawn(move || {
+            let mut stdin = io::stdin().lock();
+            // First frame is the campaign spec document itself.
+            match read_frame(&mut stdin) {
+                Ok(Some(spec)) => {
+                    if tx.send(Input::Spec(spec)).is_err() {
+                        return;
+                    }
+                }
+                Ok(None) | Err(_) => {
+                    let _ = tx.send(Input::Shutdown);
+                    return;
+                }
+            }
+            loop {
+                match read_frame(&mut stdin) {
+                    Ok(Some(line)) => match ToWorker::parse(&line) {
+                        Some(ToWorker::Job {
+                            cell,
+                            trial,
+                            attempt,
+                        }) => {
+                            if tx
+                                .send(Input::Job {
+                                    cell,
+                                    trial,
+                                    attempt,
+                                })
+                                .is_err()
+                            {
+                                return;
+                            }
+                        }
+                        Some(ToWorker::Cancel { cell, trial }) => {
+                            let mut st = cancel.lock().expect("cancel state poisoned");
+                            match &st.current {
+                                Some((coord, token)) if *coord == (cell, trial) => token.cancel(),
+                                _ => st.pending.push((cell, trial)),
+                            }
+                        }
+                        Some(ToWorker::Exit) | None => {
+                            let _ = tx.send(Input::Shutdown);
+                            return;
+                        }
+                    },
+                    Ok(None) | Err(_) => {
+                        let _ = tx.send(Input::Shutdown);
+                        return;
+                    }
+                }
+            }
+        });
+    }
+
+    let spec_json = match rx.recv() {
+        Ok(Input::Spec(s)) => s,
+        _ => return 0,
+    };
+    let spec = match CampaignSpec::parse(&spec_json) {
+        Ok(spec) => spec,
+        Err(e) => {
+            let _ = send(
+                &out,
+                &FromWorker::Fatal {
+                    message: format!("spec frame rejected: {e}"),
+                },
+            );
+            return 2;
+        }
+    };
+    let campaign = spec.to_campaign();
+    let plans = campaign.plans();
+    let _ = send(
+        &out,
+        &FromWorker::Ready {
+            jobs: campaign.num_jobs() as u64,
+        },
+    );
+
+    let abort_on = coord_env("VPSIM_TEST_WORKER_ABORT");
+    let hang_on = coord_env("VPSIM_TEST_WORKER_HANG");
+    let exit_after: Option<u64> = std::env::var("VPSIM_TEST_WORKER_EXIT_AFTER")
+        .ok()
+        .and_then(|v| v.parse().ok());
+
+    let mut completed = 0u64;
+    loop {
+        let (cell, trial, attempt) = match rx.recv() {
+            Ok(Input::Job {
+                cell,
+                trial,
+                attempt,
+            }) => (cell, trial, attempt),
+            Ok(Input::Spec(_)) => continue,
+            Ok(Input::Shutdown) | Err(_) => return 0,
+        };
+        if abort_on == Some((cell, trial)) {
+            std::process::abort();
+        }
+        if hang_on == Some((cell, trial)) {
+            heartbeats_muted.store(true, Ordering::Relaxed);
+            loop {
+                std::thread::sleep(Duration::from_secs(3600));
+            }
+        }
+        let Some(plan) = plans.get(cell).and_then(Option::as_ref) else {
+            let _ = send(
+                &out,
+                &FromWorker::Panicked {
+                    cell,
+                    trial,
+                    message: format!("no plan for cell {cell}"),
+                },
+            );
+            continue;
+        };
+        let token = CancelToken::new();
+        {
+            let mut st = cancel.lock().expect("cancel state poisoned");
+            if let Some(pos) = st.pending.iter().position(|&c| c == (cell, trial)) {
+                // The cancel raced ahead of the job frame: honor it.
+                st.pending.remove(pos);
+                token.cancel();
+            }
+            st.current = Some(((cell, trial), token.clone()));
+        }
+        let start = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            plan.run_pair_supervised(trial, Some(&token))
+        }));
+        let wall_nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        cancel.lock().expect("cancel state poisoned").current = None;
+        let msg = match result {
+            Ok(Ok(pair)) => {
+                completed += 1;
+                if exit_after.is_some_and(|n| completed >= n) {
+                    std::process::abort();
+                }
+                FromWorker::Done(JobRecord {
+                    cell,
+                    trial,
+                    pair,
+                    wall_nanos,
+                    attempts: attempt + 1,
+                })
+            }
+            Ok(Err(_interrupted)) => FromWorker::Cancelled { cell, trial },
+            Err(payload) => FromWorker::Panicked {
+                cell,
+                trial,
+                message: panic_message(payload.as_ref()),
+            },
+        };
+        if !send(&out, &msg) {
+            return 1;
+        }
+    }
+}
+
+// The loop itself is exercised end-to-end (real subprocesses, real
+// pipes) by the fleet tests in `fleet.rs` and `tests/torture.rs`.

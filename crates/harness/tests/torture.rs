@@ -16,16 +16,23 @@
 //!    training-repeat count) must be *cancelled* within its hard
 //!    deadline — not merely logged — and a campaign deadline must bound
 //!    the whole run while still resolving every queued job.
+//! 4. **Process-fleet torture**: campaigns on the process-isolated
+//!    backend survive a worker SIGKILLed mid-flight with bit-identical
+//!    results, quarantine deterministically crashing cells after K
+//!    crashes, detect hung workers by missed heartbeats within a
+//!    bounded time, and reap every worker they spawn (no zombies).
 
 use std::path::PathBuf;
+use std::process::Command;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use vpsec::attacks::{AttackCategory, AttackSetup};
 use vpsec::experiment::{Channel, Evaluation, ExperimentConfig, PredictorKind};
 use vpsim_harness::{
-    Campaign, CellOutcome, CellSpec, Exec, FaultPlan, FaultyIo, JobRecord, SinkIo,
+    Campaign, CampaignSpec, CellOutcome, CellSpec, Exec, FaultPlan, FaultyIo, FleetConfig,
+    JobRecord, SinkIo, WorkerBackend,
 };
 use vpsim_rng::SmallRng;
 
@@ -419,4 +426,290 @@ fn untripped_deadlines_are_result_neutral() {
     }
     assert_eq!(supervised.stats.cancelled, 0);
     assert_eq!(supervised.stats.deadline_failed, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Torture plane 4: process-isolated fleet supervision.
+// ---------------------------------------------------------------------------
+
+/// Fleet tortures are serialized: the no-zombie check enumerates this
+/// process's children, and concurrent fleets would spawn into each
+/// other's observation window.
+static FLEET_LOCK: Mutex<()> = Mutex::new(());
+
+fn fleet_guard() -> std::sync::MutexGuard<'static, ()> {
+    FLEET_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Fleet campaigns are spec-built: the process backend relocates jobs
+/// by handing the canonical spec JSON to each worker, so the campaign
+/// must come from a [`CampaignSpec`].
+fn fleet_spec(name: &str, trials: usize) -> CampaignSpec {
+    let json = format!(
+        "{{\"name\":\"{name}\",\"trials\":{trials},\"seed\":7,\"cells\":[\
+         {{\"category\":\"train_test\",\"channel\":\"timing_window\",\"predictor\":\"lvp\"}},\
+         {{\"category\":\"fill_up\",\"channel\":\"timing_window\",\"predictor\":\"none\"}}]}}"
+    );
+    CampaignSpec::parse(&json).expect("fleet spec must parse")
+}
+
+const FLEET_CELLS: [&str; 2] = ["train_test/timing_window/lvp", "fill_up/timing_window/none"];
+
+/// A fleet aimed at the dedicated test worker binary (cargo only
+/// populates `CARGO_BIN_EXE_*` for this package's own binaries; the
+/// production path re-execs the CLI with `--worker-loop` instead).
+fn fleet_cfg(workers: usize) -> FleetConfig {
+    FleetConfig {
+        workers,
+        worker_cmd: Some(vec![env!("CARGO_BIN_EXE_vpsim-worker").to_owned()]),
+        ..FleetConfig::default()
+    }
+}
+
+/// Every child pid of this process, across all of its threads (a
+/// zombie stays a child until reaped).
+fn my_children() -> Vec<u32> {
+    let mut out = Vec::new();
+    for task in std::fs::read_dir("/proc/self/task")
+        .expect("/proc must be mounted")
+        .flatten()
+    {
+        if let Ok(text) = std::fs::read_to_string(task.path().join("children")) {
+            out.extend(
+                text.split_whitespace()
+                    .filter_map(|p| p.parse::<u32>().ok()),
+            );
+        }
+    }
+    out
+}
+
+/// Torture plane 4a: SIGKILL a worker mid-campaign. The supervisor must
+/// contain the crash, re-dispatch the lost job into a respawned worker,
+/// and finish with evaluations AND a manifest payload bit-identical to
+/// the thread-backend run.
+#[test]
+fn a_sigkilled_worker_mid_campaign_is_contained_and_bit_identical() {
+    let _guard = fleet_guard();
+    let spec = fleet_spec("torture-sigkill", 20);
+
+    let base_dir = scratch_dir("fleet-base");
+    let baseline = spec
+        .to_campaign()
+        .run(&Exec {
+            jobs: 2,
+            resume: Some(base_dir.clone()),
+            ..Exec::default()
+        })
+        .unwrap();
+    let base_text = std::fs::read_to_string(base_dir.join("torture-sigkill.jsonl")).unwrap();
+    assert_eq!(
+        payload(&base_text).len(),
+        40,
+        "reference run records all jobs"
+    );
+
+    // Process-backend run; SIGKILL the first worker the moment its pid
+    // hits the board (i.e. with the campaign's jobs still in flight).
+    let pids: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
+    let dir = scratch_dir("fleet-kill");
+    let exec = Exec {
+        jobs: 2,
+        resume: Some(dir.clone()),
+        backend: WorkerBackend::Process(FleetConfig {
+            pids: Some(Arc::clone(&pids)),
+            ..fleet_cfg(2)
+        }),
+        ..Exec::default()
+    };
+    let killer_pids = Arc::clone(&pids);
+    let killer = std::thread::spawn(move || {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let first = killer_pids.lock().unwrap().first().copied();
+            if let Some(pid) = first {
+                return Command::new("kill")
+                    .args(["-9", &pid.to_string()])
+                    .status()
+                    .is_ok_and(|s| s.success());
+            }
+            if Instant::now() > deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    });
+    let outcome = spec.to_campaign().run(&exec).unwrap();
+    assert!(killer.join().unwrap(), "the killer must reach a worker pid");
+
+    assert!(
+        outcome.stats.worker_crashes >= 1,
+        "the SIGKILL must register as a contained crash: {:?}",
+        outcome.stats
+    );
+    for name in FLEET_CELLS {
+        assert_bitwise_eq(
+            baseline.expect_eval(name),
+            outcome.expect_eval(name),
+            &format!("SIGKILLed fleet, cell {name}"),
+        );
+    }
+    let kill_text = std::fs::read_to_string(dir.join("torture-sigkill.jsonl")).unwrap();
+    assert_eq!(
+        payload(&kill_text),
+        payload(&base_text),
+        "manifest payload must be bit-identical to the thread backend"
+    );
+    let _ = std::fs::remove_dir_all(&base_dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Torture plane 4b: a cell whose job aborts the worker on every
+/// dispatch (simulating a deterministic native crash) is quarantined
+/// after exactly K crashes, identically on every run, while the healthy
+/// cell still evaluates bit-identically to the thread backend.
+#[test]
+fn a_poisoned_cell_is_quarantined_deterministically_after_k_crashes() {
+    let _guard = fleet_guard();
+    let spec = fleet_spec("torture-poison", 6);
+    let baseline = spec.to_campaign().run(&Exec::default()).unwrap();
+
+    let run_once = || {
+        spec.to_campaign()
+            .run(&Exec {
+                jobs: 2,
+                backend: WorkerBackend::Process(FleetConfig {
+                    worker_env: vec![("VPSIM_TEST_WORKER_ABORT".to_owned(), "0:1".to_owned())],
+                    poison_threshold: 2,
+                    ..fleet_cfg(2)
+                }),
+                ..Exec::default()
+            })
+            .unwrap()
+    };
+    let first = run_once();
+    let second = run_once();
+    for (tag, outcome) in [("first", &first), ("second", &second)] {
+        match &outcome.cells()[0].outcome {
+            CellOutcome::Failed(err) => {
+                let msg = err.to_string();
+                assert!(
+                    msg.contains("quarantined as poisoned") && msg.contains("crashed 2 worker"),
+                    "{tag} run: expected a K=2 poisoned quarantine, got: {msg}"
+                );
+            }
+            other => panic!("{tag} run: poisoned cell must fail, got {other:?}"),
+        }
+        assert_eq!(
+            outcome.stats.worker_crashes, 2,
+            "{tag} run: exactly K crashes, then quarantine: {:?}",
+            outcome.stats
+        );
+        assert_bitwise_eq(
+            baseline.expect_eval(FLEET_CELLS[1]),
+            outcome.expect_eval(FLEET_CELLS[1]),
+            &format!("{tag} poison run, healthy cell"),
+        );
+    }
+    assert_eq!(
+        format!("{:?}", first.cells()[0].outcome),
+        format!("{:?}", second.cells()[0].outcome),
+        "quarantine must be deterministic across runs"
+    );
+}
+
+/// Torture plane 4c: a worker that wedges (heartbeats muted, job never
+/// finishes) is detected by missed heartbeats and killed within a
+/// bounded time; the deterministic wedge converges to a poisoned
+/// quarantine instead of hanging the campaign.
+#[test]
+fn a_hung_worker_is_killed_on_missed_heartbeats_within_the_deadline() {
+    let _guard = fleet_guard();
+    let spec = fleet_spec("torture-fleet-hang", 2);
+    let started = Instant::now();
+    let outcome = spec
+        .to_campaign()
+        .run(&Exec {
+            jobs: 2,
+            backend: WorkerBackend::Process(FleetConfig {
+                worker_env: vec![("VPSIM_TEST_WORKER_HANG".to_owned(), "0:1".to_owned())],
+                heartbeat_timeout: Duration::from_millis(300),
+                poison_threshold: 2,
+                ..fleet_cfg(2)
+            }),
+            ..Exec::default()
+        })
+        .unwrap();
+    let elapsed = started.elapsed();
+    // 2 hangs × 300 ms heartbeat timeout plus respawn backoff and
+    // slack; far below the uncancelled wedge (which never returns).
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "hung worker was not killed promptly (took {elapsed:?})"
+    );
+    assert!(
+        outcome.stats.worker_crashes >= 2,
+        "each wedge incarnation must be killed and counted: {:?}",
+        outcome.stats
+    );
+    match &outcome.cells()[0].outcome {
+        CellOutcome::Failed(err) => {
+            let msg = err.to_string();
+            assert!(
+                msg.contains("quarantined as poisoned"),
+                "a deterministic wedge must converge to quarantine, got: {msg}"
+            );
+        }
+        other => panic!("wedged cell must fail as poisoned, got {other:?}"),
+    }
+    assert!(
+        outcome.get(FLEET_CELLS[1]).is_some(),
+        "the healthy cell must still evaluate"
+    );
+}
+
+/// Torture plane 4d: the supervisor reaps every worker it ever spawned
+/// — after a crash-heavy campaign drains, none of the fleet's pids may
+/// linger as a child of this process (a zombie would).
+#[test]
+fn the_fleet_drain_leaves_no_zombie_processes() {
+    let _guard = fleet_guard();
+    let spec = fleet_spec("torture-zombie", 6);
+    let pids: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
+    let outcome = spec
+        .to_campaign()
+        .run(&Exec {
+            jobs: 2,
+            backend: WorkerBackend::Process(FleetConfig {
+                // Every incarnation aborts before its 2nd result: a
+                // steady crash/respawn churn across the whole run.
+                worker_env: vec![("VPSIM_TEST_WORKER_EXIT_AFTER".to_owned(), "2".to_owned())],
+                pids: Some(Arc::clone(&pids)),
+                ..fleet_cfg(2)
+            }),
+            ..Exec::default()
+        })
+        .unwrap();
+    assert!(
+        outcome.stats.worker_crashes >= 1 && outcome.stats.worker_respawns >= 1,
+        "the churn hook must crash and respawn workers: {:?}",
+        outcome.stats
+    );
+    for name in FLEET_CELLS {
+        assert!(outcome.get(name).is_some(), "cell {name} must evaluate");
+    }
+    let spawned = pids.lock().unwrap().clone();
+    assert!(
+        spawned.len() >= 3,
+        "churn must have spawned replacements, saw {spawned:?}"
+    );
+    let children = my_children();
+    for pid in spawned {
+        assert!(
+            !children.contains(&pid),
+            "worker {pid} left unreaped (zombie) after drain"
+        );
+    }
 }

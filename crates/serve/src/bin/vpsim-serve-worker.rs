@@ -1,0 +1,8 @@
+//! Worker-loop binary for the serve crate's integration tests
+//! (`CARGO_BIN_EXE_vpsim-serve-worker` is only populated for binaries
+//! of the same package). Production daemons re-exec themselves with
+//! `--worker-loop` instead.
+
+fn main() {
+    std::process::exit(vpsim_harness::worker_loop());
+}

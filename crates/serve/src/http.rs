@@ -198,6 +198,22 @@ pub fn respond(
     content_type: &str,
     body: &str,
 ) -> io::Result<()> {
+    respond_with_headers(stream, status, content_type, &[], body)
+}
+
+/// [`respond`] with extra response headers (each a pre-formatted
+/// `name: value` pair) — used for overload shedding's `Retry-After`.
+///
+/// # Errors
+///
+/// Propagates socket write errors.
+pub fn respond_with_headers(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> io::Result<()> {
     let reason = match status {
         200 => "OK",
         201 => "Created",
@@ -206,14 +222,19 @@ pub fn respond(
         405 => "Method Not Allowed",
         409 => "Conflict",
         413 => "Payload Too Large",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
     };
     write!(
         stream,
         "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\n\
-         content-length: {}\r\nconnection: close\r\n\r\n{body}",
+         content-length: {}\r\nconnection: close\r\n",
         body.len()
     )?;
+    for (name, value) in extra_headers {
+        write!(stream, "{name}: {value}\r\n")?;
+    }
+    write!(stream, "\r\n{body}")?;
     stream.flush()
 }
 

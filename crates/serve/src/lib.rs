@@ -12,9 +12,28 @@
 //! | `GET /campaigns/<id>` | One campaign's progress (state, jobs done/total) |
 //! | `GET /campaigns/<id>/results` | Stream the result log as chunked JSONL |
 //! | `POST /campaigns/<id>/cancel` | Cooperatively cancel (persists across restarts) |
-//! | `GET /metrics` | Plain-text counters: active/queued campaigns, jobs, sim-cycle throughput, I/O faults, torn lines |
+//! | `GET /metrics` | Plain-text counters: active/queued campaigns, jobs, sim-cycle throughput, I/O faults, torn lines, worker crashes/respawns, shed requests |
 //! | `GET /healthz` | Liveness probe |
 //! | `POST /shutdown` | Graceful stop; running campaigns park their manifests for resume |
+//!
+//! ## Front-door hardening
+//!
+//! Every accepted connection gets socket read/write timeouts
+//! ([`ServeConfig::read_timeout`] / [`ServeConfig::write_timeout`]), so
+//! a slowloris peer that trickles half a request can pin at most one
+//! handler thread for a bounded time while `/healthz` and `/metrics`
+//! keep answering. Concurrent connections are capped
+//! ([`ServeConfig::max_connections`]); excess ones are shed immediately
+//! with `503` + `Retry-After`, as are campaign submissions past the
+//! runner-queue high-water mark ([`ServeConfig::queue_high_water`]).
+//! Shedding is counted in `vpsim_shed_requests_total` and each
+//! campaign's stats footer.
+//!
+//! Campaigns can run on the process-isolated backend (spec field
+//! `"isolate":"process"`, or daemon-wide via [`ServeConfig::isolate`]):
+//! jobs execute in supervised worker subprocesses whose crashes are
+//! contained, respawned, and — for deterministically crashing cells —
+//! quarantined, without perturbing the result stream's bytes.
 //!
 //! ## Invariants
 //!

@@ -19,12 +19,13 @@ use std::collections::{HashMap, VecDeque};
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use vpsim_harness::{
-    CampaignMetrics, CampaignSpec, CellOutcome, Exec, JobObserver, RunHealth, SpecError,
+    CampaignMetrics, CampaignSpec, CellOutcome, Exec, FleetConfig, Isolate, JobObserver, RunHealth,
+    SpecError, WorkerBackend,
 };
 use vpsim_json::escaped;
 use vpsim_obs::{Counter, Gauge, Registry};
@@ -43,6 +44,25 @@ pub struct ServeConfig {
     pub runners: usize,
     /// Worker threads *per campaign* (the campaign `Exec::jobs`).
     pub jobs: usize,
+    /// Default execution substrate for campaigns whose spec does not
+    /// request one (`"isolate"` in the spec wins).
+    pub isolate: Isolate,
+    /// Override the worker-process command for the process backend
+    /// (tests point this at a prebuilt worker binary; `None` re-execs
+    /// the daemon's own binary with `--worker-loop`).
+    pub worker_cmd: Option<Vec<String>>,
+    /// Read timeout on accepted connections: a peer that trickles its
+    /// request slower than this (slowloris) is disconnected instead of
+    /// pinning a handler thread forever.
+    pub read_timeout: Duration,
+    /// Write timeout on accepted connections (stalled result readers).
+    pub write_timeout: Duration,
+    /// Maximum concurrently served connections; excess ones get an
+    /// immediate `503` + `Retry-After` instead of an unbounded thread.
+    pub max_connections: usize,
+    /// Overload high-water mark: campaign submissions are shed with
+    /// `503` while this many campaigns already wait for a runner.
+    pub queue_high_water: usize,
 }
 
 impl Default for ServeConfig {
@@ -52,6 +72,12 @@ impl Default for ServeConfig {
             state_dir: PathBuf::from("serve-state"),
             runners: 2,
             jobs: 1,
+            isolate: Isolate::Thread,
+            worker_cmd: None,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(30),
+            max_connections: 128,
+            queue_high_water: 64,
         }
     }
 }
@@ -75,6 +101,10 @@ struct DaemonMetrics {
     torn_lines: Counter,
     health_failed_cells: Gauge,
     health_panics: Gauge,
+    worker_crashes: Counter,
+    worker_respawns: Counter,
+    shed_requests: Counter,
+    connections_active: Gauge,
 }
 
 impl DaemonMetrics {
@@ -128,6 +158,26 @@ impl DaemonMetrics {
                 &[],
             ),
             health_panics: r.gauge("vpsim_health_panics", "jobs that panicked", &[]),
+            worker_crashes: r.counter(
+                "vpsim_worker_crashes",
+                "worker processes that died and were contained",
+                &[],
+            ),
+            worker_respawns: r.counter(
+                "vpsim_worker_respawns",
+                "worker processes respawned after a death",
+                &[],
+            ),
+            shed_requests: r.counter(
+                "vpsim_shed_requests_total",
+                "requests shed with 503 under overload",
+                &[],
+            ),
+            connections_active: r.gauge(
+                "vpsim_connections_active",
+                "connections currently being served",
+                &[],
+            ),
         }
     }
 }
@@ -146,6 +196,10 @@ struct Inner {
     health: Arc<RunHealth>,
     sim_cycles: AtomicU64,
     campaigns_done: AtomicU64,
+    /// Requests shed with `503` (connection cap or queue high water).
+    shed_requests: AtomicU64,
+    /// Connections currently inside `handle_connection`.
+    connections: AtomicUsize,
     /// The workspace metrics registry backing `/metrics` and
     /// `/campaigns/<id>/metrics`: daemon-level series plus one
     /// `campaign="<id>"`-labelled series set per campaign run.
@@ -186,6 +240,8 @@ impl Server {
             health: Arc::new(RunHealth::default()),
             sim_cycles: AtomicU64::new(0),
             campaigns_done: AtomicU64::new(0),
+            shed_requests: AtomicU64::new(0),
+            connections: AtomicUsize::new(0),
             registry,
             metrics,
             cfg,
@@ -299,16 +355,46 @@ fn rehydrate(inner: &Arc<Inner>) {
     inner.queue_cond.notify_all();
 }
 
+/// RAII connection slot: decrements the live-connection count however
+/// the handler thread exits.
+struct ConnSlot(Arc<Inner>);
+
+impl Drop for ConnSlot {
+    fn drop(&mut self) {
+        self.0.connections.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
 fn accept_loop(inner: &Arc<Inner>, listener: &TcpListener) {
     for stream in listener.incoming() {
         if inner.shutdown.load(Ordering::Acquire) {
             break;
         }
-        let Ok(stream) = stream else { continue };
+        let Ok(mut stream) = stream else { continue };
+        // Front-door hardening applies to *every* accepted connection,
+        // `/healthz` and `/metrics` included: socket timeouts bound the
+        // damage a slowloris peer can do to one handler thread, and the
+        // connection cap bounds how many such threads can exist at all.
+        let _ = stream.set_read_timeout(Some(inner.cfg.read_timeout));
+        let _ = stream.set_write_timeout(Some(inner.cfg.write_timeout));
+        if inner.connections.fetch_add(1, Ordering::AcqRel) >= inner.cfg.max_connections {
+            inner.connections.fetch_sub(1, Ordering::AcqRel);
+            inner.shed_requests.fetch_add(1, Ordering::Relaxed);
+            let _ = http::respond_with_headers(
+                &mut stream,
+                503,
+                "application/json",
+                &[("retry-after", "1")],
+                &error_body("connection limit reached; retry shortly"),
+            );
+            continue;
+        }
+        let slot = ConnSlot(Arc::clone(inner));
         let inner = Arc::clone(inner);
         // Thread-per-connection: a stalled client occupies one thread
         // and its own socket buffer, nothing shared.
         std::thread::spawn(move || {
+            let _slot = slot;
             let _ = handle_connection(&inner, stream);
         });
     }
@@ -359,6 +445,18 @@ fn run_campaign(inner: &Arc<Inner>, entry: &Arc<Entry>) {
         Arc::clone(&entry.jobs_done),
         &entry.spec.trials_per_cell(),
     ));
+    // The spec's `isolate` wins over the daemon default; the process
+    // backend re-execs this binary (or `worker_cmd`) as the fleet, and
+    // a graceful drain kills the fleet via the same cancel token.
+    let backend = match entry.spec.isolate.unwrap_or(inner.cfg.isolate) {
+        Isolate::Thread => WorkerBackend::Thread,
+        Isolate::Process => WorkerBackend::Process(FleetConfig {
+            workers: inner.cfg.jobs,
+            worker_cmd: inner.cfg.worker_cmd.clone(),
+            ..FleetConfig::default()
+        }),
+    };
+    let shed_before = inner.shed_requests.load(Ordering::Relaxed);
     let exec = Exec {
         jobs: inner.cfg.jobs,
         resume: Some(inner.cfg.state_dir.join(entry.id.to_string())),
@@ -369,9 +467,16 @@ fn run_campaign(inner: &Arc<Inner>, entry: &Arc<Entry>) {
             &inner.registry,
             &entry.id.to_string(),
         )),
+        backend,
         ..Exec::default()
     };
-    let outcome = entry.spec.to_campaign().run(&exec);
+    let outcome = entry.spec.to_campaign().run(&exec).map(|mut outcome| {
+        // Attribute the daemon's overload shedding during this run
+        // window to the campaign's own stats footer.
+        outcome.stats.shed_requests =
+            (inner.shed_requests.load(Ordering::Relaxed) - shed_before) as usize;
+        outcome
+    });
 
     let shutting_down =
         inner.shutdown.load(Ordering::Acquire) && entry.state() != CampaignState::Cancelled;
@@ -618,6 +723,22 @@ fn submit(inner: &Arc<Inner>, request: &Request, stream: &mut TcpStream) -> std:
             &error_body("daemon is shutting down"),
         );
     }
+    let queued = inner.queue.lock().expect("queue poisoned").len();
+    if queued >= inner.cfg.queue_high_water {
+        // Overload shedding: accepting would only deepen the backlog;
+        // tell the client when to come back instead.
+        inner.shed_requests.fetch_add(1, Ordering::Relaxed);
+        return http::respond_with_headers(
+            stream,
+            503,
+            "application/json",
+            &[("retry-after", "5")],
+            &error_body(&format!(
+                "runner queue is at its high-water mark ({queued} campaigns \
+                 waiting); retry later"
+            )),
+        );
+    }
     let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
     // Persist before acknowledging: an id the client has seen survives
     // any crash from here on.
@@ -772,6 +893,14 @@ fn refresh_daemon_metrics(inner: &Arc<Inner>) {
         .set(inner.health.failed_cells.load(Ordering::Relaxed) as f64);
     m.health_panics
         .set(inner.health.panics.load(Ordering::Relaxed) as f64);
+    m.worker_crashes
+        .store(inner.health.worker_crashes.load(Ordering::Relaxed));
+    m.worker_respawns
+        .store(inner.health.worker_respawns.load(Ordering::Relaxed));
+    m.shed_requests
+        .store(inner.shed_requests.load(Ordering::Relaxed));
+    m.connections_active
+        .set(inner.connections.load(Ordering::Relaxed) as f64);
 }
 
 /// `GET /metrics`: Prometheus text exposition of the whole registry —

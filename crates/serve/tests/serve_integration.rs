@@ -1,10 +1,12 @@
 //! In-process integration tests for the serving plane: wire-level
 //! determinism, backpressure isolation, cancellation, graceful-restart
-//! resume, and HTTP robustness.
+//! resume, HTTP robustness, front-door overload hardening (slowloris,
+//! connection cap, queue high water), and the process-isolated backend.
 
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
+use vpsim_harness::Isolate;
 use vpsim_serve::client;
 use vpsim_serve::{ServeConfig, Server};
 
@@ -21,6 +23,7 @@ fn start(state: &std::path::Path, runners: usize, jobs: usize) -> Server {
         state_dir: state.to_path_buf(),
         runners,
         jobs,
+        ..ServeConfig::default()
     })
     .expect("daemon starts")
 }
@@ -410,6 +413,240 @@ fn http_surface_is_robust() {
     // An empty campaign list is a valid JSON array.
     let r = client::request(&addr, "GET", "/campaigns", None).unwrap();
     assert_eq!((r.status, r.body.as_str()), (200, "[]\n"));
+
+    server.shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+/// Send a raw request and read the server's entire raw response
+/// (status line + headers + body) with a bounded client-side timeout.
+fn raw_roundtrip(addr: &str, request: &str) -> String {
+    use std::io::{Read, Write};
+    let mut s = std::net::TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(request.as_bytes()).unwrap();
+    let mut out = String::new();
+    let _ = s.read_to_string(&mut out);
+    out
+}
+
+/// A slowloris peer — half a request line, then silence — must not
+/// block `/healthz`, and the socket read timeout must evict it instead
+/// of pinning its handler thread forever.
+#[test]
+fn slowloris_half_request_does_not_block_healthz_and_is_evicted() {
+    use std::io::{Read, Write};
+    let state = temp_dir("slowloris");
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        state_dir: state.clone(),
+        runners: 1,
+        jobs: 1,
+        read_timeout: Duration::from_millis(500),
+        ..ServeConfig::default()
+    })
+    .expect("daemon starts");
+    let addr = server.addr().to_string();
+
+    // The attacker: trickle half a request line, never finish it.
+    let mut loris = std::net::TcpStream::connect(&addr).expect("connect");
+    loris.write_all(b"GET /campai").unwrap();
+    loris.flush().unwrap();
+
+    // Parallel liveness probes must keep answering promptly.
+    for _ in 0..5 {
+        let started = Instant::now();
+        let r = client::request(&addr, "GET", "/healthz", None).unwrap();
+        assert_eq!((r.status, r.body.as_str()), (200, "ok\n"));
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "/healthz stalled behind a slowloris peer"
+        );
+    }
+
+    // The read timeout must terminate the half-open connection within
+    // a bound — either silently or with an error response — instead of
+    // pinning the handler thread forever. A still-open socket would
+    // make this read trip our own 10 s timeout.
+    loris
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut out = String::new();
+    match loris.read_to_string(&mut out) {
+        Ok(_) => {
+            assert!(
+                out.is_empty() || out.starts_with("HTTP/1.1 4"),
+                "a half request must not be served: {out:?}"
+            );
+        }
+        Err(e) => {
+            assert!(
+                !matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ),
+                "slowloris connection was not evicted within its read timeout"
+            );
+        }
+    }
+
+    server.shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+/// Connections past the cap are shed immediately with `503` and a
+/// `Retry-After` hint, and the shedding is visible in `/metrics`.
+#[test]
+fn excess_connections_are_shed_with_503_and_retry_after() {
+    let state = temp_dir("conncap");
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        state_dir: state.clone(),
+        runners: 1,
+        jobs: 1,
+        max_connections: 2,
+        read_timeout: Duration::from_secs(5),
+        ..ServeConfig::default()
+    })
+    .expect("daemon starts");
+    let addr = server.addr().to_string();
+
+    // Two idle connections occupy both slots once accepted.
+    let hog_a = std::net::TcpStream::connect(&addr).expect("connect");
+    let hog_b = std::net::TcpStream::connect(&addr).expect("connect");
+    std::thread::sleep(Duration::from_millis(200)); // let accepts land
+
+    let out = raw_roundtrip(&addr, "GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n");
+    assert!(out.starts_with("HTTP/1.1 503"), "{out:?}");
+    assert!(
+        out.to_ascii_lowercase().contains("retry-after: 1"),
+        "shed response must carry a Retry-After hint: {out:?}"
+    );
+    drop(hog_a);
+    drop(hog_b);
+
+    // With the slots free again the daemon serves normally and the
+    // shed is counted.
+    let started = Instant::now();
+    loop {
+        if let Ok(r) = client::request(&addr, "GET", "/metrics", None) {
+            if r.status == 200 {
+                assert!(
+                    r.body.contains("vpsim_shed_requests_total 1"),
+                    "shed counter missing: {}",
+                    r.body
+                );
+                break;
+            }
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "daemon did not recover after the hogs disconnected"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    server.shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+/// Submissions past the runner-queue high-water mark are shed with
+/// `503` + `Retry-After` while already-accepted campaigns keep running.
+#[test]
+fn submissions_past_the_queue_high_water_mark_are_shed() {
+    let state = temp_dir("highwater");
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        state_dir: state.clone(),
+        runners: 1,
+        jobs: 1,
+        queue_high_water: 1,
+        ..ServeConfig::default()
+    })
+    .expect("daemon starts");
+    let addr = server.addr().to_string();
+
+    // A long campaign occupies the only runner; the next submission
+    // sits in the queue at the high-water mark.
+    let running = submit(&addr, &spec_json("occupier", 20_000));
+    wait_for_state(&addr, running, &["running"], Duration::from_secs(30));
+    let queued = submit(&addr, &spec_json("waiter", 4));
+
+    // One more would deepen the backlog: shed with a come-back hint.
+    let body = spec_json("shed-me", 4);
+    let out = raw_roundtrip(
+        &addr,
+        &format!(
+            "POST /campaigns HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    );
+    assert!(out.starts_with("HTTP/1.1 503"), "{out:?}");
+    assert!(
+        out.to_ascii_lowercase().contains("retry-after: 5"),
+        "queue shed must carry a Retry-After hint: {out:?}"
+    );
+    assert!(out.contains("high-water"), "{out:?}");
+
+    // The backlog itself is unharmed: cancel the occupier and the
+    // queued campaign runs to completion.
+    let r = client::request(&addr, "POST", &format!("/campaigns/{running}/cancel"), None).unwrap();
+    assert_eq!(r.status, 200);
+    wait_for_state(&addr, queued, &["done"], Duration::from_secs(60));
+
+    server.shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+/// The process-isolated backend is byte-transparent through the
+/// daemon: the same spec streams an identical payload whether its jobs
+/// run on worker threads or in supervised worker subprocesses.
+#[test]
+fn process_isolated_campaigns_stream_identical_payloads() {
+    let body = spec_json("relocated", 6);
+
+    let thread_lines = {
+        let state = temp_dir("isolate-thread");
+        let server = start(&state, 1, 2);
+        let addr = server.addr().to_string();
+        let id = submit(&addr, &body);
+        let lines = collect_stream(&addr, id);
+        server.shutdown();
+        server.join();
+        let _ = std::fs::remove_dir_all(&state);
+        lines
+    };
+
+    let state = temp_dir("isolate-process");
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        state_dir: state.clone(),
+        runners: 1,
+        jobs: 2,
+        isolate: Isolate::Process,
+        worker_cmd: Some(vec![env!("CARGO_BIN_EXE_vpsim-serve-worker").to_owned()]),
+        ..ServeConfig::default()
+    })
+    .expect("daemon starts");
+    let addr = server.addr().to_string();
+    let id = submit(&addr, &body);
+    let process_lines = collect_stream(&addr, id);
+    assert_eq!(
+        process_lines, thread_lines,
+        "job relocation into worker subprocesses must not change the stream"
+    );
+
+    // The supervision families are exported (zero crashes on a clean
+    // run, but the series exist for scraping).
+    let r = client::request(&addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(r.status, 200);
+    for needle in ["vpsim_worker_crashes", "vpsim_worker_respawns"] {
+        assert!(r.body.contains(needle), "metrics lack {needle}");
+    }
 
     server.shutdown();
     server.join();
